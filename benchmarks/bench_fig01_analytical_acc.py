@@ -1,0 +1,17 @@
+"""Benchmark E1 — Fig. 1: analytical attacker accuracy (Eqs. 4 and 5)."""
+
+from repro.experiments.analytical_acc import run_analytical_acc
+
+from bench_helpers import run_figure
+
+
+def test_fig01_analytical_attacker_accuracy(benchmark):
+    rows = run_figure(
+        benchmark,
+        lambda: run_analytical_acc(),
+        "Fig. 1 - expected profiling accuracy, d=3, k=[74, 7, 16]",
+    )
+    values = {(r["metric"], r["protocol"], r["epsilon"]): r["expected_acc_pct"] for r in rows}
+    # qualitative shape: GRR/SS/SUE dominate OLH/OUE, uniform >= non-uniform
+    assert values[("uniform", "GRR", 10.0)] > values[("uniform", "OUE", 10.0)]
+    assert values[("uniform", "GRR", 10.0)] >= values[("non-uniform", "GRR", 10.0)]

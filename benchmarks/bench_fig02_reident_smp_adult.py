@@ -1,0 +1,35 @@
+"""Benchmark E2 — Fig. 2: SMP re-identification risk on Adult (FK-RI, uniform)."""
+
+from repro.experiments.reident_smp import run_reidentification_smp
+
+from bench_helpers import run_figure
+
+N_USERS = 2000
+EPSILONS = (1.0, 4.0, 8.0)
+PROTOCOLS = ("GRR", "SS", "SUE", "OLH", "OUE")
+
+
+def test_fig02_reidentification_smp_adult(benchmark):
+    rows = run_figure(
+        benchmark,
+        lambda: run_reidentification_smp(
+            dataset_name="adult",
+            n=N_USERS,
+            protocols=PROTOCOLS,
+            epsilons=EPSILONS,
+            num_surveys=5,
+            top_ks=(1, 10),
+            knowledge="FK-RI",
+            metric="uniform",
+            seed=1,
+        ),
+        "Fig. 2 - RID-ACC, Adult, SMP, FK-RI, uniform metric",
+    )
+    final = {
+        (r["protocol"], r["top_k"]): r["rid_acc_pct"]
+        for r in rows
+        if r["privacy_level"] == 8.0 and r["surveys"] == 5
+    }
+    # GRR and SUE are far riskier than OLH and OUE (paper: ~10x gap)
+    assert final[("GRR", 10)] > 2 * final[("OUE", 10)]
+    assert final[("SUE", 10)] > final[("OLH", 10)]

@@ -1,0 +1,33 @@
+"""Benchmark E5 — Fig. 5: utility of RS+RFD vs RS+FD on ACSEmployment."""
+
+from bench_helpers import run_figure
+
+from repro.experiments.utility_rsrfd import run_utility_rsrfd
+
+N_USERS = 6000
+
+
+def test_fig05_utility_rsrfd_acs(benchmark):
+    rows = run_figure(
+        benchmark,
+        lambda: run_utility_rsrfd(
+            dataset_name="acs_employment",
+            n=N_USERS,
+            protocols=("GRR", "SUE-r", "OUE-r"),
+            prior_kinds=("correct", "dir"),
+            runs=2,
+            seed=1,
+        ),
+        "Fig. 5 - MSE_avg, RS+RFD vs RS+FD, Correct and Dirichlet priors",
+    )
+    assert all(row["mse_avg"] > 0 for row in rows)
+    grr = {
+        (r["solution"], r["prior"], r["epsilon"]): r["mse_avg"]
+        for r in rows
+        if "GRR" in r["protocol"]
+    }
+    # with correct priors the countermeasure does not hurt utility (paper: it helps)
+    correct_eps = sorted({eps for (_, prior, eps) in grr if prior == "correct"})
+    rsfd_total = sum(grr[("RS+FD", "correct", eps)] for eps in correct_eps)
+    rsrfd_total = sum(grr[("RS+RFD", "correct", eps)] for eps in correct_eps)
+    assert rsrfd_total < rsfd_total * 1.2

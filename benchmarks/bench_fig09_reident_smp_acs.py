@@ -1,0 +1,34 @@
+"""Benchmark E7 — Fig. 9: SMP re-identification risk on ACSEmployment."""
+
+from bench_helpers import run_figure
+
+from repro.experiments.reident_smp import run_reidentification_smp
+
+N_USERS = 1500
+EPSILONS = (1.0, 8.0)
+
+
+def test_fig09_reidentification_smp_acs(benchmark):
+    rows = run_figure(
+        benchmark,
+        lambda: run_reidentification_smp(
+            dataset_name="acs_employment",
+            n=N_USERS,
+            protocols=("GRR", "SS", "SUE", "OLH", "OUE"),
+            epsilons=EPSILONS,
+            num_surveys=5,
+            top_ks=(1, 10),
+            knowledge="FK-RI",
+            metric="uniform",
+            seed=1,
+        ),
+        "Fig. 9 - RID-ACC, ACSEmployment, SMP, FK-RI, uniform metric",
+    )
+    final = {
+        (r["protocol"], r["top_k"]): r["rid_acc_pct"]
+        for r in rows
+        if r["privacy_level"] == 8.0 and r["surveys"] == 5
+    }
+    # same pattern as on Adult: GRR/SS/SUE dominate OLH/OUE
+    assert final[("GRR", 10)] > final[("OUE", 10)]
+    assert final[("SS", 10)] > final[("OLH", 10)]

@@ -1,0 +1,34 @@
+"""Benchmark E11 — Fig. 13: SMP re-identification under the PIE model (non-uniform)."""
+
+from bench_helpers import run_figure
+
+from repro.experiments.reident_smp import run_reidentification_smp
+
+N_USERS = 1500
+BETAS = (0.95, 0.65, 0.5)
+PROTOCOLS = ("GRR", "OUE")
+
+
+def test_fig13_reidentification_smp_pie_non_uniform(benchmark):
+    rows = run_figure(
+        benchmark,
+        lambda: run_reidentification_smp(
+            dataset_name="adult",
+            n=N_USERS,
+            protocols=PROTOCOLS,
+            pie_betas=BETAS,
+            num_surveys=4,
+            top_ks=(10,),
+            knowledge="FK-RI",
+            metric="non-uniform",
+            seed=1,
+        ),
+        "Fig. 13 - RID-ACC, Adult, PIE privacy metric (non-uniform)",
+    )
+    assert all(row["privacy_axis"] == "beta" for row in rows)
+    grr = {
+        r["privacy_level"]: r["rid_acc_pct"]
+        for r in rows
+        if r["protocol"] == "GRR" and r["surveys"] == 4
+    }
+    assert grr[0.5] >= grr[0.95]

@@ -1,0 +1,30 @@
+"""Benchmark E12 — Fig. 14: attribute inference against RS+FD on Adult."""
+
+from bench_helpers import run_figure
+
+from repro.experiments.attribute_inference_rsfd import run_attribute_inference_rsfd
+
+N_USERS = 800
+EPSILONS = (2.0, 8.0)
+PROTOCOLS = ("GRR", "SUE-z", "OUE-r")
+
+
+def test_fig14_attribute_inference_rsfd_adult(benchmark):
+    rows = run_figure(
+        benchmark,
+        lambda: run_attribute_inference_rsfd(
+            dataset_name="adult",
+            n=N_USERS,
+            protocols=PROTOCOLS,
+            epsilons=EPSILONS,
+            models=("NK", "PK"),
+            nk_factors=(1.0,),
+            pk_fractions=(0.3,),
+            seed=1,
+        ),
+        "Fig. 14 - AIF-ACC, Adult, RS+FD protocols",
+    )
+    baseline = rows[0]["baseline_pct"]
+    suez = max(r["aif_acc_pct"] for r in rows if r["protocol"] == "RS+FD[SUE-z]")
+    # Adult: roughly a 1.3-10x lift over the baseline, with SUE-z near the top
+    assert suez > 3 * baseline

@@ -1,0 +1,35 @@
+"""Benchmark E14 — Fig. 16: analytical + empirical utility on Adult, all priors."""
+
+from bench_helpers import run_figure
+
+from repro.experiments.utility_rsrfd import run_utility_rsrfd
+
+N_USERS = 6000
+EPSILONS = (0.6931471805599453, 1.3862943611198906, 1.9459101090932196)  # ln2, ln4, ln7
+
+
+def test_fig16_utility_rsrfd_adult_all_priors(benchmark):
+    rows = run_figure(
+        benchmark,
+        lambda: run_utility_rsrfd(
+            dataset_name="adult",
+            n=N_USERS,
+            protocols=("GRR", "OUE-r"),
+            epsilons=EPSILONS,
+            prior_kinds=("correct", "dir", "zipf", "exp"),
+            include_analytical=True,
+            seed=1,
+        ),
+        "Fig. 16 - MSE_avg and analytical variance, Adult, Correct/DIR/ZIPF/EXP priors",
+    )
+    assert all(row["analytical_variance"] > 0 for row in rows)
+    # empirical error decreases with epsilon for every (solution, protocol, prior)
+    from repro.experiments.reporting import pivot_series
+
+    series = pivot_series(rows, x="epsilon", y="mse_avg", series=["solution", "protocol", "prior"])
+    for key, points in series.items():
+        values = [y for _, y in points]
+        assert values[-1] <= values[0] * 1.5, key
+    # empirical error and analytical variance agree in order of magnitude
+    for row in rows:
+        assert row["mse_avg"] < 50 * row["analytical_variance"] + 1e-3

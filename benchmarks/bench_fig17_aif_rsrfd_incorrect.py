@@ -1,0 +1,46 @@
+"""Benchmark E15 — Fig. 17: attribute inference vs RS+RFD with Incorrect priors."""
+
+from bench_helpers import run_figure
+
+from repro.experiments.attribute_inference_rsrfd import run_attribute_inference_rsrfd
+
+N_USERS = 600
+EPSILONS = (2.0, 8.0)
+
+
+def test_fig17_attribute_inference_rsrfd_incorrect_priors(benchmark):
+    def run():
+        rows = []
+        for prior_kind in ("dir", "zipf", "exp"):
+            rows.extend(
+                run_attribute_inference_rsrfd(
+                    dataset_name="acs_employment",
+                    n=N_USERS,
+                    protocols=("GRR", "OUE-r"),
+                    epsilons=EPSILONS,
+                    models=("NK",),
+                    nk_factors=(1.0,),
+                    prior_kind=prior_kind,
+                    seed=1,
+                )
+            )
+        return rows
+
+    rows = run_figure(
+        benchmark, run, "Fig. 17 - AIF-ACC, RS+RFD with Incorrect (DIR/ZIPF/EXP) priors"
+    )
+    baseline = rows[0]["baseline_pct"]
+    values = {
+        (r["prior"], r["protocol"], r["epsilon"]): r["aif_acc_pct"] for r in rows
+    }
+    for prior_kind in ("dir", "zipf", "exp"):
+        # the UE encoding noise keeps OUE-r below GRR, as in the paper
+        assert (
+            values[(prior_kind, "RS+RFD[OUE-r]", 8.0)]
+            <= values[(prior_kind, "RS+RFD[GRR]", 8.0)] * 1.2
+        )
+        # in the high-privacy regime the attack stays close to the baseline
+        assert values[(prior_kind, "RS+RFD[OUE-r]", 2.0)] < 4 * baseline
+    # NOTE: at epsilon = 8 the synthetic surrogate leaks more through
+    # mis-specified priors than the paper's real data (see EXPERIMENTS.md),
+    # so no upper bound is asserted for the GRR variant there.

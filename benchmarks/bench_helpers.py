@@ -1,0 +1,20 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates the rows behind one figure of the paper at a
+scaled-down size (see DESIGN.md, "Per-experiment index").  The functions are
+expensive end-to-end pipelines, so each benchmark runs exactly one round and
+the resulting rows are printed so the series can be compared against the
+paper (qualitative shape, not absolute values).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.reporting import format_table
+
+
+def run_figure(benchmark, func, label: str, columns=None):
+    """Run ``func`` once under pytest-benchmark and print its rows."""
+    rows = benchmark.pedantic(func, rounds=1, iterations=1)
+    print(f"\n=== {label} ===")
+    print(format_table(rows, columns=columns))
+    return rows

@@ -1,0 +1,66 @@
+"""Uncovering the sampled attribute of RS+FD, and the RS+RFD countermeasure.
+
+The RS+FD solution hides which attribute carries the genuine LDP report by
+padding the tuple with fake values.  This example shows:
+
+1. how well a classifier-based attacker (NK model, Sec. 3.3.1) can still
+   recover the sampled attribute for different RS+FD variants, and
+2. how the RS+RFD countermeasure (realistic fake data, Sec. 5) pushes the
+   attack back towards the random-guess baseline.
+
+Run it with ``python examples/attribute_inference_attack.py``.
+"""
+
+from __future__ import annotations
+
+from repro.attacks import AttributeInferenceAttack
+from repro.datasets import load_dataset
+from repro.multidim import RSFD, RSRFD
+from repro.privacy import make_priors
+
+
+def main() -> None:
+    # Scaled-down ACSEmployment-like population (the paper uses n = 10,336).
+    dataset = load_dataset("acs_employment", n=2_000, rng=5)
+    epsilon = 6.0
+    baseline = 100.0 / dataset.d
+
+    print(f"Population: n={dataset.n}, d={dataset.d} attributes, epsilon={epsilon}")
+    print(f"Random-guess baseline for the sampled attribute: {baseline:.1f}%\n")
+
+    configurations = [
+        ("RS+FD[GRR]", RSFD(dataset.domain, epsilon, variant="grr", rng=1)),
+        ("RS+FD[SUE-z]", RSFD(dataset.domain, epsilon, variant="ue-z", ue_kind="SUE", rng=1)),
+        ("RS+FD[OUE-z]", RSFD(dataset.domain, epsilon, variant="ue-z", ue_kind="OUE", rng=1)),
+        ("RS+FD[OUE-r]", RSFD(dataset.domain, epsilon, variant="ue-r", ue_kind="OUE", rng=1)),
+    ]
+    # the countermeasure: realistic fake data drawn from Laplace-perturbed priors.
+    # The paper computes its priors on the full 10,336-user population with a
+    # total budget of 0.1; this example uses a 5x smaller population, so the
+    # budget is scaled up accordingly to keep the same prior quality.
+    priors = make_priors("correct", dataset, rng=2, total_epsilon=0.5)
+    configurations.append(
+        ("RS+RFD[GRR]", RSRFD(dataset.domain, epsilon, priors, variant="grr", rng=1))
+    )
+    configurations.append(
+        ("RS+RFD[OUE-r]", RSRFD(dataset.domain, epsilon, priors, variant="ue-r", ue_kind="OUE", rng=1))
+    )
+
+    print(f"{'protocol':14s} {'NK AIF-ACC':>11s} {'lift over baseline':>20s}")
+    print("-" * 48)
+    for label, solution in configurations:
+        reports = solution.collect(dataset)
+        attack = AttributeInferenceAttack(solution, rng=3)
+        result = attack.no_knowledge(reports, synthetic_factor=1.0)
+        print(f"{label:14s} {100 * result.accuracy:10.1f}% {result.lift:19.1f}x")
+
+    print(
+        "\nTakeaway: perturbed-zero-vector fake data (UE-z) gives the sampled\n"
+        "attribute away almost completely, uniform fake data (GRR / UE-r) still\n"
+        "leaks a few-fold improvement over random guessing, and realistic fake\n"
+        "data (RS+RFD) brings the attacker back close to the baseline."
+    )
+
+
+if __name__ == "__main__":
+    main()

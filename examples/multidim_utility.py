@@ -1,0 +1,60 @@
+"""Utility of multidimensional frequency estimation: SPL vs SMP vs RS+FD vs RS+RFD.
+
+For a fixed privacy budget, compares the averaged mean-squared error of the
+four ways a population can report a d-dimensional categorical profile under
+LDP, and shows how the RS+RFD countermeasure also improves utility when
+realistic priors are available (Sec. 5.2.2 / Fig. 5 of the paper).
+
+Run it with ``python examples/multidim_utility.py``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.datasets import load_dataset
+from repro.metrics import mse_avg
+from repro.multidim import RSFD, RSRFD, SMP, SPL
+from repro.privacy import make_priors
+
+
+def main() -> None:
+    dataset = load_dataset("acs_employment", n=8_000, rng=9)
+    priors = make_priors("correct", dataset, rng=10)
+
+    epsilons = [math.log(c) for c in (2, 4, 7)]
+    print(f"Population: n={dataset.n}, d={dataset.d} attributes")
+    print("Averaged MSE of the estimated per-attribute histograms (lower is better)\n")
+
+    header = f"{'solution':16s}" + "".join(f" eps=ln({c})" for c in (2, 4, 7))
+    print(header)
+    print("-" * len(header))
+
+    def build_solutions(epsilon: float):
+        return [
+            ("SPL[GRR]", SPL(dataset.domain, epsilon, protocol="GRR", rng=0)),
+            ("SMP[GRR]", SMP(dataset.domain, epsilon, protocol="GRR", rng=0)),
+            ("RS+FD[GRR]", RSFD(dataset.domain, epsilon, variant="grr", rng=0)),
+            ("RS+RFD[GRR]", RSRFD(dataset.domain, epsilon, priors, variant="grr", rng=0)),
+        ]
+
+    errors: dict[str, list[float]] = {}
+    for epsilon in epsilons:
+        for label, solution in build_solutions(epsilon):
+            _, estimates = solution.collect_and_estimate(dataset)
+            errors.setdefault(label, []).append(mse_avg(estimates, dataset))
+
+    for label, values in errors.items():
+        cells = "".join(f" {value:9.2e}" for value in values)
+        print(f"{label:16s}{cells}")
+
+    print(
+        "\nTakeaway: splitting the budget (SPL) is orders of magnitude worse than\n"
+        "sampling-based solutions; RS+FD pays a moderate utility price for hiding\n"
+        "the sampled attribute, and RS+RFD recovers part of that price when the\n"
+        "server can share realistic priors."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Quickstart: LDP frequency estimation and the plausible-deniability attack.
+
+This example walks through the basic building blocks of the library:
+
+1. collect one categorical attribute with each of the five LDP frequency
+   oracles and compare their estimation error;
+2. run the single-report plausible-deniability attack and compare the
+   empirical attacker accuracy against the closed-form expectation of
+   Sec. 3.2.1 of the paper.
+
+Run it with ``python examples/quickstart.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets import load_dataset
+from repro.protocols import available_protocols, make_protocol
+
+
+def main() -> None:
+    # A synthetic Adult-like population; we collect the "education" attribute.
+    dataset = load_dataset("adult", n=20_000, rng=1)
+    attribute = dataset.domain.index_of("education")
+    values = dataset.column(attribute)
+    k = dataset.domain.size_of(attribute)
+    truth = dataset.frequencies(attribute)
+
+    epsilon = 2.0
+    print(f"Collecting attribute 'education' (k={k}) from n={dataset.n} users "
+          f"with epsilon={epsilon}\n")
+    header = f"{'protocol':8s} {'MSE':>12s} {'attack ACC':>12s} {'expected ACC':>13s}"
+    print(header)
+    print("-" * len(header))
+
+    for name in available_protocols():
+        oracle = make_protocol(name, k=k, epsilon=epsilon, rng=42)
+
+        # client side: every user perturbs their value locally
+        reports = oracle.randomize_many(values)
+
+        # server side: unbiased frequency estimation (Eq. 2 of the paper)
+        estimate = oracle.aggregate(reports)
+        mse = float(np.mean((estimate.estimates - truth) ** 2))
+
+        # adversary side: guess each user's true value from their single report
+        guesses = oracle.attack_many(reports)
+        attack_acc = float(np.mean(guesses == values))
+
+        print(
+            f"{name:8s} {mse:12.2e} {100 * attack_acc:11.1f}% "
+            f"{100 * oracle.expected_attack_accuracy():12.1f}%"
+        )
+
+    print(
+        "\nTakeaway: every protocol estimates the histogram accurately, but the\n"
+        "probability that an attacker recovers an individual's value from a\n"
+        "single report differs widely across protocols (GRR/SS >> OLH/OUE)."
+    )
+
+
+if __name__ == "__main__":
+    main()

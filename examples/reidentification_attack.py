@@ -1,0 +1,60 @@
+"""Re-identification attack against the SMP solution (Fig. 2 scenario).
+
+A mobile-app vendor surveys the same users five times, each survey covering a
+random subset of their demographic attributes.  Users answer with the SMP
+solution: they sample one attribute per survey and report it with the full
+privacy budget, disclosing *which* attribute they sampled.
+
+The attacker accumulates the inferred values across surveys and matches the
+resulting profiles against a public census-like table (the background
+knowledge), reporting the top-1 and top-10 re-identification accuracy.
+
+Run it with ``python examples/reidentification_attack.py``.
+"""
+
+from __future__ import annotations
+
+from repro.attacks import ReidentificationAttack, build_profiles_smp, plan_surveys
+from repro.datasets import load_dataset
+
+
+def main() -> None:
+    # Scaled-down Adult-like population (the paper uses n = 45,222).
+    dataset = load_dataset("adult", n=4_000, rng=7)
+    num_surveys = 5
+    epsilon = 6.0
+
+    surveys = plan_surveys(dataset.d, num_surveys, rng=3)
+    print(f"Population: n={dataset.n}, d={dataset.d} attributes, "
+          f"uniqueness={100 * dataset.uniqueness():.1f}% of users have a unique profile")
+    print(f"Surveys: {[s.d for s in surveys]} attributes each, epsilon={epsilon} per report\n")
+
+    background = ReidentificationAttack(dataset, rng=11)
+
+    print(f"{'protocol':8s} {'surveys':>8s} {'top-1 RID-ACC':>14s} {'top-10 RID-ACC':>15s}")
+    print("-" * 50)
+    for protocol in ("GRR", "SUE", "OLH", "OUE"):
+        profiling = build_profiles_smp(
+            dataset, surveys, protocol=protocol, epsilon=epsilon, metric="uniform", rng=5
+        )
+        top1 = background.evaluate_profiling(profiling, top_k=1, model="FK-RI")
+        top10 = background.evaluate_profiling(profiling, top_k=10, model="FK-RI")
+        for surveys_done in sorted(top1):
+            print(
+                f"{protocol:8s} {surveys_done:8d} "
+                f"{100 * top1[surveys_done].accuracy:13.2f}% "
+                f"{100 * top10[surveys_done].accuracy:14.2f}%"
+            )
+        print("-" * 50)
+
+    baseline = 100 * 10 / dataset.n
+    print(f"\nRandom-guess baseline (top-10): {baseline:.2f}%")
+    print(
+        "Takeaway: with GRR (or SS/SUE) the attacker re-identifies a sizeable\n"
+        "fraction of users after a few surveys, whereas OLH/OUE keep the risk\n"
+        "roughly an order of magnitude lower - Fig. 2 of the paper."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim enabling legacy editable installs in offline environments.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+only so ``pip install -e . --no-build-isolation --no-use-pep517`` works on
+machines without the ``wheel`` package (no network access).
+"""
+
+from setuptools import setup
+
+setup()

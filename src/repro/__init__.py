@@ -1,0 +1,70 @@
+"""repro — reproduction of *On the Risks of Collecting Multidimensional Data
+Under Local Differential Privacy* (Arcolezi et al., VLDB 2023).
+
+The package is organized as follows:
+
+* :mod:`repro.core` — domains, datasets, frequency estimates, composition;
+* :mod:`repro.protocols` — the five LDP frequency oracles (GRR, OLH, ω-SS,
+  SUE, OUE) with client-side randomization, server-side estimation and the
+  plausible-deniability attack;
+* :mod:`repro.multidim` — the SPL, SMP, RS+FD and RS+RFD solutions for
+  multidimensional frequency estimation;
+* :mod:`repro.attacks` — profile building, re-identification (FK-RI / PK-RI)
+  and attribute-inference (NK / PK / HM) attacks;
+* :mod:`repro.privacy` — Laplace mechanism, prior generators and the PIE
+  relaxation of LDP;
+* :mod:`repro.ml` — the from-scratch gradient-boosting classifier used by
+  the attribute-inference attack (XGBoost stand-in);
+* :mod:`repro.datasets` — synthetic Adult / ACSEmployment / Nursery
+  surrogates;
+* :mod:`repro.experiments` — runners regenerating every figure of the paper.
+"""
+
+from .core import (
+    Attribute,
+    Domain,
+    FrequencyEstimate,
+    TabularDataset,
+    amplified_epsilon,
+    averaged_mse,
+    true_frequencies,
+)
+from .exceptions import (
+    DomainMismatchError,
+    EstimationError,
+    InvalidParameterError,
+    InvalidPrivacyBudgetError,
+    NotFittedError,
+    ReproError,
+)
+from .multidim import RSFD, RSRFD, SMP, SPL
+from .protocols import GRR, OLH, OUE, SUE, SubsetSelection, make_protocol
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Attribute",
+    "Domain",
+    "TabularDataset",
+    "FrequencyEstimate",
+    "true_frequencies",
+    "averaged_mse",
+    "amplified_epsilon",
+    "GRR",
+    "OLH",
+    "SubsetSelection",
+    "SUE",
+    "OUE",
+    "make_protocol",
+    "SPL",
+    "SMP",
+    "RSFD",
+    "RSRFD",
+    "ReproError",
+    "InvalidParameterError",
+    "InvalidPrivacyBudgetError",
+    "DomainMismatchError",
+    "EstimationError",
+    "NotFittedError",
+]

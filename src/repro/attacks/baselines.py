@@ -1,0 +1,67 @@
+"""Random-guess baselines for the attacks.
+
+Every attack in the paper is compared against the corresponding
+uninformed-adversary baseline:
+
+* single-report value inference → a uniform guess over the domain (``1/k``);
+* attribute inference on RS+FD → a uniform guess over the attributes
+  (``1/d``);
+* top-k re-identification → ``top_k / n`` (k guesses among ``n`` identities).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.rng import RngLike, ensure_rng
+from ..exceptions import InvalidParameterError
+
+
+def random_value_baseline(k: int) -> float:
+    """Expected accuracy of guessing a value uniformly at random: ``1/k``."""
+    if k < 2:
+        raise InvalidParameterError("k must be >= 2")
+    return 1.0 / k
+
+
+def random_attribute_baseline(d: int) -> float:
+    """Expected AIF-ACC of guessing the sampled attribute at random: ``1/d``."""
+    if d < 2:
+        raise InvalidParameterError("d must be >= 2")
+    return 1.0 / d
+
+
+def random_reidentification_baseline(n: int, top_k: int = 1) -> float:
+    """Expected RID-ACC of ``top_k`` random guesses without replacement."""
+    if n < 1:
+        raise InvalidParameterError("n must be >= 1")
+    if top_k < 1:
+        raise InvalidParameterError("top_k must be >= 1")
+    return min(1.0, top_k / n)
+
+
+def empirical_random_attribute_guess(
+    true_attributes: np.ndarray, d: int, rng: RngLike = None
+) -> float:
+    """Accuracy actually achieved by uniform random attribute guesses."""
+    true_attributes = np.asarray(true_attributes, dtype=np.int64)
+    if true_attributes.size == 0:
+        raise InvalidParameterError("true_attributes must not be empty")
+    generator = ensure_rng(rng)
+    guesses = generator.integers(0, d, size=true_attributes.size)
+    return float(np.mean(guesses == true_attributes))
+
+
+def empirical_random_reidentification(
+    n: int, top_k: int = 1, rng: RngLike = None
+) -> float:
+    """Accuracy actually achieved by top-k random identity guesses."""
+    if n < 1 or top_k < 1:
+        raise InvalidParameterError("n and top_k must be >= 1")
+    generator = ensure_rng(rng)
+    hits = 0
+    k = min(top_k, n)
+    for user in range(n):
+        candidates = generator.choice(n, size=k, replace=False)
+        hits += int(user in candidates)
+    return hits / n

@@ -1,0 +1,100 @@
+"""Plausible-deniability attacks on single LDP reports (Sec. 3.2.1).
+
+Every LDP protocol reports the user's true value (or bit) with a higher
+probability than any other value, so an attacker observing a single report
+can guess the true value better than at random.  This module exposes
+
+* the per-protocol single-report attack (delegating to each oracle's
+  ``attack`` method) and its empirical accuracy, and
+* the analytical expectations of Sec. 3.2.1 together with the
+  multi-collection products of Eqs. (4) and (5).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.rng import RngLike, ensure_rng
+from ..exceptions import InvalidParameterError
+from ..protocols.analysis import (
+    attacker_accuracy,
+    profiling_accuracy_non_uniform,
+    profiling_accuracy_uniform,
+)
+from ..protocols.base import empirical_attack_accuracy
+from ..protocols.registry import make_protocol
+
+
+def single_report_attack_accuracy(
+    protocol: str,
+    epsilon: float,
+    values: np.ndarray,
+    rng: RngLike = None,
+    k: int | None = None,
+) -> float:
+    """Empirical attacker accuracy of the randomize→attack pipeline.
+
+    Parameters
+    ----------
+    protocol:
+        Frequency-oracle name (``"GRR"``, ``"OLH"``, ``"SS"``, ``"SUE"``,
+        ``"OUE"``).
+    epsilon:
+        Privacy budget of each report.
+    values:
+        Users' true values (integer codes).
+    rng:
+        Seed or generator.
+    k:
+        Domain size; defaults to ``max(values) + 1``.
+    """
+    values = np.asarray(values, dtype=np.int64)
+    if values.size == 0:
+        raise InvalidParameterError("values must not be empty")
+    domain_size = int(values.max()) + 1 if k is None else int(k)
+    oracle = make_protocol(protocol, domain_size, epsilon, rng=ensure_rng(rng))
+    return empirical_attack_accuracy(oracle, values)
+
+
+def expected_single_report_accuracy(protocol: str, epsilon: float, k: int) -> float:
+    """Analytical expectation of the single-report attack (Sec. 3.2.1)."""
+    return attacker_accuracy(protocol, epsilon, k)
+
+
+def expected_profiling_accuracy(
+    protocol: str,
+    epsilon: float,
+    sizes: Sequence[int],
+    metric: str = "uniform",
+) -> float:
+    """Expected accuracy of profiling a user on all ``d`` attributes.
+
+    ``metric`` selects the privacy metric across users: ``"uniform"``
+    (Eq. 4, sampling without replacement) or ``"non-uniform"`` (Eq. 5,
+    sampling with replacement + memoization).
+    """
+    metric = metric.lower().replace("_", "-")
+    if metric == "uniform":
+        return profiling_accuracy_uniform(protocol, epsilon, sizes)
+    if metric in ("non-uniform", "nonuniform"):
+        return profiling_accuracy_non_uniform(protocol, epsilon, sizes)
+    raise InvalidParameterError(
+        f"metric must be 'uniform' or 'non-uniform', got {metric!r}"
+    )
+
+
+def profiling_accuracy_curve(
+    protocol: str,
+    epsilons: Sequence[float],
+    sizes: Sequence[int],
+    metric: str = "uniform",
+) -> np.ndarray:
+    """Vector of expected profiling accuracies over a grid of budgets.
+
+    This is exactly what Fig. 1 plots for ``d = 3``, ``k = [74, 7, 16]``.
+    """
+    return np.asarray(
+        [expected_profiling_accuracy(protocol, eps, sizes, metric) for eps in epsilons]
+    )

@@ -1,0 +1,302 @@
+"""Multi-collection profile building (Secs. 3.2.2-3.2.3 and 4.2/4.4).
+
+Across ``#surveys`` data collections, an attacker observing the pairs
+``<sampled attribute, LDP report>`` (SMP) — or the full RS+FD tuples — can
+accumulate a partial or complete *inferred profile* for every user.  This
+module implements that accumulation for both solutions and for the two
+privacy metrics across users:
+
+* **uniform** — users always sample a not-yet-reported attribute (sampling
+  without replacement across surveys), maximizing leakage;
+* **non-uniform** — users sample with replacement and memoize the previous
+  report when an attribute repeats, which slows down profile growth.
+
+The result keeps a snapshot of the inferred profile after each survey so
+the re-identification accuracy can be evaluated for ``#surveys = 2..S``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..core.dataset import TabularDataset
+from ..core.domain import Domain
+from ..core.rng import RngLike, ensure_rng
+from ..exceptions import InvalidParameterError
+from ..multidim.rsfd import RSFD
+from ..multidim.smp import SMP
+from ..privacy.pie import pie_budget_for_attribute
+from ..protocols.registry import make_protocol
+from .attribute_inference import AttributeInferenceAttack, ClassifierFactory
+
+#: Smallest LDP budget used when the PIE model asks for an (almost) zero one.
+_MIN_EPSILON = 1e-3
+
+#: Value marking "attribute not yet inferred" in profile matrices.
+UNKNOWN = -1
+
+
+@dataclass(frozen=True)
+class Survey:
+    """One data collection: the subset of attributes being surveyed."""
+
+    attributes: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        attrs = tuple(int(a) for a in self.attributes)
+        if len(attrs) == 0 or len(set(attrs)) != len(attrs):
+            raise InvalidParameterError("a survey needs a non-empty set of distinct attributes")
+        object.__setattr__(self, "attributes", attrs)
+
+    @property
+    def d(self) -> int:
+        """Number of attributes in this survey."""
+        return len(self.attributes)
+
+
+def plan_surveys(
+    d: int,
+    num_surveys: int,
+    rng: RngLike = None,
+    min_fraction: float = 0.5,
+) -> list[Survey]:
+    """Draw the experiment's survey plan.
+
+    Each survey selects ``d_sv = Uniform(ceil(min_fraction*d), d)`` attributes
+    at random from the ``d`` available ones, mirroring Sec. 4.2.
+    """
+    if d < 2:
+        raise InvalidParameterError("d must be >= 2")
+    if num_surveys < 1:
+        raise InvalidParameterError("num_surveys must be >= 1")
+    if not 0.0 < min_fraction <= 1.0:
+        raise InvalidParameterError("min_fraction must be in (0, 1]")
+    generator = ensure_rng(rng)
+    lower = max(2, int(np.ceil(min_fraction * d)))
+    surveys = []
+    for _ in range(num_surveys):
+        size = int(generator.integers(lower, d + 1))
+        attributes = generator.choice(d, size=size, replace=False)
+        surveys.append(Survey(tuple(sorted(int(a) for a in attributes))))
+    return surveys
+
+
+@dataclass
+class ProfilingResult:
+    """Inferred profiles accumulated over the surveys.
+
+    Attributes
+    ----------
+    snapshots:
+        One ``(n, d)`` matrix per survey with the *cumulative* inferred
+        profile after that survey; entries equal :data:`UNKNOWN` when the
+        attribute has not been inferred yet.
+    surveys:
+        The survey plan that generated the snapshots.
+    metric:
+        ``"uniform"`` or ``"non-uniform"``.
+    """
+
+    snapshots: list[np.ndarray]
+    surveys: list[Survey]
+    metric: str
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def final_profile(self) -> np.ndarray:
+        """Profile after the last survey."""
+        return self.snapshots[-1]
+
+    def known_counts(self, survey_index: int = -1) -> np.ndarray:
+        """Number of inferred attributes per user after ``survey_index``."""
+        return (self.snapshots[survey_index] != UNKNOWN).sum(axis=1)
+
+
+def _sample_survey_attributes(
+    survey: Survey,
+    reported: np.ndarray,
+    metric: str,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Pick, for every user, the attribute sampled in this survey.
+
+    ``reported`` is the ``(n, d)`` boolean matrix of attributes each user has
+    already reported in previous surveys.
+    """
+    n = reported.shape[0]
+    columns = np.asarray(survey.attributes, dtype=np.int64)
+    if metric == "non-uniform":
+        picks = rng.integers(0, columns.size, size=n)
+        return columns[picks]
+    # uniform metric: prefer attributes not reported yet; fall back to any
+    # survey attribute when the user has exhausted them all.
+    available = ~reported[:, columns]
+    counts = available.sum(axis=1)
+    exhausted = counts == 0
+    if exhausted.any():
+        available[exhausted] = True
+        counts = available.sum(axis=1)
+    ranks = (rng.random(n) * counts).astype(np.int64)
+    cumulative = np.cumsum(available, axis=1)
+    picks = np.argmax(cumulative > ranks[:, None], axis=1)
+    return columns[picks]
+
+
+def _normalize_metric(metric: str) -> str:
+    metric = metric.strip().lower().replace("_", "-")
+    if metric in ("uniform",):
+        return "uniform"
+    if metric in ("non-uniform", "nonuniform"):
+        return "non-uniform"
+    raise InvalidParameterError(f"metric must be 'uniform' or 'non-uniform', got {metric!r}")
+
+
+# --------------------------------------------------------------------------- #
+# SMP profiling
+# --------------------------------------------------------------------------- #
+def build_profiles_smp(
+    dataset: TabularDataset,
+    surveys: Sequence[Survey],
+    protocol: str,
+    epsilon: float,
+    metric: str = "uniform",
+    rng: RngLike = None,
+    pie_beta: float | None = None,
+) -> ProfilingResult:
+    """Accumulate inferred profiles from SMP collections over ``surveys``.
+
+    In every survey each user samples one of the survey's attributes (per the
+    chosen privacy metric), reports it with the full budget ``epsilon``, and
+    the attacker applies the plausible-deniability attack to the pair
+    ``<sampled attribute, report>``.
+
+    When ``pie_beta`` is given, the (U, alpha)-PIE relaxation of Appendix C
+    replaces the ``epsilon``-LDP metric: attributes with small domains are
+    reported in the clear and the others use the budget derived from the
+    target Bayes error ``beta``.
+    """
+    metric = _normalize_metric(metric)
+    generator = ensure_rng(rng)
+    n, d = dataset.n, dataset.d
+    profile = np.full((n, d), UNKNOWN, dtype=np.int64)
+    reported = np.zeros((n, d), dtype=bool)
+    snapshots: list[np.ndarray] = []
+
+    for survey in surveys:
+        sampled = _sample_survey_attributes(survey, reported, metric, generator)
+        for attribute in survey.attributes:
+            rows = np.flatnonzero(sampled == attribute)
+            if rows.size == 0:
+                continue
+            already = reported[rows, attribute]
+            fresh_rows = rows[~already]
+            # memoization: users repeating an attribute resend the previous
+            # report, so the attacker learns nothing new for them
+            if fresh_rows.size == 0:
+                continue
+            true_values = dataset.column(attribute)[fresh_rows]
+            k = dataset.domain.size_of(attribute)
+            if pie_beta is not None:
+                budget = pie_budget_for_attribute(pie_beta, n, k)
+                if budget.report_in_clear:
+                    guesses = true_values.copy()
+                else:
+                    oracle = make_protocol(
+                        protocol, k, max(budget.epsilon, _MIN_EPSILON), rng=generator
+                    )
+                    guesses = oracle.attack_many(oracle.randomize_many(true_values))
+            else:
+                oracle = make_protocol(protocol, k, epsilon, rng=generator)
+                guesses = oracle.attack_many(oracle.randomize_many(true_values))
+            profile[fresh_rows, attribute] = guesses
+            reported[fresh_rows, attribute] = True
+        snapshots.append(profile.copy())
+
+    return ProfilingResult(
+        snapshots=snapshots,
+        surveys=list(surveys),
+        metric=metric,
+        extra={"solution": "SMP", "protocol": protocol, "epsilon": epsilon, "pie_beta": pie_beta},
+    )
+
+
+# --------------------------------------------------------------------------- #
+# RS+FD profiling (attribute inference + value inference, with chained errors)
+# --------------------------------------------------------------------------- #
+def build_profiles_rsfd(
+    dataset: TabularDataset,
+    surveys: Sequence[Survey],
+    epsilon: float,
+    variant: str = "grr",
+    ue_kind: str = "OUE",
+    metric: str = "uniform",
+    synthetic_factor: float = 1.0,
+    classifier_factory: ClassifierFactory | None = None,
+    rng: RngLike = None,
+) -> ProfilingResult:
+    """Accumulate inferred profiles from RS+FD collections over ``surveys``.
+
+    For every survey the attacker (i) predicts each user's sampled attribute
+    with the NK attribute-inference attack and (ii) applies the
+    plausible-deniability attack to the report of the *predicted* attribute.
+    Both predictions can be wrong, producing the chained errors that make
+    RS+FD far more resistant to re-identification than SMP (Sec. 4.4).
+    """
+    metric = _normalize_metric(metric)
+    generator = ensure_rng(rng)
+    n, d = dataset.n, dataset.d
+    profile = np.full((n, d), UNKNOWN, dtype=np.int64)
+    reported = np.zeros((n, d), dtype=bool)
+    snapshots: list[np.ndarray] = []
+
+    for survey in surveys:
+        columns = list(survey.attributes)
+        sub_dataset = dataset.project(columns)
+        sampled_global = _sample_survey_attributes(survey, reported, metric, generator)
+        global_to_local = {attribute: local for local, attribute in enumerate(columns)}
+        sampled_local = np.asarray(
+            [global_to_local[int(a)] for a in sampled_global], dtype=np.int64
+        )
+        reported[np.arange(n), sampled_global] = True
+
+        solution = RSFD(
+            sub_dataset.domain, epsilon, variant=variant, ue_kind=ue_kind, rng=generator
+        )
+        reports = solution.collect(sub_dataset, sampled=sampled_local)
+
+        attack = AttributeInferenceAttack(
+            solution, classifier_factory=classifier_factory, rng=generator
+        )
+        predicted_local = attack.predict_sampled_attribute(
+            reports, synthetic_factor=synthetic_factor
+        )
+
+        # infer the value of the predicted attribute from its (LDP or fake) report
+        for local_index, attribute in enumerate(columns):
+            rows = np.flatnonzero(predicted_local == local_index)
+            if rows.size == 0:
+                continue
+            randomizer = solution._randomizer(local_index)
+            column_reports = reports.per_attribute[local_index]
+            if solution.variant == "grr":
+                guesses = randomizer.attack_many(np.asarray(column_reports)[rows])
+            else:
+                guesses = randomizer.attack_many(np.asarray(column_reports)[rows])
+            profile[rows, attribute] = guesses
+        snapshots.append(profile.copy())
+
+    return ProfilingResult(
+        snapshots=snapshots,
+        surveys=list(surveys),
+        metric=metric,
+        extra={
+            "solution": "RS+FD",
+            "variant": variant,
+            "ue_kind": ue_kind,
+            "epsilon": epsilon,
+            "synthetic_factor": synthetic_factor,
+        },
+    )

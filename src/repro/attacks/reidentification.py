@@ -1,0 +1,247 @@
+"""Re-identification attacks (Sec. 3.2.4).
+
+Once the attacker holds an inferred profile ``y_i`` for every user (built by
+:mod:`repro.attacks.profile`), the re-identification attack matches it
+against a background-knowledge table ``D_BK`` of identified records:
+
+* a **matching algorithm** ``R`` scores every candidate record by the number
+  of inferred attributes on which it disagrees with the profile (Hamming
+  distance restricted to inferred attributes);
+* a **decision algorithm** ``G`` returns the ``top-k`` closest candidates
+  (ties broken uniformly at random);
+* the attack succeeds for a user whenever their own record is among the
+  ``top-k`` candidates, and **RID-ACC** is the fraction of such users.
+
+Two knowledge models are provided: **FK-RI** uses the full background table
+and **PK-RI** only a random subset of its attributes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..core.dataset import TabularDataset
+from ..core.rng import RngLike, ensure_rng
+from ..exceptions import InvalidParameterError
+from .profile import UNKNOWN, ProfilingResult
+
+#: Default block size for chunked distance computation (bounds memory use).
+_BLOCK_SIZE = 1024
+
+
+def match_distances(
+    profiles: np.ndarray,
+    background: np.ndarray,
+    background_attributes: Sequence[int] | None = None,
+    block: slice | None = None,
+) -> np.ndarray:
+    """Matching algorithm ``R``: disagreement counts between profiles and records.
+
+    Parameters
+    ----------
+    profiles:
+        ``(n, d)`` inferred-profile matrix with :data:`UNKNOWN` for attributes
+        not inferred.
+    background:
+        ``(m, d_bk)`` background-knowledge records (integer codes).
+    background_attributes:
+        Global attribute index of each background column; defaults to
+        ``0..d_bk-1`` (full-knowledge background).
+    block:
+        Optional slice restricting the profile rows scored by this call.
+
+    Returns
+    -------
+    ``(len(block), m)`` matrix of distances: for each profile, the number of
+    inferred attributes (present in the background) whose value differs from
+    the candidate record's.
+    """
+    profiles = np.asarray(profiles, dtype=np.int64)
+    background = np.asarray(background, dtype=np.int64)
+    if profiles.ndim != 2 or background.ndim != 2:
+        raise InvalidParameterError("profiles and background must be 2-D arrays")
+    if background_attributes is None:
+        background_attributes = list(range(background.shape[1]))
+    background_attributes = [int(a) for a in background_attributes]
+    if len(background_attributes) != background.shape[1]:
+        raise InvalidParameterError(
+            "background_attributes must have one entry per background column"
+        )
+    rows = profiles[block] if block is not None else profiles
+    distances = np.zeros((rows.shape[0], background.shape[0]), dtype=np.int32)
+    for column, attribute in enumerate(background_attributes):
+        inferred = rows[:, attribute]
+        known = inferred != UNKNOWN
+        if not known.any():
+            continue
+        mismatch = inferred[:, None] != background[None, :, column]
+        distances += (mismatch & known[:, None]).astype(np.int32)
+    return distances
+
+
+def top_k_candidates(
+    distances: np.ndarray, top_k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Decision algorithm ``G``: indices of the ``top_k`` closest candidates.
+
+    Ties are broken uniformly at random by adding sub-integer jitter, which
+    preserves the ordering between distinct distances.
+    """
+    if top_k < 1:
+        raise InvalidParameterError("top_k must be >= 1")
+    jittered = distances.astype(float) + rng.random(distances.shape)
+    k = min(top_k, distances.shape[1])
+    return np.argpartition(jittered, k - 1, axis=1)[:, :k]
+
+
+@dataclass
+class ReidentificationResult:
+    """Outcome of one re-identification attack.
+
+    Attributes
+    ----------
+    accuracy:
+        RID-ACC: fraction of users whose true identity is in their top-k set.
+    baseline:
+        Expected accuracy of random guessing: ``top_k / m``.
+    top_k:
+        Size of the candidate set.
+    metadata:
+        Attack configuration.
+    """
+
+    accuracy: float
+    baseline: float
+    top_k: int
+    metadata: Mapping[str, object] = field(default_factory=dict)
+
+    @property
+    def lift(self) -> float:
+        """Improvement over the random-guess baseline."""
+        return self.accuracy / self.baseline if self.baseline > 0 else float("inf")
+
+
+class ReidentificationAttack:
+    """Matching-based re-identification with FK-RI / PK-RI knowledge models.
+
+    Parameters
+    ----------
+    background:
+        Background-knowledge dataset ``D_BK``.  Row ``i`` is assumed to be
+        the identified record of user ``i`` (the paper uses the collected
+        dataset itself as background knowledge).
+    rng:
+        Seed or generator (tie-breaking, PK-RI attribute selection).
+    """
+
+    def __init__(self, background: TabularDataset, rng: RngLike = None) -> None:
+        self.background = background
+        self._rng = ensure_rng(rng)
+
+    # ------------------------------------------------------------------ #
+    def attack(
+        self,
+        profiles: np.ndarray,
+        top_k: int = 1,
+        background_attributes: Sequence[int] | None = None,
+        true_ids: np.ndarray | None = None,
+    ) -> ReidentificationResult:
+        """Run the matching + decision pipeline and compute RID-ACC.
+
+        ``true_ids[i]`` is the background row that really corresponds to
+        profile ``i`` (defaults to ``i``).
+        """
+        profiles = np.asarray(profiles, dtype=np.int64)
+        n = profiles.shape[0]
+        m = self.background.n
+        if true_ids is None:
+            if n != m:
+                raise InvalidParameterError(
+                    "profiles and background have different sizes; pass true_ids explicitly"
+                )
+            true_ids = np.arange(n)
+        else:
+            true_ids = np.asarray(true_ids, dtype=np.int64)
+            if true_ids.shape != (n,):
+                raise InvalidParameterError(f"true_ids must have shape ({n},)")
+
+        if background_attributes is None:
+            background_columns = self.background.data
+            attribute_indices = None
+        else:
+            attribute_indices = [int(a) for a in background_attributes]
+            background_columns = self.background.data[:, attribute_indices]
+
+        hits = 0
+        for start in range(0, n, _BLOCK_SIZE):
+            block = slice(start, min(start + _BLOCK_SIZE, n))
+            distances = match_distances(
+                profiles, background_columns, attribute_indices, block=block
+            )
+            candidates = top_k_candidates(distances, top_k, self._rng)
+            hits += int((candidates == true_ids[block, None]).any(axis=1).sum())
+
+        return ReidentificationResult(
+            accuracy=hits / n,
+            baseline=min(1.0, top_k / m),
+            top_k=top_k,
+            metadata={"model": "FK-RI" if background_attributes is None else "PK-RI"},
+        )
+
+    # ------------------------------------------------------------------ #
+    def full_knowledge(self, profiles: np.ndarray, top_k: int = 1) -> ReidentificationResult:
+        """FK-RI: match against every background attribute."""
+        return self.attack(profiles, top_k=top_k, background_attributes=None)
+
+    def partial_knowledge(
+        self,
+        profiles: np.ndarray,
+        top_k: int = 1,
+        attributes: Sequence[int] | None = None,
+        min_fraction: float = 0.5,
+    ) -> ReidentificationResult:
+        """PK-RI: match against a random subset of the background attributes.
+
+        When ``attributes`` is not given, a random subset containing at least
+        ``min_fraction * d`` attributes is drawn (Appendix C setup).
+        """
+        d = self.background.d
+        if attributes is None:
+            lower = max(1, int(np.ceil(min_fraction * d)))
+            size = int(self._rng.integers(lower, d + 1))
+            attributes = sorted(
+                int(a) for a in self._rng.choice(d, size=size, replace=False)
+            )
+        return self.attack(profiles, top_k=top_k, background_attributes=attributes)
+
+    # ------------------------------------------------------------------ #
+    def evaluate_profiling(
+        self,
+        profiling: ProfilingResult,
+        top_k: int = 1,
+        model: str = "FK-RI",
+        min_surveys: int = 2,
+        pk_attributes: Sequence[int] | None = None,
+    ) -> dict[int, ReidentificationResult]:
+        """RID-ACC after each number of surveys ``>= min_surveys``.
+
+        Returns a mapping ``#surveys -> ReidentificationResult`` matching the
+        per-curve structure of Figs. 2, 4 and 9-13.
+        """
+        model = model.strip().upper().replace("_", "-")
+        if model not in ("FK-RI", "PK-RI"):
+            raise InvalidParameterError("model must be 'FK-RI' or 'PK-RI'")
+        results: dict[int, ReidentificationResult] = {}
+        for index, snapshot in enumerate(profiling.snapshots, start=1):
+            if index < min_surveys:
+                continue
+            if model == "FK-RI":
+                results[index] = self.full_knowledge(snapshot, top_k=top_k)
+            else:
+                results[index] = self.partial_knowledge(
+                    snapshot, top_k=top_k, attributes=pk_attributes
+                )
+        return results

@@ -1,0 +1,31 @@
+"""Core data model: domains, datasets, frequencies and composition rules."""
+
+from .composition import (
+    amplified_epsilon,
+    deamplified_epsilon,
+    parallel_composition,
+    sequential_composition,
+    split_budget,
+    validate_epsilon,
+)
+from .dataset import TabularDataset
+from .domain import Attribute, Domain
+from .frequencies import FrequencyEstimate, averaged_mse, true_frequencies
+from .rng import ensure_rng, spawn_rngs
+
+__all__ = [
+    "Attribute",
+    "Domain",
+    "TabularDataset",
+    "FrequencyEstimate",
+    "averaged_mse",
+    "true_frequencies",
+    "ensure_rng",
+    "spawn_rngs",
+    "validate_epsilon",
+    "split_budget",
+    "sequential_composition",
+    "parallel_composition",
+    "amplified_epsilon",
+    "deamplified_epsilon",
+]

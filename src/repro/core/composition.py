@@ -1,0 +1,73 @@
+"""Differential-privacy composition and amplification helpers.
+
+Implements the three budget rules the paper relies on:
+
+* sequential composition — the SPL solution splits ``epsilon`` over ``d``
+  attributes (each report gets ``epsilon / d``);
+* parallel composition — disjoint data can each use the full budget;
+* amplification by sampling (Li et al., 2012) — the RS+FD / RS+RFD solutions
+  sample one attribute out of ``d`` and may therefore use the amplified
+  budget ``epsilon' = ln(d * (e^epsilon - 1) + 1)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..exceptions import InvalidParameterError, InvalidPrivacyBudgetError
+
+
+def validate_epsilon(epsilon: float) -> float:
+    """Validate and return a privacy budget (must be positive and finite)."""
+    value = float(epsilon)
+    if not math.isfinite(value) or value <= 0.0:
+        raise InvalidPrivacyBudgetError(
+            f"epsilon must be a positive finite number, got {epsilon!r}"
+        )
+    return value
+
+
+def split_budget(epsilon: float, d: int) -> float:
+    """Sequential composition used by the SPL solution: ``epsilon / d``."""
+    epsilon = validate_epsilon(epsilon)
+    if d < 1:
+        raise InvalidParameterError("d must be >= 1")
+    return epsilon / d
+
+
+def sequential_composition(epsilons: Sequence[float]) -> float:
+    """Total budget consumed by a sequence of mechanisms on the same data."""
+    if not epsilons:
+        raise InvalidParameterError("at least one epsilon is required")
+    return float(sum(validate_epsilon(e) for e in epsilons))
+
+
+def parallel_composition(epsilons: Sequence[float]) -> float:
+    """Budget consumed when mechanisms act on disjoint parts of the data."""
+    if not epsilons:
+        raise InvalidParameterError("at least one epsilon is required")
+    return float(max(validate_epsilon(e) for e in epsilons))
+
+
+def amplified_epsilon(epsilon: float, d: int) -> float:
+    """Amplification by sampling: ``epsilon' = ln(d * (e^epsilon - 1) + 1)``.
+
+    Sampling one attribute uniformly among ``d`` before applying an
+    ``epsilon'``-LDP randomizer yields an overall ``epsilon``-LDP guarantee;
+    RS+FD and RS+RFD therefore sanitize the sampled attribute with
+    ``epsilon'``.
+    """
+    epsilon = validate_epsilon(epsilon)
+    if d < 1:
+        raise InvalidParameterError("d must be >= 1")
+    return math.log(d * (math.exp(epsilon) - 1.0) + 1.0)
+
+
+def deamplified_epsilon(epsilon_prime: float, d: int) -> float:
+    """Inverse of :func:`amplified_epsilon` (the effective per-user budget)."""
+    epsilon_prime = validate_epsilon(epsilon_prime)
+    if d < 1:
+        raise InvalidParameterError("d must be >= 1")
+    inner = (math.exp(epsilon_prime) - 1.0) / d + 1.0
+    return math.log(inner)

@@ -1,0 +1,163 @@
+"""Tabular multidimensional dataset container.
+
+:class:`TabularDataset` wraps an ``(n, d)`` integer matrix of category codes
+together with the :class:`~repro.core.domain.Domain` describing it.  It is the
+object passed around by the multidimensional-collection solutions, the attacks
+and the experiment harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..exceptions import DomainMismatchError, InvalidParameterError
+from .domain import Domain
+from .rng import RngLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class TabularDataset:
+    """An immutable table of ``n`` users times ``d`` categorical attributes.
+
+    Parameters
+    ----------
+    domain:
+        Schema of the table.
+    data:
+        ``(n, d)`` array of integer codes; column ``j`` takes values in
+        ``{0, ..., k_j - 1}``.
+    name:
+        Optional dataset name used in reports.
+    """
+
+    domain: Domain
+    data: np.ndarray
+    name: str = "dataset"
+
+    def __post_init__(self) -> None:
+        data = np.ascontiguousarray(np.asarray(self.data, dtype=np.int64))
+        if data.ndim != 2:
+            raise DomainMismatchError(f"data must be 2-D, got shape {data.shape}")
+        self.domain.validate_matrix(data)
+        data.setflags(write=False)
+        object.__setattr__(self, "data", data)
+
+    # -- basic protocol ----------------------------------------------------
+    def __len__(self) -> int:
+        return self.n
+
+    @property
+    def n(self) -> int:
+        """Number of users (rows)."""
+        return int(self.data.shape[0])
+
+    @property
+    def d(self) -> int:
+        """Number of attributes (columns)."""
+        return self.domain.d
+
+    @property
+    def sizes(self) -> tuple[int, ...]:
+        """Domain sizes ``k``."""
+        return self.domain.sizes
+
+    def column(self, index: int) -> np.ndarray:
+        """Return column ``index`` as a read-only 1-D array."""
+        return self.data[:, index]
+
+    def row(self, index: int) -> np.ndarray:
+        """Return the record of user ``index``."""
+        return self.data[index, :]
+
+    # -- statistics --------------------------------------------------------
+    def frequencies(self, index: int) -> np.ndarray:
+        """Normalized histogram (true frequencies) of attribute ``index``."""
+        k = self.domain.size_of(index)
+        counts = np.bincount(self.column(index), minlength=k).astype(float)
+        if self.n == 0:
+            return counts
+        return counts / self.n
+
+    def all_frequencies(self) -> list[np.ndarray]:
+        """True frequencies of every attribute, in order."""
+        return [self.frequencies(j) for j in range(self.d)]
+
+    def uniqueness(self, indices: Sequence[int] | None = None) -> float:
+        """Fraction of users whose record is unique on ``indices``.
+
+        This is the "uniqueness" driver of the re-identification results:
+        the more unique users are on the collected attributes, the higher the
+        attainable RID-ACC.
+        """
+        indices = list(range(self.d)) if indices is None else list(indices)
+        if not indices:
+            raise InvalidParameterError("indices must not be empty")
+        sub = self.data[:, indices]
+        _, inverse, counts = np.unique(
+            sub, axis=0, return_inverse=True, return_counts=True
+        )
+        return float(np.mean(counts[inverse] == 1))
+
+    # -- transformations ---------------------------------------------------
+    def project(self, indices: Iterable[int], name: str | None = None) -> "TabularDataset":
+        """Return a dataset restricted to the attributes ``indices``."""
+        indices = list(indices)
+        sub_domain = self.domain.subset(indices)
+        return TabularDataset(
+            domain=sub_domain,
+            data=self.data[:, indices].copy(),
+            name=name or f"{self.name}[{len(indices)} attrs]",
+        )
+
+    def sample_users(
+        self, count: int, rng: RngLike = None, replace: bool = False
+    ) -> tuple["TabularDataset", np.ndarray]:
+        """Sample ``count`` users, returning the sub-dataset and row indices."""
+        if count <= 0:
+            raise InvalidParameterError("count must be positive")
+        if not replace and count > self.n:
+            raise InvalidParameterError(
+                f"cannot sample {count} users without replacement from {self.n}"
+            )
+        generator = ensure_rng(rng)
+        idx = generator.choice(self.n, size=count, replace=replace)
+        return (
+            TabularDataset(self.domain, self.data[idx].copy(), name=f"{self.name}[sample]"),
+            idx,
+        )
+
+    def split_users(
+        self, first_count: int, rng: RngLike = None
+    ) -> tuple["TabularDataset", "TabularDataset", np.ndarray, np.ndarray]:
+        """Randomly split the users into two disjoint datasets.
+
+        Returns ``(first, second, first_indices, second_indices)`` where the
+        first part has ``first_count`` users.  Used by the partial-knowledge
+        attribute-inference attack to carve out compromised profiles.
+        """
+        if not 0 < first_count < self.n:
+            raise InvalidParameterError(
+                f"first_count must be in (0, {self.n}), got {first_count}"
+            )
+        generator = ensure_rng(rng)
+        permutation = generator.permutation(self.n)
+        first_idx = np.sort(permutation[:first_count])
+        second_idx = np.sort(permutation[first_count:])
+        first = TabularDataset(self.domain, self.data[first_idx].copy(), name=f"{self.name}[pk]")
+        second = TabularDataset(self.domain, self.data[second_idx].copy(), name=f"{self.name}[rest]")
+        return first, second, first_idx, second_idx
+
+    @classmethod
+    def from_columns(
+        cls, columns: Sequence[np.ndarray], domain: Domain, name: str = "dataset"
+    ) -> "TabularDataset":
+        """Assemble a dataset from per-attribute code vectors."""
+        if len(columns) != domain.d:
+            raise DomainMismatchError(
+                f"expected {domain.d} columns, got {len(columns)}"
+            )
+        data = np.column_stack([np.asarray(c, dtype=np.int64) for c in columns])
+        return cls(domain=domain, data=data, name=name)

@@ -1,0 +1,164 @@
+"""Attribute and domain descriptions for multidimensional categorical data.
+
+The paper models each user profile as a tuple ``v = [v_1, ..., v_d]`` where
+attribute ``A_j`` has a discrete domain of size ``k_j``.  This module provides
+two small immutable value objects:
+
+* :class:`Attribute` — one categorical attribute (name + domain size).
+* :class:`Domain` — an ordered collection of attributes, i.e. the schema of a
+  multidimensional dataset.
+
+Values are always represented as integer codes in ``{0, ..., k_j - 1}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..exceptions import DomainMismatchError, InvalidParameterError
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A single categorical attribute.
+
+    Parameters
+    ----------
+    name:
+        Human-readable attribute name (e.g. ``"age"``).
+    size:
+        Domain size ``k_j`` (number of distinct categories); must be >= 2.
+    """
+
+    name: str
+    size: int
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise InvalidParameterError("attribute name must be a non-empty string")
+        if int(self.size) < 2:
+            raise InvalidParameterError(
+                f"attribute {self.name!r} must have a domain size >= 2, got {self.size}"
+            )
+        object.__setattr__(self, "size", int(self.size))
+
+    @property
+    def values(self) -> range:
+        """The valid integer codes ``0 .. size-1`` of this attribute."""
+        return range(self.size)
+
+    def contains(self, value: int) -> bool:
+        """Return whether ``value`` is a valid code for this attribute."""
+        return 0 <= int(value) < self.size
+
+
+@dataclass(frozen=True)
+class Domain:
+    """Ordered schema of ``d`` categorical attributes.
+
+    A :class:`Domain` is the in-memory counterpart of the paper's
+    ``A = {A_1, ..., A_d}`` with domain sizes ``k = [k_1, ..., k_d]``.
+    """
+
+    attributes: tuple[Attribute, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        attrs = tuple(self.attributes)
+        if len(attrs) == 0:
+            raise InvalidParameterError("a Domain needs at least one attribute")
+        names = [a.name for a in attrs]
+        if len(set(names)) != len(names):
+            raise InvalidParameterError(f"duplicate attribute names in domain: {names}")
+        object.__setattr__(self, "attributes", attrs)
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def from_sizes(cls, sizes: Sequence[int], names: Sequence[str] | None = None) -> "Domain":
+        """Build a domain from a list of domain sizes ``k``.
+
+        If ``names`` is omitted, attributes are called ``A1 .. Ad``.
+        """
+        sizes = list(sizes)
+        if names is None:
+            names = [f"A{j + 1}" for j in range(len(sizes))]
+        if len(names) != len(sizes):
+            raise InvalidParameterError("names and sizes must have the same length")
+        return cls(tuple(Attribute(n, k) for n, k in zip(names, sizes)))
+
+    # -- basic protocol ----------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self.attributes)
+
+    def __getitem__(self, index: int) -> Attribute:
+        return self.attributes[index]
+
+    # -- accessors ---------------------------------------------------------
+    @property
+    def d(self) -> int:
+        """Number of attributes (the paper's ``d``)."""
+        return len(self.attributes)
+
+    @property
+    def sizes(self) -> tuple[int, ...]:
+        """Domain sizes ``k = (k_1, ..., k_d)``."""
+        return tuple(a.size for a in self.attributes)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Attribute names in order."""
+        return tuple(a.name for a in self.attributes)
+
+    def size_of(self, index: int) -> int:
+        """Domain size ``k_j`` of attribute ``index``."""
+        return self.attributes[index].size
+
+    def index_of(self, name: str) -> int:
+        """Index of the attribute called ``name``."""
+        for j, attr in enumerate(self.attributes):
+            if attr.name == name:
+                return j
+        raise KeyError(f"no attribute named {name!r} in domain")
+
+    def subset(self, indices: Iterable[int]) -> "Domain":
+        """Return a new domain containing only ``indices`` (order preserved)."""
+        indices = list(indices)
+        if not indices:
+            raise InvalidParameterError("cannot build an empty sub-domain")
+        return Domain(tuple(self.attributes[j] for j in indices))
+
+    # -- validation --------------------------------------------------------
+    def validate_tuple(self, values: Sequence[int]) -> None:
+        """Check that ``values`` is a valid record for this domain."""
+        if len(values) != self.d:
+            raise DomainMismatchError(
+                f"tuple has {len(values)} values but domain has {self.d} attributes"
+            )
+        for j, (attr, value) in enumerate(zip(self.attributes, values)):
+            if not attr.contains(int(value)):
+                raise DomainMismatchError(
+                    f"value {value} is outside the domain of attribute "
+                    f"{attr.name!r} (index {j}, size {attr.size})"
+                )
+
+    def validate_matrix(self, data: np.ndarray) -> None:
+        """Check that an ``(n, d)`` integer matrix respects this domain."""
+        data = np.asarray(data)
+        if data.ndim != 2 or data.shape[1] != self.d:
+            raise DomainMismatchError(
+                f"data must be a 2-D array with {self.d} columns, got shape {data.shape}"
+            )
+        if data.size == 0:
+            return
+        mins = data.min(axis=0)
+        maxs = data.max(axis=0)
+        for j, attr in enumerate(self.attributes):
+            if mins[j] < 0 or maxs[j] >= attr.size:
+                raise DomainMismatchError(
+                    f"column {j} ({attr.name!r}) has values outside [0, {attr.size - 1}]"
+                )

@@ -1,0 +1,110 @@
+"""Frequency-estimate containers and helpers.
+
+The aggregator's goal in the paper is to produce, for every attribute, a
+``k_j``-bin histogram estimate.  :class:`FrequencyEstimate` stores one such
+histogram (raw, i.e. possibly slightly negative or above one because the LDP
+estimators are unbiased but unconstrained) and exposes common
+post-processing / error metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+
+
+@dataclass(frozen=True)
+class FrequencyEstimate:
+    """Estimated frequency histogram for one attribute.
+
+    Parameters
+    ----------
+    estimates:
+        Raw unbiased estimates ``f_hat`` (length ``k_j``).
+    attribute:
+        Attribute name the estimates refer to.
+    n:
+        Number of reports used to build the estimate.
+    metadata:
+        Free-form extra information (protocol name, epsilon, ...).
+    """
+
+    estimates: np.ndarray
+    attribute: str = "attribute"
+    n: int = 0
+    metadata: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.estimates, dtype=float).copy()
+        if values.ndim != 1:
+            raise InvalidParameterError("estimates must be a 1-D array")
+        values.setflags(write=False)
+        object.__setattr__(self, "estimates", values)
+        object.__setattr__(self, "metadata", dict(self.metadata))
+
+    @property
+    def k(self) -> int:
+        """Domain size of the estimated attribute."""
+        return int(self.estimates.shape[0])
+
+    def as_array(self) -> np.ndarray:
+        """Return a writable copy of the raw estimates."""
+        return np.array(self.estimates, dtype=float)
+
+    def clipped(self) -> np.ndarray:
+        """Estimates clipped to ``[0, 1]`` (simple post-processing)."""
+        return np.clip(self.estimates, 0.0, 1.0)
+
+    def normalized(self) -> np.ndarray:
+        """Clip to non-negative values and re-normalize to sum to one.
+
+        This is the standard "norm-sub-like" consistency step; it never
+        affects unbiasedness tests in this library (those operate on the raw
+        estimates) but is useful when the estimate feeds synthetic-profile
+        generation, which requires a proper probability vector.
+        """
+        clipped = np.clip(self.estimates, 0.0, None)
+        total = clipped.sum()
+        if total <= 0:
+            return np.full(self.k, 1.0 / self.k)
+        return clipped / total
+
+    def mse(self, true_frequencies: Sequence[float]) -> float:
+        """Mean squared error against the true frequencies."""
+        truth = np.asarray(true_frequencies, dtype=float)
+        if truth.shape != self.estimates.shape:
+            raise InvalidParameterError(
+                f"true frequencies have shape {truth.shape}, expected {self.estimates.shape}"
+            )
+        return float(np.mean((truth - self.estimates) ** 2))
+
+
+def true_frequencies(values: np.ndarray, k: int) -> np.ndarray:
+    """Normalized histogram of integer codes ``values`` over domain size ``k``."""
+    values = np.asarray(values, dtype=np.int64)
+    if k < 2:
+        raise InvalidParameterError("k must be >= 2")
+    if values.size == 0:
+        return np.zeros(k)
+    if values.min() < 0 or values.max() >= k:
+        raise InvalidParameterError("values outside [0, k-1]")
+    counts = np.bincount(values, minlength=k).astype(float)
+    return counts / values.size
+
+
+def averaged_mse(
+    estimates: Sequence[FrequencyEstimate], truths: Sequence[np.ndarray]
+) -> float:
+    """Paper's ``MSE_avg`` metric: mean over attributes of per-value MSE.
+
+    ``MSE_avg = (1/d) * sum_j (1/k_j) * sum_v (f_j(v) - f_hat_j(v))^2``
+    """
+    if len(estimates) != len(truths):
+        raise InvalidParameterError("estimates and truths must have the same length")
+    if not estimates:
+        raise InvalidParameterError("at least one attribute is required")
+    return float(np.mean([est.mse(truth) for est, truth in zip(estimates, truths)]))

@@ -1,0 +1,48 @@
+"""Random-number-generation helpers.
+
+Every stochastic component of the library accepts either ``None``, an integer
+seed or a :class:`numpy.random.Generator` and normalizes it through
+:func:`ensure_rng`.  This keeps experiments reproducible (pass a seed) while
+allowing composition (pass a shared generator).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+RngLike = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(rng: RngLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``rng``.
+
+    Parameters
+    ----------
+    rng:
+        ``None`` (fresh non-deterministic generator), an integer seed, or an
+        existing generator (returned unchanged).
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise TypeError(
+        f"rng must be None, an int seed or a numpy Generator, got {type(rng)!r}"
+    )
+
+
+def spawn_rngs(rng: RngLike, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent child generators from ``rng``.
+
+    Useful for giving each repetition of an experiment its own stream so the
+    repetitions are independent yet reproducible from a single seed.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    parent = ensure_rng(rng)
+    seeds = parent.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]

@@ -1,0 +1,31 @@
+"""Synthetic evaluation datasets (Adult, ACSEmployment, Nursery surrogates)."""
+
+from .acs_employment import make_acs_employment
+from .adult import make_adult
+from .loaders import available_datasets, load_dataset
+from .nursery import make_nursery
+from .schema import (
+    ACS_EMPLOYMENT_SCHEMA,
+    ADULT_SCHEMA,
+    NURSERY_SCHEMA,
+    SCHEMAS,
+    DatasetSchema,
+    get_schema,
+)
+from .synthetic import synthesize, zipf_marginal
+
+__all__ = [
+    "DatasetSchema",
+    "ADULT_SCHEMA",
+    "ACS_EMPLOYMENT_SCHEMA",
+    "NURSERY_SCHEMA",
+    "SCHEMAS",
+    "get_schema",
+    "synthesize",
+    "zipf_marginal",
+    "make_adult",
+    "make_acs_employment",
+    "make_nursery",
+    "load_dataset",
+    "available_datasets",
+]

@@ -1,0 +1,46 @@
+"""Unified dataset loading interface."""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from ..core.dataset import TabularDataset
+from ..core.rng import RngLike
+from ..exceptions import InvalidParameterError
+from .acs_employment import make_acs_employment
+from .adult import make_adult
+from .nursery import make_nursery
+
+_LOADERS: Mapping[str, Callable[..., TabularDataset]] = {
+    "adult": make_adult,
+    "acs_employment": make_acs_employment,
+    "nursery": make_nursery,
+}
+
+
+def load_dataset(name: str, n: int | None = None, rng: RngLike = 2023) -> TabularDataset:
+    """Load one of the paper's evaluation datasets by name.
+
+    Parameters
+    ----------
+    name:
+        ``"adult"``, ``"acs_employment"`` (aliases ``"acs"``,
+        ``"acsemployment"``) or ``"nursery"``.
+    n:
+        Optional number of users (defaults to the paper's size).
+    rng:
+        Seed or generator.
+    """
+    key = name.strip().lower().replace("-", "_")
+    if key in ("acs", "acsemployment", "acs_employement", "acsemployement"):
+        key = "acs_employment"
+    if key not in _LOADERS:
+        raise InvalidParameterError(
+            f"unknown dataset {name!r}; expected one of {sorted(_LOADERS)}"
+        )
+    return _LOADERS[key](n=n, rng=rng)
+
+
+def available_datasets() -> tuple[str, ...]:
+    """Names of the available datasets."""
+    return tuple(_LOADERS)

@@ -1,0 +1,48 @@
+"""Experiment harness regenerating every figure of the paper's evaluation."""
+
+from .analytical_acc import FIG1_PROTOCOLS, FIG1_SIZES, run_analytical_acc
+from .attribute_inference_rsfd import (
+    NK_FACTORS,
+    PK_FRACTIONS,
+    RSFD_PROTOCOLS,
+    parse_rsfd_protocol,
+    run_attribute_inference_rsfd,
+)
+from .attribute_inference_rsrfd import RSRFD_PROTOCOLS, run_attribute_inference_rsrfd
+from .config import FULL, PAPER_EPSILONS, PIE_BETAS, QUICK, SMOKE, UTILITY_EPSILONS, ExperimentConfig
+from .reident_rsfd import run_reidentification_rsfd
+from .reident_smp import SMP_PROTOCOLS, run_reidentification_smp
+from .reporting import format_table, mean_rows, pivot_series
+from .runner import available_experiments, main, run_experiment
+from .utility_rsrfd import UTILITY_PROTOCOLS, run_utility_rsrfd
+
+__all__ = [
+    "ExperimentConfig",
+    "QUICK",
+    "SMOKE",
+    "FULL",
+    "PAPER_EPSILONS",
+    "UTILITY_EPSILONS",
+    "PIE_BETAS",
+    "run_analytical_acc",
+    "FIG1_SIZES",
+    "FIG1_PROTOCOLS",
+    "run_reidentification_smp",
+    "SMP_PROTOCOLS",
+    "run_attribute_inference_rsfd",
+    "RSFD_PROTOCOLS",
+    "NK_FACTORS",
+    "PK_FRACTIONS",
+    "parse_rsfd_protocol",
+    "run_reidentification_rsfd",
+    "run_utility_rsrfd",
+    "UTILITY_PROTOCOLS",
+    "run_attribute_inference_rsrfd",
+    "RSRFD_PROTOCOLS",
+    "format_table",
+    "pivot_series",
+    "mean_rows",
+    "run_experiment",
+    "available_experiments",
+    "main",
+]

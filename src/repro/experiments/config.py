@@ -1,0 +1,61 @@
+"""Experiment configuration presets.
+
+The paper runs every experiment on the full datasets (up to 45k users) with
+20 repetitions.  That is reproducible with this library, but the default
+presets are scaled down so the whole benchmark suite completes on a laptop in
+minutes while preserving the qualitative shape of every figure.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+#: ε grid used by the attack experiments (Sec. 4.2 / 4.3).
+PAPER_EPSILONS: tuple[float, ...] = tuple(float(e) for e in range(1, 11))
+
+#: ε grid used by the utility experiments (Sec. 5.2.2): ln(2) .. ln(7).
+UTILITY_EPSILONS: tuple[float, ...] = tuple(math.log(c) for c in range(2, 8))
+
+#: Bayes-error grid used by the PIE experiments (Appendix C).
+PIE_BETAS: tuple[float, ...] = tuple(round(b, 2) for b in (0.95, 0.9, 0.85, 0.8, 0.75, 0.7, 0.65, 0.6, 0.55, 0.5))
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Shared knobs for the experiment runners.
+
+    Attributes
+    ----------
+    n:
+        Number of users drawn from the synthetic dataset (``None`` = the
+        paper's full size).
+    runs:
+        Number of repetitions to average over.
+    epsilons:
+        Privacy-budget grid.
+    num_surveys:
+        Number of data collections in the multi-survey experiments.
+    top_ks:
+        Candidate-set sizes for the re-identification attack.
+    seed:
+        Base seed; repetition ``r`` uses ``seed + r``.
+    """
+
+    n: int | None = None
+    runs: int = 1
+    epsilons: Sequence[float] = PAPER_EPSILONS
+    num_surveys: int = 5
+    top_ks: Sequence[int] = (1, 10)
+    seed: int = 42
+
+
+#: Quick preset used by the benchmark suite (minutes, preserves shapes).
+QUICK = ExperimentConfig(n=2000, runs=1, epsilons=(1.0, 4.0, 7.0, 10.0))
+
+#: Smoke-test preset used by the integration tests (seconds).
+SMOKE = ExperimentConfig(n=400, runs=1, epsilons=(2.0, 8.0), num_surveys=3, top_ks=(1, 10))
+
+#: Paper-scale preset (hours on a laptop, matches Sec. 4 settings).
+FULL = ExperimentConfig(n=None, runs=20, epsilons=PAPER_EPSILONS)

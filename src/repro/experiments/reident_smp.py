@@ -1,0 +1,106 @@
+"""Experiments E2, E7-E11 — re-identification risk of the SMP solution.
+
+Covers Fig. 2 (Adult, FK-RI, uniform), Fig. 9 (ACSEmployment), Fig. 10
+(PK-RI), Fig. 11 (non-uniform privacy metric) and, through the ``pie_betas``
+parameter, the PIE-based Figs. 12-13.
+
+Workflow per repetition (Sec. 4.2): draw ``#surveys`` surveys with at least
+``d/2`` random attributes each, let every user report one attribute per
+survey with the SMP solution, build the attacker's inferred profile after
+every survey and match it against the background knowledge for
+``top-k ∈ {1, 10}``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..attacks.profile import build_profiles_smp, plan_surveys
+from ..attacks.reidentification import ReidentificationAttack
+from ..core.rng import ensure_rng
+from ..datasets.loaders import load_dataset
+from ..metrics.accuracy import as_percentage
+from .config import PAPER_EPSILONS
+from .reporting import mean_rows
+
+#: Protocols plotted in Figs. 2 and 9-13.
+SMP_PROTOCOLS: tuple[str, ...] = ("GRR", "SS", "SUE", "OLH", "OUE")
+
+
+def run_reidentification_smp(
+    dataset_name: str = "adult",
+    n: int | None = None,
+    protocols: Sequence[str] = SMP_PROTOCOLS,
+    epsilons: Sequence[float] = PAPER_EPSILONS,
+    num_surveys: int = 5,
+    top_ks: Sequence[int] = (1, 10),
+    knowledge: str = "FK-RI",
+    metric: str = "uniform",
+    pie_betas: Sequence[float] | None = None,
+    min_surveys: int = 2,
+    runs: int = 1,
+    seed: int = 42,
+) -> list[dict]:
+    """Measure the attacker's RID-ACC for the SMP solution.
+
+    When ``pie_betas`` is provided, the privacy axis is the Bayes-error
+    parameter of the PIE model instead of ``epsilons`` (Appendix C).
+
+    Returns one row per (protocol, privacy level, #surveys, top-k) with the
+    RID-ACC in percent, averaged over ``runs`` repetitions.
+    """
+    privacy_levels = (
+        [("beta", float(b)) for b in pie_betas]
+        if pie_betas is not None
+        else [("epsilon", float(e)) for e in epsilons]
+    )
+    all_rows: list[dict] = []
+    for run_index in range(runs):
+        rng = ensure_rng(seed + run_index)
+        dataset = load_dataset(dataset_name, n=n, rng=seed)
+        surveys = plan_surveys(dataset.d, num_surveys, rng=rng)
+        reident = ReidentificationAttack(dataset, rng=rng)
+        for protocol in protocols:
+            for axis_name, level in privacy_levels:
+                profiling = build_profiles_smp(
+                    dataset,
+                    surveys,
+                    protocol=protocol,
+                    epsilon=level if axis_name == "epsilon" else 1.0,
+                    metric=metric,
+                    rng=rng,
+                    pie_beta=level if axis_name == "beta" else None,
+                )
+                for top_k in top_ks:
+                    results = reident.evaluate_profiling(
+                        profiling,
+                        top_k=top_k,
+                        model=knowledge,
+                        min_surveys=min_surveys,
+                    )
+                    for surveys_done, result in results.items():
+                        all_rows.append(
+                            {
+                                "dataset": dataset_name,
+                                "protocol": protocol,
+                                "privacy_axis": axis_name,
+                                "privacy_level": level,
+                                "metric": metric,
+                                "knowledge": knowledge,
+                                "surveys": surveys_done,
+                                "top_k": top_k,
+                                "rid_acc_pct": as_percentage(result.accuracy),
+                                "baseline_pct": as_percentage(result.baseline),
+                            }
+                        )
+    group_by = [
+        "dataset",
+        "protocol",
+        "privacy_axis",
+        "privacy_level",
+        "metric",
+        "knowledge",
+        "surveys",
+        "top_k",
+    ]
+    return mean_rows(all_rows, group_by, ["rid_acc_pct", "baseline_pct"])

@@ -1,0 +1,93 @@
+"""Plain-text reporting helpers for the experiment harness.
+
+Every experiment runner returns a list of flat dictionaries ("rows"); these
+helpers render them as aligned text tables (the library's replacement for
+the paper's matplotlib figures) and pivot them into the series the figures
+plot.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from ..exceptions import InvalidParameterError
+
+Row = Mapping[str, object]
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, float):
+        if value != 0 and abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Row], columns: Sequence[str] | None = None) -> str:
+    """Render ``rows`` as an aligned, pipe-separated text table."""
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    header = [str(c) for c in columns]
+    body = [[_format_value(row.get(c, "")) for c in columns] for row in rows]
+    widths = [
+        max(len(header[i]), *(len(line[i]) for line in body)) for i in range(len(header))
+    ]
+    lines = [
+        " | ".join(header[i].ljust(widths[i]) for i in range(len(header))),
+        "-+-".join("-" * w for w in widths),
+    ]
+    lines.extend(
+        " | ".join(line[i].ljust(widths[i]) for i in range(len(header))) for line in body
+    )
+    return "\n".join(lines)
+
+
+def pivot_series(
+    rows: Sequence[Row],
+    x: str,
+    y: str,
+    series: Sequence[str],
+) -> dict[tuple, list[tuple[object, object]]]:
+    """Group rows into (series-key → sorted [(x, y), ...]) mappings.
+
+    This mirrors how the paper's figures are organized: one line per
+    combination of the ``series`` columns, the ``x`` column on the abscissa
+    and the ``y`` column on the ordinate.
+    """
+    rows = list(rows)
+    if not rows:
+        return {}
+    for column in (x, y, *series):
+        if column not in rows[0]:
+            raise InvalidParameterError(f"column {column!r} missing from rows")
+    grouped: dict[tuple, list[tuple[object, object]]] = {}
+    for row in rows:
+        key = tuple(row[c] for c in series)
+        grouped.setdefault(key, []).append((row[x], row[y]))
+    for key in grouped:
+        grouped[key].sort(key=lambda pair: pair[0])
+    return grouped
+
+
+def mean_rows(rows: Iterable[Row], group_by: Sequence[str], value_columns: Sequence[str]) -> list[dict]:
+    """Average ``value_columns`` over repetitions sharing the same ``group_by`` key."""
+    accumulator: dict[tuple, dict] = {}
+    counts: dict[tuple, int] = {}
+    for row in rows:
+        key = tuple(row[c] for c in group_by)
+        if key not in accumulator:
+            accumulator[key] = {c: row[c] for c in group_by}
+            accumulator[key].update({c: 0.0 for c in value_columns})
+            counts[key] = 0
+        for column in value_columns:
+            accumulator[key][column] += float(row[column])
+        counts[key] += 1
+    averaged = []
+    for key, record in accumulator.items():
+        for column in value_columns:
+            record[column] /= counts[key]
+        averaged.append(record)
+    return averaged

@@ -1,0 +1,115 @@
+"""Experiment runner: regenerate any figure of the paper from the command line.
+
+``python -m repro.experiments fig2 --quick`` prints the rows behind Fig. 2.
+Every figure of the evaluation (main body Figs. 1-6 and appendix Figs. 9-17)
+has an entry; the ``--quick`` flag scales the workload down so a figure
+regenerates in seconds-to-minutes, while the default parameters follow the
+paper's setup.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable, Mapping, Sequence
+
+from ..exceptions import InvalidParameterError
+from .analytical_acc import run_analytical_acc
+from .attribute_inference_rsfd import run_attribute_inference_rsfd
+from .attribute_inference_rsrfd import run_attribute_inference_rsrfd
+from .config import PIE_BETAS, QUICK
+from .reident_rsfd import run_reidentification_rsfd
+from .reident_smp import run_reidentification_smp
+from .reporting import format_table
+from .utility_rsrfd import run_utility_rsrfd
+
+#: Reduced grids used by the ``--quick`` mode.
+_QUICK_EPSILONS = QUICK.epsilons
+_QUICK_N = QUICK.n
+_QUICK_N_CLASSIFIER = 1200
+_QUICK_BETAS = (0.95, 0.8, 0.65, 0.5)
+
+
+def _experiment_registry(quick: bool) -> Mapping[str, Callable[[], list[dict]]]:
+    """Build the figure-id → runner mapping for the requested scale."""
+    n = _QUICK_N if quick else None
+    n_cls = _QUICK_N_CLASSIFIER if quick else None
+    eps = _QUICK_EPSILONS if quick else None
+    betas = _QUICK_BETAS if quick else PIE_BETAS
+    kw_eps = {"epsilons": eps} if eps else {}
+    kw_util_eps = {}  # the utility grid (ln2..ln7) is already small
+
+    def reident_smp(**overrides):
+        return lambda: run_reidentification_smp(n=n, **kw_eps, **overrides)
+
+    def aif_rsfd(**overrides):
+        return lambda: run_attribute_inference_rsfd(n=n_cls, **kw_eps, **overrides)
+
+    def aif_rsrfd(**overrides):
+        return lambda: run_attribute_inference_rsrfd(n=n_cls, **kw_eps, **overrides)
+
+    return {
+        "fig1": lambda: run_analytical_acc(),
+        "fig2": reident_smp(dataset_name="adult", knowledge="FK-RI", metric="uniform"),
+        "fig3": aif_rsfd(dataset_name="acs_employment"),
+        "fig4": lambda: run_reidentification_rsfd(dataset_name="adult", n=n_cls, **kw_eps),
+        "fig5": lambda: run_utility_rsrfd(
+            dataset_name="acs_employment", n=n, prior_kinds=("correct", "dir"), **kw_util_eps
+        ),
+        "fig6": aif_rsrfd(dataset_name="acs_employment", prior_kind="correct"),
+        "fig9": reident_smp(dataset_name="acs_employment", knowledge="FK-RI", metric="uniform"),
+        "fig10": reident_smp(dataset_name="adult", knowledge="PK-RI", metric="uniform"),
+        "fig11": reident_smp(dataset_name="adult", knowledge="FK-RI", metric="non-uniform"),
+        "fig12": lambda: run_reidentification_smp(
+            dataset_name="adult", n=n, knowledge="FK-RI", metric="uniform", pie_betas=betas
+        ),
+        "fig13": lambda: run_reidentification_smp(
+            dataset_name="adult", n=n, knowledge="FK-RI", metric="non-uniform", pie_betas=betas
+        ),
+        "fig14": aif_rsfd(dataset_name="adult"),
+        "fig15": aif_rsfd(dataset_name="nursery"),
+        "fig16": lambda: run_utility_rsrfd(
+            dataset_name="adult",
+            n=n,
+            prior_kinds=("correct", "dir", "zipf", "exp"),
+            include_analytical=True,
+        ),
+        "fig17": aif_rsrfd(dataset_name="acs_employment", prior_kind="dir", models=("NK",)),
+    }
+
+
+def available_experiments() -> tuple[str, ...]:
+    """Identifiers accepted by :func:`run_experiment`."""
+    return tuple(_experiment_registry(quick=True))
+
+
+def run_experiment(figure: str, quick: bool = True) -> list[dict]:
+    """Run the experiment behind ``figure`` (e.g. ``"fig2"``) and return rows."""
+    registry = _experiment_registry(quick)
+    key = figure.strip().lower()
+    if key not in registry:
+        raise InvalidParameterError(
+            f"unknown experiment {figure!r}; expected one of {sorted(registry)}"
+        )
+    return registry[key]()
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Command-line entry point."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the figures of the VLDB 2023 LDP-risks paper.",
+    )
+    parser.add_argument(
+        "figure",
+        choices=sorted(available_experiments()),
+        help="figure identifier, e.g. fig2",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="use the paper-scale parameters instead of the quick preset",
+    )
+    args = parser.parse_args(argv)
+    rows = run_experiment(args.figure, quick=not args.full)
+    print(format_table(rows))
+    return 0

@@ -1,0 +1,19 @@
+"""Evaluation metrics: estimation error and attack accuracies."""
+
+from .accuracy import (
+    as_percentage,
+    attack_accuracy,
+    attribute_inference_accuracy,
+    reidentification_accuracy,
+)
+from .errors import max_absolute_error, mse_avg, total_variation_distance
+
+__all__ = [
+    "mse_avg",
+    "max_absolute_error",
+    "total_variation_distance",
+    "attack_accuracy",
+    "attribute_inference_accuracy",
+    "reidentification_accuracy",
+    "as_percentage",
+]

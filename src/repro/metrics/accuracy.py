@@ -1,0 +1,47 @@
+"""Attack-accuracy metrics (ACC, RID-ACC, AIF-ACC)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+
+
+def _check_pair(truth: np.ndarray, prediction: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    truth = np.asarray(truth).ravel()
+    prediction = np.asarray(prediction).ravel()
+    if truth.shape != prediction.shape:
+        raise InvalidParameterError("truth and prediction must have the same shape")
+    if truth.size == 0:
+        raise InvalidParameterError("cannot compute accuracy on empty arrays")
+    return truth, prediction
+
+
+def attack_accuracy(truth: np.ndarray, prediction: np.ndarray) -> float:
+    """``ACC_FO``: fraction of correctly inferred values (Sec. 3.2.1)."""
+    truth, prediction = _check_pair(truth, prediction)
+    return float(np.mean(truth == prediction))
+
+
+def attribute_inference_accuracy(truth: np.ndarray, prediction: np.ndarray) -> float:
+    """``AIF-ACC``: fraction of correctly inferred sampled attributes."""
+    return attack_accuracy(truth, prediction)
+
+
+def reidentification_accuracy(true_ids: np.ndarray, candidate_sets: np.ndarray) -> float:
+    """``RID-ACC``: fraction of users whose id is within their top-k candidates.
+
+    ``candidate_sets`` has shape ``(n, top_k)``.
+    """
+    true_ids = np.asarray(true_ids, dtype=np.int64).ravel()
+    candidate_sets = np.asarray(candidate_sets, dtype=np.int64)
+    if candidate_sets.ndim != 2 or candidate_sets.shape[0] != true_ids.shape[0]:
+        raise InvalidParameterError(
+            "candidate_sets must have shape (n, top_k) aligned with true_ids"
+        )
+    return float(np.mean((candidate_sets == true_ids[:, None]).any(axis=1)))
+
+
+def as_percentage(value: float) -> float:
+    """Convert a fraction to the percentage scale used by the paper's plots."""
+    return 100.0 * float(value)

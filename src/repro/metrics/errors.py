@@ -1,0 +1,37 @@
+"""Utility metrics for frequency estimation."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.dataset import TabularDataset
+from ..core.frequencies import FrequencyEstimate, averaged_mse
+from ..exceptions import InvalidParameterError
+
+
+def mse_avg(estimates: Sequence[FrequencyEstimate], dataset: TabularDataset) -> float:
+    """Paper's ``MSE_avg``: mean over attributes of per-value squared error."""
+    if len(estimates) != dataset.d:
+        raise InvalidParameterError(
+            f"expected {dataset.d} estimates, got {len(estimates)}"
+        )
+    truths = dataset.all_frequencies()
+    return averaged_mse(estimates, truths)
+
+
+def max_absolute_error(estimate: FrequencyEstimate, truth: np.ndarray) -> float:
+    """Largest absolute deviation of one attribute's estimate."""
+    truth = np.asarray(truth, dtype=float)
+    if truth.shape != estimate.estimates.shape:
+        raise InvalidParameterError("estimate and truth must have the same shape")
+    return float(np.max(np.abs(estimate.estimates - truth)))
+
+
+def total_variation_distance(estimate: FrequencyEstimate, truth: np.ndarray) -> float:
+    """Total-variation distance between the normalized estimate and the truth."""
+    truth = np.asarray(truth, dtype=float)
+    if truth.shape != estimate.estimates.shape:
+        raise InvalidParameterError("estimate and truth must have the same shape")
+    return float(0.5 * np.sum(np.abs(estimate.normalized() - truth)))

@@ -1,0 +1,21 @@
+"""ML substrate: from-scratch classifiers replacing XGBoost."""
+
+from .encoding import count_threshold_features, encode_dataset_rows, encode_reports, one_hot_columns
+from .gradient_boosting import GradientBoostingClassifier, softmax
+from .metrics import accuracy_score, confusion_matrix, per_class_recall
+from .naive_bayes import BernoulliNaiveBayes
+from .tree import BinaryFeatureRegressionTree
+
+__all__ = [
+    "BinaryFeatureRegressionTree",
+    "GradientBoostingClassifier",
+    "BernoulliNaiveBayes",
+    "softmax",
+    "accuracy_score",
+    "confusion_matrix",
+    "per_class_recall",
+    "encode_reports",
+    "encode_dataset_rows",
+    "one_hot_columns",
+    "count_threshold_features",
+]

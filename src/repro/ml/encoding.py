@@ -1,0 +1,85 @@
+"""Featurization of multidimensional LDP reports for the classifier attacks.
+
+The attribute-inference attack (Sec. 3.3) trains a classifier whose input is
+the full sanitized tuple ``y = [y_1, ..., y_d]`` produced by RS+FD / RS+RFD
+and whose target is the sampled attribute.  The classifier substrate in this
+library operates on binary features, so this module flattens the reports
+into indicator matrices:
+
+* GRR-style reports (integer per attribute) → one-hot blocks of size ``k_j``;
+* UE-style reports (bit vector per attribute) → the raw bits plus per
+  attribute "at least ``t`` bits set" indicators, which expose the bit-count
+  statistic that separates perturbed-zero-vector fake data from genuine LDP
+  reports.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.domain import Domain
+from ..exceptions import InvalidParameterError
+from ..multidim.base import MultidimReports
+
+#: Maximum number of "bit-count >= t" indicator features added per attribute.
+_MAX_COUNT_THRESHOLDS = 4
+
+
+def one_hot_columns(values: np.ndarray, k: int) -> np.ndarray:
+    """One-hot encode an integer column with domain size ``k``."""
+    values = np.asarray(values, dtype=np.int64)
+    if values.ndim != 1:
+        raise InvalidParameterError("values must be a 1-D array")
+    if values.size and (values.min() < 0 or values.max() >= k):
+        raise InvalidParameterError("values outside [0, k-1]")
+    encoded = np.zeros((values.size, k), dtype=np.float32)
+    encoded[np.arange(values.size), values] = 1.0
+    return encoded
+
+
+def count_threshold_features(bits: np.ndarray) -> np.ndarray:
+    """Indicators ``sum(bits) >= t`` for ``t = 1 .. min(4, k)``.
+
+    These summarize the number of set bits, the statistic that most clearly
+    distinguishes UE-z fake data (expected ``k q`` ones) from genuine UE
+    reports (expected ``p + (k-1) q`` ones).
+    """
+    bits = np.asarray(bits)
+    counts = bits.sum(axis=1)
+    thresholds = range(1, min(_MAX_COUNT_THRESHOLDS, bits.shape[1]) + 1)
+    return np.column_stack([(counts >= t) for t in thresholds]).astype(np.float32)
+
+
+def encode_reports(reports: MultidimReports) -> np.ndarray:
+    """Binary feature matrix of shape ``(n, F)`` for an RS+FD/RS+RFD collection."""
+    variant = str(reports.extra.get("variant", "grr"))
+    blocks: list[np.ndarray] = []
+    for j in range(reports.d):
+        column = reports.per_attribute[j]
+        k = reports.domain.size_of(j)
+        if variant == "grr":
+            blocks.append(one_hot_columns(np.asarray(column), k))
+        else:
+            bits = np.asarray(column, dtype=np.float32)
+            if bits.ndim != 2 or bits.shape[1] != k:
+                raise InvalidParameterError(
+                    f"attribute {j} reports must have shape (n, {k}), got {bits.shape}"
+                )
+            blocks.append(bits)
+            blocks.append(count_threshold_features(bits))
+    return np.concatenate(blocks, axis=1)
+
+
+def encode_dataset_rows(data: np.ndarray, domain: Domain) -> np.ndarray:
+    """One-hot encode raw (non-sanitized) categorical rows.
+
+    Used by the re-identification matching step when comparing candidate
+    background-knowledge profiles in feature space.
+    """
+    data = np.asarray(data, dtype=np.int64)
+    if data.ndim != 2 or data.shape[1] != domain.d:
+        raise InvalidParameterError(
+            f"data must have shape (n, {domain.d}), got {data.shape}"
+        )
+    blocks = [one_hot_columns(data[:, j], domain.size_of(j)) for j in range(domain.d)]
+    return np.concatenate(blocks, axis=1)

@@ -1,0 +1,41 @@
+"""Classification metrics for the ML substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+
+
+def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of exact matches between ``y_true`` and ``y_pred``."""
+    y_true = np.asarray(y_true).ravel()
+    y_pred = np.asarray(y_pred).ravel()
+    if y_true.shape != y_pred.shape:
+        raise InvalidParameterError("y_true and y_pred must have the same shape")
+    if y_true.size == 0:
+        raise InvalidParameterError("cannot compute accuracy on empty arrays")
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray, n_classes: int | None = None) -> np.ndarray:
+    """Confusion matrix ``M[i, j]`` = count of true class ``i`` predicted ``j``."""
+    y_true = np.asarray(y_true, dtype=np.int64).ravel()
+    y_pred = np.asarray(y_pred, dtype=np.int64).ravel()
+    if y_true.shape != y_pred.shape:
+        raise InvalidParameterError("y_true and y_pred must have the same shape")
+    if n_classes is None:
+        n_classes = int(max(y_true.max(initial=0), y_pred.max(initial=0))) + 1
+    matrix = np.zeros((n_classes, n_classes), dtype=np.int64)
+    np.add.at(matrix, (y_true, y_pred), 1)
+    return matrix
+
+
+def per_class_recall(y_true: np.ndarray, y_pred: np.ndarray, n_classes: int | None = None) -> np.ndarray:
+    """Recall of each class (0 where the class never appears)."""
+    matrix = confusion_matrix(y_true, y_pred, n_classes)
+    totals = matrix.sum(axis=1)
+    recall = np.zeros(matrix.shape[0], dtype=float)
+    nonzero = totals > 0
+    recall[nonzero] = np.diag(matrix)[nonzero] / totals[nonzero]
+    return recall

@@ -1,0 +1,179 @@
+"""Regression trees on binary features for gradient boosting.
+
+The attribute-inference attack of the paper trains an XGBoost multiclass
+classifier.  This reproduction has no network access, so the classifier is
+rebuilt from scratch: :class:`BinaryFeatureRegressionTree` is the base
+learner of the gradient-boosting machine in
+:mod:`repro.ml.gradient_boosting`.
+
+All features are binary (the encoders in :mod:`repro.ml.encoding` produce
+one-hot / indicator features), which makes the split search a single matrix
+product per node: the gradient and hessian sums of the "feature == 1" branch
+are ``X^T g`` and ``X^T h``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError, NotFittedError
+
+
+@dataclass
+class _Node:
+    """One node of the fitted tree (internal or leaf)."""
+
+    feature: int = -1
+    left: int = -1
+    right: int = -1
+    value: float = 0.0
+    is_leaf: bool = True
+
+
+class BinaryFeatureRegressionTree:
+    """Depth-limited regression tree over binary features.
+
+    The tree minimizes the second-order boosting objective: each leaf outputs
+    ``-G / (H + reg_lambda)`` and splits are chosen by the usual XGBoost-style
+    gain formula.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth (root = depth 0).
+    min_samples_leaf:
+        Minimum number of samples required in each child.
+    reg_lambda:
+        L2 regularization on leaf values.
+    min_gain:
+        Minimum gain required to split a node.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 4,
+        min_samples_leaf: int = 10,
+        reg_lambda: float = 1.0,
+        min_gain: float = 1e-6,
+    ) -> None:
+        if max_depth < 1:
+            raise InvalidParameterError("max_depth must be >= 1")
+        if min_samples_leaf < 1:
+            raise InvalidParameterError("min_samples_leaf must be >= 1")
+        if reg_lambda < 0:
+            raise InvalidParameterError("reg_lambda must be non-negative")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.reg_lambda = reg_lambda
+        self.min_gain = min_gain
+        self._nodes: list[_Node] = []
+
+    # ------------------------------------------------------------------ #
+    def fit(
+        self, features: np.ndarray, gradients: np.ndarray, hessians: np.ndarray
+    ) -> "BinaryFeatureRegressionTree":
+        """Fit the tree to per-sample gradients and hessians."""
+        features = self._validate_features(features)
+        gradients = np.asarray(gradients, dtype=float).ravel()
+        hessians = np.asarray(hessians, dtype=float).ravel()
+        if gradients.shape[0] != features.shape[0] or hessians.shape[0] != features.shape[0]:
+            raise InvalidParameterError("features, gradients and hessians must align")
+        self._nodes = []
+        all_rows = np.arange(features.shape[0])
+        self._build(features, gradients, hessians, all_rows, depth=0)
+        return self
+
+    def _build(
+        self,
+        features: np.ndarray,
+        gradients: np.ndarray,
+        hessians: np.ndarray,
+        rows: np.ndarray,
+        depth: int,
+    ) -> int:
+        """Recursively build the subtree for ``rows``; return its node index."""
+        node_index = len(self._nodes)
+        self._nodes.append(_Node())
+        grad_total = float(gradients[rows].sum())
+        hess_total = float(hessians[rows].sum())
+        leaf_value = -grad_total / (hess_total + self.reg_lambda)
+
+        if depth >= self.max_depth or rows.size < 2 * self.min_samples_leaf:
+            self._nodes[node_index] = _Node(value=leaf_value, is_leaf=True)
+            return node_index
+
+        feature_block = features[rows]
+        grad_ones = feature_block.T @ gradients[rows]
+        hess_ones = feature_block.T @ hessians[rows]
+        count_ones = feature_block.sum(axis=0)
+        grad_zeros = grad_total - grad_ones
+        hess_zeros = hess_total - hess_ones
+        count_zeros = rows.size - count_ones
+
+        def score(grad: np.ndarray, hess: np.ndarray) -> np.ndarray:
+            denominator = hess + self.reg_lambda
+            with np.errstate(divide="ignore", invalid="ignore"):
+                value = grad * grad / denominator
+            return np.where(denominator > 0, value, 0.0)
+
+        gains = 0.5 * (
+            score(grad_ones, hess_ones)
+            + score(grad_zeros, hess_zeros)
+            - score(np.asarray(grad_total), np.asarray(hess_total))
+        )
+        valid = (count_ones >= self.min_samples_leaf) & (count_zeros >= self.min_samples_leaf)
+        gains = np.where(valid, gains, -np.inf)
+        best_feature = int(np.argmax(gains))
+        if not np.isfinite(gains[best_feature]) or gains[best_feature] < self.min_gain:
+            self._nodes[node_index] = _Node(value=leaf_value, is_leaf=True)
+            return node_index
+
+        mask = feature_block[:, best_feature] > 0.5
+        right_rows = rows[mask]
+        left_rows = rows[~mask]
+        left_index = self._build(features, gradients, hessians, left_rows, depth + 1)
+        right_index = self._build(features, gradients, hessians, right_rows, depth + 1)
+        self._nodes[node_index] = _Node(
+            feature=best_feature,
+            left=left_index,
+            right=right_index,
+            value=leaf_value,
+            is_leaf=False,
+        )
+        return node_index
+
+    # ------------------------------------------------------------------ #
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predict the leaf value of every row of ``features``."""
+        if not self._nodes:
+            raise NotFittedError("tree is not fitted")
+        features = self._validate_features(features)
+        output = np.empty(features.shape[0], dtype=float)
+        self._predict_node(0, features, np.arange(features.shape[0]), output)
+        return output
+
+    def _predict_node(
+        self, node_index: int, features: np.ndarray, rows: np.ndarray, output: np.ndarray
+    ) -> None:
+        node = self._nodes[node_index]
+        if node.is_leaf or rows.size == 0:
+            output[rows] = node.value
+            return
+        mask = features[rows, node.feature] > 0.5
+        self._predict_node(node.left, features, rows[~mask], output)
+        self._predict_node(node.right, features, rows[mask], output)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def node_count(self) -> int:
+        """Number of nodes in the fitted tree."""
+        return len(self._nodes)
+
+    @staticmethod
+    def _validate_features(features: np.ndarray) -> np.ndarray:
+        features = np.asarray(features, dtype=np.float32)
+        if features.ndim != 2:
+            raise InvalidParameterError("features must be a 2-D array")
+        return features

@@ -1,0 +1,21 @@
+"""Solutions for multidimensional frequency estimation under LDP."""
+
+from .base import MultidimReports, MultidimSolution, sample_attributes
+from .rsfd import RSFD
+from .rsrfd import RSRFD
+from .smp import SMP
+from .spl import SPL
+from .variance import averaged_analytical_variance, rsfd_variance, rsrfd_variance
+
+__all__ = [
+    "MultidimReports",
+    "MultidimSolution",
+    "sample_attributes",
+    "SPL",
+    "SMP",
+    "RSFD",
+    "RSRFD",
+    "rsfd_variance",
+    "rsrfd_variance",
+    "averaged_analytical_variance",
+]

@@ -1,0 +1,152 @@
+"""Base classes for multidimensional frequency-estimation solutions.
+
+The paper studies three ways a population of users can report a tuple of
+``d`` categorical values under ``epsilon``-LDP (Sec. 2.3):
+
+* **SPL** — split the budget and report every attribute with ``epsilon/d``;
+* **SMP** — sample one attribute and report it with the full ``epsilon``,
+  disclosing which attribute was sampled;
+* **RS+FD** — sample one attribute, report it with the amplified budget
+  ``epsilon'``, and hide it among uniformly random fake values for the other
+  attributes (the RS+RFD countermeasure replaces "uniform" with realistic
+  priors).
+
+Every solution exposes ``collect(dataset) -> MultidimReports`` (client side)
+and ``estimate(reports) -> list[FrequencyEstimate]`` (server side).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from ..core.dataset import TabularDataset
+from ..core.domain import Domain
+from ..core.composition import validate_epsilon
+from ..core.frequencies import FrequencyEstimate
+from ..core.rng import RngLike, ensure_rng
+from ..exceptions import DomainMismatchError, InvalidParameterError
+
+
+@dataclass
+class MultidimReports:
+    """Container for the sanitized output of one data collection.
+
+    Attributes
+    ----------
+    solution:
+        Name of the solution that produced the reports (``"SPL"``, ``"SMP"``,
+        ``"RS+FD"``, ``"RS+RFD"``).
+    protocol:
+        Name of the underlying frequency oracle (``"GRR"``, ``"OUE"``, ...).
+    epsilon:
+        Per-user privacy budget of the collection.
+    domain:
+        Domain of the collected attributes.
+    n:
+        Number of reporting users.
+    per_attribute:
+        For SPL / RS+FD / RS+RFD: one report array per attribute covering all
+        ``n`` users.  For SMP: one report array per attribute covering only
+        the users who sampled it.
+    user_indices:
+        For SMP: row indices (into the collected dataset) of the users whose
+        reports appear in ``per_attribute[j]``; ``None`` otherwise.
+    sampled:
+        The attribute sampled by each user.  For SMP this is public
+        information (part of the report); for RS+FD / RS+RFD it is ground
+        truth that the aggregator does *not* see — it is retained only so the
+        attacks can be evaluated.  ``None`` for SPL.
+    extra:
+        Free-form metadata (e.g. the fake-data variant or priors used).
+    """
+
+    solution: str
+    protocol: str
+    epsilon: float
+    domain: Domain
+    n: int
+    per_attribute: list[Any]
+    user_indices: list[np.ndarray] | None = None
+    sampled: np.ndarray | None = None
+    extra: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def d(self) -> int:
+        """Number of attributes in the collection."""
+        return self.domain.d
+
+
+class MultidimSolution(abc.ABC):
+    """Abstract multidimensional frequency-estimation solution.
+
+    Parameters
+    ----------
+    domain:
+        Attributes to collect.
+    epsilon:
+        Per-user privacy budget for the whole tuple.
+    protocol:
+        Name of the frequency oracle used as local randomizer.
+    rng:
+        Seed or generator.
+    """
+
+    #: Solution identifier, e.g. ``"SMP"``.
+    name: str = "multidim"
+
+    def __init__(
+        self,
+        domain: Domain,
+        epsilon: float,
+        protocol: str = "GRR",
+        rng: RngLike = None,
+    ) -> None:
+        if domain.d < 2:
+            raise InvalidParameterError(
+                f"multidimensional solutions require d >= 2 attributes, got {domain.d}"
+            )
+        self.domain = domain
+        self.epsilon = validate_epsilon(epsilon)
+        self.protocol = protocol
+        self._rng = ensure_rng(rng)
+
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def collect(self, dataset: TabularDataset) -> MultidimReports:
+        """Run the client-side pipeline on every user of ``dataset``."""
+
+    @abc.abstractmethod
+    def estimate(self, reports: MultidimReports) -> list[FrequencyEstimate]:
+        """Server-side unbiased frequency estimation for every attribute."""
+
+    # ------------------------------------------------------------------ #
+    def collect_and_estimate(
+        self, dataset: TabularDataset
+    ) -> tuple[MultidimReports, list[FrequencyEstimate]]:
+        """Convenience wrapper running both pipeline halves."""
+        reports = self.collect(dataset)
+        return reports, self.estimate(reports)
+
+    def _check_dataset(self, dataset: TabularDataset) -> None:
+        if dataset.domain.sizes != self.domain.sizes:
+            raise DomainMismatchError(
+                "dataset domain does not match the solution's domain: "
+                f"{dataset.domain.sizes} != {self.domain.sizes}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return (
+            f"{type(self).__name__}(d={self.domain.d}, epsilon={self.epsilon:g}, "
+            f"protocol={self.protocol!r})"
+        )
+
+
+def sample_attributes(n: int, d: int, rng: np.random.Generator) -> np.ndarray:
+    """Sample one attribute uniformly at random for each of ``n`` users."""
+    if n <= 0 or d <= 0:
+        raise InvalidParameterError("n and d must be positive")
+    return rng.integers(0, d, size=n)

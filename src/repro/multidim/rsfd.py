@@ -1,0 +1,206 @@
+"""RS+FD: Random Sampling Plus Fake Data (Arcolezi et al., CIKM 2021).
+
+Each user samples one attribute, sanitizes it with the amplified budget
+``epsilon' = ln(d (e^eps - 1) + 1)`` and *hides* it by also transmitting one
+uniformly random fake value for every non-sampled attribute, so the
+aggregator cannot tell which attribute carries the LDP report.
+
+Three variants are studied by the paper, differing in the local randomizer
+and the fake-data generation procedure:
+
+* ``RS+FD[GRR]`` — GRR randomizer, fake values drawn uniformly from the
+  attribute's domain;
+* ``RS+FD[UE-z]`` — UE randomizer (SUE or OUE), fake reports obtained by
+  perturbing the all-zero vector;
+* ``RS+FD[UE-r]`` — UE randomizer, fake reports obtained by perturbing a
+  uniformly random one-hot vector.
+
+The unbiased estimators of Sec. 2.3.2 are implemented in :meth:`RSFD.estimate`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Literal
+
+import numpy as np
+
+from ..core.composition import amplified_epsilon
+from ..core.dataset import TabularDataset
+from ..core.domain import Domain
+from ..core.frequencies import FrequencyEstimate
+from ..core.rng import RngLike
+from ..exceptions import EstimationError, InvalidParameterError
+from ..protocols.grr import GRR
+from ..protocols.ue import OUE, SUE, UnaryEncoding
+from .base import MultidimReports, MultidimSolution, sample_attributes
+
+FakeDataVariant = Literal["grr", "ue-z", "ue-r"]
+UEKind = Literal["SUE", "OUE"]
+
+
+def _make_ue(kind: str, k: int, epsilon: float, rng) -> UnaryEncoding:
+    kind = kind.upper()
+    if kind == "SUE":
+        return SUE(k, epsilon, rng=rng)
+    if kind == "OUE":
+        return OUE(k, epsilon, rng=rng)
+    raise InvalidParameterError(f"ue_kind must be 'SUE' or 'OUE', got {kind!r}")
+
+
+class RSFD(MultidimSolution):
+    """Random Sampling Plus Fake Data solution.
+
+    Parameters
+    ----------
+    domain:
+        Attributes to collect.
+    epsilon:
+        Per-user privacy budget (amplification to ``epsilon'`` is handled
+        internally).
+    variant:
+        Fake-data variant: ``"grr"``, ``"ue-z"`` or ``"ue-r"``.
+    ue_kind:
+        ``"SUE"`` or ``"OUE"``; only used by the UE variants.
+    rng:
+        Seed or generator.
+    """
+
+    name = "RS+FD"
+
+    def __init__(
+        self,
+        domain: Domain,
+        epsilon: float,
+        variant: FakeDataVariant = "grr",
+        ue_kind: UEKind = "OUE",
+        rng: RngLike = None,
+    ) -> None:
+        variant = variant.lower()
+        if variant not in ("grr", "ue-z", "ue-r"):
+            raise InvalidParameterError(
+                f"variant must be 'grr', 'ue-z' or 'ue-r', got {variant!r}"
+            )
+        protocol = "GRR" if variant == "grr" else ue_kind.upper()
+        super().__init__(domain, epsilon, protocol=protocol, rng=rng)
+        self.variant = variant
+        self.ue_kind = ue_kind.upper()
+        self.amplified_epsilon = amplified_epsilon(self.epsilon, self.domain.d)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def label(self) -> str:
+        """Paper-style protocol label, e.g. ``"RS+FD[OUE-z]"``."""
+        if self.variant == "grr":
+            return "RS+FD[GRR]"
+        suffix = "z" if self.variant == "ue-z" else "r"
+        return f"RS+FD[{self.ue_kind}-{suffix}]"
+
+    def _randomizer(self, attribute: int):
+        """Local randomizer for ``attribute`` at the amplified budget."""
+        k = self.domain.size_of(attribute)
+        if self.variant == "grr":
+            return GRR(k, self.amplified_epsilon, rng=self._rng)
+        return _make_ue(self.ue_kind, k, self.amplified_epsilon, rng=self._rng)
+
+    # ------------------------------------------------------------------ #
+    # client side
+    # ------------------------------------------------------------------ #
+    def collect(
+        self, dataset: TabularDataset, sampled: np.ndarray | None = None
+    ) -> MultidimReports:
+        """Produce one full tuple (LDP value + fake values) per user."""
+        self._check_dataset(dataset)
+        n = dataset.n
+        if sampled is None:
+            sampled = sample_attributes(n, self.domain.d, self._rng)
+        else:
+            sampled = np.asarray(sampled, dtype=np.int64)
+            if sampled.shape != (n,):
+                raise EstimationError(f"sampled must have shape ({n},)")
+
+        per_attribute = []
+        for j in range(self.domain.d):
+            k = self.domain.size_of(j)
+            randomizer = self._randomizer(j)
+            rows_true = np.flatnonzero(sampled == j)
+            rows_fake = np.flatnonzero(sampled != j)
+            if self.variant == "grr":
+                column = np.empty(n, dtype=np.int64)
+                if rows_true.size:
+                    column[rows_true] = randomizer.randomize_many(
+                        dataset.column(j)[rows_true]
+                    )
+                column[rows_fake] = self._rng.integers(0, k, size=rows_fake.size)
+            else:
+                column = np.zeros((n, k), dtype=np.uint8)
+                if rows_true.size:
+                    column[rows_true] = randomizer.randomize_many(
+                        dataset.column(j)[rows_true]
+                    )
+                if rows_fake.size:
+                    column[rows_fake] = self._generate_fake_ue(randomizer, rows_fake.size)
+            per_attribute.append(column)
+
+        return MultidimReports(
+            solution=self.name,
+            protocol=self.protocol,
+            epsilon=self.epsilon,
+            domain=self.domain,
+            n=n,
+            per_attribute=per_attribute,
+            sampled=sampled,
+            extra={
+                "variant": self.variant,
+                "ue_kind": self.ue_kind,
+                "label": self.label,
+                "amplified_epsilon": self.amplified_epsilon,
+            },
+        )
+
+    def _generate_fake_ue(self, randomizer: UnaryEncoding, count: int) -> np.ndarray:
+        if self.variant == "ue-z":
+            return randomizer.randomize_zero_vector(count)
+        return randomizer.randomize_random_onehot(count)
+
+    # ------------------------------------------------------------------ #
+    # server side
+    # ------------------------------------------------------------------ #
+    def estimate(self, reports: MultidimReports) -> list[FrequencyEstimate]:
+        estimates = []
+        d, n = self.domain.d, reports.n
+        for j in range(self.domain.d):
+            k = self.domain.size_of(j)
+            randomizer = self._randomizer(j)
+            p, q = randomizer.p, randomizer.q
+            counts = self._support_counts(reports.per_attribute[j], k)
+            if self.variant == "grr":
+                # RS+FD[GRR] estimator (Sec. 2.3.2)
+                values = (counts * d * k - n * (d - 1 + q * k)) / (n * k * (p - q))
+            elif self.variant == "ue-z":
+                # RS+FD[UE-z] estimator
+                values = d * (counts - n * q) / (n * (p - q))
+            else:
+                # RS+FD[UE-r] estimator
+                bias = q * k + (p - q) * (d - 1) + q * k * (d - 1)
+                values = (counts * d * k - n * bias) / (n * k * (p - q))
+            estimates.append(
+                FrequencyEstimate(
+                    estimates=values,
+                    attribute=self.domain[j].name,
+                    n=n,
+                    metadata={
+                        "solution": self.name,
+                        "protocol": self.label,
+                        "epsilon": self.epsilon,
+                        "amplified_epsilon": self.amplified_epsilon,
+                        "k": k,
+                    },
+                )
+            )
+        return estimates
+
+    def _support_counts(self, column, k: int) -> np.ndarray:
+        if self.variant == "grr":
+            return np.bincount(np.asarray(column, dtype=np.int64), minlength=k).astype(float)
+        return np.asarray(column).sum(axis=0).astype(float)

@@ -1,0 +1,216 @@
+"""RS+RFD: Random Sampling Plus *Realistic* Fake Data (Sec. 5, the countermeasure).
+
+RS+RFD is the paper's proposed improvement of RS+FD: non-sampled attributes
+are filled with fake values drawn from (possibly noisy) *prior* distributions
+instead of uniform randomness.  Realistic fake data makes the sampled
+attribute much harder to single out (countering the attribute-inference
+attack) and also lets the fake data contribute to the estimation, improving
+utility.
+
+Two variants are proposed:
+
+* ``RS+RFD[GRR]`` — GRR randomizer; fake values are direct samples from the
+  prior (probability tree of Fig. 7).  Estimator: Eq. (6).
+* ``RS+RFD[UE-r]`` — SUE/OUE randomizer; fake values are prior-distributed
+  one-hot vectors, perturbed by the same UE protocol (probability tree of
+  Fig. 8).  Estimator: Eq. (7).
+"""
+
+from __future__ import annotations
+
+from typing import Literal, Sequence
+
+import numpy as np
+
+from ..core.composition import amplified_epsilon
+from ..core.dataset import TabularDataset
+from ..core.domain import Domain
+from ..core.frequencies import FrequencyEstimate
+from ..core.rng import RngLike
+from ..exceptions import EstimationError, InvalidParameterError
+from ..protocols.grr import GRR
+from ..protocols.ue import OUE, SUE, UnaryEncoding
+from .base import MultidimReports, MultidimSolution, sample_attributes
+
+RealisticVariant = Literal["grr", "ue-r"]
+
+
+class RSRFD(MultidimSolution):
+    """Random Sampling Plus Realistic Fake Data (Alg. 1 of the paper).
+
+    Parameters
+    ----------
+    domain:
+        Attributes to collect.
+    epsilon:
+        Per-user privacy budget (amplified internally as in RS+FD).
+    priors:
+        Per-attribute prior distributions ``f~`` transmitted by the server in
+        advance (list of probability vectors, one per attribute).
+    variant:
+        ``"grr"`` or ``"ue-r"``.
+    ue_kind:
+        ``"SUE"`` or ``"OUE"`` when ``variant == "ue-r"``.
+    rng:
+        Seed or generator.
+    """
+
+    name = "RS+RFD"
+
+    def __init__(
+        self,
+        domain: Domain,
+        epsilon: float,
+        priors: Sequence[np.ndarray],
+        variant: RealisticVariant = "grr",
+        ue_kind: str = "OUE",
+        rng: RngLike = None,
+    ) -> None:
+        variant = variant.lower()
+        if variant not in ("grr", "ue-r"):
+            raise InvalidParameterError(
+                f"variant must be 'grr' or 'ue-r', got {variant!r}"
+            )
+        protocol = "GRR" if variant == "grr" else ue_kind.upper()
+        super().__init__(domain, epsilon, protocol=protocol, rng=rng)
+        self.variant = variant
+        self.ue_kind = ue_kind.upper()
+        self.amplified_epsilon = amplified_epsilon(self.epsilon, self.domain.d)
+        self.priors = self._validate_priors(priors)
+
+    def _validate_priors(self, priors: Sequence[np.ndarray]) -> list[np.ndarray]:
+        priors = [np.asarray(prior, dtype=float) for prior in priors]
+        if len(priors) != self.domain.d:
+            raise InvalidParameterError(
+                f"expected {self.domain.d} priors, got {len(priors)}"
+            )
+        normalized = []
+        for j, prior in enumerate(priors):
+            k = self.domain.size_of(j)
+            if prior.shape != (k,):
+                raise InvalidParameterError(
+                    f"prior for attribute {j} must have length {k}, got {prior.shape}"
+                )
+            if np.any(prior < 0):
+                raise InvalidParameterError(f"prior for attribute {j} has negative mass")
+            total = prior.sum()
+            if total <= 0:
+                raise InvalidParameterError(f"prior for attribute {j} sums to zero")
+            normalized.append(prior / total)
+        return normalized
+
+    # ------------------------------------------------------------------ #
+    @property
+    def label(self) -> str:
+        """Paper-style protocol label, e.g. ``"RS+RFD[SUE-r]"``."""
+        if self.variant == "grr":
+            return "RS+RFD[GRR]"
+        return f"RS+RFD[{self.ue_kind}-r]"
+
+    def _randomizer(self, attribute: int):
+        k = self.domain.size_of(attribute)
+        if self.variant == "grr":
+            return GRR(k, self.amplified_epsilon, rng=self._rng)
+        if self.ue_kind == "SUE":
+            return SUE(k, self.amplified_epsilon, rng=self._rng)
+        return OUE(k, self.amplified_epsilon, rng=self._rng)
+
+    # ------------------------------------------------------------------ #
+    # client side (Alg. 1)
+    # ------------------------------------------------------------------ #
+    def collect(
+        self, dataset: TabularDataset, sampled: np.ndarray | None = None
+    ) -> MultidimReports:
+        self._check_dataset(dataset)
+        n = dataset.n
+        if sampled is None:
+            sampled = sample_attributes(n, self.domain.d, self._rng)
+        else:
+            sampled = np.asarray(sampled, dtype=np.int64)
+            if sampled.shape != (n,):
+                raise EstimationError(f"sampled must have shape ({n},)")
+
+        per_attribute = []
+        for j in range(self.domain.d):
+            k = self.domain.size_of(j)
+            prior = self.priors[j]
+            randomizer = self._randomizer(j)
+            rows_true = np.flatnonzero(sampled == j)
+            rows_fake = np.flatnonzero(sampled != j)
+            if self.variant == "grr":
+                column = np.empty(n, dtype=np.int64)
+                if rows_true.size:
+                    column[rows_true] = randomizer.randomize_many(
+                        dataset.column(j)[rows_true]
+                    )
+                if rows_fake.size:
+                    # fake data = direct sample from the prior (Fig. 7)
+                    column[rows_fake] = self._rng.choice(k, size=rows_fake.size, p=prior)
+            else:
+                column = np.zeros((n, k), dtype=np.uint8)
+                if rows_true.size:
+                    column[rows_true] = randomizer.randomize_many(
+                        dataset.column(j)[rows_true]
+                    )
+                if rows_fake.size:
+                    # fake data = prior-distributed one-hot, UE-perturbed (Fig. 8)
+                    column[rows_fake] = randomizer.randomize_random_onehot(
+                        rows_fake.size, priors=prior
+                    )
+            per_attribute.append(column)
+
+        return MultidimReports(
+            solution=self.name,
+            protocol=self.protocol,
+            epsilon=self.epsilon,
+            domain=self.domain,
+            n=n,
+            per_attribute=per_attribute,
+            sampled=sampled,
+            extra={
+                "variant": self.variant,
+                "ue_kind": self.ue_kind,
+                "label": self.label,
+                "amplified_epsilon": self.amplified_epsilon,
+            },
+        )
+
+    # ------------------------------------------------------------------ #
+    # server side (Eqs. 6 and 7)
+    # ------------------------------------------------------------------ #
+    def estimate(self, reports: MultidimReports) -> list[FrequencyEstimate]:
+        estimates = []
+        d, n = self.domain.d, reports.n
+        for j in range(self.domain.d):
+            k = self.domain.size_of(j)
+            prior = self.priors[j]
+            randomizer = self._randomizer(j)
+            p, q = randomizer.p, randomizer.q
+            counts = self._support_counts(reports.per_attribute[j], k)
+            if self.variant == "grr":
+                # Eq. (6)
+                values = (d * counts - n * (q + (d - 1) * prior)) / (n * (p - q))
+            else:
+                # Eq. (7)
+                bias = q + (p - q) * (d - 1) * prior + q * (d - 1)
+                values = (d * counts - n * bias) / (n * (p - q))
+            estimates.append(
+                FrequencyEstimate(
+                    estimates=values,
+                    attribute=self.domain[j].name,
+                    n=n,
+                    metadata={
+                        "solution": self.name,
+                        "protocol": self.label,
+                        "epsilon": self.epsilon,
+                        "amplified_epsilon": self.amplified_epsilon,
+                        "k": k,
+                    },
+                )
+            )
+        return estimates
+
+    def _support_counts(self, column, k: int) -> np.ndarray:
+        if self.variant == "grr":
+            return np.bincount(np.asarray(column, dtype=np.int64), minlength=k).astype(float)
+        return np.asarray(column).sum(axis=0).astype(float)

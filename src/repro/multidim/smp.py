@@ -1,0 +1,121 @@
+"""SMP: the attribute-sampling solution.
+
+Each user samples a single attribute uniformly at random and reports only
+that attribute with the full budget ``epsilon``.  Crucially, the pair
+``<sampled attribute, epsilon-LDP report>`` is sent to the aggregator, i.e.
+the sampled attribute is *disclosed* — the property the paper's
+re-identification attack exploits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.dataset import TabularDataset
+from ..core.frequencies import FrequencyEstimate
+from ..core.rng import RngLike
+from ..core.domain import Domain
+from ..exceptions import EstimationError
+from ..protocols.registry import make_protocol
+from .base import MultidimReports, MultidimSolution, sample_attributes
+
+
+class SMP(MultidimSolution):
+    """Sampling solution: one attribute per user with full ``epsilon``.
+
+    Parameters
+    ----------
+    domain, epsilon, protocol, rng:
+        See :class:`~repro.multidim.base.MultidimSolution`.
+    """
+
+    name = "SMP"
+
+    def collect(
+        self, dataset: TabularDataset, sampled: np.ndarray | None = None
+    ) -> MultidimReports:
+        """Collect one sanitized attribute per user.
+
+        Parameters
+        ----------
+        dataset:
+            Users' true data.
+        sampled:
+            Optional pre-determined sampled attribute per user.  The
+            multi-collection attack experiments control sampling externally
+            (e.g. without replacement across surveys); when omitted, each user
+            samples uniformly at random.
+        """
+        self._check_dataset(dataset)
+        if sampled is None:
+            sampled = sample_attributes(dataset.n, self.domain.d, self._rng)
+        else:
+            sampled = np.asarray(sampled, dtype=np.int64)
+            if sampled.shape != (dataset.n,):
+                raise EstimationError(
+                    f"sampled must have shape ({dataset.n},), got {sampled.shape}"
+                )
+
+        per_attribute = []
+        user_indices = []
+        for j in range(self.domain.d):
+            rows = np.flatnonzero(sampled == j)
+            user_indices.append(rows)
+            oracle = make_protocol(
+                self.protocol, self.domain.size_of(j), self.epsilon, rng=self._rng
+            )
+            values = dataset.column(j)[rows]
+            per_attribute.append(
+                oracle.randomize_many(values) if rows.size else values.copy()
+            )
+        return MultidimReports(
+            solution=self.name,
+            protocol=self.protocol,
+            epsilon=self.epsilon,
+            domain=self.domain,
+            n=dataset.n,
+            per_attribute=per_attribute,
+            user_indices=user_indices,
+            sampled=sampled,
+        )
+
+    def estimate(self, reports: MultidimReports) -> list[FrequencyEstimate]:
+        estimates = []
+        for j in range(self.domain.d):
+            rows = reports.user_indices[j]
+            oracle = make_protocol(
+                self.protocol, self.domain.size_of(j), self.epsilon, rng=self._rng
+            )
+            if rows.size == 0:
+                raise EstimationError(
+                    f"no user sampled attribute {self.domain[j].name!r}; "
+                    "increase n or collect again"
+                )
+            estimate = oracle.aggregate(reports.per_attribute[j], n=int(rows.size))
+            estimates.append(
+                FrequencyEstimate(
+                    estimates=estimate.estimates,
+                    attribute=self.domain[j].name,
+                    n=int(rows.size),
+                    metadata={**estimate.metadata, "solution": self.name},
+                )
+            )
+        return estimates
+
+    # ------------------------------------------------------------------ #
+    def attack_reports(self, reports: MultidimReports) -> np.ndarray:
+        """Per-user plausible-deniability attack on an SMP collection.
+
+        Returns an ``(n,)`` array where entry ``i`` is the attacker's guess of
+        user ``i``'s value for the attribute they sampled.
+        """
+        guesses = np.full(reports.n, -1, dtype=np.int64)
+        for j in range(self.domain.d):
+            rows = reports.user_indices[j]
+            if rows.size == 0:
+                continue
+            oracle = make_protocol(
+                self.protocol, self.domain.size_of(j), self.epsilon, rng=self._rng
+            )
+            guesses[rows] = oracle.attack_many(reports.per_attribute[j])
+        return guesses

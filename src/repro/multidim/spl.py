@@ -1,0 +1,60 @@
+"""SPL: the naive budget-splitting solution.
+
+Every user reports all ``d`` attributes, each sanitized with ``epsilon / d``
+(sequential composition).  The paper does not attack SPL (its utility is too
+low for realistic deployments) but it is implemented as the natural baseline
+for the utility comparisons.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.composition import split_budget
+from ..core.dataset import TabularDataset
+from ..core.frequencies import FrequencyEstimate
+from ..protocols.registry import make_protocol
+from .base import MultidimReports, MultidimSolution
+
+
+class SPL(MultidimSolution):
+    """Budget-splitting solution: all attributes, ``epsilon/d`` each."""
+
+    name = "SPL"
+
+    def collect(self, dataset: TabularDataset) -> MultidimReports:
+        self._check_dataset(dataset)
+        per_attribute_epsilon = split_budget(self.epsilon, self.domain.d)
+        reports = []
+        for j in range(self.domain.d):
+            oracle = make_protocol(
+                self.protocol, self.domain.size_of(j), per_attribute_epsilon, rng=self._rng
+            )
+            reports.append(oracle.randomize_many(dataset.column(j)))
+        return MultidimReports(
+            solution=self.name,
+            protocol=self.protocol,
+            epsilon=self.epsilon,
+            domain=self.domain,
+            n=dataset.n,
+            per_attribute=reports,
+            extra={"per_attribute_epsilon": per_attribute_epsilon},
+        )
+
+    def estimate(self, reports: MultidimReports) -> list[FrequencyEstimate]:
+        per_attribute_epsilon = split_budget(self.epsilon, self.domain.d)
+        estimates = []
+        for j in range(self.domain.d):
+            oracle = make_protocol(
+                self.protocol, self.domain.size_of(j), per_attribute_epsilon, rng=self._rng
+            )
+            estimate = oracle.aggregate(reports.per_attribute[j], n=reports.n)
+            estimates.append(
+                FrequencyEstimate(
+                    estimates=estimate.estimates,
+                    attribute=self.domain[j].name,
+                    n=reports.n,
+                    metadata={**estimate.metadata, "solution": self.name},
+                )
+            )
+        return estimates

@@ -1,0 +1,159 @@
+"""Analytical variances of the RS+FD and RS+RFD estimators.
+
+Theorems 2 and 4 of the paper give, for both families, a variance of the form
+
+``Var[f_hat(v)] = d^2 * gamma * (1 - gamma) / (n (p - q)^2)``
+
+where ``gamma`` is the marginal probability that a report supports ``v``:
+
+* RS+FD[GRR]:    ``gamma = (q + f (p-q) + (d-1)/k) / d``
+* RS+FD[UE-z]:   ``gamma = (f (p-q) + q + (d-1) q) / d``
+* RS+FD[UE-r]:   ``gamma = (f (p-q) + q + (d-1)((p-q)/k + q)) / d``
+* RS+RFD[GRR]:   ``gamma = (q + f (p-q) + (d-1) f~) / d``           (Eq. 8)
+* RS+RFD[UE-r]:  ``gamma = (f (p-q) + q + (d-1)(f~ (p-q) + q)) / d``  (Eq. 9)
+
+These expressions drive the *analytical* curves of Fig. 16; the paper plots
+the approximate variance obtained by setting ``f = 0``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ..core.composition import amplified_epsilon, validate_epsilon
+from ..exceptions import InvalidParameterError
+
+
+def _grr_parameters(epsilon_prime: float, k: int) -> tuple[float, float]:
+    e = math.exp(epsilon_prime)
+    p = e / (e + k - 1)
+    return p, (1.0 - p) / (k - 1)
+
+
+def _ue_parameters(epsilon_prime: float, kind: str) -> tuple[float, float]:
+    kind = kind.upper()
+    if kind == "SUE":
+        half = math.exp(epsilon_prime / 2.0)
+        return half / (half + 1.0), 1.0 / (half + 1.0)
+    if kind == "OUE":
+        return 0.5, 1.0 / (math.exp(epsilon_prime) + 1.0)
+    raise InvalidParameterError(f"ue_kind must be 'SUE' or 'OUE', got {kind!r}")
+
+
+def _variance_from_gamma(gamma: float, d: int, n: int, p: float, q: float) -> float:
+    gamma = min(max(gamma, 0.0), 1.0)
+    return d * d * gamma * (1.0 - gamma) / (n * (p - q) ** 2)
+
+
+def rsfd_variance(
+    protocol: str,
+    epsilon: float,
+    k: int,
+    d: int,
+    n: int,
+    f: float = 0.0,
+    ue_kind: str = "OUE",
+) -> float:
+    """Approximate estimator variance of an RS+FD protocol for one value.
+
+    ``protocol`` is ``"grr"``, ``"ue-z"`` or ``"ue-r"``.
+    """
+    epsilon = validate_epsilon(epsilon)
+    if k < 2 or d < 2 or n <= 0:
+        raise InvalidParameterError("require k >= 2, d >= 2 and n > 0")
+    epsilon_prime = amplified_epsilon(epsilon, d)
+    protocol = protocol.lower()
+    if protocol == "grr":
+        p, q = _grr_parameters(epsilon_prime, k)
+        gamma = (q + f * (p - q) + (d - 1) / k) / d
+    elif protocol == "ue-z":
+        p, q = _ue_parameters(epsilon_prime, ue_kind)
+        gamma = (f * (p - q) + q + (d - 1) * q) / d
+    elif protocol == "ue-r":
+        p, q = _ue_parameters(epsilon_prime, ue_kind)
+        gamma = (f * (p - q) + q + (d - 1) * ((p - q) / k + q)) / d
+    else:
+        raise InvalidParameterError(
+            f"protocol must be 'grr', 'ue-z' or 'ue-r', got {protocol!r}"
+        )
+    return _variance_from_gamma(gamma, d, n, p, q)
+
+
+def rsrfd_variance(
+    protocol: str,
+    epsilon: float,
+    k: int,
+    d: int,
+    n: int,
+    prior_value: float,
+    f: float = 0.0,
+    ue_kind: str = "OUE",
+) -> float:
+    """Estimator variance of an RS+RFD protocol for one value (Eqs. 8-9).
+
+    ``prior_value`` is the prior probability ``f~_j(v)`` of the value whose
+    variance is evaluated.
+    """
+    epsilon = validate_epsilon(epsilon)
+    if k < 2 or d < 2 or n <= 0:
+        raise InvalidParameterError("require k >= 2, d >= 2 and n > 0")
+    if not 0.0 <= prior_value <= 1.0:
+        raise InvalidParameterError("prior_value must be in [0, 1]")
+    epsilon_prime = amplified_epsilon(epsilon, d)
+    protocol = protocol.lower()
+    if protocol == "grr":
+        p, q = _grr_parameters(epsilon_prime, k)
+        gamma = (q + f * (p - q) + (d - 1) * prior_value) / d
+    elif protocol == "ue-r":
+        p, q = _ue_parameters(epsilon_prime, ue_kind)
+        gamma = (f * (p - q) + q + (d - 1) * (prior_value * (p - q) + q)) / d
+    else:
+        raise InvalidParameterError(
+            f"protocol must be 'grr' or 'ue-r', got {protocol!r}"
+        )
+    return _variance_from_gamma(gamma, d, n, p, q)
+
+
+def averaged_analytical_variance(
+    solution: str,
+    protocol: str,
+    epsilon: float,
+    sizes: Sequence[int],
+    n: int,
+    priors: Sequence[np.ndarray] | None = None,
+    ue_kind: str = "OUE",
+) -> float:
+    """Average approximate variance over attributes and values.
+
+    This mirrors the paper's analytical ``MSE_avg`` curves (Fig. 16): for each
+    attribute ``j`` and value ``v``, evaluate the variance at ``f = 0`` and
+    average first over values, then over attributes.
+
+    ``solution`` is ``"rsfd"`` or ``"rsrfd"``; for RS+RFD the per-attribute
+    ``priors`` are required.
+    """
+    sizes = [int(k) for k in sizes]
+    d = len(sizes)
+    if d < 2:
+        raise InvalidParameterError("at least two attributes are required")
+    solution = solution.lower()
+    per_attribute = []
+    for j, k in enumerate(sizes):
+        if solution == "rsfd":
+            variance = rsfd_variance(protocol, epsilon, k, d, n, ue_kind=ue_kind)
+            per_attribute.append(variance)
+        elif solution == "rsrfd":
+            if priors is None:
+                raise InvalidParameterError("RS+RFD analytical variance needs priors")
+            prior = np.asarray(priors[j], dtype=float)
+            values = [
+                rsrfd_variance(protocol, epsilon, k, d, n, float(pv), ue_kind=ue_kind)
+                for pv in prior
+            ]
+            per_attribute.append(float(np.mean(values)))
+        else:
+            raise InvalidParameterError("solution must be 'rsfd' or 'rsrfd'")
+    return float(np.mean(per_attribute))

@@ -1,0 +1,51 @@
+"""Privacy substrates: Laplace mechanism, priors, PIE model, LDP checks."""
+
+from .laplace import laplace_mechanism, laplace_noise_scale, laplace_perturbed_histogram
+from .ldp import (
+    empirical_probability_ratio,
+    grr_style_ratio,
+    ldp_bound,
+    satisfies_ldp,
+    ue_style_ratio,
+)
+from .pie import (
+    PIEBudget,
+    alpha_for_bayes_error,
+    alpha_from_epsilon,
+    bayes_error_lower_bound,
+    epsilon_for_alpha,
+    pie_budget_for_attribute,
+)
+from .priors import (
+    INCORRECT_PRIORS,
+    correct_priors,
+    dirichlet_priors,
+    exponential_priors,
+    make_priors,
+    uniform_priors,
+    zipf_priors,
+)
+
+__all__ = [
+    "laplace_mechanism",
+    "laplace_noise_scale",
+    "laplace_perturbed_histogram",
+    "ldp_bound",
+    "grr_style_ratio",
+    "ue_style_ratio",
+    "satisfies_ldp",
+    "empirical_probability_ratio",
+    "PIEBudget",
+    "alpha_from_epsilon",
+    "bayes_error_lower_bound",
+    "alpha_for_bayes_error",
+    "epsilon_for_alpha",
+    "pie_budget_for_attribute",
+    "correct_priors",
+    "uniform_priors",
+    "dirichlet_priors",
+    "zipf_priors",
+    "exponential_priors",
+    "make_priors",
+    "INCORRECT_PRIORS",
+]

@@ -1,0 +1,67 @@
+"""LDP-definition helpers and verification utilities.
+
+These helpers make the ``epsilon``-LDP guarantee of Definition 1 checkable in
+tests: for the randomized-response style protocols implemented here, the
+worst-case output-probability ratio is determined by the ``p``/``q``
+parameters, and the empirical output distributions of two inputs can be
+compared directly on finite domains.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.composition import validate_epsilon
+from ..exceptions import InvalidParameterError
+
+
+def ldp_bound(epsilon: float) -> float:
+    """Maximum allowed probability ratio ``e^epsilon``."""
+    return math.exp(validate_epsilon(epsilon))
+
+
+def grr_style_ratio(p: float, q: float) -> float:
+    """Worst-case probability ratio of a GRR-style mechanism: ``p / q``."""
+    if not (0.0 < q <= p < 1.0 or (0.0 < q < 1.0 and p == 1.0)):
+        raise InvalidParameterError("require 0 < q <= p <= 1")
+    return p / q
+
+
+def ue_style_ratio(p: float, q: float) -> float:
+    """Worst-case probability ratio of a UE-style mechanism.
+
+    Each bit is independently reported, and two inputs differ in exactly two
+    bit positions, so the worst case ratio is ``p (1-q) / ((1-p) q)``.
+    """
+    if not (0.0 < p < 1.0 and 0.0 < q < 1.0):
+        raise InvalidParameterError("require p, q in (0, 1)")
+    return p * (1.0 - q) / ((1.0 - p) * q)
+
+
+def satisfies_ldp(ratio: float, epsilon: float, tolerance: float = 1e-9) -> bool:
+    """Check ``ratio <= e^epsilon`` up to a numerical tolerance."""
+    return ratio <= ldp_bound(epsilon) * (1.0 + tolerance)
+
+
+def empirical_probability_ratio(
+    outputs_a: np.ndarray, outputs_b: np.ndarray, num_outputs: int
+) -> float:
+    """Largest ratio between the empirical output distributions of two inputs.
+
+    Both output samples must be integer-coded in ``[0, num_outputs)``.  Only
+    outputs observed for both inputs contribute (the estimator is intended
+    for smoke-testing LDP mechanisms with many samples, not as a proof).
+    """
+    if num_outputs < 2:
+        raise InvalidParameterError("num_outputs must be >= 2")
+    histogram_a = np.bincount(np.asarray(outputs_a, dtype=np.int64), minlength=num_outputs)
+    histogram_b = np.bincount(np.asarray(outputs_b, dtype=np.int64), minlength=num_outputs)
+    freq_a = histogram_a / max(1, histogram_a.sum())
+    freq_b = histogram_b / max(1, histogram_b.sum())
+    mask = (freq_a > 0) & (freq_b > 0)
+    if not mask.any():
+        return math.inf
+    ratios = np.maximum(freq_a[mask] / freq_b[mask], freq_b[mask] / freq_a[mask])
+    return float(ratios.max())

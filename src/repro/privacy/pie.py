@@ -1,0 +1,116 @@
+"""PIE (Personal Information Entropy) privacy model (Appendix C).
+
+Murakami & Takahashi (2021) proposed a relaxation of LDP that directly
+bounds re-identification risk: an obfuscation mechanism provides
+``(U, alpha)``-PIE privacy if the mutual information between the user and
+the perturbed output is at most ``alpha`` bits.  The paper uses two results:
+
+* **Proposition 1** — an ``epsilon``-LDP mechanism provides
+  ``alpha = min(eps * log2(e), eps^2 * log2(e), log2(n), log2(k_j))``-PIE.
+* **Corollary 1** — under ``alpha``-PIE the Bayes error of re-identification
+  satisfies ``beta >= 1 - (alpha + 1) / log2(n)``.
+
+The appendix experiments parameterize privacy by the target Bayes error
+``beta_{U|S}``; this module provides the inversion ``beta -> alpha -> eps``
+and the rule that, when ``log2(k_j) <= alpha``, the value may be reported in
+the clear (no local randomizer is needed).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.composition import validate_epsilon
+from ..exceptions import InvalidParameterError
+
+_LOG2_E = math.log2(math.e)
+
+
+def alpha_from_epsilon(epsilon: float, n: int, k: int) -> float:
+    """Proposition 1: PIE bound ``alpha`` of an ``epsilon``-LDP mechanism."""
+    epsilon = validate_epsilon(epsilon)
+    if n < 2:
+        raise InvalidParameterError("n must be >= 2")
+    if k < 2:
+        raise InvalidParameterError("k must be >= 2")
+    return min(
+        epsilon * _LOG2_E,
+        epsilon * epsilon * _LOG2_E,
+        math.log2(n),
+        math.log2(k),
+    )
+
+
+def bayes_error_lower_bound(alpha: float, n: int) -> float:
+    """Corollary 1: ``beta >= 1 - (alpha + 1) / log2(n)`` (clipped to [0, 1])."""
+    if alpha < 0:
+        raise InvalidParameterError("alpha must be non-negative")
+    if n < 2:
+        raise InvalidParameterError("n must be >= 2")
+    return max(0.0, min(1.0, 1.0 - (alpha + 1.0) / math.log2(n)))
+
+
+def alpha_for_bayes_error(beta: float, n: int) -> float:
+    """Invert Corollary 1: the largest ``alpha`` ensuring Bayes error ``beta``.
+
+    ``alpha = (1 - beta) * log2(n) - 1`` (never negative).
+    """
+    if not 0.0 <= beta <= 1.0:
+        raise InvalidParameterError("beta must be in [0, 1]")
+    if n < 2:
+        raise InvalidParameterError("n must be >= 2")
+    return max(0.0, (1.0 - beta) * math.log2(n) - 1.0)
+
+
+def epsilon_for_alpha(alpha: float) -> float:
+    """Smallest LDP budget whose PIE bound reaches ``alpha`` (ignoring n, k).
+
+    Inverts ``min(eps, eps^2) * log2(e) = alpha``: for ``alpha * ln 2 >= 1``
+    the binding term is ``eps`` itself, otherwise ``eps^2``.
+    """
+    if alpha < 0:
+        raise InvalidParameterError("alpha must be non-negative")
+    if alpha == 0:
+        return 0.0
+    nat = alpha / _LOG2_E  # alpha expressed in nats
+    return nat if nat >= 1.0 else math.sqrt(nat)
+
+
+@dataclass(frozen=True)
+class PIEBudget:
+    """Privacy configuration of one attribute under the PIE model.
+
+    Attributes
+    ----------
+    alpha:
+        Target PIE bound in bits.
+    epsilon:
+        LDP budget to use when a randomizer is needed (0 when reporting in
+        the clear).
+    report_in_clear:
+        ``True`` when ``log2(k_j) <= alpha`` — per Murakami & Takahashi's
+        Proposition 9, no local randomizer is needed because the attribute's
+        entropy already satisfies the PIE bound.
+    """
+
+    alpha: float
+    epsilon: float
+    report_in_clear: bool
+
+
+def pie_budget_for_attribute(beta: float, n: int, k: int) -> PIEBudget:
+    """Privacy budget of one attribute for a target Bayes error ``beta``.
+
+    This is the procedure used by the appendix experiments (Figs. 12-13):
+    derive ``alpha`` from ``beta`` and ``n``; if the attribute's domain is
+    small enough (``log2(k) <= alpha``) report the raw value, otherwise run an
+    LDP protocol with ``epsilon = epsilon_for_alpha(alpha)``.
+    """
+    if k < 2:
+        raise InvalidParameterError("k must be >= 2")
+    alpha = alpha_for_bayes_error(beta, n)
+    if math.log2(k) <= alpha:
+        return PIEBudget(alpha=alpha, epsilon=0.0, report_in_clear=True)
+    epsilon = epsilon_for_alpha(alpha)
+    return PIEBudget(alpha=alpha, epsilon=epsilon, report_in_clear=False)

@@ -1,0 +1,143 @@
+"""Prior distributions used by the RS+RFD countermeasure.
+
+The RS+RFD solution generates realistic fake data from per-attribute prior
+distributions ``f~``.  The paper's experiments use:
+
+* **Correct** priors — the true frequencies perturbed with a central-DP
+  Laplace mechanism at ``epsilon = 0.1 / d`` per attribute (Sec. 5.2.1);
+* **Incorrect** priors — deliberately wrong distributions:
+
+  - ``DIR`` — a Dirichlet(1) draw (uniform over the simplex);
+  - ``ZIPF`` — the histogram of 100,000 Zipf(s = 1.01) samples folded into
+    ``k_j`` buckets;
+  - ``EXP`` — the histogram of 100,000 Exponential(λ = 1) samples folded into
+    ``k_j`` buckets.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..core.dataset import TabularDataset
+from ..core.rng import RngLike, ensure_rng
+from ..exceptions import InvalidParameterError
+from .laplace import laplace_perturbed_histogram
+
+#: Number of samples the paper draws to build ZIPF / EXP histogram priors.
+_HISTOGRAM_SAMPLES = 100_000
+
+
+def correct_priors(
+    dataset: TabularDataset,
+    total_epsilon: float = 0.1,
+    rng: RngLike = None,
+) -> list[np.ndarray]:
+    """"Correct" priors: Laplace-perturbed true frequencies.
+
+    The total central-DP budget ``total_epsilon`` is split evenly over the
+    ``d`` attributes, as in the paper (``epsilon = 0.1 / d``).
+    """
+    generator = ensure_rng(rng)
+    per_attribute = total_epsilon / dataset.d
+    return [
+        laplace_perturbed_histogram(
+            dataset.frequencies(j), per_attribute, dataset.n, rng=generator
+        )
+        for j in range(dataset.d)
+    ]
+
+
+def dirichlet_priors(sizes: Sequence[int], rng: RngLike = None) -> list[np.ndarray]:
+    """"Incorrect" DIR priors: independent Dirichlet(1) draws per attribute."""
+    generator = ensure_rng(rng)
+    return [generator.dirichlet(np.ones(int(k))) for k in _validated_sizes(sizes)]
+
+
+def zipf_priors(
+    sizes: Sequence[int], s: float = 1.01, rng: RngLike = None
+) -> list[np.ndarray]:
+    """"Incorrect" ZIPF priors: Zipf(s) samples folded into ``k_j`` buckets."""
+    if s <= 1.0:
+        raise InvalidParameterError("the Zipf exponent s must be > 1")
+    generator = ensure_rng(rng)
+    priors = []
+    for k in _validated_sizes(sizes):
+        samples = generator.zipf(s, size=_HISTOGRAM_SAMPLES)
+        priors.append(_histogram_prior(samples, k))
+    return priors
+
+
+def exponential_priors(
+    sizes: Sequence[int], rate: float = 1.0, rng: RngLike = None
+) -> list[np.ndarray]:
+    """"Incorrect" EXP priors: Exponential(rate) samples folded into buckets."""
+    if rate <= 0:
+        raise InvalidParameterError("rate must be positive")
+    generator = ensure_rng(rng)
+    priors = []
+    for k in _validated_sizes(sizes):
+        samples = generator.exponential(scale=1.0 / rate, size=_HISTOGRAM_SAMPLES)
+        priors.append(_histogram_prior(samples, k))
+    return priors
+
+
+def uniform_priors(sizes: Sequence[int]) -> list[np.ndarray]:
+    """Uniform priors (equivalent to the original RS+FD fake data)."""
+    return [np.full(int(k), 1.0 / int(k)) for k in _validated_sizes(sizes)]
+
+
+def _validated_sizes(sizes: Sequence[int]) -> list[int]:
+    sizes = [int(k) for k in sizes]
+    if not sizes or any(k < 2 for k in sizes):
+        raise InvalidParameterError("sizes must be non-empty with every k >= 2")
+    return sizes
+
+
+def _histogram_prior(samples: np.ndarray, k: int) -> np.ndarray:
+    """Fold continuous / unbounded samples into a ``k``-bucket histogram."""
+    samples = np.asarray(samples, dtype=float)
+    low, high = samples.min(), samples.max()
+    if high <= low:
+        return np.full(k, 1.0 / k)
+    counts, _ = np.histogram(samples, bins=k, range=(low, high))
+    counts = counts.astype(float)
+    # avoid exactly-zero probabilities so sampling stays well-defined
+    counts += 1e-9
+    return counts / counts.sum()
+
+
+#: Generators of "Incorrect" priors by the paper's names.
+INCORRECT_PRIORS: Mapping[str, Callable[..., list[np.ndarray]]] = {
+    "DIR": dirichlet_priors,
+    "ZIPF": zipf_priors,
+    "EXP": exponential_priors,
+}
+
+
+def make_priors(
+    kind: str,
+    dataset: TabularDataset,
+    rng: RngLike = None,
+    total_epsilon: float = 0.1,
+) -> list[np.ndarray]:
+    """Build priors of ``kind`` for ``dataset``.
+
+    ``kind`` is one of ``"exact"`` (the true frequencies, an idealized
+    best-case prior), ``"correct"`` (Laplace-perturbed true frequencies, as in
+    the paper), ``"uniform"``, ``"dir"``, ``"zipf"`` or ``"exp"``
+    (case-insensitive).
+    """
+    key = kind.strip().upper()
+    if key == "EXACT":
+        return dataset.all_frequencies()
+    if key == "CORRECT":
+        return correct_priors(dataset, total_epsilon=total_epsilon, rng=rng)
+    if key == "UNIFORM":
+        return uniform_priors(dataset.sizes)
+    if key in INCORRECT_PRIORS:
+        return INCORRECT_PRIORS[key](dataset.sizes, rng=rng)
+    raise InvalidParameterError(
+        f"unknown prior kind {kind!r}; expected exact/correct/uniform/dir/zipf/exp"
+    )

@@ -1,0 +1,60 @@
+"""LDP frequency-oracle protocols (GRR, OLH, ω-SS, SUE, OUE)."""
+
+from .analysis import (
+    ANALYTICAL_ACC,
+    acc_grr,
+    acc_olh,
+    acc_oue,
+    acc_ss,
+    acc_sue,
+    attacker_accuracy,
+    oracle_variance,
+    profiling_accuracy_non_uniform,
+    profiling_accuracy_uniform,
+)
+from .base import FrequencyOracle, empirical_attack_accuracy
+from .grr import GRR
+from .olh import OLH, optimal_hash_range, universal_hash
+from .postprocessing import (
+    POSTPROCESSORS,
+    clip_and_normalize,
+    norm_sub,
+    postprocess,
+    project_onto_simplex,
+)
+from .registry import PROTOCOLS, available_protocols, canonical_name, make_protocol
+from .ss import SubsetSelection, optimal_subset_size
+from .ue import OUE, SUE, UnaryEncoding
+
+__all__ = [
+    "FrequencyOracle",
+    "empirical_attack_accuracy",
+    "GRR",
+    "OLH",
+    "SubsetSelection",
+    "UnaryEncoding",
+    "SUE",
+    "OUE",
+    "optimal_hash_range",
+    "universal_hash",
+    "optimal_subset_size",
+    "PROTOCOLS",
+    "make_protocol",
+    "canonical_name",
+    "available_protocols",
+    "POSTPROCESSORS",
+    "postprocess",
+    "clip_and_normalize",
+    "norm_sub",
+    "project_onto_simplex",
+    "ANALYTICAL_ACC",
+    "attacker_accuracy",
+    "acc_grr",
+    "acc_olh",
+    "acc_ss",
+    "acc_sue",
+    "acc_oue",
+    "profiling_accuracy_uniform",
+    "profiling_accuracy_non_uniform",
+    "oracle_variance",
+]

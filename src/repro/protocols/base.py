@@ -1,0 +1,185 @@
+"""Abstract base class for LDP frequency-oracle protocols.
+
+A frequency oracle (Sec. 2.2 of the paper) is a pair of algorithms:
+
+* a **client-side randomizer** that perturbs one categorical value under
+  ``epsilon``-LDP, and
+* a **server-side aggregator** that, from ``n`` perturbed reports, produces an
+  unbiased estimate of the frequency of every value in the domain.
+
+On top of those two, this library attaches the **plausible-deniability
+attack** of Sec. 3.2.1: given a single report, predict the user's true value.
+All three faces (randomize / aggregate / attack) share the protocol's
+``p``/``q`` parameters, so they live on the same object.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from ..core.frequencies import FrequencyEstimate
+from ..core.rng import RngLike, ensure_rng
+from ..exceptions import EstimationError, InvalidParameterError
+from ..core.composition import validate_epsilon
+
+
+class FrequencyOracle(abc.ABC):
+    """Base class for the five LDP protocols (GRR, OLH, ω-SS, SUE, OUE).
+
+    Parameters
+    ----------
+    k:
+        Domain size of the attribute being collected (``k_j`` in the paper).
+    epsilon:
+        Privacy budget of each report.
+    rng:
+        Seed or generator used by the client-side randomizer and the attack.
+    """
+
+    #: short protocol identifier, e.g. ``"GRR"``.
+    name: str = "FO"
+
+    def __init__(self, k: int, epsilon: float, rng: RngLike = None) -> None:
+        if int(k) < 2:
+            raise InvalidParameterError(f"domain size k must be >= 2, got {k}")
+        self.k = int(k)
+        self.epsilon = validate_epsilon(epsilon)
+        self._rng = ensure_rng(rng)
+
+    # ------------------------------------------------------------------ #
+    # protocol parameters
+    # ------------------------------------------------------------------ #
+    @property
+    @abc.abstractmethod
+    def p(self) -> float:
+        """Probability of keeping the true value / bit (estimator ``p``)."""
+
+    @property
+    @abc.abstractmethod
+    def q(self) -> float:
+        """Probability of reporting any specific other value (estimator ``q``)."""
+
+    # ------------------------------------------------------------------ #
+    # client side
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def randomize(self, value: int) -> Any:
+        """Perturb one true value and return the protocol-specific report."""
+
+    def randomize_many(self, values: np.ndarray) -> Any:
+        """Vectorized perturbation of an array of true values.
+
+        The default implementation loops over :meth:`randomize`; concrete
+        protocols override it with a fully vectorized version.
+        """
+        values = np.asarray(values, dtype=np.int64)
+        return [self.randomize(int(v)) for v in values]
+
+    def _validate_value(self, value: int) -> int:
+        value = int(value)
+        if not 0 <= value < self.k:
+            raise InvalidParameterError(
+                f"value {value} outside domain [0, {self.k - 1}] for {self.name}"
+            )
+        return value
+
+    def _validate_values(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.int64)
+        if values.ndim != 1:
+            raise InvalidParameterError("values must be a 1-D array")
+        if values.size and (values.min() < 0 or values.max() >= self.k):
+            raise InvalidParameterError(
+                f"values outside domain [0, {self.k - 1}] for {self.name}"
+            )
+        return values
+
+    # ------------------------------------------------------------------ #
+    # server side
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def support_counts(self, reports: Any) -> np.ndarray:
+        """Number of reports supporting each value (the paper's ``C(v_i)``)."""
+
+    def aggregate(self, reports: Any, n: int | None = None) -> FrequencyEstimate:
+        """Unbiased frequency estimation from perturbed reports (Eq. 2).
+
+        ``f_hat(v) = (C(v) - n * q) / (n * (p - q))``.
+        """
+        counts = np.asarray(self.support_counts(reports), dtype=float)
+        if counts.shape != (self.k,):
+            raise EstimationError(
+                f"support counts have shape {counts.shape}, expected ({self.k},)"
+            )
+        total = int(n) if n is not None else int(self._num_reports(reports))
+        if total <= 0:
+            raise EstimationError("cannot aggregate zero reports")
+        estimates = (counts - total * self.q) / (total * (self.p - self.q))
+        return FrequencyEstimate(
+            estimates=estimates,
+            n=total,
+            metadata={"protocol": self.name, "epsilon": self.epsilon, "k": self.k},
+        )
+
+    def _num_reports(self, reports: Any) -> int:
+        return len(reports)
+
+    def estimator_variance(self, n: int, f: float = 0.0) -> float:
+        """Variance of the frequency estimator for a value of frequency ``f``.
+
+        ``Var[f_hat] = gamma * (1 - gamma) / (n * (p - q)^2)`` with
+        ``gamma = f*(p-q) + q``, which reduces to the usual
+        ``q(1-q)/(n (p-q)^2)`` approximation at ``f = 0``.
+        """
+        if n <= 0:
+            raise InvalidParameterError("n must be positive")
+        gamma = f * (self.p - self.q) + self.q
+        return gamma * (1.0 - gamma) / (n * (self.p - self.q) ** 2)
+
+    # ------------------------------------------------------------------ #
+    # plausible-deniability attack (Sec. 3.2.1)
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def attack(self, report: Any) -> int:
+        """Predict the user's true value from a single report."""
+
+    def attack_many(self, reports: Any) -> np.ndarray:
+        """Vectorized single-report attack; default loops over :meth:`attack`."""
+        return np.asarray([self.attack(r) for r in reports], dtype=np.int64)
+
+    @abc.abstractmethod
+    def expected_attack_accuracy(self) -> float:
+        """Closed-form expected accuracy of the attack (Sec. 3.2.1)."""
+
+    # ------------------------------------------------------------------ #
+    # misc
+    # ------------------------------------------------------------------ #
+    def describe(self) -> Mapping[str, object]:
+        """Dictionary description of the protocol configuration."""
+        return {
+            "protocol": self.name,
+            "k": self.k,
+            "epsilon": self.epsilon,
+            "p": self.p,
+            "q": self.q,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"{type(self).__name__}(k={self.k}, epsilon={self.epsilon:g})"
+
+
+def empirical_attack_accuracy(
+    oracle: FrequencyOracle, values: Sequence[int] | np.ndarray
+) -> float:
+    """Run the randomize→attack pipeline and return the attacker's ACC.
+
+    ``ACC_FO = (1/n) * sum 1[v_i == v_hat_i]`` (Sec. 3.2.1).
+    """
+    values = np.asarray(values, dtype=np.int64)
+    if values.size == 0:
+        raise InvalidParameterError("values must not be empty")
+    reports = oracle.randomize_many(values)
+    guesses = oracle.attack_many(reports)
+    return float(np.mean(guesses == values))

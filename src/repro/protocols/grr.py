@@ -1,0 +1,66 @@
+"""Generalized Randomized Response (GRR) protocol.
+
+GRR (Kairouz et al., 2016) extends Warner's randomized response to domains of
+size ``k >= 2``: the true value is reported with probability
+``p = e^eps / (e^eps + k - 1)`` and each other value with probability
+``q = 1 / (e^eps + k - 1)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .base import FrequencyOracle
+
+
+class GRR(FrequencyOracle):
+    """Generalized Randomized Response frequency oracle."""
+
+    name = "GRR"
+
+    @property
+    def p(self) -> float:
+        return math.exp(self.epsilon) / (math.exp(self.epsilon) + self.k - 1)
+
+    @property
+    def q(self) -> float:
+        return 1.0 / (math.exp(self.epsilon) + self.k - 1)
+
+    # -- client ------------------------------------------------------------
+    def randomize(self, value: int) -> int:
+        value = self._validate_value(value)
+        if self._rng.random() < self.p:
+            return value
+        # sample uniformly among the other k-1 values
+        other = int(self._rng.integers(0, self.k - 1))
+        return other if other < value else other + 1
+
+    def randomize_many(self, values: np.ndarray) -> np.ndarray:
+        values = self._validate_values(values)
+        n = values.size
+        keep = self._rng.random(n) < self.p
+        others = self._rng.integers(0, self.k - 1, size=n)
+        others = np.where(others < values, others, others + 1)
+        return np.where(keep, values, others).astype(np.int64)
+
+    # -- server ------------------------------------------------------------
+    def support_counts(self, reports: np.ndarray) -> np.ndarray:
+        reports = np.asarray(reports, dtype=np.int64)
+        return np.bincount(reports, minlength=self.k).astype(float)
+
+    def _num_reports(self, reports: np.ndarray) -> int:
+        return int(np.asarray(reports).shape[0])
+
+    # -- attack --------------------------------------------------------------
+    def attack(self, report: int) -> int:
+        # The reported value is the single most likely true value.
+        return int(report)
+
+    def attack_many(self, reports: np.ndarray) -> np.ndarray:
+        return np.asarray(reports, dtype=np.int64).copy()
+
+    def expected_attack_accuracy(self) -> float:
+        """``ACC_GRR = e^eps / (e^eps + k - 1)`` (Sec. 3.2.1)."""
+        return self.p

@@ -1,0 +1,156 @@
+"""Optimal Local Hashing (OLH) protocol.
+
+OLH (Wang et al., 2017) handles large domains by hashing the input value into
+a small domain ``[g]`` with a universal hash function chosen per user, and then
+applying GRR with domain size ``g`` on the hashed value.  The variance-optimal
+hash range is ``g = e^eps + 1`` (rounded, at least 2).
+
+The universal hash family used here is the classical Carter–Wegman family
+``H_{a,b}(x) = ((a x + b) mod P) mod g`` with a prime ``P`` larger than any
+domain size in practice.  Each report carries the pair ``(a, b)`` identifying
+the hash function and the perturbed hashed value.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.rng import RngLike
+from ..exceptions import InvalidParameterError
+from .base import FrequencyOracle
+
+#: Mersenne prime used by the Carter–Wegman universal hash family.  It is far
+#: larger than any categorical domain handled by this library while keeping
+#: ``a * x + b`` within int64 range for x < 2**31.
+HASH_PRIME = 2_147_483_647
+
+
+def optimal_hash_range(epsilon: float) -> int:
+    """Variance-optimal hash range ``g = max(2, round(e^eps) + 1)``."""
+    return max(2, int(round(math.exp(epsilon))) + 1)
+
+
+def universal_hash(values: np.ndarray, a: np.ndarray, b: np.ndarray, g: int) -> np.ndarray:
+    """Evaluate ``H_{a,b}(x) = ((a x + b) mod P) mod g`` element-wise.
+
+    ``values``, ``a`` and ``b`` broadcast against each other.
+    """
+    values = np.asarray(values, dtype=np.int64)
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    return ((a * values + b) % HASH_PRIME) % g
+
+
+class OLH(FrequencyOracle):
+    """Optimal Local Hashing frequency oracle.
+
+    Reports are ``(n, 3)`` int64 arrays with columns ``(a, b, y)`` where
+    ``(a, b)`` identify the user's hash function and ``y`` is the GRR-perturbed
+    hashed value in ``[0, g)``.
+    """
+
+    name = "OLH"
+
+    def __init__(self, k: int, epsilon: float, rng: RngLike = None, g: int | None = None) -> None:
+        super().__init__(k, epsilon, rng)
+        self.g = optimal_hash_range(self.epsilon) if g is None else int(g)
+        if self.g < 2:
+            raise InvalidParameterError(f"hash range g must be >= 2, got {self.g}")
+
+    # -- parameters ----------------------------------------------------------
+    @property
+    def p_hash(self) -> float:
+        """GRR keep probability in the hashed domain: ``e^eps / (e^eps + g - 1)``."""
+        return math.exp(self.epsilon) / (math.exp(self.epsilon) + self.g - 1)
+
+    @property
+    def q_hash(self) -> float:
+        """GRR flip probability in the hashed domain."""
+        return 1.0 / (math.exp(self.epsilon) + self.g - 1)
+
+    @property
+    def p(self) -> float:
+        # Estimator "p": probability a report supports the user's true value.
+        return self.p_hash
+
+    @property
+    def q(self) -> float:
+        # Estimator "q": probability a report supports any other fixed value,
+        # equal to 1/g for a universal hash family (Wang et al., 2017).
+        return 1.0 / self.g
+
+    # -- client ------------------------------------------------------------
+    def randomize(self, value: int) -> np.ndarray:
+        value = self._validate_value(value)
+        return self.randomize_many(np.asarray([value]))[0]
+
+    def randomize_many(self, values: np.ndarray) -> np.ndarray:
+        values = self._validate_values(values)
+        n = values.size
+        a = self._rng.integers(1, HASH_PRIME, size=n, dtype=np.int64)
+        b = self._rng.integers(0, HASH_PRIME, size=n, dtype=np.int64)
+        hashed = universal_hash(values, a, b, self.g)
+        keep = self._rng.random(n) < self.p_hash
+        others = self._rng.integers(0, self.g - 1, size=n)
+        others = np.where(others < hashed, others, others + 1)
+        perturbed = np.where(keep, hashed, others)
+        return np.column_stack([a, b, perturbed]).astype(np.int64)
+
+    # -- server ------------------------------------------------------------
+    def support_counts(self, reports: np.ndarray) -> np.ndarray:
+        reports = self._as_report_matrix(reports)
+        a, b, perturbed = reports[:, 0], reports[:, 1], reports[:, 2]
+        domain = np.arange(self.k, dtype=np.int64)
+        # hashed_all[i, v] = H_{a_i, b_i}(v); a report supports v iff it maps to
+        # the reported perturbed value.
+        hashed_all = universal_hash(domain[None, :], a[:, None], b[:, None], self.g)
+        supports = hashed_all == perturbed[:, None]
+        return supports.sum(axis=0).astype(float)
+
+    def _num_reports(self, reports: np.ndarray) -> int:
+        return int(self._as_report_matrix(reports).shape[0])
+
+    def _as_report_matrix(self, reports: np.ndarray) -> np.ndarray:
+        reports = np.asarray(reports, dtype=np.int64)
+        if reports.ndim == 1:
+            reports = reports.reshape(1, -1)
+        if reports.shape[1] != 3:
+            raise InvalidParameterError(
+                f"OLH reports must have 3 columns (a, b, y), got shape {reports.shape}"
+            )
+        return reports
+
+    # -- attack --------------------------------------------------------------
+    def attack(self, report: np.ndarray) -> int:
+        """Guess uniformly among the values hashing to the reported bucket."""
+        report = np.asarray(report, dtype=np.int64).ravel()
+        a, b, perturbed = report[0], report[1], report[2]
+        domain = np.arange(self.k, dtype=np.int64)
+        candidates = domain[universal_hash(domain, a, b, self.g) == perturbed]
+        if candidates.size == 0:
+            return int(self._rng.integers(0, self.k))
+        return int(self._rng.choice(candidates))
+
+    def attack_many(self, reports: np.ndarray) -> np.ndarray:
+        reports = self._as_report_matrix(reports)
+        a, b, perturbed = reports[:, 0], reports[:, 1], reports[:, 2]
+        domain = np.arange(self.k, dtype=np.int64)
+        hashed_all = universal_hash(domain[None, :], a[:, None], b[:, None], self.g)
+        supports = hashed_all == perturbed[:, None]
+        counts = supports.sum(axis=1)
+        n = reports.shape[0]
+        guesses = np.empty(n, dtype=np.int64)
+        empty_mask = counts == 0
+        guesses[empty_mask] = self._rng.integers(0, self.k, size=int(empty_mask.sum()))
+        rows = np.flatnonzero(~empty_mask)
+        if rows.size:
+            ranks = (self._rng.random(rows.size) * counts[rows]).astype(np.int64)
+            cumulative = np.cumsum(supports[rows], axis=1)
+            guesses[rows] = np.argmax(cumulative > ranks[:, None], axis=1)
+        return guesses
+
+    def expected_attack_accuracy(self) -> float:
+        """Paper's closed form ``ACC_OLH = 1 / (2 * max(k / (e^eps + 1), 1))``."""
+        return 1.0 / (2.0 * max(self.k / (math.exp(self.epsilon) + 1.0), 1.0))

@@ -1,0 +1,107 @@
+"""Post-processing (consistency) of LDP frequency estimates.
+
+The unbiased estimators of every frequency oracle can return values below
+zero or above one, and the per-attribute estimates need not sum to one.
+Post-processing restores consistency without touching the privacy guarantee
+(immunity to post-processing).  Three standard methods are provided, in
+increasing order of statistical quality (Wang et al., NDSS 2020):
+
+* ``clip_and_normalize`` — clip to ``[0, 1]`` and rescale;
+* ``norm_sub`` — iteratively shift the positive entries down (and zero the
+  negative ones) so the result sums to one; the estimator used by most LDP
+  follow-up work;
+* ``project_onto_simplex`` — Euclidean projection onto the probability
+  simplex (the minimum-L2 consistent estimate).
+
+The attribute-inference attack uses consistent estimates to sample synthetic
+profiles, and any downstream consumer of
+:class:`~repro.core.frequencies.FrequencyEstimate` can apply these helpers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.frequencies import FrequencyEstimate
+from ..exceptions import InvalidParameterError
+
+
+def _as_vector(estimates: np.ndarray | FrequencyEstimate) -> np.ndarray:
+    if isinstance(estimates, FrequencyEstimate):
+        values = estimates.as_array()
+    else:
+        values = np.asarray(estimates, dtype=float).copy()
+    if values.ndim != 1 or values.size == 0:
+        raise InvalidParameterError("estimates must be a non-empty 1-D array")
+    if not np.isfinite(values).all():
+        raise InvalidParameterError("estimates contain non-finite values")
+    return values
+
+
+def clip_and_normalize(estimates: np.ndarray | FrequencyEstimate) -> np.ndarray:
+    """Clip to non-negative values and rescale to sum to one."""
+    values = np.clip(_as_vector(estimates), 0.0, None)
+    total = values.sum()
+    if total <= 0.0:
+        return np.full(values.size, 1.0 / values.size)
+    return values / total
+
+
+def norm_sub(estimates: np.ndarray | FrequencyEstimate, max_iterations: int = 1000) -> np.ndarray:
+    """Norm-Sub consistency: zero out negatives, shift the rest to sum to one.
+
+    Repeatedly sets negative entries to zero and subtracts the same constant
+    from every positive entry so the total equals one; converges in at most
+    ``k`` iterations.
+    """
+    values = _as_vector(estimates)
+    for _ in range(max_iterations):
+        values = np.clip(values, 0.0, None)
+        positive = values > 0.0
+        count = int(positive.sum())
+        if count == 0:
+            return np.full(values.size, 1.0 / values.size)
+        shift = (values.sum() - 1.0) / count
+        values[positive] -= shift
+        if (values >= -1e-12).all():
+            break
+    values = np.clip(values, 0.0, None)
+    total = values.sum()
+    return values / total if total > 0 else np.full(values.size, 1.0 / values.size)
+
+
+def project_onto_simplex(estimates: np.ndarray | FrequencyEstimate) -> np.ndarray:
+    """Euclidean projection onto the probability simplex.
+
+    Implements the classical sorting-based algorithm (Duchi et al., 2008):
+    the projection is ``max(v - theta, 0)`` with ``theta`` chosen so the
+    result sums to one.
+    """
+    values = _as_vector(estimates)
+    sorted_desc = np.sort(values)[::-1]
+    cumulative = np.cumsum(sorted_desc) - 1.0
+    indices = np.arange(1, values.size + 1)
+    rho_candidates = sorted_desc - cumulative / indices > 0
+    if not rho_candidates.any():
+        return np.full(values.size, 1.0 / values.size)
+    rho = int(np.nonzero(rho_candidates)[0][-1])
+    theta = cumulative[rho] / (rho + 1)
+    return np.clip(values - theta, 0.0, None)
+
+
+#: Available post-processing methods by name.
+POSTPROCESSORS = {
+    "clip": clip_and_normalize,
+    "norm-sub": norm_sub,
+    "simplex": project_onto_simplex,
+}
+
+
+def postprocess(estimates: np.ndarray | FrequencyEstimate, method: str = "norm-sub") -> np.ndarray:
+    """Apply the post-processing ``method`` (``"clip"``, ``"norm-sub"`` or ``"simplex"``)."""
+    key = method.strip().lower().replace("_", "-")
+    if key not in POSTPROCESSORS:
+        raise InvalidParameterError(
+            f"unknown post-processing method {method!r}; expected one of {sorted(POSTPROCESSORS)}"
+        )
+    return POSTPROCESSORS[key](estimates)

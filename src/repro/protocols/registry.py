@@ -1,0 +1,71 @@
+"""Protocol registry: build frequency oracles by name.
+
+The experiment harness refers to protocols by the short names used in the
+paper (``"GRR"``, ``"OLH"``, ``"SS"``, ``"SUE"``, ``"OUE"``); this module maps
+those names to the concrete classes and provides a single factory function.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Type
+
+from ..core.rng import RngLike
+from ..exceptions import InvalidParameterError
+from .base import FrequencyOracle
+from .grr import GRR
+from .olh import OLH
+from .ss import SubsetSelection
+from .ue import OUE, SUE
+
+#: All frequency-oracle protocols evaluated in the paper, by canonical name.
+PROTOCOLS: Mapping[str, Type[FrequencyOracle]] = {
+    "GRR": GRR,
+    "OLH": OLH,
+    "SS": SubsetSelection,
+    "SUE": SUE,
+    "OUE": OUE,
+}
+
+#: Aliases accepted by :func:`make_protocol`.
+_ALIASES: Mapping[str, str] = {
+    "GRR": "GRR",
+    "RR": "GRR",
+    "OLH": "OLH",
+    "LH": "OLH",
+    "SS": "SS",
+    "W-SS": "SS",
+    "OMEGA-SS": "SS",
+    "SUBSET": "SS",
+    "SUE": "SUE",
+    "RAPPOR": "SUE",
+    "OUE": "OUE",
+    "UE": "OUE",
+}
+
+
+def canonical_name(name: str) -> str:
+    """Resolve a protocol alias to its canonical name."""
+    key = name.strip().upper().replace("_", "-")
+    if key not in _ALIASES:
+        raise InvalidParameterError(
+            f"unknown protocol {name!r}; expected one of {sorted(set(_ALIASES))}"
+        )
+    return _ALIASES[key]
+
+
+def make_protocol(name: str, k: int, epsilon: float, rng: RngLike = None) -> FrequencyOracle:
+    """Instantiate the frequency oracle ``name`` for domain size ``k``.
+
+    Examples
+    --------
+    >>> oracle = make_protocol("GRR", k=10, epsilon=1.0, rng=42)
+    >>> oracle.name
+    'GRR'
+    """
+    cls = PROTOCOLS[canonical_name(name)]
+    return cls(k=k, epsilon=epsilon, rng=rng)
+
+
+def available_protocols() -> tuple[str, ...]:
+    """Canonical names of all registered protocols."""
+    return tuple(PROTOCOLS)

@@ -1,0 +1,133 @@
+"""ω-Subset Selection (SS) protocol.
+
+The ω-SS protocol (Wang et al., 2016; Ye & Barg, 2018) reports a subset
+``Ω ⊆ A_j`` of fixed size ``ω``: the true value is placed in the subset with
+probability ``p = ω e^eps / (ω e^eps + k − ω)`` and the remaining slots are
+filled uniformly at random without replacement.  The variance-optimal subset
+size is ``ω = k / (e^eps + 1)`` (rounded, at least 1).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.rng import RngLike
+from ..exceptions import InvalidParameterError
+from .base import FrequencyOracle
+
+
+def optimal_subset_size(k: int, epsilon: float) -> int:
+    """Variance-optimal subset size ``ω = max(1, round(k / (e^eps + 1)))``."""
+    if k < 2:
+        raise InvalidParameterError("k must be >= 2")
+    return max(1, int(round(k / (math.exp(epsilon) + 1.0))))
+
+
+class SubsetSelection(FrequencyOracle):
+    """ω-Subset Selection frequency oracle.
+
+    Parameters
+    ----------
+    k, epsilon, rng:
+        As for every :class:`~repro.protocols.base.FrequencyOracle`.
+    omega:
+        Subset size; defaults to the variance-optimal value.
+    """
+
+    name = "SS"
+
+    def __init__(self, k: int, epsilon: float, rng: RngLike = None, omega: int | None = None) -> None:
+        super().__init__(k, epsilon, rng)
+        self.omega = optimal_subset_size(self.k, self.epsilon) if omega is None else int(omega)
+        if not 1 <= self.omega <= self.k:
+            raise InvalidParameterError(
+                f"omega must be in [1, {self.k}], got {self.omega}"
+            )
+
+    # -- parameters ----------------------------------------------------------
+    @property
+    def true_inclusion_probability(self) -> float:
+        """Probability ``p`` that the true value is included in the subset."""
+        omega, k = self.omega, self.k
+        e = math.exp(self.epsilon)
+        return omega * e / (omega * e + k - omega)
+
+    @property
+    def p(self) -> float:
+        # Estimator "p" = Pr[value v is reported | user's value is v].
+        return self.true_inclusion_probability
+
+    @property
+    def q(self) -> float:
+        # Estimator "q" = Pr[value v is reported | user's value is not v]
+        # (Wang et al., 2016, Eq. for omega-SS).
+        omega, k = self.omega, self.k
+        e = math.exp(self.epsilon)
+        return (omega * e * (omega - 1) + (k - omega) * omega) / (
+            (k - 1) * (omega * e + k - omega)
+        )
+
+    # -- client ------------------------------------------------------------
+    def randomize(self, value: int) -> np.ndarray:
+        value = self._validate_value(value)
+        return self.randomize_many(np.asarray([value]))[0]
+
+    def randomize_many(self, values: np.ndarray) -> np.ndarray:
+        """Return an ``(n, ω)`` array whose rows are the reported subsets."""
+        values = self._validate_values(values)
+        n = values.size
+        include_true = self._rng.random(n) < self.true_inclusion_probability
+        reports = np.empty((n, self.omega), dtype=np.int64)
+        # The loop is over users; each row needs a without-replacement draw
+        # from the k-1 other values, which numpy cannot batch directly.
+        for i in range(n):
+            true_value = values[i]
+            if include_true[i]:
+                fill = self._sample_others(true_value, self.omega - 1)
+                reports[i, 0] = true_value
+                reports[i, 1:] = fill
+            else:
+                reports[i, :] = self._sample_others(true_value, self.omega)
+        return reports
+
+    def _sample_others(self, excluded: int, count: int) -> np.ndarray:
+        """Sample ``count`` values uniformly without replacement from A \\ {excluded}."""
+        if count == 0:
+            return np.empty(0, dtype=np.int64)
+        draw = self._rng.choice(self.k - 1, size=count, replace=False)
+        return np.where(draw < excluded, draw, draw + 1).astype(np.int64)
+
+    # -- server ------------------------------------------------------------
+    def support_counts(self, reports: np.ndarray) -> np.ndarray:
+        reports = np.asarray(reports, dtype=np.int64)
+        if reports.ndim == 1:
+            reports = reports.reshape(1, -1)
+        return np.bincount(reports.ravel(), minlength=self.k).astype(float)
+
+    def _num_reports(self, reports: np.ndarray) -> int:
+        reports = np.asarray(reports)
+        return 1 if reports.ndim == 1 else int(reports.shape[0])
+
+    # -- attack --------------------------------------------------------------
+    def attack(self, report: np.ndarray) -> int:
+        """Guess uniformly among the reported subset (Sec. 3.2.1)."""
+        report = np.asarray(report, dtype=np.int64).ravel()
+        return int(self._rng.choice(report))
+
+    def attack_many(self, reports: np.ndarray) -> np.ndarray:
+        reports = np.asarray(reports, dtype=np.int64)
+        if reports.ndim == 1:
+            reports = reports.reshape(1, -1)
+        picks = self._rng.integers(0, reports.shape[1], size=reports.shape[0])
+        return reports[np.arange(reports.shape[0]), picks]
+
+    def expected_attack_accuracy(self) -> float:
+        """``ACC = p / ω`` — the true value is in the subset with probability
+        ``p`` and the attacker then selects it with probability ``1/ω``.
+
+        With the optimal ``ω = k / (e^eps + 1)`` this reduces to the paper's
+        ``(e^eps + 1) / (2 k)`` expression.
+        """
+        return self.true_inclusion_probability / self.omega

@@ -1,0 +1,194 @@
+"""Unary-encoding protocols: SUE (Basic One-time RAPPOR) and OUE.
+
+Unary-encoding (UE) protocols one-hot encode the user's value into a
+``k``-bit vector ``B`` and flip each bit independently:
+
+* ``Pr[B'_i = 1 | B_i = 1] = p``
+* ``Pr[B'_i = 1 | B_i = 0] = q``
+
+Two parameterizations are studied by the paper:
+
+* **SUE** (symmetric UE, a.k.a. Basic One-time RAPPOR):
+  ``p = e^{eps/2} / (e^{eps/2} + 1)``, ``q = 1 - p``.
+* **OUE** (optimized UE): ``p = 1/2``, ``q = 1 / (e^eps + 1)``.
+
+Both satisfy ``eps``-LDP with ``eps = ln(p (1-q) / ((1-p) q))``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy.stats import binom
+
+from ..core.rng import RngLike
+from .base import FrequencyOracle
+
+
+class UnaryEncoding(FrequencyOracle):
+    """Generic unary-encoding protocol with arbitrary ``(p, q)``.
+
+    Subclasses fix ``(p, q)`` from ``epsilon``; this class also supports the
+    fake-data generation modes used by RS+FD (perturbing zero vectors or
+    uniformly random one-hot vectors).
+    """
+
+    name = "UE"
+
+    def __init__(self, k: int, epsilon: float, rng: RngLike = None) -> None:
+        super().__init__(k, epsilon, rng)
+
+    # -- parameters (overridden) --------------------------------------------
+    @property
+    def p(self) -> float:  # pragma: no cover - abstract-ish, overridden
+        raise NotImplementedError
+
+    @property
+    def q(self) -> float:  # pragma: no cover - abstract-ish, overridden
+        raise NotImplementedError
+
+    @property
+    def effective_epsilon(self) -> float:
+        """``ln(p(1-q) / ((1-p)q))`` — the budget actually guaranteed."""
+        return math.log(self.p * (1.0 - self.q) / ((1.0 - self.p) * self.q))
+
+    # -- encoding ------------------------------------------------------------
+    def encode(self, value: int) -> np.ndarray:
+        """One-hot encode ``value`` into a ``k``-bit vector."""
+        value = self._validate_value(value)
+        vector = np.zeros(self.k, dtype=np.uint8)
+        vector[value] = 1
+        return vector
+
+    def _perturb_bits(self, bits: np.ndarray) -> np.ndarray:
+        """Flip a (n, k) or (k,) bit matrix with probabilities ``p``/``q``."""
+        bits = np.asarray(bits, dtype=np.uint8)
+        rand = self._rng.random(bits.shape)
+        keep_one = rand < self.p
+        flip_zero = rand < self.q
+        return np.where(bits == 1, keep_one, flip_zero).astype(np.uint8)
+
+    # -- client ------------------------------------------------------------
+    def randomize(self, value: int) -> np.ndarray:
+        return self._perturb_bits(self.encode(value))
+
+    def randomize_many(self, values: np.ndarray) -> np.ndarray:
+        values = self._validate_values(values)
+        bits = np.zeros((values.size, self.k), dtype=np.uint8)
+        bits[np.arange(values.size), values] = 1
+        return self._perturb_bits(bits)
+
+    def randomize_zero_vector(self, count: int = 1) -> np.ndarray:
+        """Perturb ``count`` all-zero vectors (RS+FD[UE-z] fake data)."""
+        bits = np.zeros((count, self.k), dtype=np.uint8)
+        return self._perturb_bits(bits)
+
+    def randomize_random_onehot(self, count: int = 1, priors: np.ndarray | None = None) -> np.ndarray:
+        """Perturb ``count`` random one-hot vectors (RS+FD/RS+RFD [UE-r] fake data).
+
+        Values are drawn uniformly when ``priors`` is ``None``, otherwise
+        following the supplied distribution (RS+RFD realistic fake data).
+        """
+        if priors is None:
+            values = self._rng.integers(0, self.k, size=count)
+        else:
+            priors = np.asarray(priors, dtype=float)
+            priors = priors / priors.sum()
+            values = self._rng.choice(self.k, size=count, p=priors)
+        bits = np.zeros((count, self.k), dtype=np.uint8)
+        bits[np.arange(count), values] = 1
+        return self._perturb_bits(bits)
+
+    # -- server ------------------------------------------------------------
+    def support_counts(self, reports: np.ndarray) -> np.ndarray:
+        reports = np.asarray(reports)
+        if reports.ndim == 1:
+            reports = reports.reshape(1, -1)
+        return reports.sum(axis=0).astype(float)
+
+    def _num_reports(self, reports: np.ndarray) -> int:
+        reports = np.asarray(reports)
+        return 1 if reports.ndim == 1 else int(reports.shape[0])
+
+    # -- attack --------------------------------------------------------------
+    def attack(self, report: np.ndarray) -> int:
+        """Plausible-deniability attack on one sanitized bit vector.
+
+        * exactly one bit set → predict that bit;
+        * several bits set → predict uniformly among them;
+        * no bit set → predict uniformly over the domain.
+        """
+        report = np.asarray(report).ravel()
+        ones = np.flatnonzero(report == 1)
+        if ones.size == 1:
+            return int(ones[0])
+        if ones.size > 1:
+            return int(self._rng.choice(ones))
+        return int(self._rng.integers(0, self.k))
+
+    def attack_many(self, reports: np.ndarray) -> np.ndarray:
+        reports = np.asarray(reports)
+        if reports.ndim == 1:
+            reports = reports.reshape(1, -1)
+        n = reports.shape[0]
+        counts = reports.sum(axis=1)
+        guesses = np.empty(n, dtype=np.int64)
+        # no bits set: uniform over the domain
+        none_mask = counts == 0
+        guesses[none_mask] = self._rng.integers(0, self.k, size=int(none_mask.sum()))
+        # at least one bit set: uniform among the set bits, vectorized by
+        # picking a random rank and taking the corresponding set-bit index
+        some_mask = ~none_mask
+        if some_mask.any():
+            rows = np.flatnonzero(some_mask)
+            ranks = (self._rng.random(rows.size) * counts[rows]).astype(np.int64)
+            cumulative = np.cumsum(reports[rows], axis=1)
+            guesses[rows] = np.argmax(cumulative > ranks[:, None], axis=1)
+        return guesses
+
+    def expected_attack_accuracy(self) -> float:
+        """Closed-form expected attack accuracy for a generic UE protocol.
+
+        With true bit kept with probability ``p`` and the ``k - 1`` other bits
+        turned on independently with probability ``q``:
+
+        * no bit set: ``(1-p) (1-q)^{k-1}`` and a uniform guess ``1/k``;
+        * true bit set and ``i-1`` extra bits set: ``p * Bin(i-1; k-1, q)``
+          with a uniform guess among the ``i`` set bits.
+        """
+        k, p, q = self.k, self.p, self.q
+        accuracy = (1.0 - p) * (1.0 - q) ** (k - 1) / k
+        i = np.arange(1, k + 1)
+        accuracy += float(np.sum((p / i) * binom.pmf(i - 1, k - 1, q)))
+        return accuracy
+
+
+class SUE(UnaryEncoding):
+    """Symmetric Unary Encoding (Basic One-time RAPPOR)."""
+
+    name = "SUE"
+
+    @property
+    def p(self) -> float:
+        half = math.exp(self.epsilon / 2.0)
+        return half / (half + 1.0)
+
+    @property
+    def q(self) -> float:
+        half = math.exp(self.epsilon / 2.0)
+        return 1.0 / (half + 1.0)
+
+
+class OUE(UnaryEncoding):
+    """Optimized Unary Encoding (Wang et al., 2017)."""
+
+    name = "OUE"
+
+    @property
+    def p(self) -> float:
+        return 0.5
+
+    @property
+    def q(self) -> float:
+        return 1.0 / (math.exp(self.epsilon) + 1.0)

@@ -1,0 +1,118 @@
+"""Tests for the attribute-inference attack on RS+FD / RS+RFD."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.attribute_inference import AttributeInferenceAttack
+from repro.exceptions import InvalidParameterError
+from repro.ml.naive_bayes import BernoulliNaiveBayes
+from repro.multidim.rsfd import RSFD
+from repro.multidim.rsrfd import RSRFD
+from repro.multidim.smp import SMP
+
+
+@pytest.fixture
+def skewed_dataset(small_domain, rng):
+    from repro.core.dataset import TabularDataset
+
+    n = 800
+    columns = []
+    for attr in small_domain:
+        weights = np.arange(attr.size, 0, -1, dtype=float) ** 2
+        weights /= weights.sum()
+        columns.append(rng.choice(attr.size, size=n, p=weights))
+    return TabularDataset.from_columns(columns, small_domain, name="skewed")
+
+
+def fast_classifier():
+    return BernoulliNaiveBayes()
+
+
+class TestConstruction:
+    def test_rejects_non_rsfd_solution(self, small_dataset):
+        smp = SMP(small_dataset.domain, 1.0, rng=0)
+        with pytest.raises(InvalidParameterError):
+            AttributeInferenceAttack(smp)
+
+
+class TestAttackModels:
+    def test_nk_returns_predictions_for_all_users(self, skewed_dataset):
+        solution = RSFD(skewed_dataset.domain, 4.0, variant="ue-z", ue_kind="SUE", rng=0)
+        reports = solution.collect(skewed_dataset)
+        attack = AttributeInferenceAttack(solution, classifier_factory=fast_classifier, rng=1)
+        result = attack.no_knowledge(reports, synthetic_factor=1.0)
+        assert result.model == "NK"
+        assert result.predictions.shape == (skewed_dataset.n,)
+        assert result.baseline == pytest.approx(1.0 / skewed_dataset.d)
+        assert 0.0 <= result.accuracy <= 1.0
+
+    def test_ue_z_fake_data_is_easily_detected(self, skewed_dataset):
+        # RS+FD[SUE-z] at high epsilon leaks the sampled attribute (Sec. 4.3)
+        solution = RSFD(skewed_dataset.domain, 8.0, variant="ue-z", ue_kind="SUE", rng=0)
+        reports = solution.collect(skewed_dataset)
+        attack = AttributeInferenceAttack(solution, classifier_factory=fast_classifier, rng=1)
+        result = attack.no_knowledge(reports, synthetic_factor=1.0)
+        assert result.accuracy > 2 * result.baseline
+
+    def test_pk_uses_compromised_profiles(self, skewed_dataset):
+        solution = RSFD(skewed_dataset.domain, 6.0, variant="ue-z", ue_kind="OUE", rng=0)
+        reports = solution.collect(skewed_dataset)
+        attack = AttributeInferenceAttack(solution, classifier_factory=fast_classifier, rng=1)
+        result = attack.partial_knowledge(reports, compromised_fraction=0.3)
+        assert result.model == "PK"
+        # test users exclude the compromised ones
+        assert result.test_indices.shape[0] == skewed_dataset.n - round(0.3 * skewed_dataset.n)
+        assert result.accuracy > result.baseline
+
+    def test_hybrid_combines_sources(self, skewed_dataset):
+        solution = RSFD(skewed_dataset.domain, 6.0, variant="ue-z", ue_kind="OUE", rng=0)
+        reports = solution.collect(skewed_dataset)
+        attack = AttributeInferenceAttack(solution, classifier_factory=fast_classifier, rng=1)
+        result = attack.hybrid(reports, synthetic_factor=1.0, compromised_fraction=0.1)
+        assert result.model == "HM"
+        assert result.accuracy > result.baseline
+
+    def test_run_dispatch(self, skewed_dataset):
+        solution = RSFD(skewed_dataset.domain, 4.0, variant="grr", rng=0)
+        reports = solution.collect(skewed_dataset)
+        attack = AttributeInferenceAttack(solution, classifier_factory=fast_classifier, rng=1)
+        assert attack.run("nk", reports, synthetic_factor=0.5).model == "NK"
+        with pytest.raises(InvalidParameterError):
+            attack.run("zz", reports)
+
+    def test_invalid_fractions_rejected(self, skewed_dataset):
+        solution = RSFD(skewed_dataset.domain, 4.0, variant="grr", rng=0)
+        reports = solution.collect(skewed_dataset)
+        attack = AttributeInferenceAttack(solution, classifier_factory=fast_classifier, rng=1)
+        with pytest.raises(InvalidParameterError):
+            attack.partial_knowledge(reports, compromised_fraction=0.0)
+        with pytest.raises(InvalidParameterError):
+            attack.partial_knowledge(reports, compromised_fraction=1.0)
+        with pytest.raises(InvalidParameterError):
+            attack.no_knowledge(reports, synthetic_factor=0.0)
+
+
+class TestCountermeasure:
+    def test_rsrfd_reduces_aif_accuracy_vs_rsfd_ue_z(self, skewed_dataset):
+        """The countermeasure's headline privacy claim (Fig. 6 vs Fig. 3)."""
+        epsilon = 8.0
+        rsfd = RSFD(skewed_dataset.domain, epsilon, variant="ue-z", ue_kind="SUE", rng=0)
+        rsfd_reports = rsfd.collect(skewed_dataset)
+        rsfd_attack = AttributeInferenceAttack(rsfd, classifier_factory=fast_classifier, rng=1)
+        rsfd_accuracy = rsfd_attack.no_knowledge(rsfd_reports, 1.0).accuracy
+
+        priors = skewed_dataset.all_frequencies()
+        rsrfd = RSRFD(skewed_dataset.domain, epsilon, priors, variant="ue-r", ue_kind="SUE", rng=0)
+        rsrfd_reports = rsrfd.collect(skewed_dataset)
+        rsrfd_attack = AttributeInferenceAttack(rsrfd, classifier_factory=fast_classifier, rng=1)
+        rsrfd_accuracy = rsrfd_attack.no_knowledge(rsrfd_reports, 1.0).accuracy
+
+        assert rsrfd_accuracy < rsfd_accuracy
+
+    def test_predict_sampled_attribute_shape(self, skewed_dataset):
+        solution = RSFD(skewed_dataset.domain, 4.0, variant="grr", rng=0)
+        reports = solution.collect(skewed_dataset)
+        attack = AttributeInferenceAttack(solution, classifier_factory=fast_classifier, rng=1)
+        predictions = attack.predict_sampled_attribute(reports, synthetic_factor=0.5)
+        assert predictions.shape == (skewed_dataset.n,)
+        assert set(np.unique(predictions)) <= set(range(skewed_dataset.d))

@@ -1,0 +1,46 @@
+"""Tests for the random-guess baselines."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.baselines import (
+    empirical_random_attribute_guess,
+    empirical_random_reidentification,
+    random_attribute_baseline,
+    random_reidentification_baseline,
+    random_value_baseline,
+)
+from repro.exceptions import InvalidParameterError
+
+
+class TestAnalyticalBaselines:
+    def test_value_baseline(self):
+        assert random_value_baseline(4) == 0.25
+        with pytest.raises(InvalidParameterError):
+            random_value_baseline(1)
+
+    def test_attribute_baseline(self):
+        assert random_attribute_baseline(10) == pytest.approx(0.1)
+        with pytest.raises(InvalidParameterError):
+            random_attribute_baseline(1)
+
+    def test_reidentification_baseline(self):
+        assert random_reidentification_baseline(1000, top_k=10) == pytest.approx(0.01)
+        assert random_reidentification_baseline(5, top_k=10) == 1.0
+        with pytest.raises(InvalidParameterError):
+            random_reidentification_baseline(0)
+
+
+class TestEmpiricalBaselines:
+    def test_attribute_guess_close_to_analytical(self):
+        truth = np.random.default_rng(0).integers(0, 8, size=20000)
+        empirical = empirical_random_attribute_guess(truth, 8, rng=1)
+        assert empirical == pytest.approx(1 / 8, abs=0.01)
+
+    def test_reidentification_close_to_analytical(self):
+        empirical = empirical_random_reidentification(500, top_k=10, rng=0)
+        assert empirical == pytest.approx(10 / 500, abs=0.02)
+
+    def test_empty_truth_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            empirical_random_attribute_guess(np.array([]), 5)

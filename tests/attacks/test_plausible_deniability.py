@@ -1,0 +1,72 @@
+"""Tests for the plausible-deniability attack module."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.plausible_deniability import (
+    expected_profiling_accuracy,
+    expected_single_report_accuracy,
+    profiling_accuracy_curve,
+    single_report_attack_accuracy,
+)
+from repro.exceptions import InvalidParameterError
+
+
+class TestSingleReport:
+    @pytest.mark.parametrize("protocol", ["GRR", "SS", "SUE", "OUE"])
+    def test_empirical_matches_analytical(self, protocol):
+        values = np.random.default_rng(0).integers(0, 12, size=20000)
+        empirical = single_report_attack_accuracy(protocol, 2.0, values, rng=1, k=12)
+        analytical = expected_single_report_accuracy(protocol, 2.0, 12)
+        assert empirical == pytest.approx(analytical, abs=0.02)
+
+    def test_olh_empirical_does_not_exceed_analytical_bound(self):
+        values = np.random.default_rng(0).integers(0, 30, size=20000)
+        empirical = single_report_attack_accuracy("OLH", 2.0, values, rng=1, k=30)
+        analytical = expected_single_report_accuracy("OLH", 2.0, 30)
+        assert empirical <= analytical * 1.1
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            single_report_attack_accuracy("GRR", 1.0, np.array([]))
+
+    def test_accuracy_increases_with_epsilon(self):
+        values = np.random.default_rng(0).integers(0, 8, size=10000)
+        low = single_report_attack_accuracy("GRR", 1.0, values, rng=1, k=8)
+        high = single_report_attack_accuracy("GRR", 6.0, values, rng=1, k=8)
+        assert high > low
+
+
+class TestProfiling:
+    SIZES = (74, 7, 16)
+
+    def test_uniform_metric_product(self):
+        total = expected_profiling_accuracy("GRR", 5.0, self.SIZES, "uniform")
+        singles = [expected_single_report_accuracy("GRR", 5.0, k) for k in self.SIZES]
+        assert total == pytest.approx(np.prod(singles))
+
+    def test_non_uniform_below_uniform(self):
+        assert expected_profiling_accuracy(
+            "SUE", 5.0, self.SIZES, "non-uniform"
+        ) < expected_profiling_accuracy("SUE", 5.0, self.SIZES, "uniform")
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            expected_profiling_accuracy("GRR", 1.0, self.SIZES, "sometimes")
+
+    def test_curve_shape_and_monotonicity(self):
+        epsilons = [1, 2, 4, 8, 10]
+        curve = profiling_accuracy_curve("GRR", epsilons, self.SIZES)
+        assert curve.shape == (5,)
+        assert list(curve) == sorted(curve)
+
+    def test_fig1_qualitative_ordering(self):
+        # GRR / SS / SUE dominate OLH / OUE at high epsilon (Fig. 1a)
+        eps = 9.0
+        high = min(
+            expected_profiling_accuracy(p, eps, self.SIZES) for p in ("GRR", "SS", "SUE")
+        )
+        low = max(
+            expected_profiling_accuracy(p, eps, self.SIZES) for p in ("OLH", "OUE")
+        )
+        assert high > low

@@ -1,0 +1,148 @@
+"""Tests for multi-survey profile building."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.profile import (
+    UNKNOWN,
+    Survey,
+    build_profiles_rsfd,
+    build_profiles_smp,
+    plan_surveys,
+)
+from repro.exceptions import InvalidParameterError
+from repro.ml.naive_bayes import BernoulliNaiveBayes
+
+
+class TestSurveyPlanning:
+    def test_survey_validation(self):
+        survey = Survey((0, 2, 3))
+        assert survey.d == 3
+        with pytest.raises(InvalidParameterError):
+            Survey(())
+        with pytest.raises(InvalidParameterError):
+            Survey((1, 1))
+
+    def test_plan_respects_minimum_size(self):
+        surveys = plan_surveys(d=10, num_surveys=20, rng=0, min_fraction=0.5)
+        assert len(surveys) == 20
+        for survey in surveys:
+            assert 5 <= survey.d <= 10
+            assert all(0 <= a < 10 for a in survey.attributes)
+
+    def test_plan_is_deterministic(self):
+        a = plan_surveys(6, 4, rng=3)
+        b = plan_surveys(6, 4, rng=3)
+        assert [s.attributes for s in a] == [s.attributes for s in b]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            plan_surveys(1, 3)
+        with pytest.raises(InvalidParameterError):
+            plan_surveys(5, 0)
+        with pytest.raises(InvalidParameterError):
+            plan_surveys(5, 3, min_fraction=1.5)
+
+
+class TestSMPProfiling:
+    def test_snapshots_grow_monotonically(self, small_dataset):
+        surveys = plan_surveys(small_dataset.d, 3, rng=0, min_fraction=0.6)
+        result = build_profiles_smp(
+            small_dataset, surveys, protocol="GRR", epsilon=4.0, metric="uniform", rng=1
+        )
+        assert len(result.snapshots) == 3
+        known = [int((snap != UNKNOWN).sum()) for snap in result.snapshots]
+        assert known == sorted(known)
+        # after the first survey every user knows exactly one attribute
+        assert (result.snapshots[0] != UNKNOWN).sum(axis=1).tolist() == [1] * small_dataset.n
+
+    def test_uniform_metric_accumulates_distinct_attributes(self, small_dataset):
+        surveys = [Survey(tuple(range(small_dataset.d)))] * small_dataset.d
+        result = build_profiles_smp(
+            small_dataset, surveys, protocol="GRR", epsilon=4.0, metric="uniform", rng=1
+        )
+        # with d surveys over all attributes and no replacement, everyone ends
+        # up with a complete profile
+        assert (result.final_profile != UNKNOWN).all()
+
+    def test_non_uniform_metric_grows_slower(self, small_dataset):
+        surveys = [Survey(tuple(range(small_dataset.d)))] * small_dataset.d
+        uniform = build_profiles_smp(
+            small_dataset, surveys, protocol="GRR", epsilon=4.0, metric="uniform", rng=1
+        )
+        non_uniform = build_profiles_smp(
+            small_dataset, surveys, protocol="GRR", epsilon=4.0, metric="non-uniform", rng=1
+        )
+        assert (non_uniform.final_profile != UNKNOWN).sum() < (
+            uniform.final_profile != UNKNOWN
+        ).sum()
+
+    def test_high_epsilon_profiles_are_mostly_correct(self, small_dataset):
+        surveys = [Survey(tuple(range(small_dataset.d)))]
+        result = build_profiles_smp(
+            small_dataset, surveys, protocol="GRR", epsilon=10.0, metric="uniform", rng=1
+        )
+        profile = result.final_profile
+        known = profile != UNKNOWN
+        correct = (profile == small_dataset.data) & known
+        assert correct.sum() / known.sum() > 0.9
+
+    def test_pie_metric_reports_small_domains_in_clear(self, small_dataset):
+        # with beta = 0.5 and tiny domains, everything is reported in the clear,
+        # so the inferred values match the truth exactly
+        surveys = [Survey(tuple(range(small_dataset.d)))]
+        result = build_profiles_smp(
+            small_dataset, surveys, protocol="GRR", epsilon=1.0,
+            metric="uniform", rng=1, pie_beta=0.5,
+        )
+        profile = result.final_profile
+        known = profile != UNKNOWN
+        assert ((profile == small_dataset.data) | ~known).all()
+
+    def test_invalid_metric_rejected(self, small_dataset):
+        with pytest.raises(InvalidParameterError):
+            build_profiles_smp(
+                small_dataset, [Survey((0, 1))], protocol="GRR", epsilon=1.0, metric="bogus"
+            )
+
+
+class TestRSFDProfiling:
+    def test_chained_attack_produces_profiles(self, small_dataset):
+        surveys = plan_surveys(small_dataset.d, 2, rng=0, min_fraction=0.6)
+        result = build_profiles_rsfd(
+            small_dataset,
+            surveys,
+            epsilon=4.0,
+            variant="grr",
+            metric="uniform",
+            synthetic_factor=0.5,
+            classifier_factory=BernoulliNaiveBayes,
+            rng=1,
+        )
+        assert len(result.snapshots) == 2
+        # the attacker always assigns one predicted attribute per survey
+        assert (result.snapshots[0] != UNKNOWN).any()
+        assert result.extra["solution"] == "RS+FD"
+
+    def test_rsfd_profiles_less_accurate_than_smp(self, small_dataset):
+        surveys = [Survey(tuple(range(small_dataset.d)))] * 2
+        smp = build_profiles_smp(
+            small_dataset, surveys, protocol="GRR", epsilon=6.0, metric="uniform", rng=1
+        )
+        rsfd = build_profiles_rsfd(
+            small_dataset,
+            surveys,
+            epsilon=6.0,
+            variant="grr",
+            metric="uniform",
+            synthetic_factor=0.5,
+            classifier_factory=BernoulliNaiveBayes,
+            rng=1,
+        )
+
+        def correctness(result):
+            profile = result.final_profile
+            known = profile != UNKNOWN
+            return ((profile == small_dataset.data) & known).sum() / max(1, known.sum())
+
+        assert correctness(rsfd) < correctness(smp)

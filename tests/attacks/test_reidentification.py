@@ -1,0 +1,129 @@
+"""Tests for the re-identification attack."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.profile import UNKNOWN, Survey, build_profiles_smp
+from repro.attacks.reidentification import (
+    ReidentificationAttack,
+    match_distances,
+    top_k_candidates,
+)
+from repro.core.dataset import TabularDataset
+from repro.core.domain import Domain
+from repro.exceptions import InvalidParameterError
+
+
+@pytest.fixture
+def unique_dataset():
+    """Every user has a unique record, so exact profiles re-identify perfectly."""
+    domain = Domain.from_sizes([10, 10])
+    values = np.array([[i % 10, i // 10] for i in range(100)])
+    return TabularDataset(domain, values)
+
+
+class TestMatching:
+    def test_distance_counts_disagreements_on_known_attributes(self):
+        profiles = np.array([[1, UNKNOWN, 3]])
+        background = np.array([[1, 9, 3], [1, 9, 4], [2, 9, 4]])
+        distances = match_distances(profiles, background)
+        np.testing.assert_array_equal(distances, [[0, 1, 2]])
+
+    def test_unknown_attributes_are_ignored(self):
+        profiles = np.array([[UNKNOWN, UNKNOWN]])
+        background = np.array([[3, 4], [5, 6]])
+        distances = match_distances(profiles, background)
+        np.testing.assert_array_equal(distances, [[0, 0]])
+
+    def test_partial_background_columns(self):
+        profiles = np.array([[1, 2, 3]])
+        background = np.array([[9, 3]])  # only attributes 1 and 2 known
+        distances = match_distances(profiles, background, background_attributes=[1, 2])
+        np.testing.assert_array_equal(distances, [[1]])
+
+    def test_block_slicing(self):
+        profiles = np.array([[1, 1], [2, 2], [3, 3]])
+        background = np.array([[1, 1], [2, 2], [3, 3]])
+        distances = match_distances(profiles, background, block=slice(1, 3))
+        assert distances.shape == (2, 3)
+        assert distances[0, 1] == 0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(InvalidParameterError):
+            match_distances(np.zeros(3), np.zeros((2, 3)))
+        with pytest.raises(InvalidParameterError):
+            match_distances(np.zeros((2, 3)), np.zeros((2, 3)), background_attributes=[0])
+
+
+class TestDecision:
+    def test_top_k_selects_minimum_distance(self):
+        distances = np.array([[3, 0, 5, 1]])
+        candidates = top_k_candidates(distances, 2, np.random.default_rng(0))
+        assert set(candidates[0].tolist()) == {1, 3}
+
+    def test_ties_broken_randomly(self):
+        distances = np.zeros((1, 50), dtype=np.int32)
+        rng = np.random.default_rng(0)
+        picks = {tuple(sorted(top_k_candidates(distances, 3, rng)[0])) for _ in range(20)}
+        assert len(picks) > 1
+
+    def test_invalid_top_k(self):
+        with pytest.raises(InvalidParameterError):
+            top_k_candidates(np.zeros((1, 3)), 0, np.random.default_rng(0))
+
+
+class TestReidentificationAttack:
+    def test_exact_profiles_reidentify_unique_users(self, unique_dataset):
+        attack = ReidentificationAttack(unique_dataset, rng=0)
+        result = attack.full_knowledge(unique_dataset.data.copy(), top_k=1)
+        assert result.accuracy == 1.0
+        assert result.baseline == pytest.approx(1 / 100)
+        assert result.lift > 50
+
+    def test_empty_profiles_reduce_to_random_guessing(self, unique_dataset):
+        attack = ReidentificationAttack(unique_dataset, rng=0)
+        empty = np.full_like(unique_dataset.data, UNKNOWN)
+        result = attack.full_knowledge(empty, top_k=10)
+        assert result.accuracy == pytest.approx(result.baseline, abs=0.08)
+
+    def test_partial_knowledge_weaker_than_full(self, unique_dataset):
+        attack = ReidentificationAttack(unique_dataset, rng=0)
+        profiles = unique_dataset.data.copy().astype(np.int64)
+        full = attack.full_knowledge(profiles, top_k=1)
+        partial = attack.partial_knowledge(profiles, top_k=1, attributes=[0])
+        assert partial.accuracy <= full.accuracy
+        assert partial.metadata["model"] == "PK-RI"
+
+    def test_top_k_accuracy_monotone(self, unique_dataset):
+        attack = ReidentificationAttack(unique_dataset, rng=0)
+        noisy = unique_dataset.data.copy().astype(np.int64)
+        noisy[::2, 0] = (noisy[::2, 0] + 1) % 10  # corrupt half the profiles
+        top1 = attack.full_knowledge(noisy, top_k=1)
+        top10 = attack.full_knowledge(noisy, top_k=10)
+        assert top10.accuracy >= top1.accuracy
+
+    def test_size_mismatch_requires_true_ids(self, unique_dataset):
+        attack = ReidentificationAttack(unique_dataset, rng=0)
+        with pytest.raises(InvalidParameterError):
+            attack.attack(unique_dataset.data[:10].copy(), top_k=1, true_ids=np.arange(5))
+
+    def test_evaluate_profiling_returns_expected_keys(self, small_dataset):
+        surveys = [Survey(tuple(range(small_dataset.d)))] * 3
+        profiling = build_profiles_smp(
+            small_dataset, surveys, protocol="GRR", epsilon=6.0, metric="uniform", rng=1
+        )
+        attack = ReidentificationAttack(small_dataset, rng=0)
+        results = attack.evaluate_profiling(profiling, top_k=10, model="FK-RI", min_surveys=2)
+        assert set(results.keys()) == {2, 3}
+        with pytest.raises(InvalidParameterError):
+            attack.evaluate_profiling(profiling, model="bogus")
+
+    def test_more_surveys_do_not_reduce_accuracy(self, small_dataset):
+        surveys = [Survey(tuple(range(small_dataset.d)))] * 3
+        profiling = build_profiles_smp(
+            small_dataset, surveys, protocol="GRR", epsilon=8.0, metric="uniform", rng=1
+        )
+        attack = ReidentificationAttack(small_dataset, rng=0)
+        results = attack.evaluate_profiling(profiling, top_k=10, model="FK-RI", min_surveys=1)
+        accuracies = [results[i].accuracy for i in sorted(results)]
+        assert accuracies[-1] >= accuracies[0]

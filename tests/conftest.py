@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import TabularDataset
+from repro.core.domain import Domain
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_domain() -> Domain:
+    """A 3-attribute domain with small sizes."""
+    return Domain.from_sizes([4, 6, 3], names=["a", "b", "c"])
+
+
+@pytest.fixture
+def small_dataset(small_domain, rng) -> TabularDataset:
+    """A skewed 3-attribute dataset with 600 users."""
+    n = 600
+    columns = []
+    for attribute in small_domain:
+        weights = np.arange(attribute.size, 0, -1, dtype=float) ** 1.5
+        weights /= weights.sum()
+        columns.append(rng.choice(attribute.size, size=n, p=weights))
+    return TabularDataset.from_columns(columns, small_domain, name="small")
+
+
+@pytest.fixture
+def tiny_dataset(small_domain, rng) -> TabularDataset:
+    """A very small dataset for fast attack tests."""
+    n = 120
+    columns = [rng.integers(0, attr.size, size=n) for attr in small_domain]
+    return TabularDataset.from_columns(columns, small_domain, name="tiny")

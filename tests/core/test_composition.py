@@ -1,0 +1,67 @@
+"""Tests for repro.core.composition."""
+
+import math
+
+import pytest
+
+from repro.core.composition import (
+    amplified_epsilon,
+    deamplified_epsilon,
+    parallel_composition,
+    sequential_composition,
+    split_budget,
+    validate_epsilon,
+)
+from repro.exceptions import InvalidParameterError, InvalidPrivacyBudgetError
+
+
+class TestValidateEpsilon:
+    def test_positive_passes(self):
+        assert validate_epsilon(1.5) == 1.5
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("inf"), float("nan")])
+    def test_invalid_rejected(self, bad):
+        with pytest.raises(InvalidPrivacyBudgetError):
+            validate_epsilon(bad)
+
+
+class TestSplitAndComposition:
+    def test_split_budget(self):
+        assert split_budget(2.0, 4) == pytest.approx(0.5)
+
+    def test_split_budget_invalid_d(self):
+        with pytest.raises(InvalidParameterError):
+            split_budget(1.0, 0)
+
+    def test_sequential_composition_sums(self):
+        assert sequential_composition([0.5, 1.0, 0.25]) == pytest.approx(1.75)
+
+    def test_parallel_composition_max(self):
+        assert parallel_composition([0.5, 1.0, 0.25]) == pytest.approx(1.0)
+
+    def test_empty_sequences_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            sequential_composition([])
+        with pytest.raises(InvalidParameterError):
+            parallel_composition([])
+
+
+class TestAmplification:
+    def test_formula(self):
+        # eps' = ln(d (e^eps - 1) + 1)
+        assert amplified_epsilon(1.0, 3) == pytest.approx(math.log(3 * (math.e - 1) + 1))
+
+    def test_amplified_is_larger_for_d_greater_than_one(self):
+        assert amplified_epsilon(1.0, 5) > 1.0
+
+    def test_d_equal_one_is_identity(self):
+        assert amplified_epsilon(2.0, 1) == pytest.approx(2.0)
+
+    def test_roundtrip_with_deamplification(self):
+        for eps in (0.5, 1.0, 4.0):
+            for d in (2, 5, 18):
+                assert deamplified_epsilon(amplified_epsilon(eps, d), d) == pytest.approx(eps)
+
+    def test_monotone_in_d(self):
+        values = [amplified_epsilon(1.0, d) for d in (2, 3, 5, 10)]
+        assert values == sorted(values)

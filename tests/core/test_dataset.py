@@ -1,0 +1,105 @@
+"""Tests for repro.core.dataset."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import TabularDataset
+from repro.core.domain import Domain
+from repro.exceptions import DomainMismatchError, InvalidParameterError
+
+
+@pytest.fixture
+def domain():
+    return Domain.from_sizes([3, 4], names=["x", "y"])
+
+
+@pytest.fixture
+def dataset(domain):
+    data = np.array([[0, 0], [1, 1], [2, 3], [0, 0], [1, 2]])
+    return TabularDataset(domain, data, name="demo")
+
+
+class TestConstruction:
+    def test_basic_properties(self, dataset):
+        assert dataset.n == 5
+        assert dataset.d == 2
+        assert dataset.sizes == (3, 4)
+        assert len(dataset) == 5
+
+    def test_data_is_read_only(self, dataset):
+        with pytest.raises(ValueError):
+            dataset.data[0, 0] = 1
+
+    def test_rejects_out_of_domain_values(self, domain):
+        with pytest.raises(DomainMismatchError):
+            TabularDataset(domain, np.array([[0, 4]]))
+
+    def test_rejects_wrong_dimensionality(self, domain):
+        with pytest.raises(DomainMismatchError):
+            TabularDataset(domain, np.array([0, 1, 2]))
+
+    def test_from_columns(self, domain):
+        ds = TabularDataset.from_columns([np.array([0, 1]), np.array([3, 2])], domain)
+        assert ds.n == 2
+        assert ds.row(0).tolist() == [0, 3]
+
+    def test_from_columns_wrong_count(self, domain):
+        with pytest.raises(DomainMismatchError):
+            TabularDataset.from_columns([np.array([0, 1])], domain)
+
+
+class TestStatistics:
+    def test_frequencies_sum_to_one(self, dataset):
+        for j in range(dataset.d):
+            freqs = dataset.frequencies(j)
+            assert freqs.shape == (dataset.sizes[j],)
+            assert freqs.sum() == pytest.approx(1.0)
+
+    def test_frequencies_values(self, dataset):
+        freqs = dataset.frequencies(0)
+        assert freqs.tolist() == pytest.approx([2 / 5, 2 / 5, 1 / 5])
+
+    def test_all_frequencies(self, dataset):
+        all_freqs = dataset.all_frequencies()
+        assert len(all_freqs) == 2
+
+    def test_uniqueness_full(self, domain):
+        data = np.array([[0, 0], [0, 0], [1, 1], [2, 2]])
+        ds = TabularDataset(domain, data)
+        assert ds.uniqueness() == pytest.approx(0.5)
+
+    def test_uniqueness_subset_of_attributes(self, domain):
+        data = np.array([[0, 0], [0, 1], [1, 2], [2, 3]])
+        ds = TabularDataset(domain, data)
+        # on attribute 0 alone, value 0 appears twice -> only 2/4 unique
+        assert ds.uniqueness([0]) == pytest.approx(0.5)
+        assert ds.uniqueness([1]) == pytest.approx(1.0)
+
+
+class TestTransformations:
+    def test_project(self, dataset):
+        projected = dataset.project([1])
+        assert projected.d == 1
+        assert projected.domain.names == ("y",)
+        np.testing.assert_array_equal(projected.column(0), dataset.column(1))
+
+    def test_sample_users_without_replacement(self, dataset):
+        sample, idx = dataset.sample_users(3, rng=0)
+        assert sample.n == 3
+        assert len(set(idx.tolist())) == 3
+
+    def test_sample_users_too_many(self, dataset):
+        with pytest.raises(InvalidParameterError):
+            dataset.sample_users(10)
+
+    def test_split_users(self, dataset):
+        first, second, idx1, idx2 = dataset.split_users(2, rng=0)
+        assert first.n == 2 and second.n == 3
+        assert set(idx1.tolist()).isdisjoint(idx2.tolist())
+        assert sorted(idx1.tolist() + idx2.tolist()) == list(range(5))
+
+    def test_split_users_invalid_count(self, dataset):
+        with pytest.raises(InvalidParameterError):
+            dataset.split_users(0)
+        with pytest.raises(InvalidParameterError):
+            dataset.split_users(5)

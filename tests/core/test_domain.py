@@ -1,0 +1,103 @@
+"""Tests for repro.core.domain."""
+
+import numpy as np
+import pytest
+
+from repro.core.domain import Attribute, Domain
+from repro.exceptions import DomainMismatchError, InvalidParameterError
+
+
+class TestAttribute:
+    def test_valid_attribute(self):
+        attr = Attribute("age", 74)
+        assert attr.name == "age"
+        assert attr.size == 74
+        assert list(attr.values) == list(range(74))
+
+    def test_contains(self):
+        attr = Attribute("x", 5)
+        assert attr.contains(0)
+        assert attr.contains(4)
+        assert not attr.contains(5)
+        assert not attr.contains(-1)
+
+    def test_size_must_be_at_least_two(self):
+        with pytest.raises(InvalidParameterError):
+            Attribute("x", 1)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Attribute("", 3)
+
+
+class TestDomain:
+    def test_from_sizes_default_names(self):
+        domain = Domain.from_sizes([3, 4, 5])
+        assert domain.d == 3
+        assert domain.sizes == (3, 4, 5)
+        assert domain.names == ("A1", "A2", "A3")
+
+    def test_from_sizes_custom_names(self):
+        domain = Domain.from_sizes([2, 2], names=["sex", "salary"])
+        assert domain.names == ("sex", "salary")
+
+    def test_names_sizes_length_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            Domain.from_sizes([2, 3], names=["only-one"])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Domain.from_sizes([2, 3], names=["x", "x"])
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Domain(())
+
+    def test_index_of(self):
+        domain = Domain.from_sizes([2, 3, 4], names=["a", "b", "c"])
+        assert domain.index_of("b") == 1
+        with pytest.raises(KeyError):
+            domain.index_of("missing")
+
+    def test_size_of_and_getitem(self):
+        domain = Domain.from_sizes([2, 7])
+        assert domain.size_of(1) == 7
+        assert domain[1].size == 7
+
+    def test_iteration_and_len(self):
+        domain = Domain.from_sizes([2, 3, 4])
+        assert len(domain) == 3
+        assert [a.size for a in domain] == [2, 3, 4]
+
+    def test_subset_preserves_order(self):
+        domain = Domain.from_sizes([2, 3, 4, 5], names=["a", "b", "c", "d"])
+        sub = domain.subset([2, 0])
+        assert sub.names == ("c", "a")
+        assert sub.sizes == (4, 2)
+
+    def test_subset_empty_rejected(self):
+        domain = Domain.from_sizes([2, 3])
+        with pytest.raises(InvalidParameterError):
+            domain.subset([])
+
+    def test_validate_tuple_accepts_valid(self):
+        domain = Domain.from_sizes([2, 3])
+        domain.validate_tuple([1, 2])
+
+    def test_validate_tuple_wrong_length(self):
+        domain = Domain.from_sizes([2, 3])
+        with pytest.raises(DomainMismatchError):
+            domain.validate_tuple([1])
+
+    def test_validate_tuple_out_of_range(self):
+        domain = Domain.from_sizes([2, 3])
+        with pytest.raises(DomainMismatchError):
+            domain.validate_tuple([1, 3])
+
+    def test_validate_matrix(self):
+        domain = Domain.from_sizes([2, 3])
+        domain.validate_matrix(np.array([[0, 2], [1, 0]]))
+        with pytest.raises(DomainMismatchError):
+            domain.validate_matrix(np.array([[0, 3]]))
+        with pytest.raises(DomainMismatchError):
+            domain.validate_matrix(np.array([[0, 1, 2]]))

@@ -1,0 +1,79 @@
+"""Tests for repro.core.frequencies."""
+
+import numpy as np
+import pytest
+
+from repro.core.frequencies import FrequencyEstimate, averaged_mse, true_frequencies
+from repro.exceptions import InvalidParameterError
+
+
+class TestFrequencyEstimate:
+    def test_basic_properties(self):
+        est = FrequencyEstimate(np.array([0.5, 0.3, 0.2]), attribute="x", n=100)
+        assert est.k == 3
+        assert est.attribute == "x"
+        assert est.n == 100
+
+    def test_estimates_read_only(self):
+        est = FrequencyEstimate(np.array([0.5, 0.5]))
+        with pytest.raises(ValueError):
+            est.estimates[0] = 1.0
+
+    def test_as_array_is_writable_copy(self):
+        est = FrequencyEstimate(np.array([0.5, 0.5]))
+        arr = est.as_array()
+        arr[0] = 0.9
+        assert est.estimates[0] == 0.5
+
+    def test_rejects_2d(self):
+        with pytest.raises(InvalidParameterError):
+            FrequencyEstimate(np.zeros((2, 2)))
+
+    def test_clipped(self):
+        est = FrequencyEstimate(np.array([-0.1, 0.5, 1.3]))
+        assert est.clipped().tolist() == [0.0, 0.5, 1.0]
+
+    def test_normalized_sums_to_one(self):
+        est = FrequencyEstimate(np.array([-0.2, 0.4, 0.9]))
+        normalized = est.normalized()
+        assert normalized.sum() == pytest.approx(1.0)
+        assert (normalized >= 0).all()
+
+    def test_normalized_degenerate_falls_back_to_uniform(self):
+        est = FrequencyEstimate(np.array([-1.0, -2.0, -0.5]))
+        assert est.normalized().tolist() == pytest.approx([1 / 3] * 3)
+
+    def test_mse(self):
+        est = FrequencyEstimate(np.array([0.5, 0.5]))
+        assert est.mse([0.5, 0.5]) == pytest.approx(0.0)
+        assert est.mse([1.0, 0.0]) == pytest.approx(0.25)
+
+    def test_mse_shape_mismatch(self):
+        est = FrequencyEstimate(np.array([0.5, 0.5]))
+        with pytest.raises(InvalidParameterError):
+            est.mse([0.5, 0.3, 0.2])
+
+
+class TestHelpers:
+    def test_true_frequencies(self):
+        freqs = true_frequencies(np.array([0, 0, 1, 2]), 4)
+        assert freqs.tolist() == pytest.approx([0.5, 0.25, 0.25, 0.0])
+
+    def test_true_frequencies_empty(self):
+        assert true_frequencies(np.array([], dtype=int), 3).tolist() == [0, 0, 0]
+
+    def test_true_frequencies_out_of_range(self):
+        with pytest.raises(InvalidParameterError):
+            true_frequencies(np.array([0, 5]), 3)
+
+    def test_averaged_mse(self):
+        estimates = [
+            FrequencyEstimate(np.array([0.5, 0.5])),
+            FrequencyEstimate(np.array([1.0, 0.0])),
+        ]
+        truths = [np.array([0.5, 0.5]), np.array([0.0, 1.0])]
+        assert averaged_mse(estimates, truths) == pytest.approx((0.0 + 1.0) / 2)
+
+    def test_averaged_mse_length_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            averaged_mse([FrequencyEstimate(np.array([1.0, 0.0]))], [])

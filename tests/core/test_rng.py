@@ -1,0 +1,45 @@
+"""Tests for repro.core.rng."""
+
+import numpy as np
+import pytest
+
+from repro.core.rng import ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_returns_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(7).integers(0, 1000, size=5)
+        b = ensure_rng(7).integers(0, 1000, size=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(3)
+        assert ensure_rng(gen) is gen
+
+    def test_invalid_type_rejected(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not-a-seed")
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        children = spawn_rngs(0, 4)
+        assert len(children) == 4
+
+    def test_children_are_independent_streams(self):
+        children = spawn_rngs(0, 2)
+        a = children[0].integers(0, 10**9, size=10)
+        b = children[1].integers(0, 10**9, size=10)
+        assert not np.array_equal(a, b)
+
+    def test_deterministic_from_seed(self):
+        a = spawn_rngs(5, 3)[1].integers(0, 10**9, size=4)
+        b = spawn_rngs(5, 3)[1].integers(0, 10**9, size=4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)

@@ -1,0 +1,63 @@
+"""Tests for the dataset schemas."""
+
+import pytest
+
+from repro.datasets.schema import (
+    ACS_EMPLOYMENT_SCHEMA,
+    ADULT_SCHEMA,
+    NURSERY_SCHEMA,
+    DatasetSchema,
+    get_schema,
+)
+from repro.exceptions import InvalidParameterError
+
+
+class TestPaperSchemas:
+    def test_adult_matches_paper(self):
+        assert ADULT_SCHEMA.d == 10
+        assert ADULT_SCHEMA.sizes == (74, 7, 16, 7, 14, 6, 5, 2, 41, 2)
+        assert ADULT_SCHEMA.default_n == 45_222
+        assert "age" in ADULT_SCHEMA.attribute_names
+
+    def test_acs_employment_matches_paper(self):
+        assert ACS_EMPLOYMENT_SCHEMA.d == 18
+        assert ACS_EMPLOYMENT_SCHEMA.sizes == (
+            92, 25, 5, 2, 2, 9, 4, 5, 5, 4, 2, 18, 2, 2, 3, 9, 3, 6,
+        )
+        assert ACS_EMPLOYMENT_SCHEMA.default_n == 10_336
+
+    def test_nursery_matches_paper(self):
+        assert NURSERY_SCHEMA.d == 9
+        assert NURSERY_SCHEMA.sizes == (3, 5, 4, 4, 3, 2, 3, 3, 5)
+        assert NURSERY_SCHEMA.default_n == 12_959
+        # near-uniform marginals, the property that defeats the AIF attack
+        assert NURSERY_SCHEMA.skew < 0.2
+
+    def test_domain_construction(self):
+        domain = ADULT_SCHEMA.domain()
+        assert domain.d == 10
+        assert domain.sizes == ADULT_SCHEMA.sizes
+
+
+class TestLookup:
+    @pytest.mark.parametrize("name", ["adult", "ADULT", "acs_employment", "nursery"])
+    def test_get_schema(self, name):
+        assert isinstance(get_schema(name), DatasetSchema)
+
+    def test_unknown_schema(self):
+        with pytest.raises(InvalidParameterError):
+            get_schema("unknown")
+
+
+class TestValidation:
+    def test_mismatched_names_and_sizes(self):
+        with pytest.raises(InvalidParameterError):
+            DatasetSchema("x", ("a",), (2, 3), 10)
+
+    def test_invalid_n(self):
+        with pytest.raises(InvalidParameterError):
+            DatasetSchema("x", ("a",), (2,), 0)
+
+    def test_invalid_latent_classes(self):
+        with pytest.raises(InvalidParameterError):
+            DatasetSchema("x", ("a",), (2,), 10, n_latent_classes=0)

@@ -1,0 +1,89 @@
+"""Tests for the synthetic data generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.loaders import available_datasets, load_dataset
+from repro.datasets.schema import ADULT_SCHEMA, NURSERY_SCHEMA
+from repro.datasets.synthetic import synthesize, zipf_marginal
+from repro.exceptions import InvalidParameterError
+
+
+class TestZipfMarginal:
+    def test_is_distribution(self):
+        rng = np.random.default_rng(0)
+        marginal = zipf_marginal(10, 1.0, rng)
+        assert marginal.shape == (10,)
+        assert marginal.sum() == pytest.approx(1.0)
+        assert (marginal > 0).all()
+
+    def test_zero_skew_is_near_uniform(self):
+        rng = np.random.default_rng(0)
+        marginal = zipf_marginal(10, 0.0, rng)
+        assert marginal.max() / marginal.min() < 1.5
+
+    def test_high_skew_is_concentrated(self):
+        rng = np.random.default_rng(0)
+        marginal = zipf_marginal(20, 2.0, rng)
+        assert marginal.max() > 10 * np.median(marginal)
+
+    def test_invalid_inputs(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(InvalidParameterError):
+            zipf_marginal(1, 1.0, rng)
+        with pytest.raises(InvalidParameterError):
+            zipf_marginal(5, -1.0, rng)
+
+
+class TestSynthesize:
+    def test_respects_schema(self):
+        dataset = synthesize(ADULT_SCHEMA, n=500, rng=0)
+        assert dataset.n == 500
+        assert dataset.sizes == ADULT_SCHEMA.sizes
+        assert dataset.name == "adult"
+
+    def test_default_n_matches_paper(self):
+        dataset = synthesize(NURSERY_SCHEMA, rng=0)
+        assert dataset.n == NURSERY_SCHEMA.default_n
+
+    def test_deterministic_for_fixed_seed(self):
+        a = synthesize(ADULT_SCHEMA, n=300, rng=7)
+        b = synthesize(ADULT_SCHEMA, n=300, rng=7)
+        np.testing.assert_array_equal(a.data, b.data)
+
+    def test_adult_like_data_is_skewed_and_correlated(self):
+        dataset = synthesize(ADULT_SCHEMA, n=4000, rng=0)
+        # skew: the mode of the largest attribute is far above uniform
+        freqs = dataset.frequencies(0)
+        assert freqs.max() > 3.0 / ADULT_SCHEMA.sizes[0]
+        # uniqueness: most users are unique on the full profile (drives re-identification)
+        assert dataset.uniqueness() > 0.5
+
+    def test_nursery_like_data_is_near_uniform(self):
+        dataset = synthesize(NURSERY_SCHEMA, n=6000, rng=0, correlation_strength=0.0)
+        for j in range(dataset.d):
+            freqs = dataset.frequencies(j)
+            assert freqs.max() < 2.0 / dataset.sizes[j]
+
+    def test_invalid_n(self):
+        with pytest.raises(InvalidParameterError):
+            synthesize(ADULT_SCHEMA, n=0)
+
+
+class TestLoaders:
+    def test_available(self):
+        assert set(available_datasets()) == {"adult", "acs_employment", "nursery"}
+
+    @pytest.mark.parametrize("name", ["adult", "acs", "acs_employment", "nursery"])
+    def test_load_by_name(self, name):
+        dataset = load_dataset(name, n=200, rng=1)
+        assert dataset.n == 200
+
+    def test_unknown_dataset(self):
+        with pytest.raises(InvalidParameterError):
+            load_dataset("census2050")
+
+    def test_same_seed_same_population(self):
+        a = load_dataset("adult", n=100, rng=3)
+        b = load_dataset("adult", n=100, rng=3)
+        np.testing.assert_array_equal(a.data, b.data)

@@ -1,0 +1,37 @@
+"""Tests for experiment E1 (Fig. 1)."""
+
+from repro.experiments.analytical_acc import FIG1_PROTOCOLS, FIG1_SIZES, run_analytical_acc
+from repro.experiments.reporting import pivot_series
+
+
+class TestFig1:
+    def test_row_count(self):
+        rows = run_analytical_acc(epsilons=[1.0, 5.0, 10.0])
+        assert len(rows) == 2 * len(FIG1_PROTOCOLS) * 3
+
+    def test_paper_parameters(self):
+        assert FIG1_SIZES == (74, 7, 16)
+        assert set(FIG1_PROTOCOLS) == {"GRR", "OLH", "SS", "SUE", "OUE"}
+
+    def test_accuracies_are_percentages(self):
+        rows = run_analytical_acc(epsilons=[1.0, 10.0])
+        assert all(0.0 <= row["expected_acc_pct"] <= 100.0 for row in rows)
+
+    def test_uniform_curves_dominate_non_uniform(self):
+        rows = run_analytical_acc(epsilons=[2.0, 8.0])
+        series = pivot_series(
+            rows, x="epsilon", y="expected_acc_pct", series=["metric", "protocol"]
+        )
+        for protocol in FIG1_PROTOCOLS:
+            uniform = dict(series[("uniform", protocol)])
+            non_uniform = dict(series[("non-uniform", protocol)])
+            for epsilon in (2.0, 8.0):
+                assert uniform[epsilon] >= non_uniform[epsilon]
+
+    def test_grr_dominates_oue_at_high_epsilon(self):
+        rows = run_analytical_acc(epsilons=[9.0])
+        values = {
+            (row["protocol"], row["metric"]): row["expected_acc_pct"] for row in rows
+        }
+        assert values[("GRR", "uniform")] > values[("OUE", "uniform")]
+        assert values[("SUE", "uniform")] > values[("OLH", "uniform")]

@@ -1,0 +1,54 @@
+"""Tests for the experiment configuration presets."""
+
+import math
+
+from repro.experiments.config import (
+    FULL,
+    PAPER_EPSILONS,
+    PIE_BETAS,
+    QUICK,
+    SMOKE,
+    UTILITY_EPSILONS,
+    ExperimentConfig,
+)
+
+
+class TestGrids:
+    def test_paper_epsilons(self):
+        assert PAPER_EPSILONS == tuple(float(e) for e in range(1, 11))
+
+    def test_utility_epsilons_are_logs(self):
+        assert UTILITY_EPSILONS[0] == math.log(2)
+        assert UTILITY_EPSILONS[-1] == math.log(7)
+        assert len(UTILITY_EPSILONS) == 6
+
+    def test_pie_betas_descend_from_095_to_05(self):
+        assert PIE_BETAS[0] == 0.95
+        assert PIE_BETAS[-1] == 0.5
+        assert list(PIE_BETAS) == sorted(PIE_BETAS, reverse=True)
+
+
+class TestPresets:
+    def test_quick_is_smaller_than_full(self):
+        assert QUICK.n is not None and QUICK.n <= 5000
+        assert FULL.n is None
+        assert FULL.runs >= QUICK.runs
+
+    def test_smoke_is_tiny(self):
+        assert SMOKE.n <= 1000
+        assert len(SMOKE.epsilons) <= 3
+
+    def test_config_is_frozen(self):
+        config = ExperimentConfig()
+        try:
+            config.n = 10
+        except AttributeError:
+            pass
+        else:  # pragma: no cover - defensive
+            raise AssertionError("ExperimentConfig should be immutable")
+
+    def test_full_matches_paper_settings(self):
+        assert FULL.runs == 20
+        assert FULL.epsilons == PAPER_EPSILONS
+        assert FULL.num_surveys == 5
+        assert FULL.top_ks == (1, 10)

@@ -1,0 +1,163 @@
+"""Smoke tests for every experiment runner at tiny scale.
+
+These are integration tests: each runner executes its full pipeline
+(dataset synthesis, collection, attack, metric computation) on a handful of
+users and a coarse epsilon grid, and the structure of the returned rows is
+checked against what the benchmark harness and the figures expect.
+"""
+
+import pytest
+
+from repro.experiments.attribute_inference_rsfd import (
+    parse_rsfd_protocol,
+    run_attribute_inference_rsfd,
+)
+from repro.experiments.attribute_inference_rsrfd import run_attribute_inference_rsrfd
+from repro.experiments.reident_rsfd import run_reidentification_rsfd
+from repro.experiments.reident_smp import run_reidentification_smp
+from repro.experiments.utility_rsrfd import run_utility_rsrfd
+from repro.exceptions import InvalidParameterError
+from repro.ml.naive_bayes import BernoulliNaiveBayes
+
+
+class TestParseProtocol:
+    @pytest.mark.parametrize(
+        "label, expected",
+        [
+            ("GRR", ("grr", "OUE")),
+            ("SUE-z", ("ue-z", "SUE")),
+            ("OUE-z", ("ue-z", "OUE")),
+            ("SUE-r", ("ue-r", "SUE")),
+            ("OUE-r", ("ue-r", "OUE")),
+        ],
+    )
+    def test_labels(self, label, expected):
+        assert parse_rsfd_protocol(label) == expected
+
+    def test_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            parse_rsfd_protocol("GRR-z")
+
+
+class TestReidentSMP:
+    def test_fig2_rows(self):
+        rows = run_reidentification_smp(
+            dataset_name="adult",
+            n=250,
+            protocols=("GRR", "OUE"),
+            epsilons=(2.0, 8.0),
+            num_surveys=3,
+            top_ks=(1, 10),
+            seed=0,
+        )
+        # 2 protocols x 2 epsilons x 2 surveys-counts (2, 3) x 2 top-k
+        assert len(rows) == 2 * 2 * 2 * 2
+        assert all(0.0 <= row["rid_acc_pct"] <= 100.0 for row in rows)
+        assert all(row["surveys"] in (2, 3) for row in rows)
+
+    def test_pie_axis(self):
+        rows = run_reidentification_smp(
+            dataset_name="adult",
+            n=200,
+            protocols=("GRR",),
+            num_surveys=2,
+            top_ks=(10,),
+            pie_betas=(0.9, 0.5),
+            seed=0,
+        )
+        assert all(row["privacy_axis"] == "beta" for row in rows)
+        assert {row["privacy_level"] for row in rows} == {0.9, 0.5}
+
+    def test_non_uniform_metric_and_pk_model(self):
+        rows = run_reidentification_smp(
+            dataset_name="adult",
+            n=200,
+            protocols=("GRR",),
+            epsilons=(8.0,),
+            num_surveys=2,
+            top_ks=(10,),
+            knowledge="PK-RI",
+            metric="non-uniform",
+            seed=0,
+        )
+        assert rows and all(row["knowledge"] == "PK-RI" for row in rows)
+
+
+class TestAttributeInferenceRSFD:
+    def test_fig3_rows(self):
+        rows = run_attribute_inference_rsfd(
+            dataset_name="acs_employment",
+            n=150,
+            protocols=("GRR", "SUE-z"),
+            epsilons=(4.0,),
+            models=("NK", "PK", "HM"),
+            nk_factors=(1.0,),
+            pk_fractions=(0.3,),
+            classifier_factory=BernoulliNaiveBayes,
+            seed=0,
+        )
+        assert len(rows) == 2 * 1 * 3
+        assert all(0.0 <= row["aif_acc_pct"] <= 100.0 for row in rows)
+        assert all(row["baseline_pct"] == pytest.approx(100.0 / 18) for row in rows)
+
+
+class TestReidentRSFD:
+    def test_fig4_rows(self):
+        rows = run_reidentification_rsfd(
+            dataset_name="adult",
+            n=150,
+            epsilons=(6.0,),
+            num_surveys=2,
+            top_ks=(10,),
+            classifier_factory=BernoulliNaiveBayes,
+            seed=0,
+        )
+        assert rows and all(row["top_k"] == 10 for row in rows)
+
+
+class TestUtilityRSRFD:
+    def test_fig5_rows(self):
+        rows = run_utility_rsrfd(
+            dataset_name="acs_employment",
+            n=400,
+            protocols=("GRR",),
+            epsilons=(0.7, 1.9),
+            prior_kinds=("correct",),
+            seed=0,
+        )
+        # RS+FD and RS+RFD rows for each epsilon
+        assert len(rows) == 2 * 2
+        assert all(row["mse_avg"] >= 0.0 for row in rows)
+        solutions = {row["solution"] for row in rows}
+        assert solutions == {"RS+FD", "RS+RFD"}
+
+    def test_fig16_includes_analytical(self):
+        rows = run_utility_rsrfd(
+            dataset_name="adult",
+            n=300,
+            protocols=("OUE-r",),
+            epsilons=(1.0,),
+            prior_kinds=("zipf",),
+            include_analytical=True,
+            seed=0,
+        )
+        assert all("analytical_variance" in row for row in rows)
+        assert all(row["analytical_variance"] > 0 for row in rows)
+
+
+class TestAttributeInferenceRSRFD:
+    def test_fig6_rows(self):
+        rows = run_attribute_inference_rsrfd(
+            dataset_name="acs_employment",
+            n=150,
+            protocols=("GRR",),
+            epsilons=(4.0,),
+            models=("NK",),
+            nk_factors=(1.0,),
+            prior_kind="correct",
+            classifier_factory=BernoulliNaiveBayes,
+            seed=0,
+        )
+        assert len(rows) == 1
+        assert rows[0]["protocol"] == "RS+RFD[GRR]"
+        assert rows[0]["prior"] == "correct"

@@ -1,0 +1,60 @@
+"""Tests for the experiment reporting helpers."""
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.experiments.reporting import format_table, mean_rows, pivot_series
+
+
+ROWS = [
+    {"protocol": "GRR", "epsilon": 1.0, "acc": 10.0},
+    {"protocol": "GRR", "epsilon": 2.0, "acc": 20.0},
+    {"protocol": "OUE", "epsilon": 1.0, "acc": 5.0},
+]
+
+
+class TestFormatTable:
+    def test_contains_header_and_rows(self):
+        text = format_table(ROWS)
+        assert "protocol" in text.splitlines()[0]
+        assert "GRR" in text
+        assert "OUE" in text
+        assert len(text.splitlines()) == 2 + len(ROWS)
+
+    def test_empty_rows(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_column_subset(self):
+        text = format_table(ROWS, columns=["protocol"])
+        assert "epsilon" not in text
+
+    def test_small_values_use_scientific_notation(self):
+        text = format_table([{"x": 1.5e-6}])
+        assert "e-06" in text
+
+
+class TestPivotSeries:
+    def test_grouping_and_sorting(self):
+        series = pivot_series(ROWS, x="epsilon", y="acc", series=["protocol"])
+        assert set(series.keys()) == {("GRR",), ("OUE",)}
+        assert series[("GRR",)] == [(1.0, 10.0), (2.0, 20.0)]
+
+    def test_missing_column(self):
+        with pytest.raises(InvalidParameterError):
+            pivot_series(ROWS, x="missing", y="acc", series=["protocol"])
+
+    def test_empty(self):
+        assert pivot_series([], x="a", y="b", series=[]) == {}
+
+
+class TestMeanRows:
+    def test_averaging_over_repetitions(self):
+        rows = [
+            {"protocol": "GRR", "acc": 10.0},
+            {"protocol": "GRR", "acc": 20.0},
+            {"protocol": "OUE", "acc": 6.0},
+        ]
+        averaged = mean_rows(rows, group_by=["protocol"], value_columns=["acc"])
+        by_protocol = {row["protocol"]: row["acc"] for row in averaged}
+        assert by_protocol["GRR"] == pytest.approx(15.0)
+        assert by_protocol["OUE"] == pytest.approx(6.0)

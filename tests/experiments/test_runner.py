@@ -1,0 +1,35 @@
+"""Tests for the experiment registry and CLI."""
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.experiments.runner import available_experiments, main, run_experiment
+
+
+class TestRegistry:
+    def test_every_paper_figure_is_registered(self):
+        expected = {f"fig{i}" for i in (1, 2, 3, 4, 5, 6)} | {
+            f"fig{i}" for i in range(9, 18)
+        }
+        assert set(available_experiments()) == expected
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            run_experiment("fig99")
+
+    def test_fig1_runs_and_returns_rows(self):
+        rows = run_experiment("fig1", quick=True)
+        assert rows
+        assert {"protocol", "epsilon", "expected_acc_pct"} <= set(rows[0])
+
+
+class TestCli:
+    def test_main_prints_table(self, capsys):
+        assert main(["fig1"]) == 0
+        output = capsys.readouterr().out
+        assert "protocol" in output
+        assert "GRR" in output
+
+    def test_main_rejects_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])

@@ -1,0 +1,42 @@
+"""Tests for the attack-accuracy metrics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.metrics.accuracy import (
+    as_percentage,
+    attack_accuracy,
+    attribute_inference_accuracy,
+    reidentification_accuracy,
+)
+
+
+class TestAttackAccuracy:
+    def test_values(self):
+        assert attack_accuracy([1, 2, 3], [1, 2, 0]) == pytest.approx(2 / 3)
+        assert attribute_inference_accuracy([0, 1], [0, 1]) == 1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            attack_accuracy([1, 2], [1])
+
+    def test_empty(self):
+        with pytest.raises(InvalidParameterError):
+            attack_accuracy([], [])
+
+
+class TestReidentificationAccuracy:
+    def test_candidate_sets(self):
+        true_ids = np.array([0, 1, 2])
+        candidates = np.array([[0, 5], [4, 5], [2, 9]])
+        assert reidentification_accuracy(true_ids, candidates) == pytest.approx(2 / 3)
+
+    def test_shape_validation(self):
+        with pytest.raises(InvalidParameterError):
+            reidentification_accuracy(np.array([0, 1]), np.array([0, 1]))
+
+
+class TestPercentage:
+    def test_scaling(self):
+        assert as_percentage(0.153) == pytest.approx(15.3)

@@ -1,0 +1,43 @@
+"""Tests for the estimation-error metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.frequencies import FrequencyEstimate
+from repro.exceptions import InvalidParameterError
+from repro.metrics.errors import max_absolute_error, mse_avg, total_variation_distance
+from repro.multidim.smp import SMP
+
+
+class TestMseAvg:
+    def test_zero_for_exact_estimates(self, small_dataset):
+        estimates = [
+            FrequencyEstimate(small_dataset.frequencies(j)) for j in range(small_dataset.d)
+        ]
+        assert mse_avg(estimates, small_dataset) == pytest.approx(0.0)
+
+    def test_positive_for_noisy_estimates(self, small_dataset):
+        solution = SMP(small_dataset.domain, epsilon=1.0, protocol="GRR", rng=0)
+        _, estimates = solution.collect_and_estimate(small_dataset)
+        assert mse_avg(estimates, small_dataset) > 0.0
+
+    def test_wrong_number_of_estimates(self, small_dataset):
+        with pytest.raises(InvalidParameterError):
+            mse_avg([FrequencyEstimate(np.zeros(4))], small_dataset)
+
+
+class TestOtherErrorMetrics:
+    def test_max_absolute_error(self):
+        estimate = FrequencyEstimate(np.array([0.5, 0.5]))
+        assert max_absolute_error(estimate, np.array([0.2, 0.8])) == pytest.approx(0.3)
+
+    def test_total_variation(self):
+        estimate = FrequencyEstimate(np.array([1.0, 0.0]))
+        assert total_variation_distance(estimate, np.array([0.0, 1.0])) == pytest.approx(1.0)
+
+    def test_shape_mismatch(self):
+        estimate = FrequencyEstimate(np.array([1.0, 0.0]))
+        with pytest.raises(InvalidParameterError):
+            max_absolute_error(estimate, np.array([1.0, 0.0, 0.0]))
+        with pytest.raises(InvalidParameterError):
+            total_variation_distance(estimate, np.array([1.0]))

@@ -1,0 +1,75 @@
+"""Tests for the report featurization used by the classifier attacks."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.ml.encoding import (
+    count_threshold_features,
+    encode_dataset_rows,
+    encode_reports,
+    one_hot_columns,
+)
+from repro.multidim.rsfd import RSFD
+from repro.multidim.rsrfd import RSRFD
+
+
+class TestOneHot:
+    def test_one_hot_shape_and_values(self):
+        encoded = one_hot_columns(np.array([0, 2, 1]), 3)
+        np.testing.assert_array_equal(
+            encoded, np.array([[1, 0, 0], [0, 0, 1], [0, 1, 0]], dtype=np.float32)
+        )
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            one_hot_columns(np.array([0, 3]), 3)
+
+
+class TestCountThresholds:
+    def test_thresholds(self):
+        bits = np.array([[0, 0, 0, 0], [1, 0, 0, 0], [1, 1, 1, 0]], dtype=np.uint8)
+        features = count_threshold_features(bits)
+        assert features.shape == (3, 4)
+        np.testing.assert_array_equal(features[0], [0, 0, 0, 0])
+        np.testing.assert_array_equal(features[1], [1, 0, 0, 0])
+        np.testing.assert_array_equal(features[2], [1, 1, 1, 0])
+
+    def test_small_domain_limits_thresholds(self):
+        bits = np.array([[1, 0]], dtype=np.uint8)
+        assert count_threshold_features(bits).shape == (1, 2)
+
+
+class TestEncodeReports:
+    def test_grr_reports_one_hot_blocks(self, tiny_dataset):
+        solution = RSFD(tiny_dataset.domain, 1.0, variant="grr", rng=0)
+        reports = solution.collect(tiny_dataset)
+        features = encode_reports(reports)
+        assert features.shape == (tiny_dataset.n, sum(tiny_dataset.sizes))
+        # each one-hot block contributes exactly one active feature
+        assert np.all(features.sum(axis=1) == tiny_dataset.d)
+
+    def test_ue_reports_include_bits_and_counts(self, tiny_dataset):
+        solution = RSFD(tiny_dataset.domain, 1.0, variant="ue-z", ue_kind="OUE", rng=0)
+        reports = solution.collect(tiny_dataset)
+        features = encode_reports(reports)
+        expected_width = sum(k + min(4, k) for k in tiny_dataset.sizes)
+        assert features.shape == (tiny_dataset.n, expected_width)
+        assert set(np.unique(features)) <= {0.0, 1.0}
+
+    def test_rsrfd_reports_encodable(self, tiny_dataset):
+        priors = [np.full(k, 1.0 / k) for k in tiny_dataset.sizes]
+        solution = RSRFD(tiny_dataset.domain, 1.0, priors, variant="ue-r", rng=0)
+        reports = solution.collect(tiny_dataset)
+        features = encode_reports(reports)
+        assert features.shape[0] == tiny_dataset.n
+
+
+class TestEncodeDatasetRows:
+    def test_shape(self, tiny_dataset):
+        features = encode_dataset_rows(tiny_dataset.data, tiny_dataset.domain)
+        assert features.shape == (tiny_dataset.n, sum(tiny_dataset.sizes))
+
+    def test_wrong_shape_rejected(self, tiny_dataset):
+        with pytest.raises(InvalidParameterError):
+            encode_dataset_rows(tiny_dataset.data[:, :2], tiny_dataset.domain)

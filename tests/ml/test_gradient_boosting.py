@@ -1,0 +1,85 @@
+"""Tests for the multiclass gradient-boosting classifier."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError, NotFittedError
+from repro.ml.gradient_boosting import GradientBoostingClassifier, softmax
+from repro.ml.metrics import accuracy_score
+
+
+def make_multiclass_problem(n=900, n_classes=3, seed=0):
+    """Binary features where class c activates feature block c."""
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, n_classes, size=n)
+    features = rng.integers(0, 2, size=(n, 4 * n_classes)).astype(np.float32)
+    for c in range(n_classes):
+        mask = labels == c
+        features[mask, 4 * c] = (rng.random(mask.sum()) < 0.9).astype(np.float32)
+        features[~mask, 4 * c] = (rng.random((~mask).sum()) < 0.1).astype(np.float32)
+    return features, labels
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        probs = softmax(np.array([[1.0, 2.0, 3.0], [0.0, 0.0, 0.0]]))
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+
+    def test_handles_large_scores(self):
+        probs = softmax(np.array([[1000.0, 0.0]]))
+        assert np.isfinite(probs).all()
+        assert probs[0, 0] == pytest.approx(1.0)
+
+
+class TestClassifier:
+    def test_learns_separable_classes(self):
+        features, labels = make_multiclass_problem()
+        model = GradientBoostingClassifier(n_estimators=15, max_depth=3, rng=0)
+        model.fit(features, labels)
+        assert accuracy_score(labels, model.predict(features)) > 0.85
+
+    def test_generalizes_to_held_out_rows(self):
+        features, labels = make_multiclass_problem(n=1200)
+        model = GradientBoostingClassifier(n_estimators=15, max_depth=3, rng=0)
+        model.fit(features[:900], labels[:900])
+        assert accuracy_score(labels[900:], model.predict(features[900:])) > 0.8
+
+    def test_predict_proba_is_distribution(self):
+        features, labels = make_multiclass_problem(n=300)
+        model = GradientBoostingClassifier(n_estimators=5, rng=0)
+        model.fit(features, labels)
+        proba = model.predict_proba(features[:10])
+        assert proba.shape == (10, 3)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+    def test_beats_majority_class_on_imbalanced_data(self):
+        rng = np.random.default_rng(1)
+        n = 800
+        labels = (rng.random(n) < 0.2).astype(np.int64)
+        features = np.zeros((n, 4), dtype=np.float32)
+        features[:, 0] = labels  # perfectly informative feature
+        model = GradientBoostingClassifier(n_estimators=10, rng=0)
+        model.fit(features, labels)
+        assert accuracy_score(labels, model.predict(features)) > 0.95
+
+    def test_subsample_mode(self):
+        features, labels = make_multiclass_problem(n=600)
+        model = GradientBoostingClassifier(n_estimators=10, subsample=0.5, rng=0)
+        model.fit(features, labels)
+        assert accuracy_score(labels, model.predict(features)) > 0.7
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(NotFittedError):
+            GradientBoostingClassifier().predict(np.zeros((2, 3)))
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(InvalidParameterError):
+            GradientBoostingClassifier(n_estimators=0)
+        with pytest.raises(InvalidParameterError):
+            GradientBoostingClassifier(learning_rate=0.0)
+        with pytest.raises(InvalidParameterError):
+            GradientBoostingClassifier(subsample=0.0)
+
+    def test_single_class_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            GradientBoostingClassifier().fit(np.zeros((10, 2)), np.zeros(10, dtype=int))

@@ -1,0 +1,41 @@
+"""Tests for the ML metrics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.ml.metrics import accuracy_score, confusion_matrix, per_class_recall
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy_score([1, 2, 3], [1, 2, 3]) == 1.0
+
+    def test_partial(self):
+        assert accuracy_score([1, 2, 3, 4], [1, 0, 3, 0]) == 0.5
+
+    def test_shape_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            accuracy_score([1, 2], [1])
+
+    def test_empty(self):
+        with pytest.raises(InvalidParameterError):
+            accuracy_score([], [])
+
+
+class TestConfusionMatrix:
+    def test_counts(self):
+        matrix = confusion_matrix([0, 0, 1, 1], [0, 1, 1, 1])
+        np.testing.assert_array_equal(matrix, [[1, 1], [0, 2]])
+
+    def test_explicit_n_classes(self):
+        matrix = confusion_matrix([0], [0], n_classes=3)
+        assert matrix.shape == (3, 3)
+
+    def test_per_class_recall(self):
+        recall = per_class_recall([0, 0, 1, 1], [0, 1, 1, 1])
+        np.testing.assert_allclose(recall, [0.5, 1.0])
+
+    def test_recall_for_absent_class_is_zero(self):
+        recall = per_class_recall([0, 0], [0, 0], n_classes=2)
+        assert recall[1] == 0.0

@@ -1,0 +1,52 @@
+"""Tests for the Bernoulli Naive Bayes baseline."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError, NotFittedError
+from repro.ml.metrics import accuracy_score
+from repro.ml.naive_bayes import BernoulliNaiveBayes
+
+
+def make_problem(n=600, seed=0):
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, 3, size=n)
+    features = np.zeros((n, 6))
+    for c in range(3):
+        mask = labels == c
+        features[mask, 2 * c] = (rng.random(mask.sum()) < 0.85).astype(float)
+        features[mask, 2 * c + 1] = (rng.random(mask.sum()) < 0.7).astype(float)
+    return features, labels
+
+
+class TestNaiveBayes:
+    def test_learns_separable_problem(self):
+        features, labels = make_problem()
+        model = BernoulliNaiveBayes().fit(features, labels)
+        assert accuracy_score(labels, model.predict(features)) > 0.85
+
+    def test_predict_proba_is_distribution(self):
+        features, labels = make_problem(n=200)
+        model = BernoulliNaiveBayes().fit(features, labels)
+        proba = model.predict_proba(features[:5])
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+        assert (proba >= 0).all()
+
+    def test_prior_dominates_without_evidence(self):
+        # all-zero features: the majority class should win
+        labels = np.array([0] * 90 + [1] * 10)
+        features = np.zeros((100, 3))
+        model = BernoulliNaiveBayes().fit(features, labels)
+        assert model.predict(np.zeros((1, 3)))[0] == 0
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            BernoulliNaiveBayes().predict(np.zeros((2, 3)))
+
+    def test_invalid_alpha(self):
+        with pytest.raises(InvalidParameterError):
+            BernoulliNaiveBayes(alpha=0.0)
+
+    def test_misaligned_inputs(self):
+        with pytest.raises(InvalidParameterError):
+            BernoulliNaiveBayes().fit(np.zeros((5, 2)), np.zeros(3, dtype=int))

@@ -1,0 +1,79 @@
+"""Tests for the binary-feature regression tree."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError, NotFittedError
+from repro.ml.tree import BinaryFeatureRegressionTree
+
+
+def make_separable_problem(n=500, seed=0):
+    rng = np.random.default_rng(seed)
+    features = rng.integers(0, 2, size=(n, 6)).astype(np.float32)
+    # target depends strongly on feature 2
+    target = np.where(features[:, 2] > 0.5, 1.0, -1.0)
+    gradients = -target  # minimizing squared loss around the target
+    hessians = np.ones(n)
+    return features, gradients, hessians, target
+
+
+class TestFitting:
+    def test_learns_single_feature_split(self):
+        features, gradients, hessians, target = make_separable_problem()
+        tree = BinaryFeatureRegressionTree(max_depth=2, min_samples_leaf=5)
+        tree.fit(features, gradients, hessians)
+        predictions = tree.predict(features)
+        # predictions should be positively correlated with the target
+        assert np.corrcoef(predictions, target)[0, 1] > 0.95
+
+    def test_leaf_value_is_mean_like(self):
+        # with constant gradients the tree should output -G/(H + lambda)
+        features = np.zeros((20, 3), dtype=np.float32)
+        gradients = np.full(20, 2.0)
+        hessians = np.ones(20)
+        tree = BinaryFeatureRegressionTree(max_depth=3, reg_lambda=0.0, min_samples_leaf=1)
+        tree.fit(features, gradients, hessians)
+        np.testing.assert_allclose(tree.predict(features), -2.0, atol=1e-9)
+
+    def test_respects_max_depth(self):
+        features, gradients, hessians, _ = make_separable_problem(n=300)
+        shallow = BinaryFeatureRegressionTree(max_depth=1, min_samples_leaf=1)
+        shallow.fit(features, gradients, hessians)
+        deep = BinaryFeatureRegressionTree(max_depth=5, min_samples_leaf=1)
+        deep.fit(features, gradients, hessians)
+        assert shallow.node_count <= 3
+        assert deep.node_count >= shallow.node_count
+
+    def test_min_samples_leaf_prevents_tiny_splits(self):
+        features, gradients, hessians, _ = make_separable_problem(n=30)
+        tree = BinaryFeatureRegressionTree(max_depth=5, min_samples_leaf=20)
+        tree.fit(features, gradients, hessians)
+        assert tree.node_count == 1  # cannot split without violating the minimum
+
+    def test_misaligned_inputs_rejected(self):
+        tree = BinaryFeatureRegressionTree()
+        with pytest.raises(InvalidParameterError):
+            tree.fit(np.zeros((10, 2)), np.zeros(5), np.ones(10))
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(InvalidParameterError):
+            BinaryFeatureRegressionTree(max_depth=0)
+        with pytest.raises(InvalidParameterError):
+            BinaryFeatureRegressionTree(min_samples_leaf=0)
+        with pytest.raises(InvalidParameterError):
+            BinaryFeatureRegressionTree(reg_lambda=-1.0)
+
+
+class TestPrediction:
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            BinaryFeatureRegressionTree().predict(np.zeros((2, 3)))
+
+    def test_predict_new_rows(self):
+        features, gradients, hessians, _ = make_separable_problem()
+        tree = BinaryFeatureRegressionTree(max_depth=2, min_samples_leaf=5)
+        tree.fit(features, gradients, hessians)
+        new = np.zeros((2, 6), dtype=np.float32)
+        new[1, 2] = 1.0
+        predictions = tree.predict(new)
+        assert predictions[1] > predictions[0]

@@ -1,0 +1,112 @@
+"""Tests for the SPL and SMP multidimensional solutions."""
+
+import numpy as np
+import pytest
+
+from repro.core.composition import split_budget
+from repro.core.domain import Domain
+from repro.exceptions import DomainMismatchError, EstimationError, InvalidParameterError
+from repro.metrics.errors import mse_avg
+from repro.multidim.smp import SMP
+from repro.multidim.spl import SPL
+
+
+class TestSPL:
+    def test_collect_shapes(self, small_dataset):
+        solution = SPL(small_dataset.domain, epsilon=2.0, protocol="GRR", rng=0)
+        reports = solution.collect(small_dataset)
+        assert reports.solution == "SPL"
+        assert reports.n == small_dataset.n
+        assert len(reports.per_attribute) == small_dataset.d
+        assert reports.sampled is None
+        assert reports.extra["per_attribute_epsilon"] == pytest.approx(
+            split_budget(2.0, small_dataset.d)
+        )
+
+    def test_estimates_cover_every_attribute(self, small_dataset):
+        solution = SPL(small_dataset.domain, epsilon=3.0, protocol="GRR", rng=0)
+        _, estimates = solution.collect_and_estimate(small_dataset)
+        assert len(estimates) == small_dataset.d
+        for estimate, k in zip(estimates, small_dataset.sizes):
+            assert estimate.k == k
+
+    def test_rejects_mismatched_dataset(self, small_dataset):
+        other_domain = Domain.from_sizes([2, 2])
+        with pytest.raises(InvalidParameterError):
+            SPL(Domain.from_sizes([5]), epsilon=1.0)
+        solution = SPL(other_domain, epsilon=1.0)
+        with pytest.raises(DomainMismatchError):
+            solution.collect(small_dataset)
+
+
+class TestSMP:
+    def test_collect_partitions_users(self, small_dataset):
+        solution = SMP(small_dataset.domain, epsilon=2.0, protocol="GRR", rng=0)
+        reports = solution.collect(small_dataset)
+        total = sum(len(rows) for rows in reports.user_indices)
+        assert total == small_dataset.n
+        # sampled attribute is disclosed
+        assert reports.sampled.shape == (small_dataset.n,)
+        assert set(np.unique(reports.sampled)) <= set(range(small_dataset.d))
+
+    def test_collect_with_fixed_sampling(self, small_dataset):
+        sampled = np.zeros(small_dataset.n, dtype=np.int64)
+        sampled[: small_dataset.n // 2] = 1
+        solution = SMP(small_dataset.domain, epsilon=2.0, protocol="GRR", rng=0)
+        reports = solution.collect(small_dataset, sampled=sampled)
+        np.testing.assert_array_equal(reports.sampled, sampled)
+        assert len(reports.user_indices[2]) == 0
+
+    def test_estimation_roughly_unbiased(self, small_domain):
+        rng = np.random.default_rng(0)
+        n = 30000
+        columns = []
+        for attr in small_domain:
+            weights = np.arange(attr.size, 0, -1, dtype=float)
+            weights /= weights.sum()
+            columns.append(rng.choice(attr.size, size=n, p=weights))
+        from repro.core.dataset import TabularDataset
+
+        dataset = TabularDataset.from_columns(columns, small_domain)
+        solution = SMP(small_domain, epsilon=2.0, protocol="GRR", rng=1)
+        _, estimates = solution.collect_and_estimate(dataset)
+        for j, estimate in enumerate(estimates):
+            np.testing.assert_allclose(
+                estimate.estimates, dataset.frequencies(j), atol=0.05
+            )
+
+    def test_smp_beats_spl_utility(self, small_dataset):
+        smp = SMP(small_dataset.domain, epsilon=1.0, protocol="GRR", rng=0)
+        spl = SPL(small_dataset.domain, epsilon=1.0, protocol="GRR", rng=0)
+        _, smp_estimates = smp.collect_and_estimate(small_dataset)
+        _, spl_estimates = spl.collect_and_estimate(small_dataset)
+        assert mse_avg(smp_estimates, small_dataset) < mse_avg(spl_estimates, small_dataset)
+
+    def test_estimate_fails_when_attribute_unsampled(self, small_dataset):
+        solution = SMP(small_dataset.domain, epsilon=1.0, protocol="GRR", rng=0)
+        sampled = np.zeros(small_dataset.n, dtype=np.int64)  # nobody samples attr 1, 2
+        reports = solution.collect(small_dataset, sampled=sampled)
+        with pytest.raises(EstimationError):
+            solution.estimate(reports)
+
+    def test_wrong_sampled_shape_rejected(self, small_dataset):
+        solution = SMP(small_dataset.domain, epsilon=1.0, protocol="GRR", rng=0)
+        with pytest.raises(EstimationError):
+            solution.collect(small_dataset, sampled=np.zeros(3, dtype=np.int64))
+
+    def test_attack_reports_accuracy_beats_random(self, small_dataset):
+        solution = SMP(small_dataset.domain, epsilon=5.0, protocol="GRR", rng=0)
+        reports = solution.collect(small_dataset)
+        guesses = solution.attack_reports(reports)
+        true_values = small_dataset.data[np.arange(small_dataset.n), reports.sampled]
+        accuracy = np.mean(guesses == true_values)
+        assert accuracy > 0.5  # epsilon=5 on small domains: near-certain disclosure
+
+    @pytest.mark.parametrize("protocol", ["GRR", "OLH", "SS", "SUE", "OUE"])
+    def test_all_protocols_supported(self, tiny_dataset, protocol):
+        solution = SMP(tiny_dataset.domain, epsilon=2.0, protocol=protocol, rng=0)
+        reports, estimates = solution.collect_and_estimate(tiny_dataset)
+        assert len(estimates) == tiny_dataset.d
+        guesses = solution.attack_reports(reports)
+        assert guesses.shape == (tiny_dataset.n,)
+        assert (guesses >= 0).all()

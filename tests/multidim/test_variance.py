@@ -1,0 +1,116 @@
+"""Tests for the analytical RS+FD / RS+RFD variances (Theorems 2 and 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import TabularDataset
+from repro.core.domain import Domain
+from repro.exceptions import InvalidParameterError
+from repro.multidim.rsfd import RSFD
+from repro.multidim.rsrfd import RSRFD
+from repro.multidim.variance import (
+    averaged_analytical_variance,
+    rsfd_variance,
+    rsrfd_variance,
+)
+
+
+class TestFormulas:
+    def test_variance_positive_and_decreasing_in_epsilon(self):
+        for protocol in ("grr", "ue-z", "ue-r"):
+            values = [rsfd_variance(protocol, eps, 10, 5, 1000) for eps in (0.5, 1, 2, 4)]
+            assert all(v > 0 for v in values)
+            assert values == sorted(values, reverse=True), protocol
+
+    def test_variance_decreasing_in_n(self):
+        assert rsfd_variance("grr", 1.0, 10, 5, 10_000) < rsfd_variance("grr", 1.0, 10, 5, 100)
+
+    def test_rsrfd_matches_rsfd_under_uniform_prior_grr(self):
+        # with a uniform prior f~ = 1/k, Eq. (8) reduces to the RS+FD[GRR] gamma
+        k = 12
+        assert rsrfd_variance("grr", 1.0, k, 4, 1000, prior_value=1.0 / k) == pytest.approx(
+            rsfd_variance("grr", 1.0, k, 4, 1000)
+        )
+
+    def test_rsrfd_matches_rsfd_under_uniform_prior_ue_r(self):
+        k = 12
+        assert rsrfd_variance(
+            "ue-r", 1.0, k, 4, 1000, prior_value=1.0 / k, ue_kind="OUE"
+        ) == pytest.approx(rsfd_variance("ue-r", 1.0, k, 4, 1000, ue_kind="OUE"))
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            rsfd_variance("bogus", 1.0, 10, 5, 100)
+        with pytest.raises(InvalidParameterError):
+            rsrfd_variance("ue-z", 1.0, 10, 5, 100, prior_value=0.1)
+        with pytest.raises(InvalidParameterError):
+            rsrfd_variance("grr", 1.0, 10, 5, 100, prior_value=1.5)
+
+    def test_averaged_variance_requires_priors_for_rsrfd(self):
+        with pytest.raises(InvalidParameterError):
+            averaged_analytical_variance("rsrfd", "grr", 1.0, [4, 5], 100)
+
+
+class TestAgainstSimulation:
+    @pytest.mark.parametrize("variant", ["grr", "ue-z", "ue-r"])
+    def test_rsfd_variance_matches_monte_carlo(self, variant):
+        rng = np.random.default_rng(0)
+        domain = Domain.from_sizes([6, 6, 6])
+        n, eps = 20000, 1.5
+        probs = np.array([0.4, 0.25, 0.15, 0.1, 0.06, 0.04])
+        dataset = TabularDataset.from_columns(
+            [rng.choice(6, size=n, p=probs) for _ in range(3)], domain
+        )
+        target_value = 5  # low-frequency value, close to the f=0 approximation
+        estimates = []
+        for repeat in range(25):
+            solution = RSFD(domain, eps, variant=variant, ue_kind="OUE", rng=100 + repeat)
+            _, est = solution.collect_and_estimate(dataset)
+            estimates.append(est[0].estimates[target_value])
+        empirical = float(np.var(estimates))
+        analytical = rsfd_variance(
+            variant, eps, 6, 3, n, f=float(probs[target_value]), ue_kind="OUE"
+        )
+        assert empirical == pytest.approx(analytical, rel=0.6)
+
+    def test_rsrfd_variance_matches_monte_carlo(self):
+        rng = np.random.default_rng(1)
+        domain = Domain.from_sizes([6, 6, 6])
+        n, eps = 20000, 1.5
+        probs = np.array([0.4, 0.25, 0.15, 0.1, 0.06, 0.04])
+        dataset = TabularDataset.from_columns(
+            [rng.choice(6, size=n, p=probs) for _ in range(3)], domain
+        )
+        priors = dataset.all_frequencies()
+        target_value = 4
+        estimates = []
+        for repeat in range(25):
+            solution = RSRFD(domain, eps, priors, variant="grr", rng=200 + repeat)
+            _, est = solution.collect_and_estimate(dataset)
+            estimates.append(est[0].estimates[target_value])
+        empirical = float(np.var(estimates))
+        analytical = rsrfd_variance(
+            "grr", eps, 6, 3, n,
+            prior_value=float(priors[0][target_value]),
+            f=float(probs[target_value]),
+        )
+        assert empirical == pytest.approx(analytical, rel=0.6)
+
+    def test_averaged_variance_orders_protocols_like_fig16(self):
+        sizes = (74, 7, 16, 7, 14, 6, 5, 2, 41, 2)
+        n = 45000
+        eps = np.log(4)
+        priors = [np.full(k, 1.0 / k) for k in sizes]
+        rsfd_grr = averaged_analytical_variance("rsfd", "grr", eps, sizes, n)
+        rsrfd_grr = averaged_analytical_variance("rsrfd", "grr", eps, sizes, n, priors=priors)
+        # uniform priors make RS+RFD coincide with RS+FD
+        assert rsrfd_grr == pytest.approx(rsfd_grr)
+        # skewed priors reduce the averaged variance (Jensen: gamma(1-gamma) concave)
+        skewed = []
+        for k in sizes:
+            weights = np.arange(k, 0, -1, dtype=float) ** 2
+            skewed.append(weights / weights.sum())
+        rsrfd_skewed = averaged_analytical_variance(
+            "rsrfd", "grr", eps, sizes, n, priors=skewed
+        )
+        assert rsrfd_skewed <= rsfd_grr * 1.001

@@ -1,0 +1,65 @@
+"""Tests for the Laplace mechanism."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.privacy.laplace import (
+    laplace_mechanism,
+    laplace_noise_scale,
+    laplace_perturbed_histogram,
+)
+
+
+class TestScale:
+    def test_scale_formula(self):
+        assert laplace_noise_scale(0.5, sensitivity=1.0) == pytest.approx(2.0)
+        assert laplace_noise_scale(2.0, sensitivity=3.0) == pytest.approx(1.5)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(InvalidParameterError):
+            laplace_noise_scale(0.0)
+        with pytest.raises(InvalidParameterError):
+            laplace_noise_scale(1.0, sensitivity=0.0)
+
+
+class TestMechanism:
+    def test_noise_is_zero_mean(self):
+        values = np.zeros(200_000)
+        noisy = laplace_mechanism(values, epsilon=1.0, rng=0)
+        assert abs(noisy.mean()) < 0.02
+
+    def test_noise_scale_matches_epsilon(self):
+        values = np.zeros(200_000)
+        noisy = laplace_mechanism(values, epsilon=0.5, rng=0)
+        # Laplace(b) has std = sqrt(2) * b; here b = 2
+        assert noisy.std() == pytest.approx(np.sqrt(2) * 2.0, rel=0.05)
+
+    def test_shape_preserved(self):
+        noisy = laplace_mechanism(np.ones((3, 4)), epsilon=1.0, rng=0)
+        assert noisy.shape == (3, 4)
+
+
+class TestPerturbedHistogram:
+    def test_output_is_distribution(self):
+        freqs = np.array([0.7, 0.2, 0.1])
+        result = laplace_perturbed_histogram(freqs, epsilon=1.0, n=1000, rng=0)
+        assert result.sum() == pytest.approx(1.0)
+        assert (result >= 0).all()
+
+    def test_high_budget_preserves_histogram(self):
+        freqs = np.array([0.6, 0.3, 0.1])
+        result = laplace_perturbed_histogram(freqs, epsilon=100.0, n=10_000, rng=0)
+        np.testing.assert_allclose(result, freqs, atol=0.01)
+
+    def test_low_budget_heavily_distorts(self):
+        freqs = np.array([0.6, 0.3, 0.1])
+        distortions = []
+        for seed in range(20):
+            result = laplace_perturbed_histogram(freqs, epsilon=0.001, n=100, rng=seed)
+            distortions.append(np.abs(result - freqs).sum())
+        assert np.mean(distortions) > 0.1
+
+    def test_invalid_n(self):
+        with pytest.raises(InvalidParameterError):
+            laplace_perturbed_histogram(np.array([0.5, 0.5]), 1.0, n=0)

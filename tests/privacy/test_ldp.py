@@ -1,0 +1,53 @@
+"""Tests for the LDP verification helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.privacy.ldp import (
+    empirical_probability_ratio,
+    grr_style_ratio,
+    ldp_bound,
+    satisfies_ldp,
+    ue_style_ratio,
+)
+from repro.protocols.grr import GRR
+
+
+class TestRatios:
+    def test_ldp_bound(self):
+        assert ldp_bound(1.0) == pytest.approx(math.e)
+
+    def test_grr_style_ratio(self):
+        assert grr_style_ratio(0.6, 0.2) == pytest.approx(3.0)
+        with pytest.raises(InvalidParameterError):
+            grr_style_ratio(0.2, 0.6)
+
+    def test_ue_style_ratio(self):
+        assert ue_style_ratio(0.75, 0.25) == pytest.approx(9.0)
+        with pytest.raises(InvalidParameterError):
+            ue_style_ratio(1.0, 0.25)
+
+    def test_satisfies_ldp(self):
+        assert satisfies_ldp(math.e, 1.0)
+        assert not satisfies_ldp(math.e * 1.1, 1.0)
+
+
+class TestEmpiricalRatio:
+    def test_grr_empirical_ratio_respects_budget(self):
+        epsilon, k = 1.0, 5
+        oracle = GRR(k=k, epsilon=epsilon, rng=0)
+        outputs_a = oracle.randomize_many(np.zeros(200_000, dtype=np.int64))
+        outputs_b = oracle.randomize_many(np.full(200_000, 3, dtype=np.int64))
+        ratio = empirical_probability_ratio(outputs_a, outputs_b, k)
+        assert ratio <= math.exp(epsilon) * 1.1  # sampling-noise slack
+
+    def test_disjoint_supports_give_infinity(self):
+        ratio = empirical_probability_ratio(np.zeros(10, dtype=int), np.ones(10, dtype=int), 2)
+        assert ratio == math.inf
+
+    def test_invalid_num_outputs(self):
+        with pytest.raises(InvalidParameterError):
+            empirical_probability_ratio(np.zeros(5, dtype=int), np.zeros(5, dtype=int), 1)

@@ -1,0 +1,106 @@
+"""Tests for the PIE privacy model (Appendix C)."""
+
+import math
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.privacy.pie import (
+    alpha_for_bayes_error,
+    alpha_from_epsilon,
+    bayes_error_lower_bound,
+    epsilon_for_alpha,
+    pie_budget_for_attribute,
+)
+
+
+class TestProposition1:
+    def test_alpha_formula_small_epsilon(self):
+        # for eps < 1, the eps^2 term binds
+        alpha = alpha_from_epsilon(0.5, n=10_000, k=100)
+        assert alpha == pytest.approx(0.25 * math.log2(math.e))
+
+    def test_alpha_formula_large_epsilon(self):
+        # for large eps, the log2(k) or log2(n) cap binds
+        alpha = alpha_from_epsilon(50.0, n=1024, k=8)
+        assert alpha == pytest.approx(3.0)  # log2(8)
+
+    def test_alpha_monotone_in_epsilon(self):
+        values = [alpha_from_epsilon(e, 10_000, 64) for e in (0.1, 0.5, 1, 2, 4)]
+        assert values == sorted(values)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(InvalidParameterError):
+            alpha_from_epsilon(1.0, n=1, k=5)
+        with pytest.raises(InvalidParameterError):
+            alpha_from_epsilon(1.0, n=100, k=1)
+
+
+class TestCorollary1:
+    def test_bound_decreases_with_alpha(self):
+        values = [bayes_error_lower_bound(a, 10_000) for a in (0.0, 1.0, 3.0, 8.0)]
+        assert values == sorted(values, reverse=True)
+
+    def test_bound_clipped_to_unit_interval(self):
+        assert bayes_error_lower_bound(1000.0, 100) == 0.0
+        assert 0.0 <= bayes_error_lower_bound(0.0, 100) <= 1.0
+
+    def test_inversion_roundtrip(self):
+        n = 45_222
+        for beta in (0.9, 0.8, 0.6, 0.5):
+            alpha = alpha_for_bayes_error(beta, n)
+            assert bayes_error_lower_bound(alpha, n) == pytest.approx(beta, abs=1e-9)
+
+    def test_inversion_clamps_for_unachievable_beta(self):
+        # beta above 1 - 1/log2(n) cannot be reached even with alpha = 0
+        n = 45_222
+        alpha = alpha_for_bayes_error(0.99, n)
+        assert alpha == 0.0
+        assert bayes_error_lower_bound(alpha, n) < 0.99
+
+    def test_alpha_for_bayes_error_validation(self):
+        with pytest.raises(InvalidParameterError):
+            alpha_for_bayes_error(1.5, 100)
+
+
+class TestEpsilonForAlpha:
+    def test_small_alpha_uses_sqrt(self):
+        alpha = 0.5
+        eps = epsilon_for_alpha(alpha)
+        assert eps == pytest.approx(math.sqrt(alpha / math.log2(math.e)))
+
+    def test_large_alpha_is_linear(self):
+        alpha = 5.0
+        assert epsilon_for_alpha(alpha) == pytest.approx(alpha / math.log2(math.e))
+
+    def test_zero_alpha(self):
+        assert epsilon_for_alpha(0.0) == 0.0
+
+    def test_monotone(self):
+        values = [epsilon_for_alpha(a) for a in (0.1, 0.5, 1, 2, 5, 10)]
+        assert values == sorted(values)
+
+
+class TestBudgetForAttribute:
+    def test_small_domain_reports_in_clear(self):
+        # Adult has several binary attributes: log2(2) = 1 <= alpha for lax beta
+        budget = pie_budget_for_attribute(beta=0.5, n=45_222, k=2)
+        assert budget.report_in_clear
+        assert budget.epsilon == 0.0
+
+    def test_large_domain_needs_randomizer(self):
+        budget = pie_budget_for_attribute(beta=0.8, n=45_222, k=74)
+        assert not budget.report_in_clear
+        assert budget.epsilon > 0.0
+
+    def test_lower_beta_gives_larger_epsilon(self):
+        strict = pie_budget_for_attribute(beta=0.9, n=45_222, k=74)
+        lax = pie_budget_for_attribute(beta=0.7, n=45_222, k=74)
+        assert lax.alpha > strict.alpha
+        assert lax.epsilon >= strict.epsilon
+
+    def test_very_lax_beta_reports_large_domain_in_clear(self):
+        # with beta = 0.5 the PIE bound exceeds log2(74), so even a k = 74
+        # attribute is reported without a randomizer ([35, Prop. 9])
+        budget = pie_budget_for_attribute(beta=0.5, n=45_222, k=74)
+        assert budget.report_in_clear

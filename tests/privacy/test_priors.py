@@ -1,0 +1,94 @@
+"""Tests for the prior generators used by RS+RFD."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.privacy.priors import (
+    correct_priors,
+    dirichlet_priors,
+    exponential_priors,
+    make_priors,
+    uniform_priors,
+    zipf_priors,
+)
+
+
+class TestIncorrectPriors:
+    SIZES = (5, 12, 3)
+
+    @pytest.mark.parametrize(
+        "factory", [dirichlet_priors, zipf_priors, exponential_priors]
+    )
+    def test_valid_distributions(self, factory):
+        priors = factory(self.SIZES, rng=0)
+        assert len(priors) == len(self.SIZES)
+        for prior, k in zip(priors, self.SIZES):
+            assert prior.shape == (k,)
+            assert prior.sum() == pytest.approx(1.0)
+            assert (prior >= 0).all()
+
+    def test_uniform_priors(self):
+        priors = uniform_priors(self.SIZES)
+        for prior, k in zip(priors, self.SIZES):
+            np.testing.assert_allclose(prior, np.full(k, 1.0 / k))
+
+    def test_zipf_priors_are_skewed(self):
+        prior = zipf_priors([20], rng=0)[0]
+        assert prior.max() > 3 * prior.min()
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            dirichlet_priors([])
+        with pytest.raises(InvalidParameterError):
+            dirichlet_priors([1, 5])
+
+    def test_invalid_zipf_exponent(self):
+        with pytest.raises(InvalidParameterError):
+            zipf_priors([5], s=1.0)
+
+    def test_invalid_exponential_rate(self):
+        with pytest.raises(InvalidParameterError):
+            exponential_priors([5], rate=0.0)
+
+
+class TestCorrectPriors:
+    def test_correct_priors_are_close_to_truth(self, small_dataset):
+        # generous budget -> priors nearly equal to the true frequencies
+        priors = correct_priors(small_dataset, total_epsilon=50.0, rng=0)
+        for j, prior in enumerate(priors):
+            np.testing.assert_allclose(prior, small_dataset.frequencies(j), atol=0.05)
+
+    def test_correct_priors_are_distributions(self, small_dataset):
+        priors = correct_priors(small_dataset, total_epsilon=0.1, rng=0)
+        for prior in priors:
+            assert prior.sum() == pytest.approx(1.0)
+            assert (prior >= 0).all()
+
+
+class TestMakePriors:
+    @pytest.mark.parametrize("kind", ["exact", "correct", "uniform", "dir", "zipf", "exp"])
+    def test_all_kinds(self, small_dataset, kind):
+        priors = make_priors(kind, small_dataset, rng=0)
+        assert len(priors) == small_dataset.d
+        for prior, k in zip(priors, small_dataset.sizes):
+            assert prior.shape == (k,)
+            assert prior.sum() == pytest.approx(1.0)
+
+    def test_exact_priors_are_true_frequencies(self, small_dataset):
+        priors = make_priors("exact", small_dataset)
+        for j, prior in enumerate(priors):
+            np.testing.assert_allclose(prior, small_dataset.frequencies(j))
+
+    def test_correct_priors_respect_total_epsilon(self, small_dataset):
+        # a huge budget reproduces the truth, a tiny one does not
+        tight = make_priors("correct", small_dataset, rng=0, total_epsilon=1e-4)
+        loose = make_priors("correct", small_dataset, rng=0, total_epsilon=1e4)
+        truth = small_dataset.all_frequencies()
+        loose_error = sum(np.abs(p - t).sum() for p, t in zip(loose, truth))
+        tight_error = sum(np.abs(p - t).sum() for p, t in zip(tight, truth))
+        assert loose_error < tight_error
+
+    def test_unknown_kind_rejected(self, small_dataset):
+        with pytest.raises(InvalidParameterError):
+            make_priors("bogus", small_dataset)

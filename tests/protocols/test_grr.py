@@ -1,0 +1,109 @@
+"""Tests for the GRR protocol."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.protocols.grr import GRR
+
+
+class TestParameters:
+    def test_p_q_formulas(self):
+        oracle = GRR(k=10, epsilon=1.0)
+        e = math.e
+        assert oracle.p == pytest.approx(e / (e + 9))
+        assert oracle.q == pytest.approx(1 / (e + 9))
+
+    def test_ldp_ratio_equals_exp_epsilon(self):
+        for eps in (0.5, 1.0, 4.0):
+            oracle = GRR(k=7, epsilon=eps)
+            assert oracle.p / oracle.q == pytest.approx(math.exp(eps))
+
+    def test_probabilities_sum_to_one(self):
+        oracle = GRR(k=12, epsilon=2.0)
+        assert oracle.p + (oracle.k - 1) * oracle.q == pytest.approx(1.0)
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            GRR(k=1, epsilon=1.0)
+
+    def test_invalid_epsilon_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            GRR(k=4, epsilon=0.0)
+
+
+class TestRandomization:
+    def test_reports_stay_in_domain(self):
+        oracle = GRR(k=5, epsilon=1.0, rng=0)
+        values = np.random.default_rng(1).integers(0, 5, size=2000)
+        reports = oracle.randomize_many(values)
+        assert reports.min() >= 0 and reports.max() < 5
+
+    def test_keep_rate_matches_p(self):
+        oracle = GRR(k=5, epsilon=2.0, rng=0)
+        values = np.full(30000, 3)
+        reports = oracle.randomize_many(values)
+        assert np.mean(reports == 3) == pytest.approx(oracle.p, abs=0.01)
+
+    def test_other_values_uniform(self):
+        oracle = GRR(k=4, epsilon=1.0, rng=0)
+        values = np.full(60000, 0)
+        reports = oracle.randomize_many(values)
+        others = reports[reports != 0]
+        counts = np.bincount(others, minlength=4)[1:]
+        assert counts.std() / counts.mean() < 0.05
+
+    def test_single_randomize_matches_domain(self):
+        oracle = GRR(k=3, epsilon=1.0, rng=0)
+        assert all(0 <= oracle.randomize(1) < 3 for _ in range(50))
+
+    def test_out_of_domain_value_rejected(self):
+        oracle = GRR(k=3, epsilon=1.0)
+        with pytest.raises(InvalidParameterError):
+            oracle.randomize(3)
+        with pytest.raises(InvalidParameterError):
+            oracle.randomize_many(np.array([0, 5]))
+
+
+class TestEstimation:
+    def test_unbiased_estimation(self):
+        rng = np.random.default_rng(0)
+        truth = np.array([0.5, 0.3, 0.1, 0.1])
+        values = rng.choice(4, size=60000, p=truth)
+        oracle = GRR(k=4, epsilon=1.0, rng=1)
+        estimate = oracle.aggregate(oracle.randomize_many(values))
+        np.testing.assert_allclose(estimate.estimates, truth, atol=0.02)
+
+    def test_estimates_sum_close_to_one(self):
+        rng = np.random.default_rng(2)
+        values = rng.integers(0, 6, size=40000)
+        oracle = GRR(k=6, epsilon=2.0, rng=3)
+        estimate = oracle.aggregate(oracle.randomize_many(values))
+        assert estimate.estimates.sum() == pytest.approx(1.0, abs=0.03)
+
+    def test_variance_decreases_with_epsilon(self):
+        low = GRR(k=10, epsilon=0.5).estimator_variance(1000)
+        high = GRR(k=10, epsilon=4.0).estimator_variance(1000)
+        assert high < low
+
+
+class TestAttack:
+    def test_attack_returns_report(self):
+        oracle = GRR(k=5, epsilon=1.0, rng=0)
+        assert oracle.attack(3) == 3
+        np.testing.assert_array_equal(
+            oracle.attack_many(np.array([0, 4, 2])), np.array([0, 4, 2])
+        )
+
+    def test_empirical_accuracy_matches_expectation(self):
+        oracle = GRR(k=8, epsilon=2.0, rng=0)
+        values = np.random.default_rng(1).integers(0, 8, size=30000)
+        reports = oracle.randomize_many(values)
+        accuracy = np.mean(oracle.attack_many(reports) == values)
+        assert accuracy == pytest.approx(oracle.expected_attack_accuracy(), abs=0.01)
+
+    def test_accuracy_grows_with_epsilon(self):
+        accuracies = [GRR(k=10, epsilon=e).expected_attack_accuracy() for e in (1, 3, 6)]
+        assert accuracies == sorted(accuracies)

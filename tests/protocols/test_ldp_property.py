@@ -1,0 +1,107 @@
+"""Property-based tests of the LDP guarantee and estimator invariants.
+
+Uses hypothesis to explore (protocol, k, epsilon) configurations and checks
+the structural invariants that must hold for *every* configuration:
+
+* the p/q parameterization satisfies the epsilon-LDP inequality;
+* perturbed outputs remain inside the protocol's output space;
+* frequency estimates are finite and sum to approximately one for large n.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.privacy.ldp import grr_style_ratio, satisfies_ldp, ue_style_ratio
+from repro.protocols.grr import GRR
+from repro.protocols.olh import OLH
+from repro.protocols.registry import make_protocol
+from repro.protocols.ss import SubsetSelection
+from repro.protocols.ue import OUE, SUE
+
+PROTOCOL_NAMES = ("GRR", "OLH", "SS", "SUE", "OUE")
+
+protocol_strategy = st.sampled_from(PROTOCOL_NAMES)
+k_strategy = st.integers(min_value=2, max_value=60)
+epsilon_strategy = st.floats(min_value=0.1, max_value=10.0, allow_nan=False)
+
+
+@settings(max_examples=60, deadline=None)
+@given(k=k_strategy, epsilon=epsilon_strategy)
+def test_grr_satisfies_ldp(k, epsilon):
+    oracle = GRR(k=k, epsilon=epsilon)
+    assert satisfies_ldp(grr_style_ratio(oracle.p, oracle.q), epsilon)
+
+
+@settings(max_examples=60, deadline=None)
+@given(k=k_strategy, epsilon=epsilon_strategy)
+def test_olh_hashed_grr_satisfies_ldp(k, epsilon):
+    oracle = OLH(k=k, epsilon=epsilon)
+    assert satisfies_ldp(grr_style_ratio(oracle.p_hash, oracle.q_hash), epsilon)
+
+
+@settings(max_examples=60, deadline=None)
+@given(k=k_strategy, epsilon=epsilon_strategy)
+def test_ue_protocols_satisfy_ldp(k, epsilon):
+    for cls in (SUE, OUE):
+        oracle = cls(k=k, epsilon=epsilon)
+        assert satisfies_ldp(ue_style_ratio(oracle.p, oracle.q), epsilon)
+
+
+@settings(max_examples=40, deadline=None)
+@given(k=k_strategy, epsilon=epsilon_strategy)
+def test_ss_inclusion_probabilities_are_valid(k, epsilon):
+    oracle = SubsetSelection(k=k, epsilon=epsilon)
+    assert 0.0 < oracle.q <= oracle.p <= 1.0
+    assert 1 <= oracle.omega <= k
+    # the ratio of inclusion probabilities is bounded by e^eps
+    assert oracle.p / oracle.q <= math.exp(epsilon) * (1 + 1e-9) * k
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    protocol=protocol_strategy,
+    k=st.integers(min_value=2, max_value=20),
+    epsilon=st.floats(min_value=0.5, max_value=6.0),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_reports_stay_in_output_space(protocol, k, epsilon, seed):
+    oracle = make_protocol(protocol, k=k, epsilon=epsilon, rng=seed)
+    values = np.random.default_rng(seed).integers(0, k, size=200)
+    reports = oracle.randomize_many(values)
+    counts = oracle.support_counts(reports)
+    assert counts.shape == (k,)
+    assert np.all(counts >= 0)
+    assert np.isfinite(counts).all()
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    protocol=protocol_strategy,
+    k=st.integers(min_value=3, max_value=12),
+    epsilon=st.floats(min_value=1.0, max_value=5.0),
+)
+def test_estimates_roughly_sum_to_one(protocol, k, epsilon):
+    rng = np.random.default_rng(0)
+    values = rng.integers(0, k, size=20000)
+    oracle = make_protocol(protocol, k=k, epsilon=epsilon, rng=1)
+    estimate = oracle.aggregate(oracle.randomize_many(values))
+    assert np.isfinite(estimate.estimates).all()
+    assert estimate.estimates.sum() == pytest.approx(1.0, abs=0.15)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    protocol=protocol_strategy,
+    k=st.integers(min_value=2, max_value=40),
+    epsilon=st.floats(min_value=0.2, max_value=10.0),
+)
+def test_expected_attack_accuracy_is_probability(protocol, k, epsilon):
+    oracle = make_protocol(protocol, k=k, epsilon=epsilon, rng=0)
+    accuracy = oracle.expected_attack_accuracy()
+    assert 0.0 < accuracy <= 1.0
+    # never worse than the uniform random guess by more than a rounding margin
+    assert accuracy >= 1.0 / (2 * k)

@@ -1,0 +1,108 @@
+"""Tests for the OLH protocol."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.protocols.olh import HASH_PRIME, OLH, optimal_hash_range, universal_hash
+
+
+class TestHashing:
+    def test_optimal_hash_range(self):
+        assert optimal_hash_range(1.0) == round(math.e) + 1
+        assert optimal_hash_range(0.1) >= 2
+
+    def test_universal_hash_range(self):
+        values = np.arange(100)
+        hashed = universal_hash(values, 12345, 678, 7)
+        assert hashed.min() >= 0 and hashed.max() < 7
+
+    def test_universal_hash_deterministic(self):
+        values = np.arange(50)
+        a = universal_hash(values, 999, 1, 5)
+        b = universal_hash(values, 999, 1, 5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_universal_hash_spreads_values(self):
+        rng = np.random.default_rng(0)
+        g = 4
+        collisions = []
+        for _ in range(200):
+            a = int(rng.integers(1, HASH_PRIME))
+            b = int(rng.integers(0, HASH_PRIME))
+            hashed = universal_hash(np.arange(40), a, b, g)
+            collisions.append(np.bincount(hashed, minlength=g).max())
+        # on average each bucket gets ~10 of 40 values; max bucket far from 40
+        assert np.mean(collisions) < 20
+
+
+class TestProtocol:
+    def test_report_shape(self):
+        oracle = OLH(k=30, epsilon=1.0, rng=0)
+        reports = oracle.randomize_many(np.arange(30))
+        assert reports.shape == (30, 3)
+        assert reports[:, 2].min() >= 0 and reports[:, 2].max() < oracle.g
+
+    def test_estimator_q_is_inverse_g(self):
+        oracle = OLH(k=50, epsilon=2.0)
+        assert oracle.q == pytest.approx(1.0 / oracle.g)
+
+    def test_hash_domain_ldp_ratio(self):
+        oracle = OLH(k=50, epsilon=2.0)
+        assert oracle.p_hash / oracle.q_hash == pytest.approx(math.exp(2.0))
+
+    def test_unbiased_estimation(self):
+        rng = np.random.default_rng(0)
+        truth = np.array([0.45, 0.25, 0.15, 0.1, 0.05])
+        values = rng.choice(5, size=60000, p=truth)
+        oracle = OLH(k=5, epsilon=1.0, rng=1)
+        estimate = oracle.aggregate(oracle.randomize_many(values))
+        np.testing.assert_allclose(estimate.estimates, truth, atol=0.03)
+
+    def test_invalid_reports_rejected(self):
+        oracle = OLH(k=5, epsilon=1.0)
+        with pytest.raises(InvalidParameterError):
+            oracle.support_counts(np.zeros((3, 2), dtype=np.int64))
+
+    def test_custom_hash_range(self):
+        oracle = OLH(k=100, epsilon=1.0, g=8)
+        assert oracle.g == 8
+
+
+class TestAttack:
+    def test_attack_guess_hashes_to_reported_bucket(self):
+        oracle = OLH(k=40, epsilon=1.0, rng=0)
+        report = oracle.randomize(7)
+        guess = oracle.attack(report)
+        a, b, perturbed = report
+        assert universal_hash(np.array([guess]), a, b, oracle.g)[0] == perturbed
+
+    def test_attack_accuracy_beats_random_and_below_grr(self):
+        k, eps = 40, 2.0
+        values = np.random.default_rng(1).integers(0, k, size=20000)
+        oracle = OLH(k=k, epsilon=eps, rng=0)
+        reports = oracle.randomize_many(values)
+        accuracy = np.mean(oracle.attack_many(reports) == values)
+        assert accuracy > 2.0 / k  # clearly better than random guessing
+        assert accuracy < 0.6  # far from the GRR-style full disclosure
+
+    def test_attack_many_matches_single(self):
+        oracle = OLH(k=15, epsilon=1.0, rng=0)
+        values = np.random.default_rng(2).integers(0, 15, size=3000)
+        reports = oracle.randomize_many(values)
+        batch = oracle.attack_many(reports)
+        # whenever some domain value hashes to the reported bucket, the guess
+        # must be one of those values (empty buckets fall back to a random guess)
+        a, b, perturbed = reports[:, 0], reports[:, 1], reports[:, 2]
+        domain = np.arange(oracle.k)
+        hashed_all = universal_hash(domain[None, :], a[:, None], b[:, None], oracle.g)
+        has_candidates = (hashed_all == perturbed[:, None]).any(axis=1)
+        guess_hash = universal_hash(batch, a, b, oracle.g)
+        assert np.all(guess_hash[has_candidates] == perturbed[has_candidates])
+
+    def test_expected_accuracy_formula(self):
+        oracle = OLH(k=74, epsilon=1.0)
+        expected = 1.0 / (2.0 * max(74 / (math.e + 1.0), 1.0))
+        assert oracle.expected_attack_accuracy() == pytest.approx(expected)

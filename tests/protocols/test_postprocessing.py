@@ -1,0 +1,111 @@
+"""Tests for the post-processing (consistency) helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.frequencies import FrequencyEstimate
+from repro.exceptions import InvalidParameterError
+from repro.protocols.grr import GRR
+from repro.protocols.postprocessing import (
+    POSTPROCESSORS,
+    clip_and_normalize,
+    norm_sub,
+    postprocess,
+    project_onto_simplex,
+)
+
+vector_strategy = st.lists(
+    st.floats(min_value=-2.0, max_value=2.0, allow_nan=False, allow_infinity=False),
+    min_size=2,
+    max_size=30,
+)
+
+
+class TestBasicBehaviour:
+    @pytest.mark.parametrize("method", sorted(POSTPROCESSORS))
+    def test_valid_distribution_is_unchanged(self, method):
+        values = np.array([0.5, 0.3, 0.2])
+        np.testing.assert_allclose(postprocess(values, method), values, atol=1e-9)
+
+    @pytest.mark.parametrize("method", sorted(POSTPROCESSORS))
+    def test_output_is_distribution(self, method):
+        values = np.array([-0.1, 0.6, 0.7, -0.05])
+        result = postprocess(values, method)
+        assert result.sum() == pytest.approx(1.0)
+        assert (result >= -1e-12).all()
+
+    def test_accepts_frequency_estimate(self):
+        estimate = FrequencyEstimate(np.array([-0.2, 0.7, 0.6]))
+        result = norm_sub(estimate)
+        assert result.sum() == pytest.approx(1.0)
+
+    def test_all_negative_falls_back_to_uniform(self):
+        # clip and norm-sub have no information left and return the uniform
+        # distribution; the simplex projection still produces a valid (but
+        # non-uniform) distribution favouring the least-negative coordinate
+        values = np.array([-1.0, -0.5, -2.0])
+        np.testing.assert_allclose(clip_and_normalize(values), np.full(3, 1 / 3))
+        np.testing.assert_allclose(norm_sub(values), np.full(3, 1 / 3))
+        projection = project_onto_simplex(values)
+        assert projection.sum() == pytest.approx(1.0)
+        assert projection[1] == projection.max()
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            postprocess(np.array([0.5, 0.5]), "magic")
+
+    def test_invalid_input_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            norm_sub(np.array([[0.5, 0.5]]))
+        with pytest.raises(InvalidParameterError):
+            clip_and_normalize(np.array([np.nan, 0.5]))
+
+
+class TestSimplexProjection:
+    def test_matches_known_projection(self):
+        # projection of (1.2, 0.2) onto the simplex is (1, 0)
+        np.testing.assert_allclose(
+            project_onto_simplex(np.array([1.2, 0.2])), np.array([1.0, 0.0]), atol=1e-9
+        )
+
+    def test_is_idempotent(self):
+        values = np.array([0.4, -0.3, 0.9, 0.1])
+        once = project_onto_simplex(values)
+        twice = project_onto_simplex(once)
+        np.testing.assert_allclose(once, twice, atol=1e-9)
+
+    def test_projection_is_closest_consistent_point(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=6)
+        projection = project_onto_simplex(values)
+        for _ in range(50):
+            candidate = rng.dirichlet(np.ones(6))
+            assert np.linalg.norm(values - projection) <= np.linalg.norm(
+                values - candidate
+            ) + 1e-9
+
+
+class TestStatisticalQuality:
+    def test_postprocessing_reduces_error_on_real_estimates(self):
+        rng = np.random.default_rng(1)
+        truth = np.array([0.55, 0.2, 0.1, 0.05, 0.05, 0.03, 0.01, 0.01])
+        values = rng.choice(8, size=3000, p=truth)
+        oracle = GRR(k=8, epsilon=0.5, rng=2)
+        raw = oracle.aggregate(oracle.randomize_many(values)).estimates
+        raw_error = float(np.sum((raw - truth) ** 2))
+        for method in POSTPROCESSORS.values():
+            processed_error = float(np.sum((method(raw) - truth) ** 2))
+            assert processed_error <= raw_error + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(values=vector_strategy)
+def test_all_methods_return_distributions(values):
+    vector = np.asarray(values, dtype=float)
+    for method in POSTPROCESSORS.values():
+        result = method(vector)
+        assert result.shape == vector.shape
+        assert result.sum() == pytest.approx(1.0, abs=1e-6)
+        assert (result >= -1e-9).all()

@@ -1,0 +1,55 @@
+"""Tests for the protocol registry."""
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.protocols.grr import GRR
+from repro.protocols.olh import OLH
+from repro.protocols.registry import available_protocols, canonical_name, make_protocol
+from repro.protocols.ss import SubsetSelection
+from repro.protocols.ue import OUE, SUE
+
+
+class TestCanonicalName:
+    @pytest.mark.parametrize(
+        "alias, expected",
+        [
+            ("grr", "GRR"),
+            ("RR", "GRR"),
+            ("olh", "OLH"),
+            ("lh", "OLH"),
+            ("ss", "SS"),
+            ("omega-ss", "SS"),
+            ("rappor", "SUE"),
+            ("sue", "SUE"),
+            ("oue", "OUE"),
+            ("ue", "OUE"),
+        ],
+    )
+    def test_aliases(self, alias, expected):
+        assert canonical_name(alias) == expected
+
+    def test_unknown_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            canonical_name("nope")
+
+
+class TestMakeProtocol:
+    @pytest.mark.parametrize(
+        "name, cls",
+        [("GRR", GRR), ("OLH", OLH), ("SS", SubsetSelection), ("SUE", SUE), ("OUE", OUE)],
+    )
+    def test_instantiation(self, name, cls):
+        oracle = make_protocol(name, k=10, epsilon=1.0, rng=0)
+        assert isinstance(oracle, cls)
+        assert oracle.k == 10
+        assert oracle.epsilon == 1.0
+
+    def test_available_protocols(self):
+        assert set(available_protocols()) == {"GRR", "OLH", "SS", "SUE", "OUE"}
+
+    def test_describe_contains_parameters(self):
+        description = make_protocol("GRR", k=5, epsilon=2.0).describe()
+        assert description["protocol"] == "GRR"
+        assert description["k"] == 5
+        assert 0 < description["q"] < description["p"] < 1

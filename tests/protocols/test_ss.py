@@ -1,0 +1,86 @@
+"""Tests for the omega-Subset-Selection protocol."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.protocols.ss import SubsetSelection, optimal_subset_size
+
+
+class TestSubsetSize:
+    def test_optimal_size_formula(self):
+        assert optimal_subset_size(20, 1.0) == max(1, round(20 / (math.e + 1)))
+
+    def test_minimum_is_one(self):
+        assert optimal_subset_size(4, 5.0) == 1
+
+    def test_invalid_k(self):
+        with pytest.raises(InvalidParameterError):
+            optimal_subset_size(1, 1.0)
+
+
+class TestProtocol:
+    def test_report_is_subset_without_duplicates(self):
+        oracle = SubsetSelection(k=20, epsilon=1.0, rng=0)
+        reports = oracle.randomize_many(np.arange(20))
+        assert reports.shape == (20, oracle.omega)
+        for row in reports:
+            assert len(set(row.tolist())) == oracle.omega
+            assert row.min() >= 0 and row.max() < 20
+
+    def test_true_value_inclusion_rate(self):
+        oracle = SubsetSelection(k=20, epsilon=1.0, rng=0)
+        values = np.full(8000, 5)
+        reports = oracle.randomize_many(values)
+        included = np.mean((reports == 5).any(axis=1))
+        assert included == pytest.approx(oracle.true_inclusion_probability, abs=0.02)
+
+    def test_unbiased_estimation(self):
+        rng = np.random.default_rng(0)
+        truth = np.array([0.4, 0.2, 0.15, 0.1, 0.05, 0.05, 0.03, 0.02])
+        values = rng.choice(8, size=20000, p=truth)
+        oracle = SubsetSelection(k=8, epsilon=1.0, rng=1)
+        estimate = oracle.aggregate(oracle.randomize_many(values))
+        np.testing.assert_allclose(estimate.estimates, truth, atol=0.03)
+
+    def test_explicit_omega(self):
+        oracle = SubsetSelection(k=10, epsilon=1.0, omega=3)
+        assert oracle.omega == 3
+
+    def test_invalid_omega(self):
+        with pytest.raises(InvalidParameterError):
+            SubsetSelection(k=10, epsilon=1.0, omega=11)
+        with pytest.raises(InvalidParameterError):
+            SubsetSelection(k=10, epsilon=1.0, omega=0)
+
+    def test_with_omega_one_reduces_to_grr_accuracy(self):
+        from repro.protocols.grr import GRR
+
+        ss = SubsetSelection(k=5, epsilon=3.0)
+        assert ss.omega == 1
+        assert ss.expected_attack_accuracy() == pytest.approx(
+            GRR(k=5, epsilon=3.0).expected_attack_accuracy()
+        )
+
+
+class TestAttack:
+    def test_attack_guess_from_subset(self):
+        oracle = SubsetSelection(k=20, epsilon=1.0, rng=0)
+        report = oracle.randomize(3)
+        assert oracle.attack(report) in set(report.tolist())
+
+    def test_attack_accuracy_matches_expectation(self):
+        oracle = SubsetSelection(k=20, epsilon=1.0, rng=0)
+        values = np.random.default_rng(1).integers(0, 20, size=20000)
+        reports = oracle.randomize_many(values)
+        accuracy = np.mean(oracle.attack_many(reports) == values)
+        assert accuracy == pytest.approx(oracle.expected_attack_accuracy(), abs=0.01)
+
+    def test_paper_closed_form_matches_optimal_omega(self):
+        # with omega = k / (e^eps + 1), ACC reduces to (e^eps + 1) / (2k)
+        k, eps = 64, 1.0
+        oracle = SubsetSelection(k=k, epsilon=eps)
+        paper = (math.exp(eps) + 1.0) / (2.0 * k)
+        assert oracle.expected_attack_accuracy() == pytest.approx(paper, rel=0.15)

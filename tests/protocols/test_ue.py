@@ -1,0 +1,110 @@
+"""Tests for the SUE and OUE unary-encoding protocols."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.protocols.ue import OUE, SUE
+
+
+class TestParameters:
+    def test_sue_parameters(self):
+        oracle = SUE(k=5, epsilon=2.0)
+        half = math.exp(1.0)
+        assert oracle.p == pytest.approx(half / (half + 1))
+        assert oracle.q == pytest.approx(1 / (half + 1))
+        assert oracle.p + oracle.q == pytest.approx(1.0)
+
+    def test_oue_parameters(self):
+        oracle = OUE(k=5, epsilon=2.0)
+        assert oracle.p == pytest.approx(0.5)
+        assert oracle.q == pytest.approx(1 / (math.exp(2.0) + 1))
+
+    @pytest.mark.parametrize("cls", [SUE, OUE])
+    def test_effective_epsilon_matches_budget(self, cls):
+        for eps in (0.5, 1.0, 3.0):
+            oracle = cls(k=4, epsilon=eps)
+            assert oracle.effective_epsilon == pytest.approx(eps)
+
+
+class TestEncodingAndRandomization:
+    def test_encode_is_one_hot(self):
+        oracle = OUE(k=4, epsilon=1.0)
+        vector = oracle.encode(2)
+        assert vector.tolist() == [0, 0, 1, 0]
+
+    @pytest.mark.parametrize("cls", [SUE, OUE])
+    def test_randomize_shape(self, cls):
+        oracle = cls(k=6, epsilon=1.0, rng=0)
+        reports = oracle.randomize_many(np.array([0, 1, 5]))
+        assert reports.shape == (3, 6)
+        assert set(np.unique(reports)) <= {0, 1}
+
+    def test_bit_keep_and_flip_rates(self):
+        oracle = OUE(k=3, epsilon=2.0, rng=0)
+        reports = oracle.randomize_many(np.full(40000, 1))
+        assert reports[:, 1].mean() == pytest.approx(oracle.p, abs=0.01)
+        assert reports[:, 0].mean() == pytest.approx(oracle.q, abs=0.01)
+
+    def test_zero_vector_fake_data_rate(self):
+        oracle = OUE(k=4, epsilon=1.0, rng=0)
+        fake = oracle.randomize_zero_vector(30000)
+        assert fake.shape == (30000, 4)
+        assert fake.mean() == pytest.approx(oracle.q, abs=0.01)
+
+    def test_random_onehot_fake_data_uniform(self):
+        oracle = OUE(k=4, epsilon=1.0, rng=0)
+        fake = oracle.randomize_random_onehot(40000)
+        expected = oracle.p / 4 + 3 * oracle.q / 4
+        assert fake.mean() == pytest.approx(expected, abs=0.01)
+
+    def test_random_onehot_fake_data_with_priors(self):
+        oracle = OUE(k=3, epsilon=5.0, rng=0)
+        prior = np.array([0.8, 0.1, 0.1])
+        fake = oracle.randomize_random_onehot(30000, priors=prior)
+        # bit 0 should be set far more often than bit 2
+        assert fake[:, 0].mean() > 2 * fake[:, 2].mean()
+
+
+class TestEstimationAndAttack:
+    @pytest.mark.parametrize("cls", [SUE, OUE])
+    def test_unbiased_estimation(self, cls):
+        rng = np.random.default_rng(0)
+        truth = np.array([0.4, 0.3, 0.2, 0.1])
+        values = rng.choice(4, size=50000, p=truth)
+        oracle = cls(k=4, epsilon=1.0, rng=1)
+        estimate = oracle.aggregate(oracle.randomize_many(values))
+        np.testing.assert_allclose(estimate.estimates, truth, atol=0.03)
+
+    def test_oue_lower_variance_than_sue(self):
+        sue = SUE(k=20, epsilon=1.0)
+        oue = OUE(k=20, epsilon=1.0)
+        assert oue.estimator_variance(1000) < sue.estimator_variance(1000)
+
+    @pytest.mark.parametrize("cls", [SUE, OUE])
+    def test_attack_accuracy_matches_expectation(self, cls):
+        oracle = cls(k=6, epsilon=3.0, rng=0)
+        values = np.random.default_rng(1).integers(0, 6, size=20000)
+        reports = oracle.randomize_many(values)
+        accuracy = np.mean(oracle.attack_many(reports) == values)
+        assert accuracy == pytest.approx(oracle.expected_attack_accuracy(), abs=0.015)
+
+    def test_attack_single_report_cases(self):
+        oracle = OUE(k=4, epsilon=1.0, rng=0)
+        # single bit set -> that bit
+        assert oracle.attack(np.array([0, 0, 1, 0])) == 2
+        # several bits set -> one of them
+        assert oracle.attack(np.array([1, 0, 1, 0])) in (0, 2)
+        # no bit set -> anything in the domain
+        assert 0 <= oracle.attack(np.array([0, 0, 0, 0])) < 4
+
+    def test_attack_many_agrees_with_attack_semantics(self):
+        oracle = SUE(k=5, epsilon=2.0, rng=0)
+        reports = np.array(
+            [[0, 1, 0, 0, 0], [1, 1, 0, 0, 1], [0, 0, 0, 0, 0]], dtype=np.uint8
+        )
+        guesses = oracle.attack_many(reports)
+        assert guesses[0] == 1
+        assert guesses[1] in (0, 1, 4)
+        assert 0 <= guesses[2] < 5

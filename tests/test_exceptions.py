@@ -1,0 +1,42 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.exceptions import (
+    DomainMismatchError,
+    EstimationError,
+    InvalidParameterError,
+    InvalidPrivacyBudgetError,
+    NotFittedError,
+    ReproError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            InvalidParameterError,
+            InvalidPrivacyBudgetError,
+            DomainMismatchError,
+            NotFittedError,
+            EstimationError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_parameter_errors_are_value_errors(self):
+        assert issubclass(InvalidParameterError, ValueError)
+        assert issubclass(DomainMismatchError, ValueError)
+
+    def test_budget_error_is_parameter_error(self):
+        assert issubclass(InvalidPrivacyBudgetError, InvalidParameterError)
+
+    def test_runtime_errors(self):
+        assert issubclass(NotFittedError, RuntimeError)
+        assert issubclass(EstimationError, RuntimeError)
+
+    def test_catching_base_class(self):
+        with pytest.raises(ReproError):
+            raise DomainMismatchError("boom")

@@ -1,0 +1,154 @@
+"""End-to-end integration tests checking the paper's qualitative findings.
+
+Each test runs a complete pipeline at small scale and asserts the *shape* of
+the result the paper reports — who wins, in which direction, by a clear
+margin — rather than absolute numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    AttributeInferenceAttack,
+    ReidentificationAttack,
+    build_profiles_smp,
+    plan_surveys,
+)
+from repro.datasets import load_dataset
+from repro.metrics import mse_avg
+from repro.ml.naive_bayes import BernoulliNaiveBayes
+from repro.multidim import RSFD, RSRFD, SMP, SPL
+from repro.privacy import make_priors
+
+
+@pytest.fixture(scope="module")
+def adult():
+    return load_dataset("adult", n=600, rng=11)
+
+
+@pytest.fixture(scope="module")
+def acs():
+    return load_dataset("acs_employment", n=500, rng=11)
+
+
+@pytest.fixture(scope="module")
+def nursery():
+    return load_dataset("nursery", n=500, rng=11)
+
+
+class TestUtilityOrdering:
+    def test_smp_beats_spl(self, adult):
+        """Sec. 2.3: splitting the budget is far worse than sampling."""
+        epsilon = 1.0
+        spl = SPL(adult.domain, epsilon, protocol="GRR", rng=0)
+        smp = SMP(adult.domain, epsilon, protocol="GRR", rng=0)
+        _, spl_estimates = spl.collect_and_estimate(adult)
+        _, smp_estimates = smp.collect_and_estimate(adult)
+        assert mse_avg(smp_estimates, adult) < mse_avg(spl_estimates, adult)
+
+
+class TestReidentificationFindings:
+    def test_grr_far_riskier_than_oue_under_smp(self, adult):
+        """Fig. 2: GRR (and SS/SUE) lead to much higher RID-ACC than OUE/OLH."""
+        surveys = plan_surveys(adult.d, 4, rng=1)
+        reident = ReidentificationAttack(adult, rng=2)
+        accuracies = {}
+        for protocol in ("GRR", "OUE"):
+            profiling = build_profiles_smp(
+                adult, surveys, protocol=protocol, epsilon=8.0, metric="uniform", rng=3
+            )
+            accuracies[protocol] = reident.full_knowledge(
+                profiling.final_profile, top_k=10
+            ).accuracy
+        assert accuracies["GRR"] > 2 * accuracies["OUE"]
+
+    def test_rid_acc_increases_with_surveys(self, adult):
+        """Fig. 2: more collections means better profiling and higher risk."""
+        surveys = plan_surveys(adult.d, 5, rng=1)
+        profiling = build_profiles_smp(
+            adult, surveys, protocol="GRR", epsilon=8.0, metric="uniform", rng=3
+        )
+        reident = ReidentificationAttack(adult, rng=2)
+        results = reident.evaluate_profiling(profiling, top_k=10, model="FK-RI")
+        accuracies = [results[s].accuracy for s in sorted(results)]
+        assert accuracies[-1] > accuracies[0]
+
+    def test_attack_beats_random_baseline(self, adult):
+        surveys = plan_surveys(adult.d, 4, rng=1)
+        profiling = build_profiles_smp(
+            adult, surveys, protocol="GRR", epsilon=6.0, metric="uniform", rng=3
+        )
+        result = ReidentificationAttack(adult, rng=2).full_knowledge(
+            profiling.final_profile, top_k=10
+        )
+        assert result.accuracy > 5 * result.baseline
+
+
+class TestAttributeInferenceFindings:
+    def test_ue_z_worst_ue_r_and_grr_intermediate(self, acs):
+        """Sec. 4.3: zero-vector fake data leaks the sampled attribute the most."""
+        epsilon = 8.0
+        accuracies = {}
+        for label, variant, kind in (
+            ("SUE-z", "ue-z", "SUE"),
+            ("GRR", "grr", "OUE"),
+        ):
+            solution = RSFD(acs.domain, epsilon, variant=variant, ue_kind=kind, rng=4)
+            reports = solution.collect(acs)
+            attack = AttributeInferenceAttack(
+                solution, classifier_factory=BernoulliNaiveBayes, rng=5
+            )
+            accuracies[label] = attack.no_knowledge(reports, synthetic_factor=1.0).accuracy
+        baseline = 1.0 / acs.d
+        assert accuracies["SUE-z"] > 5 * baseline
+        assert accuracies["SUE-z"] > accuracies["GRR"]
+
+    def test_nursery_defeats_the_attack(self, nursery):
+        """Appendix D: uniform-like data gives no meaningful AIF improvement."""
+        solution = RSFD(nursery.domain, 6.0, variant="grr", rng=4)
+        reports = solution.collect(nursery)
+        attack = AttributeInferenceAttack(
+            solution, classifier_factory=BernoulliNaiveBayes, rng=5
+        )
+        result = attack.no_knowledge(reports, synthetic_factor=1.0)
+        assert result.accuracy < 2.5 * result.baseline
+
+    def test_rsrfd_countermeasure_reduces_attack(self, acs):
+        """Sec. 5.2.3: realistic fake data pushes AIF-ACC back towards baseline."""
+        epsilon = 8.0
+        rsfd = RSFD(acs.domain, epsilon, variant="ue-z", ue_kind="SUE", rng=4)
+        rsfd_result = AttributeInferenceAttack(
+            rsfd, classifier_factory=BernoulliNaiveBayes, rng=5
+        ).no_knowledge(rsfd.collect(acs), synthetic_factor=1.0)
+
+        priors = make_priors("correct", acs, rng=6)
+        rsrfd = RSRFD(acs.domain, epsilon, priors, variant="ue-r", ue_kind="SUE", rng=4)
+        rsrfd_result = AttributeInferenceAttack(
+            rsrfd, classifier_factory=BernoulliNaiveBayes, rng=5
+        ).no_knowledge(rsrfd.collect(acs), synthetic_factor=1.0)
+
+        assert rsrfd_result.accuracy < rsfd_result.accuracy
+
+
+class TestCountermeasureUtility:
+    def test_rsrfd_grr_improves_utility_with_realistic_priors(self):
+        """Fig. 5: RS+RFD beats RS+FD when fake data follows realistic priors.
+
+        Run on a skewed 6-attribute projection of ACSEmployment with the GRR
+        local randomizer (the configuration where the gap is largest on the
+        synthetic surrogate) and averaged over several collections.
+        """
+        dataset = load_dataset("acs_employment", n=8000, rng=11).project(
+            [0, 1, 5, 11, 15, 17]
+        )
+        epsilon = float(np.log(2))
+        priors = dataset.all_frequencies()
+        errors_fd, errors_rfd = [], []
+        for repeat in range(4):
+            rsfd = RSFD(dataset.domain, epsilon, variant="grr", rng=20 + repeat)
+            rsrfd = RSRFD(dataset.domain, epsilon, priors, variant="grr", rng=30 + repeat)
+            _, est_fd = rsfd.collect_and_estimate(dataset)
+            _, est_rfd = rsrfd.collect_and_estimate(dataset)
+            errors_fd.append(mse_avg(est_fd, dataset))
+            errors_rfd.append(mse_avg(est_rfd, dataset))
+        assert np.mean(errors_rfd) < np.mean(errors_fd)

@@ -1,0 +1,115 @@
+"""Cross-module property-based tests (hypothesis).
+
+These complement the per-module tests with invariants that must hold for any
+randomly drawn configuration: multidimensional estimators return one
+histogram per attribute with roughly unit mass, profiles only contain
+in-domain values, priors are distributions, and the composition algebra is
+consistent.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks.profile import UNKNOWN, Survey, build_profiles_smp
+from repro.core.composition import amplified_epsilon, deamplified_epsilon
+from repro.core.dataset import TabularDataset
+from repro.core.domain import Domain
+from repro.multidim.rsfd import RSFD
+from repro.multidim.rsrfd import RSRFD
+from repro.multidim.smp import SMP
+from repro.privacy.priors import make_priors
+
+sizes_strategy = st.lists(st.integers(min_value=2, max_value=9), min_size=2, max_size=5)
+epsilon_strategy = st.floats(min_value=0.5, max_value=8.0)
+seed_strategy = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+def build_dataset(sizes: list[int], n: int, seed: int) -> TabularDataset:
+    rng = np.random.default_rng(seed)
+    domain = Domain.from_sizes(sizes)
+    columns = []
+    for k in sizes:
+        weights = rng.dirichlet(np.ones(k) * 0.7)
+        columns.append(rng.choice(k, size=n, p=weights))
+    return TabularDataset.from_columns(columns, domain)
+
+
+@settings(max_examples=15, deadline=None)
+@given(sizes=sizes_strategy, epsilon=epsilon_strategy, seed=seed_strategy)
+def test_smp_estimates_have_unit_mass(sizes, epsilon, seed):
+    dataset = build_dataset(sizes, n=4000, seed=seed)
+    solution = SMP(dataset.domain, epsilon, protocol="GRR", rng=seed)
+    _, estimates = solution.collect_and_estimate(dataset)
+    assert len(estimates) == dataset.d
+    for estimate in estimates:
+        assert np.isfinite(estimate.estimates).all()
+        assert estimate.estimates.sum() == pytest.approx(1.0, abs=0.35)
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    sizes=sizes_strategy,
+    epsilon=epsilon_strategy,
+    seed=seed_strategy,
+    variant=st.sampled_from(["grr", "ue-z", "ue-r"]),
+)
+def test_rsfd_estimates_have_unit_mass(sizes, epsilon, seed, variant):
+    dataset = build_dataset(sizes, n=4000, seed=seed)
+    solution = RSFD(dataset.domain, epsilon, variant=variant, ue_kind="OUE", rng=seed)
+    _, estimates = solution.collect_and_estimate(dataset)
+    for estimate in estimates:
+        assert np.isfinite(estimate.estimates).all()
+        assert estimate.estimates.sum() == pytest.approx(1.0, abs=0.5)
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    sizes=sizes_strategy,
+    epsilon=epsilon_strategy,
+    seed=seed_strategy,
+    prior_kind=st.sampled_from(["uniform", "dir", "zipf", "exp", "correct"]),
+)
+def test_rsrfd_estimates_have_unit_mass_for_any_prior(sizes, epsilon, seed, prior_kind):
+    dataset = build_dataset(sizes, n=4000, seed=seed)
+    priors = make_priors(prior_kind, dataset, rng=seed)
+    for prior, k in zip(priors, sizes):
+        assert prior.shape == (k,)
+        assert prior.sum() == pytest.approx(1.0)
+    solution = RSRFD(dataset.domain, epsilon, priors, variant="grr", rng=seed)
+    _, estimates = solution.collect_and_estimate(dataset)
+    for estimate in estimates:
+        assert np.isfinite(estimate.estimates).all()
+        assert estimate.estimates.sum() == pytest.approx(1.0, abs=0.5)
+
+
+@settings(max_examples=10, deadline=None)
+@given(sizes=sizes_strategy, epsilon=epsilon_strategy, seed=seed_strategy)
+def test_smp_profiles_stay_in_domain_and_grow(sizes, epsilon, seed):
+    dataset = build_dataset(sizes, n=300, seed=seed)
+    surveys = [Survey(tuple(range(dataset.d)))] * 2
+    result = build_profiles_smp(
+        dataset, surveys, protocol="GRR", epsilon=epsilon, metric="uniform", rng=seed
+    )
+    previous_known = 0
+    for snapshot in result.snapshots:
+        known = snapshot != UNKNOWN
+        assert known.sum() >= previous_known
+        previous_known = known.sum()
+        for j, k in enumerate(sizes):
+            column = snapshot[:, j]
+            valid = column[column != UNKNOWN]
+            if valid.size:
+                assert valid.min() >= 0 and valid.max() < k
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    epsilon=st.floats(min_value=0.05, max_value=12.0),
+    d=st.integers(min_value=1, max_value=30),
+)
+def test_amplification_roundtrip_and_monotonicity(epsilon, d):
+    amplified = amplified_epsilon(epsilon, d)
+    assert amplified >= epsilon - 1e-12
+    assert deamplified_epsilon(amplified, d) == pytest.approx(epsilon, rel=1e-9)

@@ -1,0 +1,48 @@
+"""Tests for the top-level public API surface."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevelExports:
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_main_classes_exposed(self):
+        assert repro.GRR and repro.OLH and repro.SubsetSelection
+        assert repro.SUE and repro.OUE
+        assert repro.SPL and repro.SMP and repro.RSFD and repro.RSRFD
+
+    def test_make_protocol_shortcut(self):
+        oracle = repro.make_protocol("OUE", k=5, epsilon=1.0, rng=0)
+        assert oracle.name == "OUE"
+
+
+class TestSubpackageExports:
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.core",
+            "repro.protocols",
+            "repro.multidim",
+            "repro.attacks",
+            "repro.privacy",
+            "repro.ml",
+            "repro.datasets",
+            "repro.metrics",
+            "repro.experiments",
+        ],
+    )
+    def test_all_exports_resolve(self, module):
+        imported = importlib.import_module(module)
+        assert hasattr(imported, "__all__")
+        for name in imported.__all__:
+            assert hasattr(imported, name), f"{module}.{name}"
