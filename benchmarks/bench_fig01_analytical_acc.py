@@ -2,13 +2,13 @@
 
 from repro.experiments.analytical_acc import run_analytical_acc
 
-from bench_helpers import run_figure
+from bench_helpers import grid_kwargs, run_figure
 
 
 def test_fig01_analytical_attacker_accuracy(benchmark):
     rows = run_figure(
         benchmark,
-        lambda: run_analytical_acc(),
+        lambda: run_analytical_acc(**grid_kwargs()),
         "Fig. 1 - expected profiling accuracy, d=3, k=[74, 7, 16]",
     )
     values = {(r["metric"], r["protocol"], r["epsilon"]): r["expected_acc_pct"] for r in rows}

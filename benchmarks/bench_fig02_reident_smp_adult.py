@@ -2,7 +2,7 @@
 
 from repro.experiments.reident_smp import run_reidentification_smp
 
-from bench_helpers import run_figure
+from bench_helpers import grid_kwargs, run_figure
 
 N_USERS = 2000
 EPSILONS = (1.0, 4.0, 8.0)
@@ -22,6 +22,7 @@ def test_fig02_reidentification_smp_adult(benchmark):
             knowledge="FK-RI",
             metric="uniform",
             seed=1,
+            **grid_kwargs(),
         ),
         "Fig. 2 - RID-ACC, Adult, SMP, FK-RI, uniform metric",
     )

@@ -2,7 +2,7 @@
 
 from repro.experiments.attribute_inference_rsfd import run_attribute_inference_rsfd
 
-from bench_helpers import run_figure
+from bench_helpers import grid_kwargs, run_figure
 
 N_USERS = 600
 EPSILONS = (2.0, 8.0)
@@ -21,6 +21,7 @@ def test_fig03_attribute_inference_rsfd_acs(benchmark):
             nk_factors=(1.0,),
             pk_fractions=(0.3,),
             seed=1,
+            **grid_kwargs(),
         ),
         "Fig. 3 - AIF-ACC, ACSEmployment, RS+FD protocols, NK/PK/HM",
     )

@@ -3,7 +3,7 @@
 from repro.experiments.reident_rsfd import run_reidentification_rsfd
 from repro.experiments.reident_smp import run_reidentification_smp
 
-from bench_helpers import run_figure
+from bench_helpers import grid_kwargs, run_figure
 
 N_USERS = 800
 EPSILONS = (4.0, 8.0)
@@ -18,6 +18,7 @@ def test_fig04_reidentification_rsfd_adult(benchmark):
             num_surveys=4,
             top_ks=(1, 10),
             seed=1,
+            **grid_kwargs(),
         )
         # reference: the same attack against SMP with GRR (Fig. 2 counterpart)
         smp_rows = run_reidentification_smp(
@@ -28,6 +29,7 @@ def test_fig04_reidentification_rsfd_adult(benchmark):
             num_surveys=4,
             top_ks=(1, 10),
             seed=1,
+            **grid_kwargs(),
         )
         for row in smp_rows:
             row["protocol"] = "SMP[GRR]"

@@ -1,6 +1,6 @@
 """Benchmark E5 — Fig. 5: utility of RS+RFD vs RS+FD on ACSEmployment."""
 
-from bench_helpers import run_figure
+from bench_helpers import grid_kwargs, run_figure
 
 from repro.experiments.utility_rsrfd import run_utility_rsrfd
 
@@ -17,6 +17,7 @@ def test_fig05_utility_rsrfd_acs(benchmark):
             prior_kinds=("correct", "dir"),
             runs=2,
             seed=1,
+            **grid_kwargs(),
         ),
         "Fig. 5 - MSE_avg, RS+RFD vs RS+FD, Correct and Dirichlet priors",
     )

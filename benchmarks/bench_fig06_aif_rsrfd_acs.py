@@ -1,6 +1,6 @@
 """Benchmark E6 — Fig. 6: attribute inference against the RS+RFD countermeasure."""
 
-from bench_helpers import run_figure
+from bench_helpers import grid_kwargs, run_figure
 
 from repro.experiments.attribute_inference_rsfd import run_attribute_inference_rsfd
 from repro.experiments.attribute_inference_rsrfd import run_attribute_inference_rsrfd
@@ -28,6 +28,7 @@ def test_fig06_attribute_inference_rsrfd_acs(benchmark):
             prior_kind="correct",
             prior_epsilon=PRIOR_EPSILON,
             seed=1,
+            **grid_kwargs(),
         )
         # reference: the corresponding RS+FD protocols (Fig. 3 counterpart)
         rsfd_rows = run_attribute_inference_rsfd(
@@ -39,6 +40,7 @@ def test_fig06_attribute_inference_rsrfd_acs(benchmark):
             nk_factors=(1.0,),
             pk_fractions=(0.3,),
             seed=1,
+            **grid_kwargs(),
         )
         return rsrfd_rows + rsfd_rows
 

@@ -1,6 +1,6 @@
 """Benchmark E7 — Fig. 9: SMP re-identification risk on ACSEmployment."""
 
-from bench_helpers import run_figure
+from bench_helpers import grid_kwargs, run_figure
 
 from repro.experiments.reident_smp import run_reidentification_smp
 
@@ -21,6 +21,7 @@ def test_fig09_reidentification_smp_acs(benchmark):
             knowledge="FK-RI",
             metric="uniform",
             seed=1,
+            **grid_kwargs(),
         ),
         "Fig. 9 - RID-ACC, ACSEmployment, SMP, FK-RI, uniform metric",
     )

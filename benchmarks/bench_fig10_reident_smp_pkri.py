@@ -1,6 +1,6 @@
 """Benchmark E8 — Fig. 10: SMP re-identification with partial background knowledge."""
 
-from bench_helpers import run_figure
+from bench_helpers import grid_kwargs, run_figure
 
 from repro.experiments.reident_smp import run_reidentification_smp
 
@@ -21,6 +21,7 @@ def test_fig10_reidentification_smp_pk_ri(benchmark):
             knowledge="PK-RI",
             metric="uniform",
             seed=1,
+            **grid_kwargs(),
         )
         fk_rows = run_reidentification_smp(
             dataset_name="adult",
@@ -32,6 +33,7 @@ def test_fig10_reidentification_smp_pk_ri(benchmark):
             knowledge="FK-RI",
             metric="uniform",
             seed=1,
+            **grid_kwargs(),
         )
         return pk_rows + fk_rows
 

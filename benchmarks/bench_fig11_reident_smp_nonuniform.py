@@ -1,6 +1,6 @@
 """Benchmark E9 — Fig. 11: SMP re-identification with the non-uniform privacy metric."""
 
-from bench_helpers import run_figure
+from bench_helpers import grid_kwargs, run_figure
 
 from repro.experiments.reident_smp import run_reidentification_smp
 
@@ -24,6 +24,7 @@ def test_fig11_reidentification_smp_non_uniform(benchmark):
                     knowledge="FK-RI",
                     metric=metric,
                     seed=1,
+                    **grid_kwargs(),
                 )
             )
         return rows

@@ -1,6 +1,6 @@
 """Benchmark E10 — Fig. 12: SMP re-identification under the PIE model (uniform)."""
 
-from bench_helpers import run_figure
+from bench_helpers import grid_kwargs, run_figure
 
 from repro.experiments.reident_smp import run_reidentification_smp
 
@@ -22,6 +22,7 @@ def test_fig12_reidentification_smp_pie_uniform(benchmark):
             knowledge="FK-RI",
             metric="uniform",
             seed=1,
+            **grid_kwargs(),
         ),
         "Fig. 12 - RID-ACC, Adult, PIE privacy metric (uniform)",
     )

@@ -1,6 +1,6 @@
 """Benchmark E11 — Fig. 13: SMP re-identification under the PIE model (non-uniform)."""
 
-from bench_helpers import run_figure
+from bench_helpers import grid_kwargs, run_figure
 
 from repro.experiments.reident_smp import run_reidentification_smp
 
@@ -22,6 +22,7 @@ def test_fig13_reidentification_smp_pie_non_uniform(benchmark):
             knowledge="FK-RI",
             metric="non-uniform",
             seed=1,
+            **grid_kwargs(),
         ),
         "Fig. 13 - RID-ACC, Adult, PIE privacy metric (non-uniform)",
     )

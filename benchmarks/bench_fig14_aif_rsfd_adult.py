@@ -1,6 +1,6 @@
 """Benchmark E12 — Fig. 14: attribute inference against RS+FD on Adult."""
 
-from bench_helpers import run_figure
+from bench_helpers import grid_kwargs, run_figure
 
 from repro.experiments.attribute_inference_rsfd import run_attribute_inference_rsfd
 
@@ -21,6 +21,7 @@ def test_fig14_attribute_inference_rsfd_adult(benchmark):
             nk_factors=(1.0,),
             pk_fractions=(0.3,),
             seed=1,
+            **grid_kwargs(),
         ),
         "Fig. 14 - AIF-ACC, Adult, RS+FD protocols",
     )

@@ -1,6 +1,6 @@
 """Benchmark E13 — Fig. 15: attribute inference on Nursery (uniform-like data)."""
 
-from bench_helpers import run_figure
+from bench_helpers import grid_kwargs, run_figure
 
 from repro.experiments.attribute_inference_rsfd import run_attribute_inference_rsfd
 
@@ -19,6 +19,7 @@ def test_fig15_attribute_inference_rsfd_nursery(benchmark):
             models=("NK",),
             nk_factors=(1.0,),
             seed=1,
+            **grid_kwargs(),
         ),
         "Fig. 15 - AIF-ACC, Nursery (uniform-like attributes)",
     )

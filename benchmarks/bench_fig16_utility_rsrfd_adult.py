@@ -1,6 +1,6 @@
 """Benchmark E14 — Fig. 16: analytical + empirical utility on Adult, all priors."""
 
-from bench_helpers import run_figure
+from bench_helpers import grid_kwargs, run_figure
 
 from repro.experiments.utility_rsrfd import run_utility_rsrfd
 
@@ -19,6 +19,7 @@ def test_fig16_utility_rsrfd_adult_all_priors(benchmark):
             prior_kinds=("correct", "dir", "zipf", "exp"),
             include_analytical=True,
             seed=1,
+            **grid_kwargs(),
         ),
         "Fig. 16 - MSE_avg and analytical variance, Adult, Correct/DIR/ZIPF/EXP priors",
     )

@@ -9,6 +9,8 @@ paper (qualitative shape, not absolute values).
 
 from __future__ import annotations
 
+import os
+
 from repro.experiments.reporting import format_table
 
 
@@ -18,3 +20,21 @@ def run_figure(benchmark, func, label: str, columns=None):
     print(f"\n=== {label} ===")
     print(format_table(rows, columns=columns))
     return rows
+
+
+def grid_kwargs() -> dict:
+    """Grid-engine knobs for the benchmarks, taken from the environment.
+
+    ``REPRO_BENCH_WORKERS`` sets the process-pool size (default 1, i.e. the
+    sequential in-process path, so timings stay comparable by default) and
+    ``REPRO_BENCH_CACHE`` points at an on-disk cell-cache directory (unset =
+    no caching, every benchmark run recomputes its cells).
+    """
+    kwargs: dict = {}
+    workers = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+    if workers > 1:
+        kwargs["workers"] = workers
+    cache_dir = os.environ.get("REPRO_BENCH_CACHE")
+    if cache_dir:
+        kwargs["cache"] = cache_dir
+    return kwargs

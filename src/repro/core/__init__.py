@@ -11,7 +11,7 @@ from .composition import (
 from .dataset import TabularDataset
 from .domain import Attribute, Domain
 from .frequencies import FrequencyEstimate, averaged_mse, true_frequencies
-from .rng import ensure_rng, spawn_rngs
+from .rng import derive_rng, derive_seed_sequence, ensure_rng, spawn_rngs
 
 __all__ = [
     "Attribute",
@@ -22,6 +22,8 @@ __all__ = [
     "true_frequencies",
     "ensure_rng",
     "spawn_rngs",
+    "derive_rng",
+    "derive_seed_sequence",
     "validate_epsilon",
     "split_budget",
     "sequential_composition",

@@ -8,11 +8,16 @@ allowing composition (pass a shared generator).
 
 from __future__ import annotations
 
+import hashlib
 from typing import Optional, Union
 
 import numpy as np
 
+from ..exceptions import InvalidParameterError
+
 RngLike = Union[None, int, np.random.Generator]
+
+KeyPart = Union[str, int, float, bool]
 
 
 def ensure_rng(rng: RngLike = None) -> np.random.Generator:
@@ -46,3 +51,43 @@ def spawn_rngs(rng: RngLike, count: int) -> list[np.random.Generator]:
     parent = ensure_rng(rng)
     seeds = parent.integers(0, 2**63 - 1, size=count, dtype=np.int64)
     return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def derive_seed_sequence(master_seed: int, *key_parts: KeyPart) -> np.random.SeedSequence:
+    """Derive a :class:`numpy.random.SeedSequence` from a master seed and a key.
+
+    Unlike :meth:`SeedSequence.spawn`, the derivation depends only on
+    ``(master_seed, key_parts)`` — not on how many sequences were spawned
+    before or in which order — so any cell of an experiment grid can
+    recreate its stream independently of scheduling.  The key parts are
+    joined and hashed (SHA-256) and the digest words are mixed into the
+    entropy pool together with the master seed.
+    """
+    if not isinstance(master_seed, (int, np.integer)):
+        raise TypeError(f"master_seed must be an int, got {type(master_seed)!r}")
+    if int(master_seed) < 0:
+        # SeedSequence only accepts non-negative entropy; fail with the
+        # library's parameter error so callers (e.g. the CLI) report it cleanly
+        raise InvalidParameterError(
+            f"master_seed must be non-negative, got {master_seed}"
+        )
+    for part in key_parts:
+        if not isinstance(part, (str, int, float, bool, np.integer, np.floating)):
+            raise TypeError(
+                f"key parts must be str/int/float/bool, got {type(part)!r}"
+            )
+    material = "\x1f".join(repr(part) for part in key_parts)
+    digest = hashlib.sha256(material.encode("utf-8")).digest()
+    words = np.frombuffer(digest[:16], dtype=np.uint32)
+    return np.random.SeedSequence([int(master_seed), *(int(w) for w in words)])
+
+
+def derive_rng(master_seed: int, *key_parts: KeyPart) -> np.random.Generator:
+    """Deterministic generator for ``(master_seed, key_parts)``.
+
+    The workhorse of the experiment-grid engine: every grid cell derives its
+    own independent stream from the single master seed and its cell key, so
+    results are bit-identical no matter how many workers execute the grid or
+    in which order the cells complete.
+    """
+    return np.random.default_rng(derive_seed_sequence(master_seed, *key_parts))

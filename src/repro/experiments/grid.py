@@ -1,0 +1,433 @@
+"""Declarative parallel experiment-grid engine.
+
+The paper's evaluation is a large grid of (dataset × solution × frequency
+oracle × ε × seed) combinations.  Instead of hand-rolled nested loops, every
+figure is expressed as a list of independent :class:`GridCell`\\ s and handed
+to :func:`run_grid`, which
+
+* fans the cells out across a ``multiprocessing`` pool (``workers > 1``),
+* derives every cell's random stream deterministically from a single master
+  seed and the cell's configuration (see
+  :func:`repro.core.rng.derive_rng`), so results are bit-identical for any
+  worker count and scheduling order,
+* memoizes completed cells in an on-disk JSON cache keyed by a content hash
+  of the cell configuration (:class:`GridCache`), so re-running a figure —
+  or another figure sharing cells — skips completed work, and
+* deduplicates identical cells within a single run even without a cache.
+
+Cell *runners* are plain top-level functions registered by name with the
+:func:`cell_runner` decorator; they receive the cell's parameter mapping and
+a derived :class:`numpy.random.Generator` and return a list of flat row
+dictionaries.  Registration by name keeps cells picklable (worker processes
+resolve the runner from the registry) and cache keys stable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..core.rng import derive_rng
+from ..exceptions import InvalidParameterError
+
+#: Bumped whenever cell semantics change in a way that invalidates old
+#: cached rows; part of every cache key.
+GRID_SCHEMA_VERSION = 1
+
+#: A cell runner maps ``(params, rng) -> rows``.
+CellRunner = Callable[[Mapping[str, Any], np.random.Generator], "list[dict]"]
+
+_CELL_RUNNERS: dict[str, CellRunner] = {}
+
+
+def cell_runner(name: str) -> Callable[[CellRunner], CellRunner]:
+    """Register a top-level function as the grid runner called ``name``."""
+
+    def register(fn: CellRunner) -> CellRunner:
+        _CELL_RUNNERS[name] = fn
+        return fn
+
+    return register
+
+
+def get_cell_runner(name: str) -> CellRunner:
+    """Resolve a registered cell runner by name.
+
+    Importing :mod:`repro.experiments` registers the runners of all seven
+    experiment modules; worker processes started with the ``spawn`` method
+    go through this import on their first cell.
+    """
+    if name not in _CELL_RUNNERS:
+        import repro.experiments  # noqa: F401  (registers the built-in runners)
+    if name not in _CELL_RUNNERS:
+        raise InvalidParameterError(
+            f"unknown cell runner {name!r}; registered runners: {sorted(_CELL_RUNNERS)}"
+        )
+    return _CELL_RUNNERS[name]
+
+
+def registered_cell_runners() -> tuple[str, ...]:
+    """Names of all currently registered cell runners."""
+    return tuple(sorted(_CELL_RUNNERS))
+
+
+# --------------------------------------------------------------------------- #
+# canonical serialization
+# --------------------------------------------------------------------------- #
+def _jsonable(value: Any) -> Any:
+    """Convert ``value`` to plain JSON types, canonicalizing containers."""
+    if isinstance(value, (str, bool)) or value is None:
+        return value
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        return float(value)
+    if isinstance(value, (list, tuple, np.ndarray)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, Mapping):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, Path):
+        return str(value)
+    raise InvalidParameterError(
+        f"grid cell parameters must be JSON-serializable, got {type(value)!r}"
+    )
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON encoding (sorted keys, no whitespace)."""
+    return json.dumps(_jsonable(value), sort_keys=True, separators=(",", ":"))
+
+
+# --------------------------------------------------------------------------- #
+# cells
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class GridCell:
+    """One independent unit of work of an experiment grid.
+
+    Attributes
+    ----------
+    figure:
+        Figure the cell contributes to (label only — two figures sharing an
+        identical cell configuration also share its cache entry).
+    runner:
+        Name of the registered cell runner executing the cell.
+    params:
+        JSON-serializable parameter mapping handed to the runner.
+    master_seed:
+        Master seed of the grid; the cell's generator is derived from it and
+        the cell key, independently of scheduling.
+    """
+
+    figure: str
+    runner: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    master_seed: int = 42
+
+    @property
+    def key(self) -> str:
+        """Canonical cell key: runner plus canonical parameter JSON."""
+        return f"{self.runner}:{canonical_json(self.params)}"
+
+    @property
+    def config_hash(self) -> str:
+        """Content hash identifying the cell's work (cache key).
+
+        Deliberately excludes ``figure`` so identical work shared by several
+        figures is computed (and cached) once.
+        """
+        payload = canonical_json(
+            {
+                "schema": GRID_SCHEMA_VERSION,
+                "runner": self.runner,
+                "params": self.params,
+                "master_seed": self.master_seed,
+            }
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def make_rng(self) -> np.random.Generator:
+        """The cell's deterministic random stream."""
+        return derive_rng(self.master_seed, "grid-cell", self.key)
+
+
+# --------------------------------------------------------------------------- #
+# cache
+# --------------------------------------------------------------------------- #
+class GridCache:
+    """On-disk JSON memo of completed grid cells.
+
+    Layout: one ``<config-hash>.json`` file per cell under ``directory``,
+    holding the cell description, its rows and the compute time.  Writes are
+    atomic (temp file + ``os.replace``) so concurrent runs never observe a
+    torn entry.
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        except (FileExistsError, NotADirectoryError) as exc:
+            raise InvalidParameterError(
+                f"cache directory {self.directory} is not usable: {exc}"
+            ) from exc
+
+    def path_for(self, cell: GridCell) -> Path:
+        """Cache file path of ``cell``."""
+        return self.directory / f"{cell.config_hash}.json"
+
+    def get(self, cell: GridCell) -> list[dict] | None:
+        """Cached rows of ``cell``, or ``None`` on a miss."""
+        path = self.path_for(cell)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError):
+            return None
+        # guard against (astronomically unlikely) hash collisions and
+        # hand-edited entries
+        if entry.get("key") != cell.key or entry.get("master_seed") != cell.master_seed:
+            return None
+        rows = entry.get("rows")
+        return rows if isinstance(rows, list) else None
+
+    def put(self, cell: GridCell, rows: Sequence[Mapping[str, Any]], elapsed: float) -> Path:
+        """Persist the rows of a freshly computed cell."""
+        path = self.path_for(cell)
+        entry = {
+            "schema": GRID_SCHEMA_VERSION,
+            "runner": cell.runner,
+            "key": cell.key,
+            "params": _jsonable(cell.params),
+            "master_seed": cell.master_seed,
+            "elapsed": float(elapsed),
+            "rows": [_jsonable(row) for row in rows],
+        }
+        handle = tempfile.NamedTemporaryFile(
+            mode="w",
+            encoding="utf-8",
+            dir=self.directory,
+            prefix=f".{cell.config_hash}.",
+            suffix=".tmp",
+            delete=False,
+        )
+        try:
+            with handle:
+                json.dump(entry, handle)
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+
+def ensure_cache(cache: "GridCache | str | Path | None") -> GridCache | None:
+    """Normalize a cache argument (instance, directory path or ``None``)."""
+    if cache is None or isinstance(cache, GridCache):
+        return cache
+    if isinstance(cache, (str, Path)):
+        return GridCache(cache)
+    raise InvalidParameterError(
+        f"cache must be a GridCache, a directory path or None, got {type(cache)!r}"
+    )
+
+
+# --------------------------------------------------------------------------- #
+# execution
+# --------------------------------------------------------------------------- #
+@dataclass
+class CellOutcome:
+    """Execution record of one grid cell."""
+
+    cell: GridCell
+    rows: list[dict]
+    elapsed: float
+    source: str  # "computed" | "cache" | "dedup"
+
+    @property
+    def cached(self) -> bool:
+        """Whether the cell was served from the on-disk cache."""
+        return self.source == "cache"
+
+
+@dataclass
+class GridResult:
+    """Rows plus execution metadata of one :func:`run_grid` call."""
+
+    rows: list[dict]
+    outcomes: list[CellOutcome]
+    elapsed: float
+    workers: int
+
+    @property
+    def n_cells(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def from_cache(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.source == "cache")
+
+    @property
+    def computed(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.source == "computed")
+
+    @property
+    def deduplicated(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.source == "dedup")
+
+    def summary(self) -> dict:
+        """JSON-serializable execution summary (for figure artifacts)."""
+        return {
+            "cells": self.n_cells,
+            "computed": self.computed,
+            "from_cache": self.from_cache,
+            "deduplicated": self.deduplicated,
+            "workers": self.workers,
+            "elapsed_seconds": self.elapsed,
+            "cell_timings": [
+                {
+                    "figure": outcome.cell.figure,
+                    "runner": outcome.cell.runner,
+                    "config_hash": outcome.cell.config_hash,
+                    "source": outcome.source,
+                    "elapsed_seconds": outcome.elapsed,
+                    "rows": len(outcome.rows),
+                }
+                for outcome in self.outcomes
+            ],
+        }
+
+
+def _execute_payload(payload: tuple[str, Mapping[str, Any], int, str]) -> tuple[list[dict], float]:
+    """Execute one cell in a (possibly remote) worker process."""
+    runner_name, params, master_seed, key = payload
+    runner = get_cell_runner(runner_name)
+    rng = derive_rng(master_seed, "grid-cell", key)
+    start = time.perf_counter()
+    rows = runner(params, rng)
+    return list(rows), time.perf_counter() - start
+
+
+def run_grid(
+    cells: Sequence[GridCell],
+    workers: int = 1,
+    cache: "GridCache | str | Path | None" = None,
+) -> GridResult:
+    """Execute a grid of cells and assemble their rows in cell order.
+
+    Parameters
+    ----------
+    cells:
+        The grid.  Cells are independent; rows are concatenated in the order
+        the cells are given regardless of execution order.
+    workers:
+        Process-pool size; ``1`` executes in-process (no pool).
+    cache:
+        Optional :class:`GridCache` (or cache directory) serving completed
+        cells and persisting fresh ones.
+    """
+    if int(workers) < 1:
+        raise InvalidParameterError(f"workers must be >= 1, got {workers}")
+    workers = int(workers)
+    cache = ensure_cache(cache)
+    cells = list(cells)
+    for cell in cells:
+        get_cell_runner(cell.runner)  # fail fast on unknown runners
+        if int(cell.master_seed) < 0:
+            # fail in the parent process, not from inside a pool worker
+            raise InvalidParameterError(
+                f"master_seed must be non-negative, got {cell.master_seed}"
+            )
+
+    start = time.perf_counter()
+    outcomes: list[CellOutcome | None] = [None] * len(cells)
+
+    # 1. serve cells from the cache
+    pending: list[int] = []
+    for index, cell in enumerate(cells):
+        rows = cache.get(cell) if cache is not None else None
+        if rows is not None:
+            outcomes[index] = CellOutcome(cell=cell, rows=rows, elapsed=0.0, source="cache")
+        else:
+            pending.append(index)
+
+    # 2. deduplicate identical work within this run
+    primary_by_hash: dict[str, int] = {}
+    duplicates: list[tuple[int, int]] = []
+    to_compute: list[int] = []
+    for index in pending:
+        config_hash = cells[index].config_hash
+        if config_hash in primary_by_hash:
+            duplicates.append((index, primary_by_hash[config_hash]))
+        else:
+            primary_by_hash[config_hash] = index
+            to_compute.append(index)
+
+    # 3. compute the remaining cells, in-process or across the pool; each
+    # cell is persisted to the cache as soon as it completes, so an
+    # interrupted or partially failed run keeps its completed work
+    payloads = [
+        (cells[i].runner, dict(cells[i].params), cells[i].master_seed, cells[i].key)
+        for i in to_compute
+    ]
+
+    def record(index: int, cell_rows: list[dict], elapsed: float) -> None:
+        outcomes[index] = CellOutcome(
+            cell=cells[index], rows=cell_rows, elapsed=elapsed, source="computed"
+        )
+        if cache is not None:
+            cache.put(cells[index], cell_rows, elapsed)
+
+    if workers == 1 or len(payloads) <= 1:
+        for index, payload in zip(to_compute, payloads):
+            record(index, *_execute_payload(payload))
+    else:
+        with ProcessPoolExecutor(max_workers=min(workers, len(payloads))) as pool:
+            futures = {
+                pool.submit(_execute_payload, payload): index
+                for index, payload in zip(to_compute, payloads)
+            }
+            first_error: BaseException | None = None
+            for future in as_completed(futures):
+                try:
+                    cell_rows, elapsed = future.result()
+                except BaseException as exc:
+                    # keep draining so the surviving cells still hit the cache
+                    if first_error is None:
+                        first_error = exc
+                    continue
+                record(futures[future], cell_rows, elapsed)
+            if first_error is not None:
+                raise first_error
+    for index, primary in duplicates:
+        outcomes[index] = CellOutcome(
+            cell=cells[index],
+            rows=list(outcomes[primary].rows),
+            elapsed=0.0,
+            source="dedup",
+        )
+
+    rows: list[dict] = []
+    for outcome in outcomes:
+        rows.extend(outcome.rows)
+    return GridResult(
+        rows=rows,
+        outcomes=list(outcomes),
+        elapsed=time.perf_counter() - start,
+        workers=workers,
+    )

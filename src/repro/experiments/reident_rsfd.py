@@ -5,20 +5,123 @@ re-identification attack collapses: the attacker must first predict the
 sampled attribute (NK attribute-inference with ``s = 1n``) and then infer its
 value, and the chained errors across surveys keep the RID-ACC close to the
 random baseline.
+
+Grid decomposition: one cell per (repetition, epsilon), with the survey plan
+of a repetition derived from the master seed and the repetition index alone.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Mapping, Sequence
+
+import numpy as np
 
 from ..attacks.attribute_inference import ClassifierFactory
 from ..attacks.profile import build_profiles_rsfd, plan_surveys
 from ..attacks.reidentification import ReidentificationAttack
-from ..core.rng import ensure_rng
+from ..core.rng import derive_rng
 from ..datasets.loaders import load_dataset
 from ..metrics.accuracy import as_percentage
+from .attribute_inference_rsfd import classifier_name, resolve_classifier_factory
 from .config import PAPER_EPSILONS
+from .grid import GridCache, GridCell, cell_runner, run_grid
 from .reporting import mean_rows
+
+
+@cell_runner("reident_rsfd")
+def _reident_rsfd_cell(params: Mapping, rng: np.random.Generator) -> list[dict]:
+    """One (repetition, epsilon) cell of Fig. 4."""
+    dataset = load_dataset(
+        params["dataset"], n=params["n"], rng=int(params["dataset_seed"])
+    )
+    surveys_rng = derive_rng(
+        int(params["seed"]), "reident_rsfd", "surveys", int(params["run"])
+    )
+    surveys = plan_surveys(dataset.d, int(params["num_surveys"]), rng=surveys_rng)
+    reident = ReidentificationAttack(dataset, rng=rng)
+    profiling = build_profiles_rsfd(
+        dataset,
+        surveys,
+        epsilon=float(params["epsilon"]),
+        variant=params["variant"],
+        ue_kind=params["ue_kind"],
+        metric=params["metric"],
+        synthetic_factor=float(params["synthetic_factor"]),
+        classifier_factory=resolve_classifier_factory(params["classifier"]),
+        rng=rng,
+    )
+    rows: list[dict] = []
+    for top_k in params["top_ks"]:
+        results = reident.evaluate_profiling(
+            profiling,
+            top_k=int(top_k),
+            model=params["knowledge"],
+            min_surveys=int(params["min_surveys"]),
+        )
+        for surveys_done, result in results.items():
+            rows.append(
+                {
+                    "dataset": params["dataset"],
+                    "protocol": profiling.extra.get("variant", params["variant"]),
+                    "epsilon": float(params["epsilon"]),
+                    "metric": params["metric"],
+                    "knowledge": params["knowledge"],
+                    "surveys": surveys_done,
+                    "top_k": int(top_k),
+                    "rid_acc_pct": as_percentage(result.accuracy),
+                    "baseline_pct": as_percentage(result.baseline),
+                }
+            )
+    return rows
+
+
+def plan_reidentification_rsfd(
+    dataset_name: str = "adult",
+    n: int | None = None,
+    epsilons: Sequence[float] = PAPER_EPSILONS,
+    num_surveys: int = 5,
+    top_ks: Sequence[int] = (1, 10),
+    variant: str = "grr",
+    ue_kind: str = "OUE",
+    synthetic_factor: float = 1.0,
+    metric: str = "uniform",
+    knowledge: str = "FK-RI",
+    classifier_factory: ClassifierFactory | None = None,
+    min_surveys: int = 2,
+    runs: int = 1,
+    seed: int = 42,
+    figure: str = "reident_rsfd",
+) -> list[GridCell]:
+    """Express the RS+FD re-identification grid as independent cells."""
+    classifier = classifier_name(classifier_factory)
+    cells = []
+    for run_index in range(runs):
+        for epsilon in epsilons:
+            cells.append(
+                GridCell(
+                    figure=figure,
+                    runner="reident_rsfd",
+                    params={
+                        "dataset": dataset_name,
+                        "n": n,
+                        "dataset_seed": seed,
+                        "seed": seed,
+                        "run": run_index,
+                        "epsilon": float(epsilon),
+                        "num_surveys": num_surveys,
+                        "top_ks": [int(k) for k in top_ks],
+                        "variant": variant,
+                        "ue_kind": ue_kind,
+                        "synthetic_factor": float(synthetic_factor),
+                        "metric": metric,
+                        "knowledge": knowledge,
+                        "min_surveys": min_surveys,
+                        "classifier": classifier,
+                    },
+                    master_seed=seed,
+                )
+            )
+    return cells
 
 
 def run_reidentification_rsfd(
@@ -36,6 +139,10 @@ def run_reidentification_rsfd(
     min_surveys: int = 2,
     runs: int = 1,
     seed: int = 42,
+    figure: str = "reident_rsfd",
+    workers: int = 1,
+    cache: "GridCache | str | None" = None,
+    grid_info: dict | None = None,
 ) -> list[dict]:
     """Measure RID-ACC when users adopt RS+FD (Fig. 4 setup).
 
@@ -43,42 +150,26 @@ def run_reidentification_rsfd(
     ``s = 1n`` synthetic profiles, FK-RI matching and the uniform privacy
     metric across users.
     """
-    all_rows: list[dict] = []
-    for run_index in range(runs):
-        rng = ensure_rng(seed + run_index)
-        dataset = load_dataset(dataset_name, n=n, rng=seed)
-        surveys = plan_surveys(dataset.d, num_surveys, rng=rng)
-        reident = ReidentificationAttack(dataset, rng=rng)
-        for epsilon in epsilons:
-            profiling = build_profiles_rsfd(
-                dataset,
-                surveys,
-                epsilon=float(epsilon),
-                variant=variant,
-                ue_kind=ue_kind,
-                metric=metric,
-                synthetic_factor=synthetic_factor,
-                classifier_factory=classifier_factory,
-                rng=rng,
-            )
-            for top_k in top_ks:
-                results = reident.evaluate_profiling(
-                    profiling, top_k=top_k, model=knowledge, min_surveys=min_surveys
-                )
-                for surveys_done, result in results.items():
-                    all_rows.append(
-                        {
-                            "dataset": dataset_name,
-                            "protocol": profiling.extra.get("variant", variant),
-                            "epsilon": float(epsilon),
-                            "metric": metric,
-                            "knowledge": knowledge,
-                            "surveys": surveys_done,
-                            "top_k": top_k,
-                            "rid_acc_pct": as_percentage(result.accuracy),
-                            "baseline_pct": as_percentage(result.baseline),
-                        }
-                    )
+    cells = plan_reidentification_rsfd(
+        dataset_name=dataset_name,
+        n=n,
+        epsilons=epsilons,
+        num_surveys=num_surveys,
+        top_ks=top_ks,
+        variant=variant,
+        ue_kind=ue_kind,
+        synthetic_factor=synthetic_factor,
+        metric=metric,
+        knowledge=knowledge,
+        classifier_factory=classifier_factory,
+        min_surveys=min_surveys,
+        runs=runs,
+        seed=seed,
+        figure=figure,
+    )
+    result = run_grid(cells, workers=workers, cache=cache)
+    if grid_info is not None:
+        grid_info.update(result.summary())
     group_by = [
         "dataset",
         "protocol",
@@ -88,4 +179,4 @@ def run_reidentification_rsfd(
         "surveys",
         "top_k",
     ]
-    return mean_rows(all_rows, group_by, ["rid_acc_pct", "baseline_pct"])
+    return mean_rows(result.rows, group_by, ["rid_acc_pct", "baseline_pct"])

@@ -9,22 +9,144 @@ Workflow per repetition (Sec. 4.2): draw ``#surveys`` surveys with at least
 survey with the SMP solution, build the attacker's inferred profile after
 every survey and match it against the background knowledge for
 ``top-k ∈ {1, 10}``.
+
+The grid decomposition is one cell per (repetition, protocol, privacy
+level); the survey plan of a repetition is derived from the master seed and
+the repetition index alone, so every cell of the same repetition attacks the
+same surveys — exactly as in the sequential formulation — while remaining
+independently executable.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Mapping, Sequence
+
+import numpy as np
 
 from ..attacks.profile import build_profiles_smp, plan_surveys
 from ..attacks.reidentification import ReidentificationAttack
-from ..core.rng import ensure_rng
+from ..core.rng import derive_rng
 from ..datasets.loaders import load_dataset
 from ..metrics.accuracy import as_percentage
 from .config import PAPER_EPSILONS
+from .grid import GridCache, GridCell, cell_runner, run_grid
 from .reporting import mean_rows
 
 #: Protocols plotted in Figs. 2 and 9-13.
 SMP_PROTOCOLS: tuple[str, ...] = ("GRR", "SS", "SUE", "OLH", "OUE")
+
+#: Row-grouping key shared by the SMP re-identification figures.
+_GROUP_BY = (
+    "dataset",
+    "protocol",
+    "privacy_axis",
+    "privacy_level",
+    "metric",
+    "knowledge",
+    "surveys",
+    "top_k",
+)
+
+
+def _shared_surveys(params: Mapping) -> list:
+    """Survey plan shared by every cell of the same repetition."""
+    rng = derive_rng(int(params["seed"]), "reident_smp", "surveys", int(params["run"]))
+    return plan_surveys(int(params["d"]), int(params["num_surveys"]), rng=rng)
+
+
+@cell_runner("reident_smp")
+def _reident_smp_cell(params: Mapping, rng: np.random.Generator) -> list[dict]:
+    """One (repetition, protocol, privacy level) cell of Figs. 2 / 9-13."""
+    dataset = load_dataset(
+        params["dataset"], n=params["n"], rng=int(params["dataset_seed"])
+    )
+    surveys = _shared_surveys({**params, "d": dataset.d})
+    reident = ReidentificationAttack(dataset, rng=rng)
+    axis_name = params["privacy_axis"]
+    level = float(params["privacy_level"])
+    profiling = build_profiles_smp(
+        dataset,
+        surveys,
+        protocol=params["protocol"],
+        epsilon=level if axis_name == "epsilon" else 1.0,
+        metric=params["metric"],
+        rng=rng,
+        pie_beta=level if axis_name == "beta" else None,
+    )
+    rows: list[dict] = []
+    for top_k in params["top_ks"]:
+        results = reident.evaluate_profiling(
+            profiling,
+            top_k=int(top_k),
+            model=params["knowledge"],
+            min_surveys=int(params["min_surveys"]),
+        )
+        for surveys_done, result in results.items():
+            rows.append(
+                {
+                    "dataset": params["dataset"],
+                    "protocol": params["protocol"],
+                    "privacy_axis": axis_name,
+                    "privacy_level": level,
+                    "metric": params["metric"],
+                    "knowledge": params["knowledge"],
+                    "surveys": surveys_done,
+                    "top_k": int(top_k),
+                    "rid_acc_pct": as_percentage(result.accuracy),
+                    "baseline_pct": as_percentage(result.baseline),
+                }
+            )
+    return rows
+
+
+def plan_reidentification_smp(
+    dataset_name: str = "adult",
+    n: int | None = None,
+    protocols: Sequence[str] = SMP_PROTOCOLS,
+    epsilons: Sequence[float] = PAPER_EPSILONS,
+    num_surveys: int = 5,
+    top_ks: Sequence[int] = (1, 10),
+    knowledge: str = "FK-RI",
+    metric: str = "uniform",
+    pie_betas: Sequence[float] | None = None,
+    min_surveys: int = 2,
+    runs: int = 1,
+    seed: int = 42,
+    figure: str = "reident_smp",
+) -> list[GridCell]:
+    """Express the SMP re-identification grid as independent cells."""
+    privacy_levels = (
+        [("beta", float(b)) for b in pie_betas]
+        if pie_betas is not None
+        else [("epsilon", float(e)) for e in epsilons]
+    )
+    cells = []
+    for run_index in range(runs):
+        for protocol in protocols:
+            for axis_name, level in privacy_levels:
+                cells.append(
+                    GridCell(
+                        figure=figure,
+                        runner="reident_smp",
+                        params={
+                            "dataset": dataset_name,
+                            "n": n,
+                            "dataset_seed": seed,
+                            "seed": seed,
+                            "run": run_index,
+                            "protocol": protocol,
+                            "privacy_axis": axis_name,
+                            "privacy_level": level,
+                            "num_surveys": num_surveys,
+                            "top_ks": [int(k) for k in top_ks],
+                            "knowledge": knowledge,
+                            "metric": metric,
+                            "min_surveys": min_surveys,
+                        },
+                        master_seed=seed,
+                    )
+                )
+    return cells
 
 
 def run_reidentification_smp(
@@ -40,6 +162,10 @@ def run_reidentification_smp(
     min_surveys: int = 2,
     runs: int = 1,
     seed: int = 42,
+    figure: str = "reident_smp",
+    workers: int = 1,
+    cache: "GridCache | str | None" = None,
+    grid_info: dict | None = None,
 ) -> list[dict]:
     """Measure the attacker's RID-ACC for the SMP solution.
 
@@ -49,58 +175,22 @@ def run_reidentification_smp(
     Returns one row per (protocol, privacy level, #surveys, top-k) with the
     RID-ACC in percent, averaged over ``runs`` repetitions.
     """
-    privacy_levels = (
-        [("beta", float(b)) for b in pie_betas]
-        if pie_betas is not None
-        else [("epsilon", float(e)) for e in epsilons]
+    cells = plan_reidentification_smp(
+        dataset_name=dataset_name,
+        n=n,
+        protocols=protocols,
+        epsilons=epsilons,
+        num_surveys=num_surveys,
+        top_ks=top_ks,
+        knowledge=knowledge,
+        metric=metric,
+        pie_betas=pie_betas,
+        min_surveys=min_surveys,
+        runs=runs,
+        seed=seed,
+        figure=figure,
     )
-    all_rows: list[dict] = []
-    for run_index in range(runs):
-        rng = ensure_rng(seed + run_index)
-        dataset = load_dataset(dataset_name, n=n, rng=seed)
-        surveys = plan_surveys(dataset.d, num_surveys, rng=rng)
-        reident = ReidentificationAttack(dataset, rng=rng)
-        for protocol in protocols:
-            for axis_name, level in privacy_levels:
-                profiling = build_profiles_smp(
-                    dataset,
-                    surveys,
-                    protocol=protocol,
-                    epsilon=level if axis_name == "epsilon" else 1.0,
-                    metric=metric,
-                    rng=rng,
-                    pie_beta=level if axis_name == "beta" else None,
-                )
-                for top_k in top_ks:
-                    results = reident.evaluate_profiling(
-                        profiling,
-                        top_k=top_k,
-                        model=knowledge,
-                        min_surveys=min_surveys,
-                    )
-                    for surveys_done, result in results.items():
-                        all_rows.append(
-                            {
-                                "dataset": dataset_name,
-                                "protocol": protocol,
-                                "privacy_axis": axis_name,
-                                "privacy_level": level,
-                                "metric": metric,
-                                "knowledge": knowledge,
-                                "surveys": surveys_done,
-                                "top_k": top_k,
-                                "rid_acc_pct": as_percentage(result.accuracy),
-                                "baseline_pct": as_percentage(result.baseline),
-                            }
-                        )
-    group_by = [
-        "dataset",
-        "protocol",
-        "privacy_axis",
-        "privacy_level",
-        "metric",
-        "knowledge",
-        "surveys",
-        "top_k",
-    ]
-    return mean_rows(all_rows, group_by, ["rid_acc_pct", "baseline_pct"])
+    result = run_grid(cells, workers=workers, cache=cache)
+    if grid_info is not None:
+        grid_info.update(result.summary())
+    return mean_rows(result.rows, list(_GROUP_BY), ["rid_acc_pct", "baseline_pct"])

@@ -8,6 +8,9 @@ plot.
 
 from __future__ import annotations
 
+import json
+import time
+from pathlib import Path
 from typing import Iterable, Mapping, Sequence
 
 from ..exceptions import InvalidParameterError
@@ -91,3 +94,36 @@ def mean_rows(rows: Iterable[Row], group_by: Sequence[str], value_columns: Seque
             record[column] /= counts[key]
         averaged.append(record)
     return averaged
+
+
+def save_artifact(
+    out_dir: "str | Path",
+    figure: str,
+    rows: Sequence[Row],
+    metadata: Mapping[str, object] | None = None,
+) -> Path:
+    """Persist one figure's rows plus execution metadata to ``out_dir``.
+
+    Layout: ``<out_dir>/<figure>/rows.json`` (the figure's rows),
+    ``meta.json`` (run configuration, timings and cache statistics) and
+    ``table.txt`` (the rendered text table).  Returns the figure directory.
+    """
+    figure = figure.strip()
+    if not figure:
+        raise InvalidParameterError("figure must be a non-empty identifier")
+    directory = Path(out_dir) / figure
+    directory.mkdir(parents=True, exist_ok=True)
+    with open(directory / "rows.json", "w", encoding="utf-8") as handle:
+        json.dump(list(rows), handle, indent=1)
+    meta = {
+        "figure": figure,
+        "created_unix": time.time(),
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "n_rows": len(rows),
+        **(dict(metadata) if metadata else {}),
+    }
+    with open(directory / "meta.json", "w", encoding="utf-8") as handle:
+        json.dump(meta, handle, indent=1)
+    with open(directory / "table.txt", "w", encoding="utf-8") as handle:
+        handle.write(format_table(rows) + "\n")
+    return directory

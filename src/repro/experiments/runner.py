@@ -2,14 +2,21 @@
 
 ``python -m repro.experiments fig2 --quick`` prints the rows behind Fig. 2.
 Every figure of the evaluation (main body Figs. 1-6 and appendix Figs. 9-17)
-has an entry; the ``--quick`` flag scales the workload down so a figure
-regenerates in seconds-to-minutes, while the default parameters follow the
-paper's setup.
+has an entry; the ``--quick`` flag (the default; the inverse of ``--full``)
+scales the workload down so a figure regenerates in seconds-to-minutes,
+while the default parameters follow the paper's setup.
+
+All figures execute on the :mod:`repro.experiments.grid` engine:
+``--workers`` fans the figure's cells out across a process pool,
+``--cache-dir`` / ``--no-cache`` control the on-disk cell memo, ``--seed``
+overrides the master seed and ``--out`` persists the rows, metadata and
+per-cell timings as a figure artifact.
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 from typing import Callable, Mapping, Sequence
 
 from ..exceptions import InvalidParameterError
@@ -17,10 +24,14 @@ from .analytical_acc import run_analytical_acc
 from .attribute_inference_rsfd import run_attribute_inference_rsfd
 from .attribute_inference_rsrfd import run_attribute_inference_rsrfd
 from .config import PIE_BETAS, QUICK
+from .grid import GridCache
 from .reident_rsfd import run_reidentification_rsfd
 from .reident_smp import run_reidentification_smp
-from .reporting import format_table
+from .reporting import format_table, save_artifact
 from .utility_rsrfd import run_utility_rsrfd
+
+#: Default on-disk cell-cache directory used by the CLI.
+DEFAULT_CACHE_DIR = ".repro-cache"
 
 #: Reduced grids used by the ``--quick`` mode.
 _QUICK_EPSILONS = QUICK.epsilons
@@ -29,8 +40,13 @@ _QUICK_N_CLASSIFIER = 1200
 _QUICK_BETAS = (0.95, 0.8, 0.65, 0.5)
 
 
-def _experiment_registry(quick: bool) -> Mapping[str, Callable[[], list[dict]]]:
-    """Build the figure-id → runner mapping for the requested scale."""
+def _experiment_registry(quick: bool) -> Mapping[str, Callable[..., list[dict]]]:
+    """Build the figure-id → runner mapping for the requested scale.
+
+    Every registry entry accepts the engine keyword arguments (``workers``,
+    ``cache``, ``seed``, ``grid_info``) and forwards them to its experiment
+    function together with the figure id (labelling the grid cells).
+    """
     n = _QUICK_N if quick else None
     n_cls = _QUICK_N_CLASSIFIER if quick else None
     eps = _QUICK_EPSILONS if quick else None
@@ -38,42 +54,75 @@ def _experiment_registry(quick: bool) -> Mapping[str, Callable[[], list[dict]]]:
     kw_eps = {"epsilons": eps} if eps else {}
     kw_util_eps = {}  # the utility grid (ln2..ln7) is already small
 
-    def reident_smp(**overrides):
-        return lambda: run_reidentification_smp(n=n, **kw_eps, **overrides)
+    def reident_smp(figure, **overrides):
+        return lambda **engine: run_reidentification_smp(
+            n=n, figure=figure, **kw_eps, **overrides, **engine
+        )
 
-    def aif_rsfd(**overrides):
-        return lambda: run_attribute_inference_rsfd(n=n_cls, **kw_eps, **overrides)
+    def aif_rsfd(figure, **overrides):
+        return lambda **engine: run_attribute_inference_rsfd(
+            n=n_cls, figure=figure, **kw_eps, **overrides, **engine
+        )
 
-    def aif_rsrfd(**overrides):
-        return lambda: run_attribute_inference_rsrfd(n=n_cls, **kw_eps, **overrides)
+    def aif_rsrfd(figure, **overrides):
+        return lambda **engine: run_attribute_inference_rsrfd(
+            n=n_cls, figure=figure, **kw_eps, **overrides, **engine
+        )
 
     return {
-        "fig1": lambda: run_analytical_acc(),
-        "fig2": reident_smp(dataset_name="adult", knowledge="FK-RI", metric="uniform"),
-        "fig3": aif_rsfd(dataset_name="acs_employment"),
-        "fig4": lambda: run_reidentification_rsfd(dataset_name="adult", n=n_cls, **kw_eps),
-        "fig5": lambda: run_utility_rsrfd(
-            dataset_name="acs_employment", n=n, prior_kinds=("correct", "dir"), **kw_util_eps
+        "fig1": lambda **engine: run_analytical_acc(figure="fig1", **engine),
+        "fig2": reident_smp("fig2", dataset_name="adult", knowledge="FK-RI", metric="uniform"),
+        "fig3": aif_rsfd("fig3", dataset_name="acs_employment"),
+        "fig4": lambda **engine: run_reidentification_rsfd(
+            dataset_name="adult", n=n_cls, figure="fig4", **kw_eps, **engine
         ),
-        "fig6": aif_rsrfd(dataset_name="acs_employment", prior_kind="correct"),
-        "fig9": reident_smp(dataset_name="acs_employment", knowledge="FK-RI", metric="uniform"),
-        "fig10": reident_smp(dataset_name="adult", knowledge="PK-RI", metric="uniform"),
-        "fig11": reident_smp(dataset_name="adult", knowledge="FK-RI", metric="non-uniform"),
-        "fig12": lambda: run_reidentification_smp(
-            dataset_name="adult", n=n, knowledge="FK-RI", metric="uniform", pie_betas=betas
+        "fig5": lambda **engine: run_utility_rsrfd(
+            dataset_name="acs_employment",
+            n=n,
+            prior_kinds=("correct", "dir"),
+            figure="fig5",
+            **kw_util_eps,
+            **engine,
         ),
-        "fig13": lambda: run_reidentification_smp(
-            dataset_name="adult", n=n, knowledge="FK-RI", metric="non-uniform", pie_betas=betas
+        "fig6": aif_rsrfd("fig6", dataset_name="acs_employment", prior_kind="correct"),
+        "fig9": reident_smp(
+            "fig9", dataset_name="acs_employment", knowledge="FK-RI", metric="uniform"
         ),
-        "fig14": aif_rsfd(dataset_name="adult"),
-        "fig15": aif_rsfd(dataset_name="nursery"),
-        "fig16": lambda: run_utility_rsrfd(
+        "fig10": reident_smp("fig10", dataset_name="adult", knowledge="PK-RI", metric="uniform"),
+        "fig11": reident_smp(
+            "fig11", dataset_name="adult", knowledge="FK-RI", metric="non-uniform"
+        ),
+        "fig12": lambda **engine: run_reidentification_smp(
+            dataset_name="adult",
+            n=n,
+            knowledge="FK-RI",
+            metric="uniform",
+            pie_betas=betas,
+            figure="fig12",
+            **engine,
+        ),
+        "fig13": lambda **engine: run_reidentification_smp(
+            dataset_name="adult",
+            n=n,
+            knowledge="FK-RI",
+            metric="non-uniform",
+            pie_betas=betas,
+            figure="fig13",
+            **engine,
+        ),
+        "fig14": aif_rsfd("fig14", dataset_name="adult"),
+        "fig15": aif_rsfd("fig15", dataset_name="nursery"),
+        "fig16": lambda **engine: run_utility_rsrfd(
             dataset_name="adult",
             n=n,
             prior_kinds=("correct", "dir", "zipf", "exp"),
             include_analytical=True,
+            figure="fig16",
+            **engine,
         ),
-        "fig17": aif_rsrfd(dataset_name="acs_employment", prior_kind="dir", models=("NK",)),
+        "fig17": aif_rsrfd(
+            "fig17", dataset_name="acs_employment", prior_kind="dir", models=("NK",)
+        ),
     }
 
 
@@ -82,34 +131,124 @@ def available_experiments() -> tuple[str, ...]:
     return tuple(_experiment_registry(quick=True))
 
 
-def run_experiment(figure: str, quick: bool = True) -> list[dict]:
-    """Run the experiment behind ``figure`` (e.g. ``"fig2"``) and return rows."""
+def run_experiment(
+    figure: str,
+    quick: bool = True,
+    workers: int = 1,
+    cache: "GridCache | str | None" = None,
+    seed: int | None = None,
+    grid_info: dict | None = None,
+) -> list[dict]:
+    """Run the experiment behind ``figure`` (e.g. ``"fig2"``) and return rows.
+
+    Parameters
+    ----------
+    figure:
+        Figure identifier; unknown identifiers raise
+        :class:`~repro.exceptions.InvalidParameterError` listing the valid
+        ones.
+    quick:
+        Reduced grids (default) versus the paper-scale parameters.
+    workers, cache, seed:
+        Grid-engine knobs: process-pool size, on-disk cell cache (directory
+        or :class:`~repro.experiments.grid.GridCache`) and master seed.
+    grid_info:
+        Optional dictionary updated in place with the engine's execution
+        summary (cell counts, cache hits, per-cell timings).
+    """
     registry = _experiment_registry(quick)
     key = figure.strip().lower()
     if key not in registry:
         raise InvalidParameterError(
-            f"unknown experiment {figure!r}; expected one of {sorted(registry)}"
+            f"unknown experiment {figure!r}; valid figures: {', '.join(sorted(registry))}"
         )
-    return registry[key]()
+    engine_kwargs: dict = {"workers": workers, "cache": cache, "grid_info": grid_info}
+    if seed is not None:
+        engine_kwargs["seed"] = int(seed)
+    return registry[key](**engine_kwargs)
 
 
-def main(argv: Sequence[str] | None = None) -> int:
-    """Command-line entry point."""
+def build_parser() -> argparse.ArgumentParser:
+    """Argument parser of ``python -m repro.experiments``."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the figures of the VLDB 2023 LDP-risks paper.",
     )
     parser.add_argument(
         "figure",
-        choices=sorted(available_experiments()),
-        help="figure identifier, e.g. fig2",
+        help=f"figure identifier, one of: {', '.join(sorted(available_experiments()))}",
     )
-    parser.add_argument(
+    scale = parser.add_mutually_exclusive_group()
+    scale.add_argument(
+        "--quick",
+        action="store_true",
+        help="use the reduced quick preset (this is the default)",
+    )
+    scale.add_argument(
         "--full",
         action="store_true",
         help="use the paper-scale parameters instead of the quick preset",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="number of worker processes executing grid cells (default: 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        metavar="DIR",
+        help=f"on-disk cell-cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk cell cache",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="persist rows + metadata + timings under DIR/<figure>/",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="master seed for the grid (default: each experiment's default, 42)",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Command-line entry point."""
+    parser = build_parser()
     args = parser.parse_args(argv)
-    rows = run_experiment(args.figure, quick=not args.full)
+    grid_info: dict = {}
+    try:
+        cache = None if args.no_cache else GridCache(args.cache_dir)
+        rows = run_experiment(
+            args.figure,
+            quick=not args.full,
+            workers=args.workers,
+            cache=cache,
+            seed=args.seed,
+            grid_info=grid_info,
+        )
+    except InvalidParameterError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(format_table(rows))
+    if args.out is not None:
+        metadata = {
+            "quick": not args.full,
+            "seed": args.seed,
+            "cache_dir": None if args.no_cache else str(args.cache_dir),
+            "grid": grid_info,
+        }
+        directory = save_artifact(args.out, args.figure.strip().lower(), rows, metadata)
+        print(f"artifact written to {directory}", file=sys.stderr)
     return 0

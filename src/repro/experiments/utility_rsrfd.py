@@ -6,21 +6,27 @@ the averaged MSE of multidimensional frequency estimation with the original
 RS+FD solution (uniform fake data) and the proposed RS+RFD countermeasure
 (realistic fake data), plus the corresponding analytical approximate
 variances (Fig. 16's left-hand plots).
+
+Grid decomposition: one cell per (repetition, protocol, epsilon) covering
+all prior kinds, so the RS+FD reference collection is computed once per cell
+and the rows pair up naturally.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Mapping, Sequence
 
-from ..core.rng import ensure_rng
+import numpy as np
+
 from ..datasets.loaders import load_dataset
 from ..exceptions import InvalidParameterError
 from ..metrics.errors import mse_avg
 from ..multidim.rsfd import RSFD
 from ..multidim.rsrfd import RSRFD
 from ..multidim.variance import averaged_analytical_variance
-from ..privacy.priors import make_priors
+from .attribute_inference_rsrfd import shared_priors
 from .config import UTILITY_EPSILONS
+from .grid import GridCache, GridCell, cell_runner, run_grid
 from .reporting import mean_rows
 
 #: Protocols compared in Figs. 5 and 16.
@@ -38,6 +44,102 @@ def _parse_protocol(label: str) -> tuple[str, str]:
     )
 
 
+@cell_runner("utility_rsrfd")
+def _utility_rsrfd_cell(params: Mapping, rng: np.random.Generator) -> list[dict]:
+    """One (repetition, protocol, epsilon) cell of Figs. 5 / 16."""
+    dataset = load_dataset(
+        params["dataset"], n=params["n"], rng=int(params["dataset_seed"])
+    )
+    label = params["protocol"]
+    variant, ue_kind = _parse_protocol(label)
+    epsilon = float(params["epsilon"])
+    include_analytical = bool(params["include_analytical"])
+
+    # RS+FD reference (uniform fake data); prior-independent, but repeated
+    # per prior kind so rows pair up naturally.
+    rsfd = RSFD(dataset.domain, epsilon, variant=variant, ue_kind=ue_kind, rng=rng)
+    _, rsfd_estimates = rsfd.collect_and_estimate(dataset)
+    rsfd_error = mse_avg(rsfd_estimates, dataset)
+
+    rows: list[dict] = []
+    for kind in params["prior_kinds"]:
+        priors = shared_priors(params, dataset, kind)
+        rsrfd = RSRFD(
+            dataset.domain,
+            epsilon,
+            priors=priors,
+            variant="grr" if variant == "grr" else "ue-r",
+            ue_kind=ue_kind,
+            rng=rng,
+        )
+        _, rsrfd_estimates = rsrfd.collect_and_estimate(dataset)
+        rsrfd_error = mse_avg(rsrfd_estimates, dataset)
+        pair = [
+            ("RS+FD", f"RS+FD[{label}]", rsfd_error, "rsfd"),
+            ("RS+RFD", f"RS+RFD[{label}]", rsrfd_error, "rsrfd"),
+        ]
+        for solution, protocol_label, error, solution_key in pair:
+            row = {
+                "dataset": params["dataset"],
+                "solution": solution,
+                "protocol": protocol_label,
+                "epsilon": epsilon,
+                "prior": kind,
+                "mse_avg": error,
+            }
+            if include_analytical:
+                row["analytical_variance"] = averaged_analytical_variance(
+                    solution_key,
+                    variant if solution_key == "rsfd" else ("grr" if variant == "grr" else "ue-r"),
+                    epsilon,
+                    dataset.sizes,
+                    dataset.n,
+                    priors=priors if solution_key == "rsrfd" else None,
+                    ue_kind=ue_kind,
+                )
+            rows.append(row)
+    return rows
+
+
+def plan_utility_rsrfd(
+    dataset_name: str = "acs_employment",
+    n: int | None = None,
+    protocols: Sequence[str] = UTILITY_PROTOCOLS,
+    epsilons: Sequence[float] = UTILITY_EPSILONS,
+    prior_kinds: Sequence[str] = ("correct", "dir"),
+    prior_epsilon: float = 0.1,
+    include_analytical: bool = False,
+    runs: int = 1,
+    seed: int = 42,
+    figure: str = "utility_rsrfd",
+) -> list[GridCell]:
+    """Express the utility comparison grid as independent cells."""
+    cells = []
+    for run_index in range(runs):
+        for label in protocols:
+            _parse_protocol(label)  # fail fast on bad labels
+            for epsilon in epsilons:
+                cells.append(
+                    GridCell(
+                        figure=figure,
+                        runner="utility_rsrfd",
+                        params={
+                            "dataset": dataset_name,
+                            "n": n,
+                            "dataset_seed": seed,
+                            "run": run_index,
+                            "protocol": label,
+                            "epsilon": float(epsilon),
+                            "prior_kinds": list(prior_kinds),
+                            "prior_epsilon": float(prior_epsilon),
+                            "include_analytical": bool(include_analytical),
+                        },
+                        master_seed=seed,
+                    )
+                )
+    return cells
+
+
 def run_utility_rsrfd(
     dataset_name: str = "acs_employment",
     n: int | None = None,
@@ -48,6 +150,10 @@ def run_utility_rsrfd(
     include_analytical: bool = False,
     runs: int = 1,
     seed: int = 42,
+    figure: str = "utility_rsrfd",
+    workers: int = 1,
+    cache: "GridCache | str | None" = None,
+    grid_info: dict | None = None,
 ) -> list[dict]:
     """Compare RS+RFD against RS+FD on multidimensional frequency estimation.
 
@@ -57,59 +163,21 @@ def run_utility_rsrfd(
     ``prior_epsilon`` is the total central-DP budget for "correct" priors
     (see :func:`run_attribute_inference_rsrfd`).
     """
-    all_rows: list[dict] = []
-    for run_index in range(runs):
-        rng = ensure_rng(seed + run_index)
-        dataset = load_dataset(dataset_name, n=n, rng=seed)
-        priors_by_kind = {
-            kind: make_priors(kind, dataset, rng=rng, total_epsilon=prior_epsilon)
-            for kind in prior_kinds
-        }
-        for label in protocols:
-            variant, ue_kind = _parse_protocol(label)
-            for epsilon in epsilons:
-                epsilon = float(epsilon)
-                # RS+FD reference (uniform fake data); prior-independent, but
-                # repeated per prior kind so rows pair up naturally.
-                rsfd = RSFD(dataset.domain, epsilon, variant=variant, ue_kind=ue_kind, rng=rng)
-                _, rsfd_estimates = rsfd.collect_and_estimate(dataset)
-                rsfd_error = mse_avg(rsfd_estimates, dataset)
-                for kind in prior_kinds:
-                    priors = priors_by_kind[kind]
-                    rsrfd = RSRFD(
-                        dataset.domain,
-                        epsilon,
-                        priors=priors,
-                        variant="grr" if variant == "grr" else "ue-r",
-                        ue_kind=ue_kind,
-                        rng=rng,
-                    )
-                    _, rsrfd_estimates = rsrfd.collect_and_estimate(dataset)
-                    rsrfd_error = mse_avg(rsrfd_estimates, dataset)
-                    pair = [
-                        ("RS+FD", f"RS+FD[{label}]", rsfd_error, "rsfd"),
-                        ("RS+RFD", f"RS+RFD[{label}]", rsrfd_error, "rsrfd"),
-                    ]
-                    for solution, protocol_label, error, solution_key in pair:
-                        row = {
-                            "dataset": dataset_name,
-                            "solution": solution,
-                            "protocol": protocol_label,
-                            "epsilon": epsilon,
-                            "prior": kind,
-                            "mse_avg": error,
-                        }
-                        if include_analytical:
-                            row["analytical_variance"] = averaged_analytical_variance(
-                                solution_key,
-                                variant if solution_key == "rsfd" else ("grr" if variant == "grr" else "ue-r"),
-                                epsilon,
-                                dataset.sizes,
-                                dataset.n,
-                                priors=priors if solution_key == "rsrfd" else None,
-                                ue_kind=ue_kind,
-                            )
-                        all_rows.append(row)
+    cells = plan_utility_rsrfd(
+        dataset_name=dataset_name,
+        n=n,
+        protocols=protocols,
+        epsilons=epsilons,
+        prior_kinds=prior_kinds,
+        prior_epsilon=prior_epsilon,
+        include_analytical=include_analytical,
+        runs=runs,
+        seed=seed,
+        figure=figure,
+    )
+    result = run_grid(cells, workers=workers, cache=cache)
+    if grid_info is not None:
+        grid_info.update(result.summary())
     group_by = ["dataset", "solution", "protocol", "epsilon", "prior"]
     value_columns = ["mse_avg"] + (["analytical_variance"] if include_analytical else [])
-    return mean_rows(all_rows, group_by, value_columns)
+    return mean_rows(result.rows, group_by, value_columns)

@@ -3,7 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.core.rng import ensure_rng, spawn_rngs
+from repro.core.rng import derive_rng, derive_seed_sequence, ensure_rng, spawn_rngs
+from repro.exceptions import InvalidParameterError
 
 
 class TestEnsureRng:
@@ -43,3 +44,50 @@ class TestSpawnRngs:
     def test_negative_count_rejected(self):
         with pytest.raises(ValueError):
             spawn_rngs(0, -1)
+
+
+class TestDeriveRng:
+    def test_same_key_same_stream(self):
+        a = derive_rng(42, "cell", 3, "GRR").integers(0, 10**9, size=8)
+        b = derive_rng(42, "cell", 3, "GRR").integers(0, 10**9, size=8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_key_different_stream(self):
+        a = derive_rng(42, "cell", 3, "GRR").integers(0, 10**9, size=8)
+        b = derive_rng(42, "cell", 4, "GRR").integers(0, 10**9, size=8)
+        assert not np.array_equal(a, b)
+
+    def test_different_master_seed_different_stream(self):
+        a = derive_rng(42, "cell").integers(0, 10**9, size=8)
+        b = derive_rng(43, "cell").integers(0, 10**9, size=8)
+        assert not np.array_equal(a, b)
+
+    def test_key_part_order_matters(self):
+        a = derive_rng(0, "x", "y").integers(0, 10**9, size=8)
+        b = derive_rng(0, "y", "x").integers(0, 10**9, size=8)
+        assert not np.array_equal(a, b)
+
+    def test_independent_of_spawn_order(self):
+        """Derivation must not depend on how many streams were made before."""
+        first = derive_rng(7, "a").integers(0, 10**9, size=4)
+        derive_rng(7, "b")
+        derive_rng(7, "c")
+        again = derive_rng(7, "a").integers(0, 10**9, size=4)
+        np.testing.assert_array_equal(first, again)
+
+    def test_seed_sequence_entropy_is_stable(self):
+        a = derive_seed_sequence(1, "k").entropy
+        b = derive_seed_sequence(1, "k").entropy
+        assert a == b
+
+    def test_rejects_non_int_master_seed(self):
+        with pytest.raises(TypeError):
+            derive_rng("42", "cell")
+
+    def test_rejects_negative_master_seed(self):
+        with pytest.raises(InvalidParameterError):
+            derive_rng(-1, "cell")
+
+    def test_rejects_unhashable_key_parts(self):
+        with pytest.raises(TypeError):
+            derive_rng(0, ["not", "a", "scalar"])

@@ -1,0 +1,92 @@
+"""Determinism-parity tests for the grid engine (ISSUE 1, satellite 1).
+
+For two representative figures — Fig. 2 (SMP re-identification) and Fig. 5
+(RS+RFD utility) — the grid engine must produce byte-identical rows whether
+the cells execute in-process (``workers=1``) or across a process pool
+(``workers=4``), given the same master seed; and a second run must be served
+entirely from the on-disk cache.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.grid import run_grid
+from repro.experiments.reident_smp import plan_reidentification_smp
+from repro.experiments.utility_rsrfd import plan_utility_rsrfd
+
+
+def _canonical(rows: list[dict]) -> bytes:
+    """Byte-level encoding of the rows (order-sensitive, full precision)."""
+    return json.dumps(rows, sort_keys=True).encode("utf-8")
+
+
+@pytest.fixture(scope="module")
+def fig2_cells():
+    """A scaled-down Fig. 2 grid (SMP re-identification on Adult)."""
+    return plan_reidentification_smp(
+        dataset_name="adult",
+        n=250,
+        protocols=("GRR", "OUE"),
+        epsilons=(1.0, 8.0),
+        num_surveys=3,
+        top_ks=(1, 10),
+        seed=123,
+        figure="fig2",
+    )
+
+
+@pytest.fixture(scope="module")
+def fig5_cells():
+    """A scaled-down Fig. 5 grid (RS+RFD vs RS+FD utility on ACS)."""
+    return plan_utility_rsrfd(
+        dataset_name="acs_employment",
+        n=300,
+        protocols=("GRR", "OUE-r"),
+        epsilons=(0.7, 1.9),
+        prior_kinds=("correct",),
+        seed=123,
+        figure="fig5",
+    )
+
+
+class TestWorkerCountParity:
+    def test_fig2_rows_identical_for_1_and_4_workers(self, fig2_cells):
+        sequential = run_grid(fig2_cells, workers=1)
+        parallel = run_grid(fig2_cells, workers=4)
+        assert _canonical(sequential.rows) == _canonical(parallel.rows)
+        assert sequential.rows  # non-degenerate
+
+    def test_fig5_rows_identical_for_1_and_4_workers(self, fig5_cells):
+        sequential = run_grid(fig5_cells, workers=1)
+        parallel = run_grid(fig5_cells, workers=4)
+        assert _canonical(sequential.rows) == _canonical(parallel.rows)
+        assert sequential.rows
+
+    def test_different_master_seed_changes_rows(self):
+        base = plan_reidentification_smp(
+            dataset_name="adult", n=250, protocols=("GRR",), epsilons=(1.0,),
+            num_surveys=2, seed=123, figure="fig2",
+        )
+        other = plan_reidentification_smp(
+            dataset_name="adult", n=250, protocols=("GRR",), epsilons=(1.0,),
+            num_surveys=2, seed=124, figure="fig2",
+        )
+        assert _canonical(run_grid(base).rows) != _canonical(run_grid(other).rows)
+
+
+class TestCacheParity:
+    def test_fig2_second_run_served_from_cache(self, fig2_cells, tmp_path):
+        cold = run_grid(fig2_cells, workers=4, cache=tmp_path / "cache")
+        assert cold.from_cache == 0
+        assert cold.computed == len(fig2_cells)
+        warm = run_grid(fig2_cells, workers=1, cache=tmp_path / "cache")
+        assert warm.from_cache == len(fig2_cells)
+        assert warm.computed == 0
+        assert _canonical(warm.rows) == _canonical(cold.rows)
+
+    def test_fig5_second_run_served_from_cache(self, fig5_cells, tmp_path):
+        cold = run_grid(fig5_cells, workers=1, cache=tmp_path / "cache")
+        warm = run_grid(fig5_cells, workers=4, cache=tmp_path / "cache")
+        assert warm.from_cache == len(fig5_cells)
+        assert _canonical(warm.rows) == _canonical(cold.rows)

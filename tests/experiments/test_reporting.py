@@ -1,9 +1,11 @@
 """Tests for the experiment reporting helpers."""
 
+import json
+
 import pytest
 
 from repro.exceptions import InvalidParameterError
-from repro.experiments.reporting import format_table, mean_rows, pivot_series
+from repro.experiments.reporting import format_table, mean_rows, pivot_series, save_artifact
 
 
 ROWS = [
@@ -58,3 +60,28 @@ class TestMeanRows:
         by_protocol = {row["protocol"]: row["acc"] for row in averaged}
         assert by_protocol["GRR"] == pytest.approx(15.0)
         assert by_protocol["OUE"] == pytest.approx(6.0)
+
+
+class TestSaveArtifact:
+    def test_writes_rows_meta_and_table(self, tmp_path):
+        directory = save_artifact(
+            tmp_path, "fig2", ROWS, metadata={"grid": {"cells": 3}, "seed": 42}
+        )
+        assert directory == tmp_path / "fig2"
+        rows = json.loads((directory / "rows.json").read_text())
+        assert rows == ROWS
+        meta = json.loads((directory / "meta.json").read_text())
+        assert meta["figure"] == "fig2"
+        assert meta["n_rows"] == 3
+        assert meta["grid"]["cells"] == 3
+        table = (directory / "table.txt").read_text()
+        assert "protocol" in table and "GRR" in table
+
+    def test_overwrites_existing_artifact(self, tmp_path):
+        save_artifact(tmp_path, "fig2", ROWS)
+        directory = save_artifact(tmp_path, "fig2", ROWS[:1])
+        assert json.loads((directory / "rows.json").read_text()) == ROWS[:1]
+
+    def test_rejects_empty_figure(self, tmp_path):
+        with pytest.raises(InvalidParameterError):
+            save_artifact(tmp_path, "  ", ROWS)

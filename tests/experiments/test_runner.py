@@ -1,5 +1,7 @@
 """Tests for the experiment registry and CLI."""
 
+import json
+
 import pytest
 
 from repro.exceptions import InvalidParameterError
@@ -17,19 +19,78 @@ class TestRegistry:
         with pytest.raises(InvalidParameterError):
             run_experiment("fig99")
 
+    def test_unknown_experiment_error_lists_valid_figures(self):
+        """The error message must name every valid figure id."""
+        with pytest.raises(InvalidParameterError) as excinfo:
+            run_experiment("fig99")
+        message = str(excinfo.value)
+        assert "fig99" in message
+        for figure in available_experiments():
+            assert figure in message
+
     def test_fig1_runs_and_returns_rows(self):
         rows = run_experiment("fig1", quick=True)
         assert rows
         assert {"protocol", "epsilon", "expected_acc_pct"} <= set(rows[0])
 
+    def test_fig1_parallel_matches_sequential(self):
+        sequential = run_experiment("fig1", quick=True, workers=1)
+        parallel = run_experiment("fig1", quick=True, workers=2)
+        assert sequential == parallel
+
+    def test_grid_info_reports_cells(self):
+        info = {}
+        run_experiment("fig1", quick=True, grid_info=info)
+        assert info["cells"] == 10  # 2 metrics x 5 protocols
+        assert info["computed"] == 10
+        assert info["from_cache"] == 0
+
 
 class TestCli:
     def test_main_prints_table(self, capsys):
-        assert main(["fig1"]) == 0
+        assert main(["fig1", "--no-cache"]) == 0
         output = capsys.readouterr().out
         assert "protocol" in output
         assert "GRR" in output
 
-    def test_main_rejects_unknown_figure(self):
+    def test_main_rejects_unknown_figure_with_nonzero_exit(self, capsys):
+        """An unknown figure exits non-zero and lists the valid ids on stderr."""
+        assert main(["fig99", "--no-cache"]) == 2
+        err = capsys.readouterr().err
+        assert "fig99" in err
+        for figure in ("fig1", "fig2", "fig17"):
+            assert figure in err
+
+    def test_main_uses_cache_dir(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        assert main(["fig1", "--cache-dir", str(cache_dir)]) == 0
+        cold = capsys.readouterr().out
+        entries = list(cache_dir.glob("*.json"))
+        assert len(entries) == 10
+        # warm rerun is served entirely from the cache and prints the same table
+        assert main(["fig1", "--cache-dir", str(cache_dir)]) == 0
+        warm = capsys.readouterr().out
+        assert warm == cold
+
+    def test_main_writes_artifact(self, tmp_path, capsys):
+        out_dir = tmp_path / "results"
+        assert main(["fig1", "--no-cache", "--out", str(out_dir), "--workers", "2"]) == 0
+        capsys.readouterr()
+        figure_dir = out_dir / "fig1"
+        rows = json.loads((figure_dir / "rows.json").read_text())
+        meta = json.loads((figure_dir / "meta.json").read_text())
+        assert rows and rows[0]["protocol"]
+        assert meta["figure"] == "fig1"
+        assert meta["grid"]["cells"] == 10
+        assert meta["grid"]["workers"] == 2
+        assert (figure_dir / "table.txt").read_text().startswith("figure")
+
+    def test_main_rejects_quick_and_full_together(self, capsys):
         with pytest.raises(SystemExit):
-            main(["fig99"])
+            main(["fig1", "--quick", "--full"])
+
+    def test_main_rejects_cache_dir_that_is_a_file(self, tmp_path, capsys):
+        not_a_dir = tmp_path / "occupied"
+        not_a_dir.write_text("")
+        assert main(["fig1", "--cache-dir", str(not_a_dir)]) == 2
+        assert "not usable" in capsys.readouterr().err

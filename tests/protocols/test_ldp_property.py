@@ -5,7 +5,11 @@ the structural invariants that must hold for *every* configuration:
 
 * the p/q parameterization satisfies the epsilon-LDP inequality;
 * perturbed outputs remain inside the protocol's output space;
-* frequency estimates are finite and sum to approximately one for large n.
+* frequency estimates are finite and sum to approximately one for large n;
+* the multidimensional wrappers (SPL, RS+FD, RS+RFD) spend exactly the
+  configured per-user budget: SPL splits epsilon over the d attributes and
+  RS+FD / RS+RFD sanitize the sampled attribute at the amplified budget
+  whose de-amplification is epsilon again.
 """
 
 import math
@@ -15,12 +19,17 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.composition import amplified_epsilon, deamplified_epsilon, split_budget
+from repro.core.domain import Domain
+from repro.multidim.rsfd import RSFD
+from repro.multidim.rsrfd import RSRFD
+from repro.multidim.spl import SPL
 from repro.privacy.ldp import grr_style_ratio, satisfies_ldp, ue_style_ratio
 from repro.protocols.grr import GRR
 from repro.protocols.olh import OLH
 from repro.protocols.registry import make_protocol
 from repro.protocols.ss import SubsetSelection
-from repro.protocols.ue import OUE, SUE
+from repro.protocols.ue import OUE, SUE, UnaryEncoding
 
 PROTOCOL_NAMES = ("GRR", "OLH", "SS", "SUE", "OUE")
 
@@ -105,3 +114,91 @@ def test_expected_attack_accuracy_is_probability(protocol, k, epsilon):
     assert 0.0 < accuracy <= 1.0
     # never worse than the uniform random guess by more than a rounding margin
     assert accuracy >= 1.0 / (2 * k)
+
+
+# --------------------------------------------------------------------------- #
+# multidimensional wrappers: exact budget accounting (ISSUE 1, satellite 3)
+# --------------------------------------------------------------------------- #
+sizes_strategy = st.lists(st.integers(min_value=2, max_value=12), min_size=2, max_size=5)
+budget_strategy = st.floats(min_value=0.5, max_value=8.0, allow_nan=False)
+
+
+def _effective_epsilon(oracle) -> float:
+    """The budget the oracle's worst-case output-probability ratio realizes."""
+    if isinstance(oracle, OLH):
+        return math.log(grr_style_ratio(oracle.p_hash, oracle.q_hash))
+    if isinstance(oracle, UnaryEncoding):
+        return math.log(ue_style_ratio(oracle.p, oracle.q))
+    if isinstance(oracle, GRR):
+        return math.log(grr_style_ratio(oracle.p, oracle.q))
+    raise AssertionError(f"no tight ratio known for {type(oracle)!r}")
+
+
+@settings(max_examples=40, deadline=None)
+@given(sizes=sizes_strategy, epsilon=budget_strategy, protocol=protocol_strategy)
+def test_spl_splits_the_budget_exactly(sizes, epsilon, protocol):
+    """SPL must give every attribute epsilon/d, summing back to epsilon."""
+    domain = Domain.from_sizes(sizes)
+    solution = SPL(domain, epsilon, protocol=protocol, rng=0)
+    per_attribute = split_budget(solution.epsilon, domain.d)
+    assert per_attribute * domain.d == pytest.approx(epsilon, rel=1e-12)
+    for k in sizes:
+        oracle = make_protocol(protocol, k=k, epsilon=per_attribute, rng=0)
+        if isinstance(oracle, SubsetSelection):
+            # the SS marginal event probabilities obey the per-report bound
+            assert satisfies_ldp(oracle.p / oracle.q, per_attribute)
+        else:
+            assert _effective_epsilon(oracle) == pytest.approx(per_attribute, rel=1e-9)
+
+
+_RSFD_CONFIGS = [
+    ("grr", "OUE"),
+    ("ue-z", "SUE"),
+    ("ue-z", "OUE"),
+    ("ue-r", "SUE"),
+    ("ue-r", "OUE"),
+]
+
+
+@pytest.mark.parametrize("variant, ue_kind", _RSFD_CONFIGS)
+@settings(max_examples=20, deadline=None)
+@given(sizes=sizes_strategy, epsilon=budget_strategy)
+def test_rsfd_spends_exactly_the_amplified_budget(variant, ue_kind, sizes, epsilon):
+    """RS+FD sanitizes at epsilon' = ln(d(e^eps - 1) + 1); de-amplified: eps."""
+    domain = Domain.from_sizes(sizes)
+    solution = RSFD(domain, epsilon, variant=variant, ue_kind=ue_kind, rng=0)
+    expected = amplified_epsilon(epsilon, domain.d)
+    assert solution.amplified_epsilon == pytest.approx(expected, rel=1e-12)
+    assert deamplified_epsilon(solution.amplified_epsilon, domain.d) == pytest.approx(
+        epsilon, rel=1e-9
+    )
+    for attribute in range(domain.d):
+        oracle = solution._randomizer(attribute)
+        assert _effective_epsilon(oracle) == pytest.approx(
+            solution.amplified_epsilon, rel=1e-9
+        )
+        # the per-report ratio never exceeds e^{eps'}
+        assert satisfies_ldp(math.exp(_effective_epsilon(oracle)), expected)
+
+
+_RSRFD_CONFIGS = [("grr", "OUE"), ("ue-r", "SUE"), ("ue-r", "OUE")]
+
+
+@pytest.mark.parametrize("variant, ue_kind", _RSRFD_CONFIGS)
+@settings(max_examples=20, deadline=None)
+@given(sizes=sizes_strategy, epsilon=budget_strategy)
+def test_rsrfd_spends_exactly_the_amplified_budget(variant, ue_kind, sizes, epsilon):
+    """RS+RFD must spend the same amplified budget as RS+FD."""
+    domain = Domain.from_sizes(sizes)
+    priors = [np.full(k, 1.0 / k) for k in sizes]
+    solution = RSRFD(domain, epsilon, priors=priors, variant=variant, ue_kind=ue_kind, rng=0)
+    expected = amplified_epsilon(epsilon, domain.d)
+    assert solution.amplified_epsilon == pytest.approx(expected, rel=1e-12)
+    assert deamplified_epsilon(solution.amplified_epsilon, domain.d) == pytest.approx(
+        epsilon, rel=1e-9
+    )
+    for attribute in range(domain.d):
+        oracle = solution._randomizer(attribute)
+        assert _effective_epsilon(oracle) == pytest.approx(
+            solution.amplified_epsilon, rel=1e-9
+        )

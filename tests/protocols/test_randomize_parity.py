@@ -1,0 +1,123 @@
+"""Statistical parity of ``randomize`` vs ``randomize_many`` (ISSUE 1, satellite 2).
+
+The vectorized client-side hot paths must sample from the same report
+distribution as the scalar reference implementations.  For each of the five
+oracles (GRR, OLH, ω-SS, SUE, OUE) the two paths are run on the same fixed
+inputs with fixed (different) seeds and their report distributions are
+compared with chi-square tests:
+
+* a two-sample homogeneity test on the per-value support counts, and
+* where the marginal distribution is known in closed form (GRR value
+  distribution, UE per-bit rates, SS/OLH true-value support rates), a
+  goodness-of-fit / exact-rate check for *both* paths.
+
+All inputs and seeds are fixed, so the tests are deterministic; the p-value
+thresholds only need to clear the chosen seeds, and any future drift in
+either sampling path shows up as a collapsing p-value.
+"""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.protocols.olh import universal_hash
+from repro.protocols.registry import make_protocol
+
+PROTOCOLS = ("GRR", "OLH", "SS", "SUE", "OUE")
+K = 8
+EPSILON = 1.2
+N = 8000
+P_MIN = 1e-3
+
+
+def _fixed_values() -> np.ndarray:
+    return np.random.default_rng(2023).integers(0, K, size=N)
+
+
+def _paths(protocol: str, values: np.ndarray):
+    """Reports of the scalar loop path and the vectorized path."""
+    loop_oracle = make_protocol(protocol, k=K, epsilon=EPSILON, rng=11)
+    loop_reports = np.asarray([loop_oracle.randomize(int(v)) for v in values])
+    vec_oracle = make_protocol(protocol, k=K, epsilon=EPSILON, rng=12)
+    vec_reports = np.asarray(vec_oracle.randomize_many(values))
+    return loop_oracle, loop_reports, vec_oracle, vec_reports
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_support_counts_homogeneous_across_paths(protocol):
+    """Two-sample chi-square on the per-value support distributions."""
+    values = _fixed_values()
+    loop_oracle, loop_reports, vec_oracle, vec_reports = _paths(protocol, values)
+    loop_counts = loop_oracle.support_counts(loop_reports)
+    vec_counts = vec_oracle.support_counts(vec_reports)
+    assert loop_counts.shape == vec_counts.shape == (K,)
+    table = np.vstack([loop_counts, vec_counts])
+    result = stats.chi2_contingency(table)
+    assert result.pvalue > P_MIN, (
+        f"{protocol}: randomize vs randomize_many support distributions drifted "
+        f"(chi2={result.statistic:.2f}, p={result.pvalue:.2e})"
+    )
+
+
+def test_grr_report_distribution_matches_theory():
+    """Both GRR paths must emit value v with prob p and others with q."""
+    value = 3
+    values = np.full(N, value, dtype=np.int64)
+    loop_oracle, loop_reports, vec_oracle, vec_reports = _paths("GRR", values)
+    expected = np.full(K, loop_oracle.q * N)
+    expected[value] = loop_oracle.p * N
+    for label, reports in (("randomize", loop_reports), ("randomize_many", vec_reports)):
+        observed = np.bincount(reports.astype(np.int64), minlength=K)
+        result = stats.chisquare(observed, f_exp=expected)
+        assert result.pvalue > P_MIN, f"GRR {label} deviates from (p, q) law"
+
+
+@pytest.mark.parametrize("protocol", ("SUE", "OUE"))
+def test_ue_bit_rates_match_theory(protocol):
+    """UE true-bit rate must be p and aggregated other-bit rate q, both paths."""
+    value = 2
+    values = np.full(N, value, dtype=np.int64)
+    loop_oracle, loop_reports, vec_oracle, vec_reports = _paths(protocol, values)
+    p, q = loop_oracle.p, loop_oracle.q
+    for label, reports in (("randomize", loop_reports), ("randomize_many", vec_reports)):
+        ones_true = int(reports[:, value].sum())
+        result = stats.chisquare(
+            [ones_true, N - ones_true], f_exp=[N * p, N * (1 - p)]
+        )
+        assert result.pvalue > P_MIN, f"{protocol} {label}: true-bit rate is not p"
+        other = np.delete(np.arange(K), value)
+        ones_other = int(reports[:, other].sum())
+        trials = N * (K - 1)
+        result = stats.chisquare(
+            [ones_other, trials - ones_other], f_exp=[trials * q, trials * (1 - q)]
+        )
+        assert result.pvalue > P_MIN, f"{protocol} {label}: other-bit rate is not q"
+
+
+def test_ss_true_value_inclusion_rate_matches_theory():
+    """ω-SS must include the true value with probability p on both paths."""
+    value = 5
+    values = np.full(N, value, dtype=np.int64)
+    loop_oracle, loop_reports, vec_oracle, vec_reports = _paths("SS", values)
+    p = loop_oracle.true_inclusion_probability
+    for label, reports in (("randomize", loop_reports), ("randomize_many", vec_reports)):
+        included = int((reports == value).any(axis=1).sum())
+        result = stats.chisquare([included, N - included], f_exp=[N * p, N * (1 - p)])
+        assert result.pvalue > P_MIN, f"SS {label}: true-value inclusion is not p"
+
+
+def test_olh_true_value_support_rate_matches_theory():
+    """OLH reports must support the true value with probability p_hash."""
+    value = 1
+    values = np.full(N, value, dtype=np.int64)
+    loop_oracle, loop_reports, vec_oracle, vec_reports = _paths("OLH", values)
+    p = loop_oracle.p_hash
+    for label, oracle, reports in (
+        ("randomize", loop_oracle, loop_reports),
+        ("randomize_many", vec_oracle, vec_reports),
+    ):
+        a, b, perturbed = reports[:, 0], reports[:, 1], reports[:, 2]
+        supports = universal_hash(np.full(N, value), a, b, oracle.g) == perturbed
+        supported = int(supports.sum())
+        result = stats.chisquare([supported, N - supported], f_exp=[N * p, N * (1 - p)])
+        assert result.pvalue > P_MIN, f"OLH {label}: true-value support is not p_hash"
