@@ -1,0 +1,176 @@
+"""Benchmark — streaming (chunked) vs one-shot server-side aggregation.
+
+Measures, for the server-side hot path of the three protocols the streaming
+subsystem rewrites:
+
+* **OLH** — dense one-shot aggregation materializes an ``(n, k)`` candidate
+  matrix (int64 hashes + bool supports); the chunked
+  :class:`~repro.protocols.streaming.CountAccumulator` path caps it at
+  ``chunk_size × k`` with O(k) state.  Estimates must be byte-identical.
+* **OUE** — dense ``(n, k)`` uint8 reports vs bit-packed
+  :class:`~repro.protocols.streaming.PackedBits` storage (k/8 bytes per
+  user); packing the same reports must aggregate byte-identically.
+* **ω-SS** — the vectorized ``randomize_many`` (sampling-key trick) vs the
+  scalar per-user reference loop.
+
+Run directly (this file is a script, not a pytest-benchmark module)::
+
+    PYTHONPATH=src python benchmarks/bench_streaming_aggregation.py --quick
+
+``--quick`` shrinks the workload for CI smoke runs; the default sizes are
+the acceptance-criteria scale (n = 1e6, k = 100).  Exits non-zero if any
+chunked/packed parity check fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+import tracemalloc
+
+import numpy as np
+
+from repro.protocols.olh import OLH
+from repro.protocols.ss import SubsetSelection
+from repro.protocols.streaming import PackedBits
+from repro.protocols.ue import OUE
+
+EPSILON = 1.0
+
+
+def _traced(fn):
+    """Run ``fn`` returning ``(result, seconds, peak_bytes)``."""
+    tracemalloc.start()
+    start = time.perf_counter()
+    result = fn()
+    elapsed = time.perf_counter() - start
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return result, elapsed, peak
+
+
+def _mib(nbytes: float) -> str:
+    return f"{nbytes / 2**20:8.1f} MiB"
+
+
+def bench_olh(n: int, k: int, chunk_size: int, one_shot: bool) -> list[str]:
+    """OLH support-counting: dense (n, k) candidate matrix vs chunked O(k)."""
+    rng_values = np.random.default_rng(0).integers(0, k, size=n)
+    # chunk_size >= n forces the dense one-shot kernel (chunking is the default)
+    dense_oracle = OLH(k=k, epsilon=EPSILON, rng=1, chunk_size=n)
+    reports = dense_oracle.randomize_many(rng_values)
+    lines = [f"OLH aggregation  (n={n:,}, k={k}, g={dense_oracle.g})"]
+
+    chunked_oracle = OLH(k=k, epsilon=EPSILON, rng=1, chunk_size=chunk_size)
+
+    def run_chunked():
+        accumulator = chunked_oracle.accumulator()
+        for start in range(0, n, chunk_size):
+            accumulator.add(reports[start : start + chunk_size])
+        return accumulator.finalize()
+
+    est_chunked, t_chunked, mem_chunked = _traced(run_chunked)
+    lines.append(
+        f"  chunked (chunk_size={chunk_size}): {t_chunked:7.2f} s  "
+        f"peak {_mib(mem_chunked)}  throughput {n / t_chunked:,.0f} reports/s"
+    )
+
+    if one_shot:
+        est_dense, t_dense, mem_dense = _traced(lambda: dense_oracle.aggregate(reports))
+        lines.append(
+            f"  one-shot dense:             {t_dense:7.2f} s  "
+            f"peak {_mib(mem_dense)}  throughput {n / t_dense:,.0f} reports/s"
+        )
+        if est_dense.estimates.tobytes() != est_chunked.estimates.tobytes():
+            raise AssertionError("OLH chunked aggregation is not byte-identical")
+        lines.append(
+            f"  parity: byte-identical; dense peak is "
+            f"{mem_dense / max(mem_chunked, 1):,.0f}x the chunked bound"
+        )
+    else:
+        lines.append("  one-shot dense:             skipped (--no-dense)")
+    return lines
+
+
+def bench_ue_packed(n: int, k: int) -> list[str]:
+    """OUE reports: dense (n, k) uint8 vs bit-packed storage, end to end."""
+    values = np.random.default_rng(0).integers(0, k, size=n)
+    dense_oracle = OUE(k=k, epsilon=EPSILON, rng=2)
+    reports, t_dense_gen, _ = _traced(lambda: dense_oracle.randomize_many(values))
+
+    packed_oracle = OUE(k=k, epsilon=EPSILON, rng=2, packed=True)
+    packed_reports, t_packed_gen, mem_packed_gen = _traced(
+        lambda: packed_oracle.randomize_many(values)
+    )
+
+    est_dense = dense_oracle.aggregate(reports)
+    # pack the *same* dense reports: aggregation must be byte-identical
+    est_packed_same = dense_oracle.aggregate(PackedBits.pack(reports))
+    if est_dense.estimates.tobytes() != est_packed_same.estimates.tobytes():
+        raise AssertionError("packed UE aggregation is not byte-identical")
+    guesses = packed_oracle.attack_many(packed_reports)
+    if guesses.shape != (n,):
+        raise AssertionError("packed UE attack_many returned the wrong shape")
+
+    ratio = reports.nbytes / packed_reports.nbytes
+    return [
+        f"OUE report storage  (n={n:,}, k={k})",
+        f"  dense  reports: {_mib(reports.nbytes)}  (randomize_many {t_dense_gen:5.2f} s)",
+        f"  packed reports: {_mib(packed_reports.nbytes)}  "
+        f"(randomize_many {t_packed_gen:5.2f} s, gen peak {_mib(mem_packed_gen)})",
+        f"  reduction: {ratio:.1f}x; packed aggregation byte-identical, attack OK",
+    ]
+
+
+def bench_ss_vectorized(n: int, k: int) -> list[str]:
+    """ω-SS randomize_many: vectorized sampling-key trick vs per-user loop."""
+    values = np.random.default_rng(0).integers(0, k, size=n)
+    vec_oracle = SubsetSelection(k=k, epsilon=EPSILON, rng=3)
+    _, t_vec, _ = _traced(lambda: vec_oracle.randomize_many(values))
+    loop_n = min(n, 20_000)  # the loop is too slow for the full n
+    loop_oracle = SubsetSelection(k=k, epsilon=EPSILON, rng=3)
+    _, t_loop, _ = _traced(lambda: loop_oracle._randomize_many_loop(values[:loop_n]))
+    per_user_loop = t_loop / loop_n
+    per_user_vec = t_vec / n
+    return [
+        f"SS randomize_many  (n={n:,}, k={k}, omega={vec_oracle.omega})",
+        f"  vectorized: {t_vec:7.2f} s  ({n / t_vec:,.0f} users/s)",
+        f"  loop ({loop_n:,} users): {t_loop:7.2f} s  ({loop_n / t_loop:,.0f} users/s)",
+        f"  speedup: {per_user_loop / per_user_vec:,.0f}x per user",
+    ]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small CI-smoke workload (seconds, not minutes)"
+    )
+    parser.add_argument("--n", type=int, default=None, help="number of users")
+    parser.add_argument("--k", type=int, default=None, help="domain size")
+    parser.add_argument("--chunk-size", type=int, default=8192)
+    parser.add_argument(
+        "--no-dense",
+        action="store_true",
+        help="skip the one-shot dense OLH path (for machines where n*k does not fit)",
+    )
+    args = parser.parse_args(argv)
+
+    n = args.n if args.n is not None else (100_000 if args.quick else 1_000_000)
+    k = args.k if args.k is not None else (64 if args.quick else 100)
+
+    sections = [
+        bench_olh(n, k, args.chunk_size, one_shot=not args.no_dense),
+        bench_ue_packed(min(n, 200_000) if args.quick else min(n, 500_000), k),
+        bench_ss_vectorized(n, k),
+    ]
+    print()
+    for section in sections:
+        print("\n".join(section))
+        print()
+    print("all parity checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -83,6 +83,35 @@ class FrequencyEstimate:
         return float(np.mean((truth - self.estimates) ** 2))
 
 
+def validate_probability_vector(
+    probabilities: Sequence[float] | np.ndarray,
+    k: int | None = None,
+    context: str = "probabilities",
+) -> np.ndarray:
+    """Validate and normalize a probability vector (e.g. RS+RFD priors).
+
+    Rejects non-1-D input, a length mismatch with ``k``, NaN/inf entries,
+    negative mass and all-zero vectors — every case that would otherwise
+    surface as NaN probabilities and a cryptic numpy error deep inside
+    ``rng.choice``.  Returns a fresh array normalized to sum to one.
+    """
+    values = np.asarray(probabilities, dtype=float)
+    if values.ndim != 1:
+        raise InvalidParameterError(f"{context} must be a 1-D vector, got shape {values.shape}")
+    if k is not None and values.shape != (int(k),):
+        raise InvalidParameterError(
+            f"{context} must have length {k}, got {values.shape}"
+        )
+    if not np.all(np.isfinite(values)):
+        raise InvalidParameterError(f"{context} contains NaN or infinite entries")
+    if np.any(values < 0):
+        raise InvalidParameterError(f"{context} has negative mass")
+    total = values.sum()
+    if total <= 0:
+        raise InvalidParameterError(f"{context} sums to zero; cannot normalize")
+    return values / total
+
+
 def true_frequencies(values: np.ndarray, k: int) -> np.ndarray:
     """Normalized histogram of integer codes ``values`` over domain size ``k``."""
     values = np.asarray(values, dtype=np.int64)

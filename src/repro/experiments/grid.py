@@ -29,6 +29,7 @@ import json
 import os
 import tempfile
 import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -170,28 +171,57 @@ class GridCache:
     holding the cell description, its rows and the compute time.  Writes are
     atomic (temp file + ``os.replace``) so concurrent runs never observe a
     torn entry.
+
+    I/O failures beyond a plain miss — a read-only cache directory, a
+    ``PermissionError``, an entry that is actually a directory (``EISDIR``),
+    any other ``OSError`` — never abort a grid run: :meth:`get` degrades to a
+    cache miss and :meth:`put` skips persisting, each emitting a single
+    :class:`RuntimeWarning` per cache instance so a misconfigured cache is
+    visible without killing hours of computed cells mid-flight.
     """
 
     def __init__(self, directory: str | Path) -> None:
         self.directory = Path(directory)
+        self._warned = False
         try:
             self.directory.mkdir(parents=True, exist_ok=True)
-        except (FileExistsError, NotADirectoryError) as exc:
+        except OSError as exc:
             raise InvalidParameterError(
                 f"cache directory {self.directory} is not usable: {exc}"
             ) from exc
+
+    def _warn_io(self, action: str, path: Path, exc: OSError) -> None:
+        """Warn once per cache instance that cache I/O is failing."""
+        if self._warned:
+            return
+        self._warned = True
+        warnings.warn(
+            f"grid cache {action} failed for {path} ({exc}); "
+            "continuing without the cache (cells are recomputed, not persisted)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
     def path_for(self, cell: GridCell) -> Path:
         """Cache file path of ``cell``."""
         return self.directory / f"{cell.config_hash}.json"
 
     def get(self, cell: GridCell) -> list[dict] | None:
-        """Cached rows of ``cell``, or ``None`` on a miss."""
+        """Cached rows of ``cell``, or ``None`` on a miss.
+
+        Unreadable entries (corrupt JSON, permission errors, a directory in
+        place of the file, ...) are treated as misses.
+        """
         path = self.path_for(cell)
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 entry = json.load(handle)
-        except (FileNotFoundError, json.JSONDecodeError):
+        except FileNotFoundError:
+            return None
+        except OSError as exc:
+            self._warn_io("read", path, exc)
+            return None
+        except (json.JSONDecodeError, UnicodeDecodeError):
             return None
         # guard against (astronomically unlikely) hash collisions and
         # hand-edited entries
@@ -200,8 +230,14 @@ class GridCache:
         rows = entry.get("rows")
         return rows if isinstance(rows, list) else None
 
-    def put(self, cell: GridCell, rows: Sequence[Mapping[str, Any]], elapsed: float) -> Path:
-        """Persist the rows of a freshly computed cell."""
+    def put(
+        self, cell: GridCell, rows: Sequence[Mapping[str, Any]], elapsed: float
+    ) -> Path | None:
+        """Persist the rows of a freshly computed cell.
+
+        Returns the entry path, or ``None`` when the cache directory is not
+        writable (the run continues uncached).
+        """
         path = self.path_for(cell)
         entry = {
             "schema": GRID_SCHEMA_VERSION,
@@ -212,23 +248,30 @@ class GridCache:
             "elapsed": float(elapsed),
             "rows": [_jsonable(row) for row in rows],
         }
-        handle = tempfile.NamedTemporaryFile(
-            mode="w",
-            encoding="utf-8",
-            dir=self.directory,
-            prefix=f".{cell.config_hash}.",
-            suffix=".tmp",
-            delete=False,
-        )
+        try:
+            handle = tempfile.NamedTemporaryFile(
+                mode="w",
+                encoding="utf-8",
+                dir=self.directory,
+                prefix=f".{cell.config_hash}.",
+                suffix=".tmp",
+                delete=False,
+            )
+        except OSError as exc:
+            self._warn_io("write", path, exc)
+            return None
         try:
             with handle:
                 json.dump(entry, handle)
             os.replace(handle.name, path)
-        except BaseException:
+        except BaseException as exc:
             try:
                 os.unlink(handle.name)
             except OSError:
                 pass
+            if isinstance(exc, OSError):
+                self._warn_io("write", path, exc)
+                return None
             raise
         return path
 

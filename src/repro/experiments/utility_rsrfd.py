@@ -24,6 +24,7 @@ from ..metrics.errors import mse_avg
 from ..multidim.rsfd import RSFD
 from ..multidim.rsrfd import RSRFD
 from ..multidim.variance import averaged_analytical_variance
+from ..protocols.streaming import validate_chunk_size
 from .attribute_inference_rsrfd import shared_priors
 from .config import UTILITY_EPSILONS
 from .grid import GridCache, GridCell, cell_runner, run_grid
@@ -55,10 +56,17 @@ def _utility_rsrfd_cell(params: Mapping, rng: np.random.Generator) -> list[dict]
     epsilon = float(params["epsilon"])
     include_analytical = bool(params["include_analytical"])
 
+    # chunk_size streams users through the bounded-memory aggregation path
+    # (reports are never retained); None/absent keeps the one-shot path
+    chunk_size = validate_chunk_size(params.get("chunk_size"))
+
     # RS+FD reference (uniform fake data); prior-independent, but repeated
     # per prior kind so rows pair up naturally.
     rsfd = RSFD(dataset.domain, epsilon, variant=variant, ue_kind=ue_kind, rng=rng)
-    _, rsfd_estimates = rsfd.collect_and_estimate(dataset)
+    if chunk_size is not None:
+        rsfd_estimates = rsfd.stream_collect_and_estimate(dataset, chunk_size)
+    else:
+        _, rsfd_estimates = rsfd.collect_and_estimate(dataset)
     rsfd_error = mse_avg(rsfd_estimates, dataset)
 
     rows: list[dict] = []
@@ -72,7 +80,10 @@ def _utility_rsrfd_cell(params: Mapping, rng: np.random.Generator) -> list[dict]
             ue_kind=ue_kind,
             rng=rng,
         )
-        _, rsrfd_estimates = rsrfd.collect_and_estimate(dataset)
+        if chunk_size is not None:
+            rsrfd_estimates = rsrfd.stream_collect_and_estimate(dataset, chunk_size)
+        else:
+            _, rsrfd_estimates = rsrfd.collect_and_estimate(dataset)
         rsrfd_error = mse_avg(rsrfd_estimates, dataset)
         pair = [
             ("RS+FD", f"RS+FD[{label}]", rsfd_error, "rsfd"),
@@ -112,28 +123,39 @@ def plan_utility_rsrfd(
     runs: int = 1,
     seed: int = 42,
     figure: str = "utility_rsrfd",
+    chunk_size: int | None = None,
 ) -> list[GridCell]:
-    """Express the utility comparison grid as independent cells."""
+    """Express the utility comparison grid as independent cells.
+
+    ``chunk_size`` switches every cell onto the bounded-memory streaming
+    aggregation path (users collected and counted ``chunk_size`` at a time);
+    it is only added to the cell parameters when set, so existing cache
+    entries for the one-shot path stay valid.
+    """
+    chunk_size = validate_chunk_size(chunk_size)
     cells = []
     for run_index in range(runs):
         for label in protocols:
             _parse_protocol(label)  # fail fast on bad labels
             for epsilon in epsilons:
+                params = {
+                    "dataset": dataset_name,
+                    "n": n,
+                    "dataset_seed": seed,
+                    "run": run_index,
+                    "protocol": label,
+                    "epsilon": float(epsilon),
+                    "prior_kinds": list(prior_kinds),
+                    "prior_epsilon": float(prior_epsilon),
+                    "include_analytical": bool(include_analytical),
+                }
+                if chunk_size is not None:
+                    params["chunk_size"] = chunk_size
                 cells.append(
                     GridCell(
                         figure=figure,
                         runner="utility_rsrfd",
-                        params={
-                            "dataset": dataset_name,
-                            "n": n,
-                            "dataset_seed": seed,
-                            "run": run_index,
-                            "protocol": label,
-                            "epsilon": float(epsilon),
-                            "prior_kinds": list(prior_kinds),
-                            "prior_epsilon": float(prior_epsilon),
-                            "include_analytical": bool(include_analytical),
-                        },
+                        params=params,
                         master_seed=seed,
                     )
                 )
@@ -151,6 +173,7 @@ def run_utility_rsrfd(
     runs: int = 1,
     seed: int = 42,
     figure: str = "utility_rsrfd",
+    chunk_size: int | None = None,
     workers: int = 1,
     cache: "GridCache | str | None" = None,
     grid_info: dict | None = None,
@@ -161,7 +184,9 @@ def run_utility_rsrfd(
     empirical ``MSE_avg`` and, when ``include_analytical`` is set, the
     analytical approximate variance averaged over attributes and values.
     ``prior_epsilon`` is the total central-DP budget for "correct" priors
-    (see :func:`run_attribute_inference_rsrfd`).
+    (see :func:`run_attribute_inference_rsrfd`).  ``chunk_size`` streams each
+    cell through the bounded-memory aggregation path so million-user cells
+    never materialize a full ``(n, k)`` report matrix.
     """
     cells = plan_utility_rsrfd(
         dataset_name=dataset_name,
@@ -174,6 +199,7 @@ def run_utility_rsrfd(
         runs=runs,
         seed=seed,
         figure=figure,
+        chunk_size=chunk_size,
     )
     result = run_grid(cells, workers=workers, cache=cache)
     if grid_info is not None:

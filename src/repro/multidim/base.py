@@ -29,6 +29,12 @@ from ..core.composition import validate_epsilon
 from ..core.frequencies import FrequencyEstimate
 from ..core.rng import RngLike, ensure_rng
 from ..exceptions import DomainMismatchError, InvalidParameterError
+from ..protocols.streaming import (
+    PackedBits,
+    is_chunk_iterable,
+    resolve_chunk_size,
+    sum_support_counts,
+)
 
 
 @dataclass
@@ -124,12 +130,72 @@ class MultidimSolution(abc.ABC):
         """Server-side unbiased frequency estimation for every attribute."""
 
     # ------------------------------------------------------------------ #
+    # streaming hooks (implemented by every concrete solution)
+    # ------------------------------------------------------------------ #
+    def _counts_from_reports(
+        self, reports: MultidimReports
+    ) -> tuple[list[np.ndarray], list[int]]:
+        """Per-attribute support counts and report counts of one collection.
+
+        Returns ``(counts, ns)`` where ``counts[j]`` is the length-``k_j``
+        support-count vector of attribute ``j`` and ``ns[j]`` the number of
+        reports backing it (all users for SPL / RS+FD / RS+RFD, the sampled
+        subpopulation for SMP).  O(k) output regardless of ``reports.n``.
+        """
+        raise NotImplementedError
+
+    def _estimates_from_counts(
+        self, counts: Sequence[np.ndarray], ns: Sequence[int]
+    ) -> list[FrequencyEstimate]:
+        """Apply the solution's unbiased estimators to accumulated counts."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
     def collect_and_estimate(
         self, dataset: TabularDataset
     ) -> tuple[MultidimReports, list[FrequencyEstimate]]:
         """Convenience wrapper running both pipeline halves."""
         reports = self.collect(dataset)
         return reports, self.estimate(reports)
+
+    def stream_collect_and_estimate(
+        self, dataset: TabularDataset, chunk_size: int
+    ) -> list[FrequencyEstimate]:
+        """Collect and aggregate ``dataset`` in user chunks of bounded memory.
+
+        Users are processed ``chunk_size`` at a time: each block is
+        collected, reduced to per-attribute support counts (O(k) state) and
+        discarded, so peak memory is bounded by the block's reports instead
+        of the full ``(n, k)`` collection.  Only the frequency estimates are
+        returned — the sanitized reports are never retained, which is why the
+        attack experiments (which need the reports) use
+        :meth:`collect_and_estimate` instead.
+
+        The per-user randomness consumes the solution's generator chunk by
+        chunk, so estimates are statistically equivalent — not bit-identical —
+        to a one-shot collection with the same seed.  Aggregating an already
+        collected report set chunk-wise (lists of chunk arrays inside
+        ``MultidimReports.per_attribute``) *is* bit-identical; see
+        :meth:`estimate`.
+        """
+        self._check_dataset(dataset)
+        chunk_size = int(chunk_size)
+        if chunk_size < 1:
+            raise InvalidParameterError(f"chunk_size must be >= 1, got {chunk_size}")
+        counts = [np.zeros(self.domain.size_of(j)) for j in range(self.domain.d)]
+        ns = [0] * self.domain.d
+        for start in range(0, dataset.n, chunk_size):
+            block = TabularDataset(
+                domain=self.domain,
+                data=dataset.data[start : start + chunk_size],
+                name=f"{dataset.name}[{start}:{start + chunk_size}]",
+            )
+            reports = self.collect(block)
+            block_counts, block_ns = self._counts_from_reports(reports)
+            for j in range(self.domain.d):
+                counts[j] += block_counts[j]
+                ns[j] += int(block_ns[j])
+        return self._estimates_from_counts(counts, ns)
 
     def _check_dataset(self, dataset: TabularDataset) -> None:
         if dataset.domain.sizes != self.domain.sizes:
@@ -143,6 +209,34 @@ class MultidimSolution(abc.ABC):
             f"{type(self).__name__}(d={self.domain.d}, epsilon={self.epsilon:g}, "
             f"protocol={self.protocol!r})"
         )
+
+
+class FakeDataCountsMixin:
+    """Shared count accumulation for the fake-data solutions (RS+FD, RS+RFD).
+
+    Both solutions store, per attribute, one report from every user — GRR
+    integer codes or UE bit rows (dense or :class:`PackedBits`) — so their
+    support counting and per-attribute report totals are identical.  The
+    concrete class provides ``variant`` (``"grr"`` selects the bincount
+    branch) and optionally ``chunk_size`` (rows unpacked at once from packed
+    columns; defaults to ``DEFAULT_CHUNK_SIZE``).
+    """
+
+    def _counts_from_reports(self, reports: "MultidimReports"):
+        counts = [
+            self._support_counts(reports.per_attribute[j], self.domain.size_of(j))
+            for j in range(self.domain.d)
+        ]
+        return counts, [reports.n] * self.domain.d
+
+    def _support_counts(self, column: Any, k: int) -> np.ndarray:
+        if is_chunk_iterable(column):
+            return sum_support_counts(lambda c: self._support_counts(c, k), column, k)
+        if self.variant == "grr":
+            return np.bincount(np.asarray(column, dtype=np.int64), minlength=k).astype(float)
+        if isinstance(column, PackedBits):
+            return column.column_sums(resolve_chunk_size(getattr(self, "chunk_size", None)))
+        return np.asarray(column).sum(axis=0).astype(float)
 
 
 def sample_attributes(n: int, d: int, rng: np.random.Generator) -> np.ndarray:

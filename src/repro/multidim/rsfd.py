@@ -32,23 +32,31 @@ from ..core.frequencies import FrequencyEstimate
 from ..core.rng import RngLike
 from ..exceptions import EstimationError, InvalidParameterError
 from ..protocols.grr import GRR
+from ..protocols.streaming import PackedBits, validate_chunk_size
 from ..protocols.ue import OUE, SUE, UnaryEncoding
-from .base import MultidimReports, MultidimSolution, sample_attributes
+from .base import FakeDataCountsMixin, MultidimReports, MultidimSolution, sample_attributes
 
 FakeDataVariant = Literal["grr", "ue-z", "ue-r"]
 UEKind = Literal["SUE", "OUE"]
 
 
-def _make_ue(kind: str, k: int, epsilon: float, rng) -> UnaryEncoding:
+def _make_ue(
+    kind: str,
+    k: int,
+    epsilon: float,
+    rng,
+    packed: bool = False,
+    chunk_size: int | None = None,
+) -> UnaryEncoding:
     kind = kind.upper()
     if kind == "SUE":
-        return SUE(k, epsilon, rng=rng)
+        return SUE(k, epsilon, rng=rng, packed=packed, chunk_size=chunk_size)
     if kind == "OUE":
-        return OUE(k, epsilon, rng=rng)
+        return OUE(k, epsilon, rng=rng, packed=packed, chunk_size=chunk_size)
     raise InvalidParameterError(f"ue_kind must be 'SUE' or 'OUE', got {kind!r}")
 
 
-class RSFD(MultidimSolution):
+class RSFD(FakeDataCountsMixin, MultidimSolution):
     """Random Sampling Plus Fake Data solution.
 
     Parameters
@@ -62,6 +70,14 @@ class RSFD(MultidimSolution):
         Fake-data variant: ``"grr"``, ``"ue-z"`` or ``"ue-r"``.
     ue_kind:
         ``"SUE"`` or ``"OUE"``; only used by the UE variants.
+    packed:
+        Store UE report columns bit-packed
+        (:class:`~repro.protocols.streaming.PackedBits`, k/8 bytes per user
+        instead of k).  Estimation is byte-identical; ignored by the GRR
+        variant whose integer codes are already compact.
+    chunk_size:
+        Rows the UE randomizers and packed count kernels materialize at
+        once (default ``DEFAULT_CHUNK_SIZE``).
     rng:
         Seed or generator.
     """
@@ -75,6 +91,8 @@ class RSFD(MultidimSolution):
         variant: FakeDataVariant = "grr",
         ue_kind: UEKind = "OUE",
         rng: RngLike = None,
+        packed: bool = False,
+        chunk_size: int | None = None,
     ) -> None:
         variant = variant.lower()
         if variant not in ("grr", "ue-z", "ue-r"):
@@ -85,6 +103,8 @@ class RSFD(MultidimSolution):
         super().__init__(domain, epsilon, protocol=protocol, rng=rng)
         self.variant = variant
         self.ue_kind = ue_kind.upper()
+        self.packed = bool(packed)
+        self.chunk_size = validate_chunk_size(chunk_size)
         self.amplified_epsilon = amplified_epsilon(self.epsilon, self.domain.d)
 
     # ------------------------------------------------------------------ #
@@ -101,7 +121,14 @@ class RSFD(MultidimSolution):
         k = self.domain.size_of(attribute)
         if self.variant == "grr":
             return GRR(k, self.amplified_epsilon, rng=self._rng)
-        return _make_ue(self.ue_kind, k, self.amplified_epsilon, rng=self._rng)
+        return _make_ue(
+            self.ue_kind,
+            k,
+            self.amplified_epsilon,
+            rng=self._rng,
+            packed=self.packed,
+            chunk_size=self.chunk_size,
+        )
 
     # ------------------------------------------------------------------ #
     # client side
@@ -132,6 +159,16 @@ class RSFD(MultidimSolution):
                         dataset.column(j)[rows_true]
                     )
                 column[rows_fake] = self._rng.integers(0, k, size=rows_fake.size)
+            elif self.packed:
+                column = PackedBits.empty(n, k)
+                if rows_true.size:
+                    column.data[rows_true] = randomizer.randomize_many(
+                        dataset.column(j)[rows_true]
+                    ).data
+                if rows_fake.size:
+                    column.data[rows_fake] = self._generate_fake_ue(
+                        randomizer, rows_fake.size
+                    ).data
             else:
                 column = np.zeros((n, k), dtype=np.uint8)
                 if rows_true.size:
@@ -167,13 +204,26 @@ class RSFD(MultidimSolution):
     # server side
     # ------------------------------------------------------------------ #
     def estimate(self, reports: MultidimReports) -> list[FrequencyEstimate]:
+        """Per-attribute unbiased estimates (Sec. 2.3.2).
+
+        ``reports.per_attribute[j]`` may be a dense array, a bit-packed
+        :class:`~repro.protocols.streaming.PackedBits` matrix or an iterable
+        of report chunks; all produce byte-identical estimates.
+        """
+        return self._estimates_from_counts(*self._counts_from_reports(reports))
+
+    # -- streaming hooks (counting inherited from FakeDataCountsMixin) ------
+    def _estimates_from_counts(self, counts_list, ns) -> list[FrequencyEstimate]:
         estimates = []
-        d, n = self.domain.d, reports.n
+        d = self.domain.d
         for j in range(self.domain.d):
             k = self.domain.size_of(j)
+            n = int(ns[j])
+            if n <= 0:
+                raise EstimationError("cannot estimate from zero reports")
             randomizer = self._randomizer(j)
             p, q = randomizer.p, randomizer.q
-            counts = self._support_counts(reports.per_attribute[j], k)
+            counts = np.asarray(counts_list[j], dtype=float)
             if self.variant == "grr":
                 # RS+FD[GRR] estimator (Sec. 2.3.2)
                 values = (counts * d * k - n * (d - 1 + q * k)) / (n * k * (p - q))
@@ -199,8 +249,3 @@ class RSFD(MultidimSolution):
                 )
             )
         return estimates
-
-    def _support_counts(self, column, k: int) -> np.ndarray:
-        if self.variant == "grr":
-            return np.bincount(np.asarray(column, dtype=np.int64), minlength=k).astype(float)
-        return np.asarray(column).sum(axis=0).astype(float)

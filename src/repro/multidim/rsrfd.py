@@ -25,17 +25,18 @@ import numpy as np
 from ..core.composition import amplified_epsilon
 from ..core.dataset import TabularDataset
 from ..core.domain import Domain
-from ..core.frequencies import FrequencyEstimate
+from ..core.frequencies import FrequencyEstimate, validate_probability_vector
 from ..core.rng import RngLike
 from ..exceptions import EstimationError, InvalidParameterError
 from ..protocols.grr import GRR
+from ..protocols.streaming import PackedBits, validate_chunk_size
 from ..protocols.ue import OUE, SUE, UnaryEncoding
-from .base import MultidimReports, MultidimSolution, sample_attributes
+from .base import FakeDataCountsMixin, MultidimReports, MultidimSolution, sample_attributes
 
 RealisticVariant = Literal["grr", "ue-r"]
 
 
-class RSRFD(MultidimSolution):
+class RSRFD(FakeDataCountsMixin, MultidimSolution):
     """Random Sampling Plus Realistic Fake Data (Alg. 1 of the paper).
 
     Parameters
@@ -53,6 +54,12 @@ class RSRFD(MultidimSolution):
         ``"SUE"`` or ``"OUE"`` when ``variant == "ue-r"``.
     rng:
         Seed or generator.
+    packed:
+        Store UE report columns bit-packed (8x smaller); ignored by the GRR
+        variant.  See :class:`~repro.multidim.rsfd.RSFD`.
+    chunk_size:
+        Rows the UE randomizers and packed count kernels materialize at
+        once (default ``DEFAULT_CHUNK_SIZE``).
     """
 
     name = "RS+RFD"
@@ -65,6 +72,8 @@ class RSRFD(MultidimSolution):
         variant: RealisticVariant = "grr",
         ue_kind: str = "OUE",
         rng: RngLike = None,
+        packed: bool = False,
+        chunk_size: int | None = None,
     ) -> None:
         variant = variant.lower()
         if variant not in ("grr", "ue-r"):
@@ -75,29 +84,31 @@ class RSRFD(MultidimSolution):
         super().__init__(domain, epsilon, protocol=protocol, rng=rng)
         self.variant = variant
         self.ue_kind = ue_kind.upper()
+        self.packed = bool(packed)
+        self.chunk_size = validate_chunk_size(chunk_size)
         self.amplified_epsilon = amplified_epsilon(self.epsilon, self.domain.d)
         self.priors = self._validate_priors(priors)
 
     def _validate_priors(self, priors: Sequence[np.ndarray]) -> list[np.ndarray]:
-        priors = [np.asarray(prior, dtype=float) for prior in priors]
+        """Validate and normalize the per-attribute prior distributions.
+
+        Every prior must be a finite, non-negative, positive-mass vector of
+        length ``k_j`` — the same guard applied where priors enter the UE
+        fake-data generator (:meth:`UnaryEncoding.randomize_random_onehot`),
+        so malformed priors fail loudly here rather than as NaN probabilities
+        inside ``rng.choice``.
+        """
+        priors = list(priors)
         if len(priors) != self.domain.d:
             raise InvalidParameterError(
                 f"expected {self.domain.d} priors, got {len(priors)}"
             )
-        normalized = []
-        for j, prior in enumerate(priors):
-            k = self.domain.size_of(j)
-            if prior.shape != (k,):
-                raise InvalidParameterError(
-                    f"prior for attribute {j} must have length {k}, got {prior.shape}"
-                )
-            if np.any(prior < 0):
-                raise InvalidParameterError(f"prior for attribute {j} has negative mass")
-            total = prior.sum()
-            if total <= 0:
-                raise InvalidParameterError(f"prior for attribute {j} sums to zero")
-            normalized.append(prior / total)
-        return normalized
+        return [
+            validate_probability_vector(
+                prior, self.domain.size_of(j), context=f"prior for attribute {j}"
+            )
+            for j, prior in enumerate(priors)
+        ]
 
     # ------------------------------------------------------------------ #
     @property
@@ -112,8 +123,20 @@ class RSRFD(MultidimSolution):
         if self.variant == "grr":
             return GRR(k, self.amplified_epsilon, rng=self._rng)
         if self.ue_kind == "SUE":
-            return SUE(k, self.amplified_epsilon, rng=self._rng)
-        return OUE(k, self.amplified_epsilon, rng=self._rng)
+            return SUE(
+                k,
+                self.amplified_epsilon,
+                rng=self._rng,
+                packed=self.packed,
+                chunk_size=self.chunk_size,
+            )
+        return OUE(
+            k,
+            self.amplified_epsilon,
+            rng=self._rng,
+            packed=self.packed,
+            chunk_size=self.chunk_size,
+        )
 
     # ------------------------------------------------------------------ #
     # client side (Alg. 1)
@@ -146,6 +169,17 @@ class RSRFD(MultidimSolution):
                 if rows_fake.size:
                     # fake data = direct sample from the prior (Fig. 7)
                     column[rows_fake] = self._rng.choice(k, size=rows_fake.size, p=prior)
+            elif self.packed:
+                column = PackedBits.empty(n, k)
+                if rows_true.size:
+                    column.data[rows_true] = randomizer.randomize_many(
+                        dataset.column(j)[rows_true]
+                    ).data
+                if rows_fake.size:
+                    # fake data = prior-distributed one-hot, UE-perturbed (Fig. 8)
+                    column.data[rows_fake] = randomizer.randomize_random_onehot(
+                        rows_fake.size, priors=prior
+                    ).data
             else:
                 column = np.zeros((n, k), dtype=np.uint8)
                 if rows_true.size:
@@ -179,14 +213,27 @@ class RSRFD(MultidimSolution):
     # server side (Eqs. 6 and 7)
     # ------------------------------------------------------------------ #
     def estimate(self, reports: MultidimReports) -> list[FrequencyEstimate]:
+        """Per-attribute unbiased estimates (Eqs. 6 and 7).
+
+        ``reports.per_attribute[j]`` may be a dense array, a bit-packed
+        :class:`~repro.protocols.streaming.PackedBits` matrix or an iterable
+        of report chunks; all produce byte-identical estimates.
+        """
+        return self._estimates_from_counts(*self._counts_from_reports(reports))
+
+    # -- streaming hooks (counting inherited from FakeDataCountsMixin) ------
+    def _estimates_from_counts(self, counts_list, ns) -> list[FrequencyEstimate]:
         estimates = []
-        d, n = self.domain.d, reports.n
+        d = self.domain.d
         for j in range(self.domain.d):
             k = self.domain.size_of(j)
+            n = int(ns[j])
+            if n <= 0:
+                raise EstimationError("cannot estimate from zero reports")
             prior = self.priors[j]
             randomizer = self._randomizer(j)
             p, q = randomizer.p, randomizer.q
-            counts = self._support_counts(reports.per_attribute[j], k)
+            counts = np.asarray(counts_list[j], dtype=float)
             if self.variant == "grr":
                 # Eq. (6)
                 values = (d * counts - n * (q + (d - 1) * prior)) / (n * (p - q))
@@ -209,8 +256,3 @@ class RSRFD(MultidimSolution):
                 )
             )
         return estimates
-
-    def _support_counts(self, column, k: int) -> np.ndarray:
-        if self.variant == "grr":
-            return np.bincount(np.asarray(column, dtype=np.int64), minlength=k).astype(float)
-        return np.asarray(column).sum(axis=0).astype(float)

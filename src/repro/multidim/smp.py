@@ -80,23 +80,47 @@ class SMP(MultidimSolution):
         )
 
     def estimate(self, reports: MultidimReports) -> list[FrequencyEstimate]:
-        estimates = []
+        """Per-attribute estimates over the users who sampled each attribute.
+
+        ``reports.per_attribute[j]`` may be a monolithic report array or an
+        iterable of report chunks (bounded-memory path).
+        """
+        return self._estimates_from_counts(*self._counts_from_reports(reports))
+
+    # -- streaming hooks ----------------------------------------------------
+    def _counts_from_reports(self, reports: MultidimReports):
+        counts, ns = [], []
         for j in range(self.domain.d):
             rows = reports.user_indices[j]
+            ns.append(int(rows.size))
+            if rows.size == 0:
+                counts.append(np.zeros(self.domain.size_of(j)))
+                continue
             oracle = make_protocol(
                 self.protocol, self.domain.size_of(j), self.epsilon, rng=self._rng
             )
-            if rows.size == 0:
+            counts.append(oracle.support_counts(reports.per_attribute[j]))
+        return counts, ns
+
+    def _estimates_from_counts(self, counts, ns) -> list[FrequencyEstimate]:
+        estimates = []
+        for j in range(self.domain.d):
+            if int(ns[j]) == 0:
                 raise EstimationError(
                     f"no user sampled attribute {self.domain[j].name!r}; "
                     "increase n or collect again"
                 )
-            estimate = oracle.aggregate(reports.per_attribute[j], n=int(rows.size))
+            oracle = make_protocol(
+                self.protocol, self.domain.size_of(j), self.epsilon, rng=self._rng
+            )
+            estimate = oracle._estimate_from_counts(
+                np.asarray(counts[j], dtype=float), int(ns[j])
+            )
             estimates.append(
                 FrequencyEstimate(
                     estimates=estimate.estimates,
                     attribute=self.domain[j].name,
-                    n=int(rows.size),
+                    n=int(ns[j]),
                     metadata={**estimate.metadata, "solution": self.name},
                 )
             )

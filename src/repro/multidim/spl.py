@@ -42,18 +42,40 @@ class SPL(MultidimSolution):
         )
 
     def estimate(self, reports: MultidimReports) -> list[FrequencyEstimate]:
+        """Per-attribute unbiased estimates.
+
+        ``reports.per_attribute[j]`` may be a monolithic report array or an
+        iterable of report chunks (bounded-memory path); both are
+        byte-identical.
+        """
+        return self._estimates_from_counts(*self._counts_from_reports(reports))
+
+    # -- streaming hooks ----------------------------------------------------
+    def _counts_from_reports(self, reports: MultidimReports):
+        per_attribute_epsilon = split_budget(self.epsilon, self.domain.d)
+        counts = []
+        for j in range(self.domain.d):
+            oracle = make_protocol(
+                self.protocol, self.domain.size_of(j), per_attribute_epsilon, rng=self._rng
+            )
+            counts.append(oracle.support_counts(reports.per_attribute[j]))
+        return counts, [reports.n] * self.domain.d
+
+    def _estimates_from_counts(self, counts, ns) -> list[FrequencyEstimate]:
         per_attribute_epsilon = split_budget(self.epsilon, self.domain.d)
         estimates = []
         for j in range(self.domain.d):
             oracle = make_protocol(
                 self.protocol, self.domain.size_of(j), per_attribute_epsilon, rng=self._rng
             )
-            estimate = oracle.aggregate(reports.per_attribute[j], n=reports.n)
+            estimate = oracle._estimate_from_counts(
+                np.asarray(counts[j], dtype=float), int(ns[j])
+            )
             estimates.append(
                 FrequencyEstimate(
                     estimates=estimate.estimates,
                     attribute=self.domain[j].name,
-                    n=reports.n,
+                    n=int(ns[j]),
                     metadata={**estimate.metadata, "solution": self.name},
                 )
             )

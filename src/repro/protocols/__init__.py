@@ -24,11 +24,21 @@ from .postprocessing import (
 )
 from .registry import PROTOCOLS, available_protocols, canonical_name, make_protocol
 from .ss import SubsetSelection, optimal_subset_size
+from .streaming import (
+    DEFAULT_CHUNK_SIZE,
+    CountAccumulator,
+    PackedBits,
+    is_chunk_iterable,
+)
 from .ue import OUE, SUE, UnaryEncoding
 
 __all__ = [
     "FrequencyOracle",
     "empirical_attack_accuracy",
+    "CountAccumulator",
+    "PackedBits",
+    "DEFAULT_CHUNK_SIZE",
+    "is_chunk_iterable",
     "GRR",
     "OLH",
     "SubsetSelection",

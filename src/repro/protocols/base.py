@@ -16,7 +16,7 @@ All three faces (randomize / aggregate / attack) share the protocol's
 from __future__ import annotations
 
 import abc
-from typing import Any, Mapping, Sequence
+from typing import Any, Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -24,6 +24,7 @@ from ..core.frequencies import FrequencyEstimate
 from ..core.rng import RngLike, ensure_rng
 from ..exceptions import EstimationError, InvalidParameterError
 from ..core.composition import validate_epsilon
+from .streaming import CountAccumulator, concat_attacks, is_chunk_iterable
 
 
 class FrequencyOracle(abc.ABC):
@@ -107,21 +108,54 @@ class FrequencyOracle(abc.ABC):
         """Unbiased frequency estimation from perturbed reports (Eq. 2).
 
         ``f_hat(v) = (C(v) - n * q) / (n * (p - q))``.
+
+        ``reports`` may be a monolithic report array or an iterable of report
+        chunks (see :mod:`repro.protocols.streaming`); both paths return
+        byte-identical estimates.
         """
+        if is_chunk_iterable(reports):
+            return self.aggregate_chunks(reports, n=n)
         counts = np.asarray(self.support_counts(reports), dtype=float)
         if counts.shape != (self.k,):
             raise EstimationError(
                 f"support counts have shape {counts.shape}, expected ({self.k},)"
             )
         total = int(n) if n is not None else int(self._num_reports(reports))
-        if total <= 0:
+        return self._estimate_from_counts(counts, total)
+
+    def _estimate_from_counts(self, counts: np.ndarray, n: int) -> FrequencyEstimate:
+        """Apply the unbiased estimator to precomputed support counts."""
+        if n <= 0:
             raise EstimationError("cannot aggregate zero reports")
-        estimates = (counts - total * self.q) / (total * (self.p - self.q))
+        p, q = self.p, self.q
+        if p <= q:
+            raise EstimationError(
+                f"{self.name} parameters are degenerate (p={p:g} <= q={q:g}): "
+                "reports carry no signal and frequencies are unidentifiable"
+            )
+        estimates = (counts - n * q) / (n * (p - q))
         return FrequencyEstimate(
             estimates=estimates,
-            n=total,
+            n=int(n),
             metadata={"protocol": self.name, "epsilon": self.epsilon, "k": self.k},
         )
+
+    def accumulator(self) -> CountAccumulator:
+        """Streaming aggregation state: ``add(chunk)`` then ``finalize(n)``.
+
+        Holds O(k) floats regardless of how many reports are consumed; the
+        finalized estimate is byte-identical to one-shot :meth:`aggregate`.
+        """
+        return CountAccumulator(self)
+
+    def aggregate_chunks(
+        self, chunks: Iterable[Any], n: int | None = None
+    ) -> FrequencyEstimate:
+        """Aggregate an iterable of report chunks in bounded memory."""
+        accumulator = self.accumulator()
+        for chunk in chunks:
+            accumulator.add(chunk)
+        return accumulator.finalize(n=n)
 
     def _num_reports(self, reports: Any) -> int:
         return len(reports)
@@ -135,6 +169,11 @@ class FrequencyOracle(abc.ABC):
         """
         if n <= 0:
             raise InvalidParameterError("n must be positive")
+        if self.p <= self.q:
+            raise EstimationError(
+                f"{self.name} parameters are degenerate (p={self.p:g} <= q={self.q:g}); "
+                "the estimator variance is unbounded"
+            )
         gamma = f * (self.p - self.q) + self.q
         return gamma * (1.0 - gamma) / (n * (self.p - self.q) ** 2)
 
@@ -146,7 +185,12 @@ class FrequencyOracle(abc.ABC):
         """Predict the user's true value from a single report."""
 
     def attack_many(self, reports: Any) -> np.ndarray:
-        """Vectorized single-report attack; default loops over :meth:`attack`."""
+        """Vectorized single-report attack; default loops over :meth:`attack`.
+
+        Accepts an iterable of report chunks like :meth:`aggregate`.
+        """
+        if is_chunk_iterable(reports):
+            return concat_attacks(self.attack_many, reports)
         return np.asarray([self.attack(r) for r in reports], dtype=np.int64)
 
     @abc.abstractmethod

@@ -13,6 +13,7 @@ import math
 import numpy as np
 
 from .base import FrequencyOracle
+from .streaming import concat_attacks, is_chunk_iterable, sum_support_counts
 
 
 class GRR(FrequencyOracle):
@@ -47,6 +48,8 @@ class GRR(FrequencyOracle):
 
     # -- server ------------------------------------------------------------
     def support_counts(self, reports: np.ndarray) -> np.ndarray:
+        if is_chunk_iterable(reports):
+            return sum_support_counts(self.support_counts, reports, self.k)
         reports = np.asarray(reports, dtype=np.int64)
         return np.bincount(reports, minlength=self.k).astype(float)
 
@@ -59,6 +62,8 @@ class GRR(FrequencyOracle):
         return int(report)
 
     def attack_many(self, reports: np.ndarray) -> np.ndarray:
+        if is_chunk_iterable(reports):
+            return concat_attacks(self.attack_many, reports)
         return np.asarray(reports, dtype=np.int64).copy()
 
     def expected_attack_accuracy(self) -> float:

@@ -20,6 +20,7 @@ import numpy as np
 from ..core.rng import RngLike
 from ..exceptions import InvalidParameterError
 from .base import FrequencyOracle
+from .streaming import concat_attacks, is_chunk_iterable, resolve_chunk_size, sum_support_counts
 
 #: Mersenne prime used by the Carter–Wegman universal hash family.  It is far
 #: larger than any categorical domain handled by this library while keeping
@@ -53,11 +54,24 @@ class OLH(FrequencyOracle):
 
     name = "OLH"
 
-    def __init__(self, k: int, epsilon: float, rng: RngLike = None, g: int | None = None) -> None:
+    def __init__(
+        self,
+        k: int,
+        epsilon: float,
+        rng: RngLike = None,
+        g: int | None = None,
+        chunk_size: int | None = None,
+    ) -> None:
         super().__init__(k, epsilon, rng)
         self.g = optimal_hash_range(self.epsilon) if g is None else int(g)
         if self.g < 2:
             raise InvalidParameterError(f"hash range g must be >= 2, got {self.g}")
+        #: The server-side kernels never materialize more than
+        #: ``chunk_size × k`` candidate-hash entries at once (default
+        #: ``DEFAULT_CHUNK_SIZE``, like SS/UE); pass ``chunk_size >= n`` to
+        #: force the dense one-shot kernel.  Support counts are
+        #: byte-identical for any chunking.
+        self.chunk_size = resolve_chunk_size(chunk_size)
 
     # -- parameters ----------------------------------------------------------
     @property
@@ -100,7 +114,22 @@ class OLH(FrequencyOracle):
 
     # -- server ------------------------------------------------------------
     def support_counts(self, reports: np.ndarray) -> np.ndarray:
+        if is_chunk_iterable(reports):
+            return sum_support_counts(self.support_counts, reports, self.k)
         reports = self._as_report_matrix(reports)
+        if reports.shape[0] > self.chunk_size:
+            return sum_support_counts(
+                self._support_counts_dense,
+                (
+                    reports[start : start + self.chunk_size]
+                    for start in range(0, reports.shape[0], self.chunk_size)
+                ),
+                self.k,
+            )
+        return self._support_counts_dense(reports)
+
+    def _support_counts_dense(self, reports: np.ndarray) -> np.ndarray:
+        """Dense support-count kernel over one ``(m, 3)`` report block."""
         a, b, perturbed = reports[:, 0], reports[:, 1], reports[:, 2]
         domain = np.arange(self.k, dtype=np.int64)
         # hashed_all[i, v] = H_{a_i, b_i}(v); a report supports v iff it maps to
@@ -134,7 +163,20 @@ class OLH(FrequencyOracle):
         return int(self._rng.choice(candidates))
 
     def attack_many(self, reports: np.ndarray) -> np.ndarray:
+        if is_chunk_iterable(reports):
+            return concat_attacks(self.attack_many, reports)
         reports = self._as_report_matrix(reports)
+        if reports.shape[0] > self.chunk_size:
+            return np.concatenate(
+                [
+                    self._attack_dense(reports[start : start + self.chunk_size])
+                    for start in range(0, reports.shape[0], self.chunk_size)
+                ]
+            )
+        return self._attack_dense(reports)
+
+    def _attack_dense(self, reports: np.ndarray) -> np.ndarray:
+        """Dense attack kernel over one ``(m, 3)`` report block."""
         a, b, perturbed = reports[:, 0], reports[:, 1], reports[:, 2]
         domain = np.arange(self.k, dtype=np.int64)
         hashed_all = universal_hash(domain[None, :], a[:, None], b[:, None], self.g)

@@ -16,6 +16,7 @@ import numpy as np
 from ..core.rng import RngLike
 from ..exceptions import InvalidParameterError
 from .base import FrequencyOracle
+from .streaming import concat_attacks, is_chunk_iterable, resolve_chunk_size, sum_support_counts
 
 
 def optimal_subset_size(k: int, epsilon: float) -> int:
@@ -33,18 +34,36 @@ class SubsetSelection(FrequencyOracle):
     k, epsilon, rng:
         As for every :class:`~repro.protocols.base.FrequencyOracle`.
     omega:
-        Subset size; defaults to the variance-optimal value.
+        Subset size; defaults to the variance-optimal value.  ``omega == k``
+        is rejected: every report would contain the whole domain, making
+        ``p == q`` (zero signal) and the estimator divide by zero.
+    chunk_size:
+        Rows whose ``(rows, k)`` sampling-key matrix the vectorized
+        randomizer materializes at once (default ``DEFAULT_CHUNK_SIZE``).
     """
 
     name = "SS"
 
-    def __init__(self, k: int, epsilon: float, rng: RngLike = None, omega: int | None = None) -> None:
+    def __init__(
+        self,
+        k: int,
+        epsilon: float,
+        rng: RngLike = None,
+        omega: int | None = None,
+        chunk_size: int | None = None,
+    ) -> None:
         super().__init__(k, epsilon, rng)
         self.omega = optimal_subset_size(self.k, self.epsilon) if omega is None else int(omega)
         if not 1 <= self.omega <= self.k:
             raise InvalidParameterError(
                 f"omega must be in [1, {self.k}], got {self.omega}"
             )
+        if self.omega == self.k:
+            raise InvalidParameterError(
+                f"omega == k == {self.k} is degenerate: every report contains the "
+                "whole domain, so p == q and frequencies are unidentifiable"
+            )
+        self.chunk_size = resolve_chunk_size(chunk_size)
 
     # -- parameters ----------------------------------------------------------
     @property
@@ -75,13 +94,46 @@ class SubsetSelection(FrequencyOracle):
         return self.randomize_many(np.asarray([value]))[0]
 
     def randomize_many(self, values: np.ndarray) -> np.ndarray:
-        """Return an ``(n, ω)`` array whose rows are the reported subsets."""
+        """Return an ``(n, ω)`` array whose rows are the reported subsets.
+
+        Fully vectorized via the sampling-key (argsort) trick: every other
+        value gets an i.i.d. uniform key and the ``ω`` (or ``ω - 1``)
+        smallest keys form a uniform without-replacement draw.  Users are
+        processed in ``chunk_size`` blocks so the ``(rows, k)`` key matrix
+        stays bounded.
+        """
+        values = self._validate_values(values)
+        n = values.size
+        reports = np.empty((n, self.omega), dtype=np.int64)
+        for start in range(0, n, self.chunk_size):
+            stop = min(start + self.chunk_size, n)
+            reports[start:stop] = self._randomize_chunk(values[start:stop])
+        return reports
+
+    def _randomize_chunk(self, values: np.ndarray) -> np.ndarray:
+        """Vectorized subset sampling for one block of users."""
+        m = values.size
+        include_true = self._rng.random(m) < self.true_inclusion_probability
+        keys = self._rng.random((m, self.k))
+        rows = np.arange(m)
+        # exclude the true value from the "other values" pool
+        keys[rows, values] = np.inf
+        # the omega smallest keys = uniform omega-subset of the other values
+        subset = np.argpartition(keys, self.omega - 1, axis=1)[:, : self.omega]
+        # users who include their true value keep the omega-1 smallest others
+        # and replace the largest-key slot with the true value
+        subset_keys = np.take_along_axis(keys, subset, axis=1)
+        largest = np.argmax(subset_keys, axis=1)
+        included = np.flatnonzero(include_true)
+        subset[included, largest[included]] = values[included]
+        return subset.astype(np.int64)
+
+    def _randomize_many_loop(self, values: np.ndarray) -> np.ndarray:
+        """Scalar per-user reference implementation (kept for parity tests)."""
         values = self._validate_values(values)
         n = values.size
         include_true = self._rng.random(n) < self.true_inclusion_probability
         reports = np.empty((n, self.omega), dtype=np.int64)
-        # The loop is over users; each row needs a without-replacement draw
-        # from the k-1 other values, which numpy cannot batch directly.
         for i in range(n):
             true_value = values[i]
             if include_true[i]:
@@ -101,6 +153,8 @@ class SubsetSelection(FrequencyOracle):
 
     # -- server ------------------------------------------------------------
     def support_counts(self, reports: np.ndarray) -> np.ndarray:
+        if is_chunk_iterable(reports):
+            return sum_support_counts(self.support_counts, reports, self.k)
         reports = np.asarray(reports, dtype=np.int64)
         if reports.ndim == 1:
             reports = reports.reshape(1, -1)
@@ -117,6 +171,8 @@ class SubsetSelection(FrequencyOracle):
         return int(self._rng.choice(report))
 
     def attack_many(self, reports: np.ndarray) -> np.ndarray:
+        if is_chunk_iterable(reports):
+            return concat_attacks(self.attack_many, reports)
         reports = np.asarray(reports, dtype=np.int64)
         if reports.ndim == 1:
             reports = reports.reshape(1, -1)
@@ -128,6 +184,9 @@ class SubsetSelection(FrequencyOracle):
         ``p`` and the attacker then selects it with probability ``1/ω``.
 
         With the optimal ``ω = k / (e^eps + 1)`` this reduces to the paper's
-        ``(e^eps + 1) / (2 k)`` expression.
+        ``(e^eps + 1) / (2 k)`` expression.  The formula requires ``ω < k``
+        (enforced at construction); at the rejected degenerate ``ω == k``
+        every subset is the whole domain and the attack is a blind ``1/k``
+        guess with no dependence on ``epsilon``.
         """
         return self.true_inclusion_probability / self.omega

@@ -1,0 +1,229 @@
+"""Bounded-memory streaming aggregation primitives.
+
+The paper's experiments aggregate millions of reports per attribute; holding
+every report — let alone a dense ``(n, k)`` candidate or bit matrix — in
+memory does not scale to the "millions of users" regime the ROADMAP targets.
+This module provides the three building blocks of the streaming hot path:
+
+* :class:`CountAccumulator` — O(k) server-side state consuming reports in
+  fixed-size chunks (``accumulator() → add(chunk) → finalize(n)``); the
+  chunked and one-shot paths produce **byte-identical**
+  :class:`~repro.core.frequencies.FrequencyEstimate` objects because support
+  counts are non-negative integers below 2**53 and float64 addition over them
+  is exact regardless of chunking.
+* :class:`PackedBits` — bit-packed storage for unary-encoding report
+  matrices (``np.packbits``/``np.unpackbits``), an 8x end-to-end memory
+  reduction through ``randomize_many → support_counts → attack_many``.
+* chunk-iterable detection and summation helpers shared by the protocol and
+  multidimensional layers, so every ``aggregate``/``estimate`` entry point
+  accepts either a monolithic report array or an iterable of report chunks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator
+
+import numpy as np
+
+from ..core.frequencies import FrequencyEstimate
+from ..exceptions import EstimationError, InvalidParameterError
+
+#: Default number of report rows materialized at once by the chunked kernels.
+#: At the paper's largest domain sizes this caps every intermediate candidate
+#: matrix at a few megabytes while staying large enough to amortize numpy
+#: dispatch overhead.
+DEFAULT_CHUNK_SIZE = 8192
+
+
+def validate_chunk_size(chunk_size: int | None) -> int | None:
+    """Validate an optional chunk size (``None`` = use the caller's default)."""
+    if chunk_size is None:
+        return None
+    chunk_size = int(chunk_size)
+    if chunk_size < 1:
+        raise InvalidParameterError(f"chunk_size must be >= 1, got {chunk_size}")
+    return chunk_size
+
+
+def resolve_chunk_size(chunk_size: int | None) -> int:
+    """Validate a chunk size, substituting :data:`DEFAULT_CHUNK_SIZE` for ``None``."""
+    return validate_chunk_size(chunk_size) or DEFAULT_CHUNK_SIZE
+
+
+class PackedBits:
+    """Bit-packed ``(n, k)`` binary report matrix.
+
+    Rows are packed independently with :func:`numpy.packbits`, so row ``i``
+    occupies bytes ``data[i]`` and row-wise assembly (e.g. interleaving true
+    and fake reports) works directly on :attr:`data`.  ``unpack`` restores
+    exact ``uint8`` bit rows, which keeps packed and unpacked aggregation
+    byte-identical.
+    """
+
+    __slots__ = ("data", "k")
+
+    def __init__(self, data: np.ndarray, k: int) -> None:
+        data = np.asarray(data, dtype=np.uint8)
+        if data.ndim == 1:
+            data = data.reshape(1, -1)
+        k = int(k)
+        if k < 1:
+            raise InvalidParameterError(f"k must be >= 1, got {k}")
+        if data.ndim != 2 or data.shape[1] != (k + 7) // 8:
+            raise InvalidParameterError(
+                f"packed data must have shape (n, {(k + 7) // 8}) for k={k}, "
+                f"got {data.shape}"
+            )
+        self.data = data
+        self.k = k
+
+    # -- constructors --------------------------------------------------------
+    @classmethod
+    def pack(cls, bits: np.ndarray, k: int | None = None) -> "PackedBits":
+        """Pack a dense ``(n, k)`` (or ``(k,)``) 0/1 matrix."""
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.ndim == 1:
+            bits = bits.reshape(1, -1)
+        if bits.ndim != 2:
+            raise InvalidParameterError(f"bits must be 2-D, got shape {bits.shape}")
+        k = bits.shape[1] if k is None else int(k)
+        return cls(np.packbits(bits, axis=1), k)
+
+    @classmethod
+    def empty(cls, n: int, k: int) -> "PackedBits":
+        """All-zero packed matrix for ``n`` users over domain size ``k``."""
+        return cls(np.zeros((int(n), (int(k) + 7) // 8), dtype=np.uint8), k)
+
+    # -- shape ---------------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self.data.shape[0])
+
+    @property
+    def n(self) -> int:
+        """Number of report rows."""
+        return len(self)
+
+    @property
+    def nbytes(self) -> int:
+        """Storage footprint in bytes (k/8 per row instead of k)."""
+        return int(self.data.nbytes)
+
+    def __getitem__(self, rows: Any) -> "PackedBits":
+        data = self.data[rows]
+        return PackedBits(data, self.k)
+
+    # -- unpacking -----------------------------------------------------------
+    def unpack(self, start: int = 0, stop: int | None = None) -> np.ndarray:
+        """Dense ``uint8`` bit rows ``[start:stop)`` (padding bits trimmed)."""
+        return np.unpackbits(self.data[start:stop], axis=1, count=self.k)
+
+    def column_sums(self, chunk_size: int = DEFAULT_CHUNK_SIZE) -> np.ndarray:
+        """Per-value support counts, unpacking at most ``chunk_size`` rows."""
+        counts = np.zeros(self.k, dtype=float)
+        for start in range(0, len(self), chunk_size):
+            counts += self.unpack(start, start + chunk_size).sum(axis=0)
+        return counts
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"PackedBits(n={len(self)}, k={self.k}, nbytes={self.nbytes})"
+
+
+def is_chunk_iterable(reports: Any) -> bool:
+    """Whether ``reports`` is an iterable of report chunks.
+
+    A monolithic :class:`numpy.ndarray` or :class:`PackedBits` is *not*
+    chunked; a generator/iterator, or a list/tuple whose elements are arrays
+    or :class:`PackedBits`, is.  A list of scalar reports (e.g. Python ints
+    for GRR) is treated as a single chunk for backwards compatibility.
+    """
+    if isinstance(reports, (np.ndarray, PackedBits)):
+        return False
+    if isinstance(reports, (list, tuple)):
+        return len(reports) > 0 and isinstance(reports[0], (np.ndarray, PackedBits))
+    return isinstance(reports, Iterator)
+
+
+def sum_support_counts(
+    count_fn: Callable[[Any], np.ndarray], chunks: Iterable[Any], k: int
+) -> np.ndarray:
+    """Sum per-chunk support counts into one O(k) count vector."""
+    counts = np.zeros(int(k), dtype=float)
+    for chunk in chunks:
+        counts += count_fn(chunk)
+    return counts
+
+
+def concat_attacks(
+    attack_fn: Callable[[Any], np.ndarray], chunks: Iterable[Any]
+) -> np.ndarray:
+    """Concatenate per-chunk attack guesses (empty iterable → empty array)."""
+    guesses = [attack_fn(chunk) for chunk in chunks]
+    if not guesses:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(guesses)
+
+
+class CountAccumulator:
+    """Streaming server-side aggregation state for one frequency oracle.
+
+    The accumulator holds only the running support-count vector (O(k) floats)
+    and the number of reports consumed; report chunks are discarded as soon
+    as they are counted.  ``finalize`` applies the oracle's unbiased
+    estimator to the accumulated counts, producing the exact same
+    :class:`~repro.core.frequencies.FrequencyEstimate` (bit for bit) as a
+    one-shot ``aggregate`` over the concatenated reports.
+
+    Examples
+    --------
+    >>> from repro.protocols import GRR
+    >>> oracle = GRR(k=4, epsilon=1.0, rng=0)
+    >>> acc = oracle.accumulator()
+    >>> for chunk in (oracle.randomize_many([0, 1]), oracle.randomize_many([2])):
+    ...     _ = acc.add(chunk)
+    >>> acc.finalize().n
+    3
+    """
+
+    def __init__(self, oracle: Any) -> None:
+        self._oracle = oracle
+        self.counts = np.zeros(int(oracle.k), dtype=float)
+        self.n = 0
+
+    def add(self, chunk: Any) -> "CountAccumulator":
+        """Consume one chunk of reports; returns ``self`` for chaining."""
+        self.counts += self._oracle.support_counts(chunk)
+        self.n += self._oracle._num_reports(chunk)
+        return self
+
+    def merge(self, other: "CountAccumulator") -> "CountAccumulator":
+        """Fold another accumulator (e.g. from a parallel shard) into this one.
+
+        Both accumulators must belong to the same estimator — same protocol,
+        domain size and ``(p, q)`` parameters — otherwise the merged counts
+        would be finalized with the wrong unbiased estimator and silently
+        biased.
+        """
+        ours, theirs = self._oracle, other._oracle
+        if (ours.name, ours.k, ours.p, ours.q) != (
+            theirs.name,
+            theirs.k,
+            theirs.p,
+            theirs.q,
+        ):
+            raise EstimationError(
+                "cannot merge accumulators of incompatible oracles: "
+                f"{ours.name}(k={ours.k}, p={ours.p:g}, q={ours.q:g}) vs "
+                f"{theirs.name}(k={theirs.k}, p={theirs.p:g}, q={theirs.q:g})"
+            )
+        self.counts += other.counts
+        self.n += other.n
+        return self
+
+    def finalize(self, n: int | None = None) -> FrequencyEstimate:
+        """Unbiased frequency estimate from the accumulated counts.
+
+        ``n`` overrides the report count (as in ``aggregate``, e.g. when the
+        true population is known to differ from the number of chunks seen).
+        """
+        total = self.n if n is None else int(n)
+        return self._oracle._estimate_from_counts(self.counts.copy(), total)

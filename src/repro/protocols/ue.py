@@ -22,8 +22,16 @@ import math
 import numpy as np
 from scipy.stats import binom
 
+from ..core.frequencies import validate_probability_vector
 from ..core.rng import RngLike
 from .base import FrequencyOracle
+from .streaming import (
+    PackedBits,
+    concat_attacks,
+    is_chunk_iterable,
+    resolve_chunk_size,
+    sum_support_counts,
+)
 
 
 class UnaryEncoding(FrequencyOracle):
@@ -32,12 +40,36 @@ class UnaryEncoding(FrequencyOracle):
     Subclasses fix ``(p, q)`` from ``epsilon``; this class also supports the
     fake-data generation modes used by RS+FD (perturbing zero vectors or
     uniformly random one-hot vectors).
+
+    Parameters
+    ----------
+    k, epsilon, rng:
+        As for every :class:`~repro.protocols.base.FrequencyOracle`.
+    packed:
+        When true, ``randomize_many`` and the fake-data generators return
+        bit-packed :class:`~repro.protocols.streaming.PackedBits` reports
+        (k/8 bytes per user instead of k) and are generated chunk-wise so the
+        dense bit matrix never exceeds ``chunk_size × k``.  The server-side
+        methods accept packed and dense reports interchangeably, with
+        byte-identical estimates.
+    chunk_size:
+        Rows materialized at once by the packed generator and the packed
+        server kernels (default ``DEFAULT_CHUNK_SIZE``).
     """
 
     name = "UE"
 
-    def __init__(self, k: int, epsilon: float, rng: RngLike = None) -> None:
+    def __init__(
+        self,
+        k: int,
+        epsilon: float,
+        rng: RngLike = None,
+        packed: bool = False,
+        chunk_size: int | None = None,
+    ) -> None:
         super().__init__(k, epsilon, rng)
+        self.packed = bool(packed)
+        self.chunk_size = resolve_chunk_size(chunk_size)
 
     # -- parameters (overridden) --------------------------------------------
     @property
@@ -73,41 +105,68 @@ class UnaryEncoding(FrequencyOracle):
     def randomize(self, value: int) -> np.ndarray:
         return self._perturb_bits(self.encode(value))
 
-    def randomize_many(self, values: np.ndarray) -> np.ndarray:
-        values = self._validate_values(values)
-        bits = np.zeros((values.size, self.k), dtype=np.uint8)
-        bits[np.arange(values.size), values] = 1
-        return self._perturb_bits(bits)
-
-    def randomize_zero_vector(self, count: int = 1) -> np.ndarray:
-        """Perturb ``count`` all-zero vectors (RS+FD[UE-z] fake data)."""
+    def _perturbed_onehot_chunk(self, values: np.ndarray | None, count: int) -> np.ndarray:
+        """Perturbed one-hot rows (``values is None`` = all-zero rows)."""
         bits = np.zeros((count, self.k), dtype=np.uint8)
+        if values is not None:
+            bits[np.arange(count), values] = 1
         return self._perturb_bits(bits)
 
-    def randomize_random_onehot(self, count: int = 1, priors: np.ndarray | None = None) -> np.ndarray:
+    def _emit_reports(self, values: np.ndarray | None, count: int) -> np.ndarray | PackedBits:
+        """Generate ``count`` perturbed rows, bit-packed chunk-wise if enabled."""
+        if not self.packed:
+            return self._perturbed_onehot_chunk(values, count)
+        packed = PackedBits.empty(count, self.k)
+        for start in range(0, count, self.chunk_size):
+            stop = min(start + self.chunk_size, count)
+            chunk_values = None if values is None else values[start:stop]
+            bits = self._perturbed_onehot_chunk(chunk_values, stop - start)
+            packed.data[start:stop] = np.packbits(bits, axis=1)
+        return packed
+
+    def randomize_many(self, values: np.ndarray) -> np.ndarray | PackedBits:
+        values = self._validate_values(values)
+        return self._emit_reports(values, values.size)
+
+    def randomize_zero_vector(self, count: int = 1) -> np.ndarray | PackedBits:
+        """Perturb ``count`` all-zero vectors (RS+FD[UE-z] fake data)."""
+        return self._emit_reports(None, count)
+
+    def randomize_random_onehot(
+        self, count: int = 1, priors: np.ndarray | None = None
+    ) -> np.ndarray | PackedBits:
         """Perturb ``count`` random one-hot vectors (RS+FD/RS+RFD [UE-r] fake data).
 
         Values are drawn uniformly when ``priors`` is ``None``, otherwise
         following the supplied distribution (RS+RFD realistic fake data).
+        ``priors`` must be a finite non-negative length-``k`` vector with
+        positive mass; anything else raises
+        :class:`~repro.exceptions.InvalidParameterError` instead of producing
+        NaN probabilities deep inside ``rng.choice``.
         """
         if priors is None:
             values = self._rng.integers(0, self.k, size=count)
         else:
-            priors = np.asarray(priors, dtype=float)
-            priors = priors / priors.sum()
+            priors = validate_probability_vector(
+                priors, self.k, context=f"{self.name} fake-data priors"
+            )
             values = self._rng.choice(self.k, size=count, p=priors)
-        bits = np.zeros((count, self.k), dtype=np.uint8)
-        bits[np.arange(count), values] = 1
-        return self._perturb_bits(bits)
+        return self._emit_reports(values, count)
 
     # -- server ------------------------------------------------------------
-    def support_counts(self, reports: np.ndarray) -> np.ndarray:
+    def support_counts(self, reports: np.ndarray | PackedBits) -> np.ndarray:
+        if is_chunk_iterable(reports):
+            return sum_support_counts(self.support_counts, reports, self.k)
+        if isinstance(reports, PackedBits):
+            return reports.column_sums(self.chunk_size)
         reports = np.asarray(reports)
         if reports.ndim == 1:
             reports = reports.reshape(1, -1)
         return reports.sum(axis=0).astype(float)
 
-    def _num_reports(self, reports: np.ndarray) -> int:
+    def _num_reports(self, reports: np.ndarray | PackedBits) -> int:
+        if isinstance(reports, PackedBits):
+            return len(reports)
         reports = np.asarray(reports)
         return 1 if reports.ndim == 1 else int(reports.shape[0])
 
@@ -127,10 +186,27 @@ class UnaryEncoding(FrequencyOracle):
             return int(self._rng.choice(ones))
         return int(self._rng.integers(0, self.k))
 
-    def attack_many(self, reports: np.ndarray) -> np.ndarray:
+    def attack_many(self, reports: np.ndarray | PackedBits) -> np.ndarray:
+        if is_chunk_iterable(reports):
+            return concat_attacks(self.attack_many, reports)
+        if isinstance(reports, PackedBits):
+            if len(reports) == 0:
+                return np.empty(0, dtype=np.int64)
+            # unpack at most chunk_size rows at a time so the dense bit
+            # matrix stays bounded
+            return np.concatenate(
+                [
+                    self._attack_dense(reports.unpack(start, start + self.chunk_size))
+                    for start in range(0, len(reports), self.chunk_size)
+                ]
+            )
         reports = np.asarray(reports)
         if reports.ndim == 1:
             reports = reports.reshape(1, -1)
+        return self._attack_dense(reports)
+
+    def _attack_dense(self, reports: np.ndarray) -> np.ndarray:
+        """Dense attack kernel over one ``(m, k)`` bit block."""
         n = reports.shape[0]
         counts = reports.sum(axis=1)
         guesses = np.empty(n, dtype=np.int64)

@@ -201,6 +201,71 @@ class TestGridCache:
         with pytest.raises(InvalidParameterError):
             run_grid([], cache=123)
 
+    def test_entry_that_is_a_directory_is_a_warned_miss(self, tmp_path):
+        # an EISDIR on open must degrade to a miss, not crash the grid run
+        cache = GridCache(tmp_path)
+        cell = GridCell(figure="f", runner="_test_echo", params={"value": 1})
+        cache.path_for(cell).mkdir()
+        with pytest.warns(RuntimeWarning, match="grid cache read failed"):
+            assert cache.get(cell) is None
+
+    def test_unwritable_cache_degrades_to_warning(self, tmp_path, monkeypatch):
+        import tempfile as tempfile_module
+
+        cache = GridCache(tmp_path)
+        cell = GridCell(figure="f", runner="_test_echo", params={"value": 1})
+
+        def denied(*args, **kwargs):
+            raise PermissionError(13, "read-only cache dir")
+
+        monkeypatch.setattr(tempfile_module, "NamedTemporaryFile", denied)
+        with pytest.warns(RuntimeWarning, match="grid cache write failed"):
+            assert cache.put(cell, [{"value": 1}], elapsed=0.0) is None
+        # warned once only; later failures degrade silently
+        import warnings as warnings_module
+
+        with warnings_module.catch_warnings(record=True) as caught:
+            warnings_module.simplefilter("always")
+            assert cache.put(cell, [{"value": 1}], elapsed=0.0) is None
+        assert caught == []
+
+    def test_run_grid_completes_with_failing_cache(self, tmp_path, monkeypatch):
+        import tempfile as tempfile_module
+
+        def denied(*args, **kwargs):
+            raise PermissionError(13, "read-only cache dir")
+
+        monkeypatch.setattr(tempfile_module, "NamedTemporaryFile", denied)
+        cells = [
+            GridCell(figure="f", runner="_test_echo", params={"value": v})
+            for v in range(3)
+        ]
+        with pytest.warns(RuntimeWarning, match="grid cache write failed"):
+            result = run_grid(cells, cache=tmp_path)
+        assert result.computed == 3
+        assert [row["value"] for row in result.rows] == [0, 1, 2]
+
+    def test_os_replace_failure_degrades_to_warning(self, tmp_path, monkeypatch):
+        import os as os_module
+
+        cache = GridCache(tmp_path)
+        cell = GridCell(figure="f", runner="_test_echo", params={"value": 1})
+
+        def denied(src, dst):
+            raise PermissionError(13, "read-only cache dir")
+
+        monkeypatch.setattr(os_module, "replace", denied)
+        with pytest.warns(RuntimeWarning, match="grid cache write failed"):
+            assert cache.put(cell, [{"value": 1}], elapsed=0.0) is None
+        # the temp file was cleaned up
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_unusable_cache_directory_raises_invalid_parameter(self, tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("not a directory")
+        with pytest.raises(InvalidParameterError):
+            GridCache(blocker / "cache")
+
     def test_summary_shape(self, tmp_path):
         cells = [GridCell(figure="f", runner="_test_echo", params={"value": 1})]
         result = run_grid(cells, cache=tmp_path)

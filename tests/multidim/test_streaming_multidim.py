@@ -1,0 +1,150 @@
+"""Streaming / chunked estimation through the multidimensional layer.
+
+The ``estimate`` paths of all four solutions must accept chunked report
+iterables (byte-identical to dense arrays), the UE solutions must accept
+bit-packed columns, and ``stream_collect_and_estimate`` must produce sound
+estimates while never retaining the reports.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import TabularDataset
+from repro.core.domain import Domain
+from repro.exceptions import InvalidParameterError
+from repro.multidim.rsfd import RSFD
+from repro.multidim.rsrfd import RSRFD
+from repro.multidim.smp import SMP
+from repro.multidim.spl import SPL
+from repro.protocols.streaming import PackedBits
+
+SIZES = (6, 4, 9)
+N = 900
+
+
+@pytest.fixture()
+def dataset():
+    rng = np.random.default_rng(0)
+    domain = Domain.from_sizes(SIZES)
+    data = np.column_stack([rng.integers(0, k, size=N) for k in SIZES])
+    return TabularDataset(domain=domain, data=data, name="toy")
+
+
+def _chunked(column, chunk_size=128):
+    """Split a per-attribute report array into a list of chunk arrays."""
+    if isinstance(column, PackedBits):
+        return [column[np.arange(s, min(s + chunk_size, len(column)))] for s in range(0, len(column), chunk_size)]
+    return [column[s : s + chunk_size] for s in range(0, len(column), chunk_size)]
+
+
+def _estimates_bytes(estimates):
+    return [e.estimates.tobytes() for e in estimates]
+
+
+class TestChunkedEstimatePaths:
+    def test_spl_chunked_estimate_identical(self, dataset):
+        solution = SPL(dataset.domain, epsilon=2.0, protocol="GRR", rng=1)
+        reports = solution.collect(dataset)
+        dense = solution.estimate(reports)
+        reports.per_attribute = [_chunked(c) for c in reports.per_attribute]
+        chunked = solution.estimate(reports)
+        assert _estimates_bytes(chunked) == _estimates_bytes(dense)
+
+    def test_smp_chunked_estimate_identical(self, dataset):
+        solution = SMP(dataset.domain, epsilon=2.0, protocol="OUE", rng=1)
+        reports = solution.collect(dataset)
+        dense = solution.estimate(reports)
+        reports.per_attribute = [_chunked(c) for c in reports.per_attribute]
+        chunked = solution.estimate(reports)
+        assert _estimates_bytes(chunked) == _estimates_bytes(dense)
+
+    @pytest.mark.parametrize("variant", ("grr", "ue-z", "ue-r"))
+    def test_rsfd_chunked_estimate_identical(self, dataset, variant):
+        solution = RSFD(dataset.domain, epsilon=2.0, variant=variant, rng=1)
+        reports = solution.collect(dataset)
+        dense = solution.estimate(reports)
+        reports.per_attribute = [_chunked(c) for c in reports.per_attribute]
+        chunked = solution.estimate(reports)
+        assert _estimates_bytes(chunked) == _estimates_bytes(dense)
+
+    @pytest.mark.parametrize("variant", ("grr", "ue-r"))
+    def test_rsrfd_chunked_estimate_identical(self, dataset, variant):
+        priors = dataset.all_frequencies()
+        solution = RSRFD(dataset.domain, epsilon=2.0, priors=priors, variant=variant, rng=1)
+        reports = solution.collect(dataset)
+        dense = solution.estimate(reports)
+        reports.per_attribute = [_chunked(c) for c in reports.per_attribute]
+        chunked = solution.estimate(reports)
+        assert _estimates_bytes(chunked) == _estimates_bytes(dense)
+
+
+class TestPackedColumns:
+    @pytest.mark.parametrize("variant", ("ue-z", "ue-r"))
+    def test_rsfd_packed_collection_estimates_match_unpacked_columns(self, dataset, variant):
+        solution = RSFD(dataset.domain, epsilon=2.0, variant=variant, rng=1, packed=True)
+        reports = solution.collect(dataset)
+        for column in reports.per_attribute:
+            assert isinstance(column, PackedBits)
+        packed_estimates = solution.estimate(reports)
+        # unpacking the same collected bits must not change the estimates
+        reports.per_attribute = [c.unpack() for c in reports.per_attribute]
+        unpacked_estimates = solution.estimate(reports)
+        assert _estimates_bytes(packed_estimates) == _estimates_bytes(unpacked_estimates)
+
+    def test_rsrfd_packed_collection_estimates_match_unpacked_columns(self, dataset):
+        priors = dataset.all_frequencies()
+        solution = RSRFD(
+            dataset.domain, epsilon=2.0, priors=priors, variant="ue-r", rng=1, packed=True
+        )
+        reports = solution.collect(dataset)
+        for column in reports.per_attribute:
+            assert isinstance(column, PackedBits)
+        packed_estimates = solution.estimate(reports)
+        reports.per_attribute = [c.unpack() for c in reports.per_attribute]
+        unpacked_estimates = solution.estimate(reports)
+        assert _estimates_bytes(packed_estimates) == _estimates_bytes(unpacked_estimates)
+
+    def test_packed_column_is_eight_times_smaller(self, dataset):
+        dense = RSFD(dataset.domain, epsilon=2.0, variant="ue-z", rng=1)
+        packed = RSFD(dataset.domain, epsilon=2.0, variant="ue-z", rng=1, packed=True)
+        dense_col = dense.collect(dataset).per_attribute[2]
+        packed_col = packed.collect(dataset).per_attribute[2]
+        assert packed_col.nbytes * 4 <= dense_col.nbytes
+
+
+class TestStreamCollectAndEstimate:
+    @pytest.mark.parametrize(
+        "make",
+        (
+            lambda domain, priors: SPL(domain, epsilon=4.0, protocol="GRR", rng=2),
+            lambda domain, priors: SMP(domain, epsilon=4.0, protocol="GRR", rng=2),
+            lambda domain, priors: RSFD(domain, epsilon=4.0, variant="ue-z", rng=2),
+            lambda domain, priors: RSRFD(domain, epsilon=4.0, priors=priors, variant="grr", rng=2),
+        ),
+        ids=("SPL", "SMP", "RSFD", "RSRFD"),
+    )
+    def test_streamed_estimates_are_sound(self, dataset, make):
+        solution = make(dataset.domain, dataset.all_frequencies())
+        estimates = solution.stream_collect_and_estimate(dataset, chunk_size=128)
+        assert len(estimates) == dataset.d
+        for j, estimate in enumerate(estimates):
+            assert estimate.k == SIZES[j]
+            # unbiased estimators over a modest n: loosely close to the truth
+            np.testing.assert_allclose(
+                estimate.estimates, dataset.frequencies(j), atol=0.35
+            )
+        # SPL / RS+FD / RS+RFD count every user; SMP splits them across attrs
+        total_n = sum(e.n for e in estimates)
+        assert total_n == dataset.n * dataset.d or total_n == dataset.n
+
+    def test_chunk_boundary_cases(self, dataset):
+        solution = SPL(dataset.domain, epsilon=4.0, protocol="GRR", rng=2)
+        # chunk_size == n, > n, and a final partial chunk must all work
+        for chunk_size in (dataset.n, 2 * dataset.n, dataset.n - 1):
+            estimates = solution.stream_collect_and_estimate(dataset, chunk_size)
+            assert all(e.n == dataset.n for e in estimates)
+
+    def test_invalid_chunk_size_rejected(self, dataset):
+        solution = SPL(dataset.domain, epsilon=4.0, protocol="GRR", rng=2)
+        with pytest.raises(InvalidParameterError):
+            solution.stream_collect_and_estimate(dataset, chunk_size=0)

@@ -55,6 +55,12 @@ class TestProtocol:
         with pytest.raises(InvalidParameterError):
             SubsetSelection(k=10, epsilon=1.0, omega=0)
 
+    def test_degenerate_omega_equal_k_rejected(self):
+        # omega == k: every report is the whole domain, p == q, the
+        # estimator would divide by zero — must fail loudly at construction
+        with pytest.raises(InvalidParameterError, match="degenerate"):
+            SubsetSelection(k=10, epsilon=1.0, omega=10)
+
     def test_with_omega_one_reduces_to_grr_accuracy(self):
         from repro.protocols.grr import GRR
 
@@ -63,6 +69,46 @@ class TestProtocol:
         assert ss.expected_attack_accuracy() == pytest.approx(
             GRR(k=5, epsilon=3.0).expected_attack_accuracy()
         )
+
+
+class TestVectorizedRandomizeParity:
+    """Chi-square parity of the vectorized randomizer vs the scalar loop."""
+
+    def test_support_distribution_matches_loop(self):
+        from scipy import stats
+
+        values = np.random.default_rng(3).integers(0, 20, size=8000)
+        vec = SubsetSelection(k=20, epsilon=1.0, rng=21, chunk_size=123)
+        loop = SubsetSelection(k=20, epsilon=1.0, rng=22)
+        vec_counts = vec.support_counts(vec.randomize_many(values))
+        loop_counts = loop.support_counts(loop._randomize_many_loop(values))
+        result = stats.chi2_contingency(np.vstack([vec_counts, loop_counts]))
+        assert result.pvalue > 1e-3, (
+            "vectorized SS randomize_many drifted from the loop reference "
+            f"(chi2={result.statistic:.2f}, p={result.pvalue:.2e})"
+        )
+
+    def test_inclusion_rate_matches_loop(self):
+        from scipy import stats
+
+        n = 8000
+        values = np.full(n, 7, dtype=np.int64)
+        vec = SubsetSelection(k=20, epsilon=1.0, rng=21)
+        loop = SubsetSelection(k=20, epsilon=1.0, rng=22)
+        p = vec.true_inclusion_probability
+        for reports in (vec.randomize_many(values), loop._randomize_many_loop(values)):
+            included = int((reports == 7).any(axis=1).sum())
+            result = stats.chisquare([included, n - included], f_exp=[n * p, n * (1 - p)])
+            assert result.pvalue > 1e-3
+
+    def test_chunked_randomizer_rows_are_valid_subsets(self):
+        values = np.random.default_rng(3).integers(0, 12, size=257)
+        oracle = SubsetSelection(k=12, epsilon=1.0, rng=0, chunk_size=10)
+        reports = oracle.randomize_many(values)
+        assert reports.shape == (257, oracle.omega)
+        for row in reports:
+            assert len(set(row.tolist())) == oracle.omega
+            assert row.min() >= 0 and row.max() < 12
 
 
 class TestAttack:

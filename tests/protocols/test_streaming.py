@@ -1,0 +1,282 @@
+"""Streaming-aggregation tests (ISSUE 2 tentpole).
+
+Covers the three invariants of the bounded-memory subsystem:
+
+* chunked-vs-one-shot **byte parity**: for all five oracles, feeding the same
+  reports through ``accumulator()``/``aggregate_chunks`` in any chunking —
+  including chunk size 1 and n not divisible by the chunk size — returns a
+  ``FrequencyEstimate`` bit-identical to one-shot ``aggregate``;
+* packed-vs-unpacked **UE parity**: bit-packing a report matrix changes
+  neither support counts nor estimates;
+* the degenerate-parameter and prior-validation guards of the satellites.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.frequencies import validate_probability_vector
+from repro.exceptions import EstimationError, InvalidParameterError
+from repro.protocols import (
+    CountAccumulator,
+    PackedBits,
+    is_chunk_iterable,
+)
+from repro.protocols.olh import OLH
+from repro.protocols.registry import make_protocol
+from repro.protocols.ss import SubsetSelection
+from repro.protocols.ue import OUE, SUE
+
+PROTOCOLS = ("GRR", "OLH", "SS", "SUE", "OUE")
+K = 8
+EPSILON = 1.2
+N = 1001  # deliberately not divisible by any tested chunk size > 1
+
+
+def _reports(protocol: str):
+    values = np.random.default_rng(5).integers(0, K, size=N)
+    oracle = make_protocol(protocol, k=K, epsilon=EPSILON, rng=17)
+    return oracle, oracle.randomize_many(values)
+
+
+def _chunks(reports, chunk_size):
+    return [reports[start : start + chunk_size] for start in range(0, N, chunk_size)]
+
+
+class TestChunkedParity:
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    @pytest.mark.parametrize("chunk_size", (1, 3, 250, N, 5 * N))
+    def test_accumulator_matches_one_shot_bit_for_bit(self, protocol, chunk_size):
+        oracle, reports = _reports(protocol)
+        one_shot = oracle.aggregate(reports)
+        accumulator = oracle.accumulator()
+        for chunk in _chunks(reports, chunk_size):
+            assert accumulator.add(chunk) is accumulator
+        streamed = accumulator.finalize()
+        assert streamed.n == one_shot.n == N
+        assert streamed.estimates.tobytes() == one_shot.estimates.tobytes()
+
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_aggregate_accepts_chunk_iterables(self, protocol):
+        oracle, reports = _reports(protocol)
+        one_shot = oracle.aggregate(reports)
+        from_list = oracle.aggregate(_chunks(reports, 100))
+        from_generator = oracle.aggregate(iter(_chunks(reports, 100)))
+        assert from_list.estimates.tobytes() == one_shot.estimates.tobytes()
+        assert from_generator.estimates.tobytes() == one_shot.estimates.tobytes()
+
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_attack_many_accepts_chunk_iterables(self, protocol):
+        oracle, reports = _reports(protocol)
+        guesses = oracle.attack_many(_chunks(reports, 100))
+        assert guesses.shape == (N,)
+        assert guesses.min() >= 0 and guesses.max() < K
+
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_attack_many_on_empty_chunk_iterable(self, protocol):
+        # an exhausted generator (zero-report shard) must yield an empty
+        # guess array, not a numpy concatenate error
+        oracle = make_protocol(protocol, k=K, epsilon=EPSILON, rng=0)
+        guesses = oracle.attack_many(iter([]))
+        assert guesses.shape == (0,)
+        assert guesses.dtype == np.int64
+
+    def test_single_report_chunk_boundary(self):
+        # n = 1: one chunk holding one report must aggregate like one-shot
+        oracle = make_protocol("GRR", k=K, epsilon=EPSILON, rng=0)
+        report = oracle.randomize_many(np.asarray([3]))
+        one_shot = oracle.aggregate(report)
+        streamed = oracle.accumulator().add(report).finalize()
+        assert streamed.estimates.tobytes() == one_shot.estimates.tobytes()
+        assert streamed.n == 1
+
+    def test_finalize_with_explicit_n(self):
+        oracle, reports = _reports("GRR")
+        explicit = oracle.accumulator().add(reports).finalize(n=2 * N)
+        assert explicit.n == 2 * N
+        assert explicit.estimates.tobytes() == oracle.aggregate(reports, n=2 * N).estimates.tobytes()
+
+    def test_finalize_without_reports_raises(self):
+        oracle = make_protocol("GRR", k=K, epsilon=EPSILON)
+        with pytest.raises(EstimationError):
+            oracle.accumulator().finalize()
+
+    def test_merge_combines_shards(self):
+        oracle, reports = _reports("SS")
+        one_shot = oracle.aggregate(reports)
+        left = oracle.accumulator().add(reports[: N // 2])
+        right = oracle.accumulator().add(reports[N // 2 :])
+        merged = left.merge(right).finalize()
+        assert merged.n == N
+        assert merged.estimates.tobytes() == one_shot.estimates.tobytes()
+
+    def test_merge_rejects_mismatched_domains(self):
+        a = CountAccumulator(make_protocol("GRR", k=4, epsilon=1.0))
+        b = CountAccumulator(make_protocol("GRR", k=5, epsilon=1.0))
+        with pytest.raises(EstimationError):
+            a.merge(b)
+
+    def test_merge_rejects_incompatible_estimators(self):
+        # same k, but different epsilon (different p/q) or protocol: merging
+        # would finalize mixed counts with the wrong estimator
+        a = CountAccumulator(make_protocol("GRR", k=4, epsilon=1.0))
+        b = CountAccumulator(make_protocol("GRR", k=4, epsilon=4.0))
+        with pytest.raises(EstimationError, match="incompatible"):
+            a.merge(b)
+        c = CountAccumulator(make_protocol("OUE", k=4, epsilon=1.0))
+        with pytest.raises(EstimationError, match="incompatible"):
+            a.merge(c)
+
+
+class TestOLHChunkedKernels:
+    def test_internal_chunking_matches_dense(self):
+        values = np.random.default_rng(1).integers(0, K, size=N)
+        dense = OLH(k=K, epsilon=EPSILON, rng=9)
+        reports = dense.randomize_many(values)
+        chunked = OLH(k=K, epsilon=EPSILON, rng=9, chunk_size=64)
+        np.testing.assert_array_equal(
+            dense.support_counts(reports), chunked.support_counts(reports)
+        )
+        assert (
+            chunked.aggregate(reports).estimates.tobytes()
+            == dense.aggregate(reports).estimates.tobytes()
+        )
+
+    def test_chunked_attack_guesses_are_supported_values(self):
+        values = np.random.default_rng(1).integers(0, K, size=300)
+        oracle = OLH(k=K, epsilon=EPSILON, rng=9, chunk_size=32)
+        reports = oracle.randomize_many(values)
+        guesses = oracle.attack_many(reports)
+        assert guesses.shape == (300,)
+        assert guesses.min() >= 0 and guesses.max() < K
+
+    def test_invalid_chunk_size_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            OLH(k=K, epsilon=EPSILON, chunk_size=0)
+
+
+class TestPackedBits:
+    def test_pack_unpack_roundtrip(self):
+        bits = np.random.default_rng(0).integers(0, 2, size=(37, 11)).astype(np.uint8)
+        packed = PackedBits.pack(bits)
+        assert len(packed) == 37 and packed.k == 11
+        np.testing.assert_array_equal(packed.unpack(), bits)
+        np.testing.assert_array_equal(packed.unpack(10, 20), bits[10:20])
+        np.testing.assert_array_equal(packed.column_sums(chunk_size=8), bits.sum(axis=0))
+
+    def test_storage_is_eight_times_smaller(self):
+        bits = np.zeros((1000, 64), dtype=np.uint8)
+        packed = PackedBits.pack(bits)
+        assert packed.nbytes * 8 == bits.size
+
+    def test_row_indexing_returns_packed(self):
+        bits = np.eye(10, dtype=np.uint8)
+        packed = PackedBits.pack(bits)
+        sub = packed[np.asarray([1, 3])]
+        np.testing.assert_array_equal(sub.unpack(), bits[[1, 3]])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            PackedBits(np.zeros((4, 3), dtype=np.uint8), k=64)
+
+
+@pytest.mark.parametrize("cls", (SUE, OUE))
+class TestPackedUEParity:
+    def test_packed_support_counts_and_estimates_identical(self, cls):
+        values = np.random.default_rng(2).integers(0, 11, size=777)
+        oracle = cls(k=11, epsilon=1.0, rng=4)
+        dense = oracle.randomize_many(values)
+        packed = PackedBits.pack(dense)
+        np.testing.assert_array_equal(
+            oracle.support_counts(dense), oracle.support_counts(packed)
+        )
+        assert (
+            oracle.aggregate(packed).estimates.tobytes()
+            == oracle.aggregate(dense).estimates.tobytes()
+        )
+
+    def test_packed_generation_end_to_end(self, cls):
+        values = np.random.default_rng(2).integers(0, 11, size=777)
+        oracle = cls(k=11, epsilon=1.0, rng=4, packed=True, chunk_size=100)
+        reports = oracle.randomize_many(values)
+        assert isinstance(reports, PackedBits)
+        assert len(reports) == 777
+        estimate = oracle.aggregate(reports)
+        assert estimate.n == 777
+        # unbiasedness sanity: estimates sum to roughly one
+        assert estimate.estimates.sum() == pytest.approx(1.0, abs=0.5)
+        guesses = oracle.attack_many(reports)
+        assert guesses.shape == (777,)
+
+    def test_packed_fake_data_generators(self, cls):
+        oracle = cls(k=9, epsilon=1.0, rng=4, packed=True, chunk_size=32)
+        zeros = oracle.randomize_zero_vector(101)
+        onehot = oracle.randomize_random_onehot(101)
+        assert isinstance(zeros, PackedBits) and len(zeros) == 101
+        assert isinstance(onehot, PackedBits) and len(onehot) == 101
+
+    def test_packed_attack_on_empty_reports(self, cls):
+        oracle = cls(k=9, epsilon=1.0, rng=4)
+        assert oracle.attack_many(PackedBits.empty(0, 9)).shape == (0,)
+
+
+class TestChunkIterableDetection:
+    def test_arrays_and_packed_are_not_chunked(self):
+        assert not is_chunk_iterable(np.zeros((3, 4)))
+        assert not is_chunk_iterable(PackedBits.empty(3, 4))
+        assert not is_chunk_iterable([])
+        assert not is_chunk_iterable([1, 2, 3])  # scalar GRR reports
+
+    def test_lists_of_arrays_and_generators_are_chunked(self):
+        assert is_chunk_iterable([np.zeros((3, 4))])
+        assert is_chunk_iterable((PackedBits.empty(2, 4),))
+        assert is_chunk_iterable(iter([np.zeros(3)]))
+
+
+class TestDegenerateParameters:
+    def test_ss_omega_equal_k_rejected_at_construction(self):
+        with pytest.raises(InvalidParameterError, match="degenerate"):
+            SubsetSelection(k=10, epsilon=1.0, omega=10)
+
+    def test_degenerate_p_equals_q_aggregation_raises(self):
+        class Degenerate(OUE):
+            # force p == q: every report is pure noise
+            @property
+            def p(self):
+                return 0.5
+
+            @property
+            def q(self):
+                return 0.5
+
+        oracle = Degenerate(k=4, epsilon=1.0, rng=0)
+        reports = oracle.randomize_many(np.asarray([0, 1, 2, 3]))
+        with pytest.raises(EstimationError, match="degenerate"):
+            oracle.aggregate(reports)
+        with pytest.raises(EstimationError, match="degenerate"):
+            oracle.estimator_variance(n=100)
+
+
+class TestPriorValidation:
+    @pytest.mark.parametrize(
+        "priors",
+        (
+            np.zeros(6),  # all-zero mass
+            -np.ones(6),  # negative mass
+            np.asarray([np.nan] * 6),  # NaN
+            np.asarray([np.inf, 1, 1, 1, 1, 1]),  # infinite
+            np.ones(5),  # wrong length
+        ),
+    )
+    def test_randomize_random_onehot_rejects_bad_priors(self, priors):
+        oracle = OUE(k=6, epsilon=1.0, rng=0)
+        with pytest.raises(InvalidParameterError):
+            oracle.randomize_random_onehot(10, priors=priors)
+
+    def test_valid_priors_are_normalized(self):
+        normalized = validate_probability_vector(np.asarray([2.0, 2.0]), 2)
+        np.testing.assert_allclose(normalized, [0.5, 0.5])
+
+    def test_randomize_random_onehot_with_valid_priors(self):
+        oracle = OUE(k=3, epsilon=5.0, rng=0)
+        reports = oracle.randomize_random_onehot(500, priors=np.asarray([1.0, 0.0, 0.0]))
+        assert reports.shape == (500, 3)
