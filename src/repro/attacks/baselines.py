@@ -55,13 +55,18 @@ def empirical_random_attribute_guess(
 def empirical_random_reidentification(
     n: int, top_k: int = 1, rng: RngLike = None
 ) -> float:
-    """Accuracy actually achieved by top-k random identity guesses."""
+    """Accuracy actually achieved by top-k random identity guesses.
+
+    For each user the attacker draws ``k = min(top_k, n)`` distinct
+    identities uniformly at random; the user is hit when their own identity
+    is among them, which happens with probability exactly ``k / n``,
+    independently across users.  The simulation therefore draws the hit
+    indicators directly (one Bernoulli(``k/n``) per user) instead of
+    materializing ``n`` candidate sets — same distribution, array-at-a-time.
+    """
     if n < 1 or top_k < 1:
         raise InvalidParameterError("n and top_k must be >= 1")
     generator = ensure_rng(rng)
-    hits = 0
     k = min(top_k, n)
-    for user in range(n):
-        candidates = generator.choice(n, size=k, replace=False)
-        hits += int(user in candidates)
+    hits = int(np.count_nonzero(generator.random(n) < k / n))
     return hits / n

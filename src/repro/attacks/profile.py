@@ -28,6 +28,7 @@ from ..core.rng import RngLike, ensure_rng
 from ..exceptions import InvalidParameterError
 from ..multidim.rsfd import RSFD
 from ..multidim.smp import SMP
+from ..protocols.streaming import PackedBits
 from ..privacy.pie import pie_budget_for_attribute
 from ..protocols.registry import make_protocol
 from .attribute_inference import AttributeInferenceAttack, ClassifierFactory
@@ -184,6 +185,15 @@ def build_profiles_smp(
     profile = np.full((n, d), UNKNOWN, dtype=np.int64)
     reported = np.zeros((n, d), dtype=bool)
     snapshots: list[np.ndarray] = []
+    # protocol objects are stateless apart from the shared generator, so one
+    # oracle per (k, epsilon) serves every survey and attribute
+    oracle_cache: dict[tuple[int, float], object] = {}
+
+    def cached_oracle(k: int, budget_epsilon: float):
+        key = (k, budget_epsilon)
+        if key not in oracle_cache:
+            oracle_cache[key] = make_protocol(protocol, k, budget_epsilon, rng=generator)
+        return oracle_cache[key]
 
     for survey in surveys:
         sampled = _sample_survey_attributes(survey, reported, metric, generator)
@@ -204,12 +214,10 @@ def build_profiles_smp(
                 if budget.report_in_clear:
                     guesses = true_values.copy()
                 else:
-                    oracle = make_protocol(
-                        protocol, k, max(budget.epsilon, _MIN_EPSILON), rng=generator
-                    )
+                    oracle = cached_oracle(k, max(budget.epsilon, _MIN_EPSILON))
                     guesses = oracle.attack_many(oracle.randomize_many(true_values))
             else:
-                oracle = make_protocol(protocol, k, epsilon, rng=generator)
+                oracle = cached_oracle(k, epsilon)
                 guesses = oracle.attack_many(oracle.randomize_many(true_values))
             profile[fresh_rows, attribute] = guesses
             reported[fresh_rows, attribute] = True
@@ -256,10 +264,14 @@ def build_profiles_rsfd(
         columns = list(survey.attributes)
         sub_dataset = dataset.project(columns)
         sampled_global = _sample_survey_attributes(survey, reported, metric, generator)
-        global_to_local = {attribute: local for local, attribute in enumerate(columns)}
-        sampled_local = np.asarray(
-            [global_to_local[int(a)] for a in sampled_global], dtype=np.int64
-        )
+        # vectorized global→local attribute renumbering (no per-user loop)
+        local_of_global = np.full(d, -1, dtype=np.int64)
+        local_of_global[np.asarray(columns, dtype=np.int64)] = np.arange(len(columns))
+        sampled_local = local_of_global[sampled_global]
+        if sampled_local.size and sampled_local.min() < 0:
+            raise InvalidParameterError(
+                "sampled attributes outside the survey's attribute set"
+            )
         reported[np.arange(n), sampled_global] = True
 
         solution = RSFD(
@@ -281,10 +293,11 @@ def build_profiles_rsfd(
                 continue
             randomizer = solution._randomizer(local_index)
             column_reports = reports.per_attribute[local_index]
-            if solution.variant == "grr":
-                guesses = randomizer.attack_many(np.asarray(column_reports)[rows])
-            else:
-                guesses = randomizer.attack_many(np.asarray(column_reports)[rows])
+            # PackedBits supports row selection natively; dense columns are
+            # converted once before slicing
+            if not isinstance(column_reports, PackedBits):
+                column_reports = np.asarray(column_reports)
+            guesses = randomizer.attack_many(column_reports[rows])
             profile[rows, attribute] = guesses
         snapshots.append(profile.copy())
 

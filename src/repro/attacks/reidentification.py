@@ -88,11 +88,17 @@ def top_k_candidates(
     """Decision algorithm ``G``: indices of the ``top_k`` closest candidates.
 
     Ties are broken uniformly at random by adding sub-integer jitter, which
-    preserves the ordering between distinct distances.
+    preserves the ordering between distinct (integer-valued) distances.  Both
+    the distances and the jitter are taken in float64 explicitly, so a fixed
+    seed selects the same candidates among equal-distance ties no matter
+    which dtype the caller's distance matrix arrives in.
     """
     if top_k < 1:
         raise InvalidParameterError("top_k must be >= 1")
-    jittered = distances.astype(float) + rng.random(distances.shape)
+    distances = np.asarray(distances)
+    jittered = distances.astype(np.float64, copy=False) + rng.random(
+        distances.shape, dtype=np.float64
+    )
     k = min(top_k, distances.shape[1])
     return np.argpartition(jittered, k - 1, axis=1)[:, :k]
 

@@ -178,10 +178,29 @@ class GridCache:
     cache miss and :meth:`put` skips persisting, each emitting a single
     :class:`RuntimeWarning` per cache instance so a misconfigured cache is
     visible without killing hours of computed cells mid-flight.
+
+    Size bounds: ``max_entries`` / ``max_bytes`` cap the number of entry
+    files and their cumulative size.  Bounds are enforced after every
+    :meth:`put` by evicting the oldest entries (by file modification time)
+    first; the entry just written is never evicted, so a single oversized
+    cell still round-trips within its own run.  An unbounded cache (both
+    limits ``None``) behaves exactly as before.
     """
 
-    def __init__(self, directory: str | Path) -> None:
+    def __init__(
+        self,
+        directory: str | Path,
+        max_entries: int | None = None,
+        max_bytes: int | None = None,
+    ) -> None:
         self.directory = Path(directory)
+        if max_entries is not None and int(max_entries) < 1:
+            raise InvalidParameterError(f"max_entries must be >= 1, got {max_entries}")
+        if max_bytes is not None and int(max_bytes) < 1:
+            raise InvalidParameterError(f"max_bytes must be >= 1, got {max_bytes}")
+        self.max_entries = None if max_entries is None else int(max_entries)
+        self.max_bytes = None if max_bytes is None else int(max_bytes)
+        self._evicted = 0
         self._warned = False
         try:
             self.directory.mkdir(parents=True, exist_ok=True)
@@ -189,6 +208,15 @@ class GridCache:
             raise InvalidParameterError(
                 f"cache directory {self.directory} is not usable: {exc}"
             ) from exc
+        # running occupancy estimate so bounded puts stay O(1) while under
+        # the limits; the authoritative directory scan only happens when a
+        # put appears to cross a bound (and at construction, here)
+        self._count_estimate = 0
+        self._bytes_estimate = 0
+        if self.max_entries is not None or self.max_bytes is not None:
+            for _, size, _ in self._entry_files():
+                self._count_estimate += 1
+                self._bytes_estimate += size
 
     def _warn_io(self, action: str, path: Path, exc: OSError) -> None:
         """Warn once per cache instance that cache I/O is failing."""
@@ -239,6 +267,8 @@ class GridCache:
         writable (the run continues uncached).
         """
         path = self.path_for(cell)
+        bounded = self.max_entries is not None or self.max_bytes is not None
+        existed = bounded and path.exists()
         entry = {
             "schema": GRID_SCHEMA_VERSION,
             "runner": cell.runner,
@@ -273,7 +303,82 @@ class GridCache:
                 self._warn_io("write", path, exc)
                 return None
             raise
+        if bounded:
+            try:
+                self._count_estimate += 0 if existed else 1
+                self._bytes_estimate += path.stat().st_size
+            except OSError:
+                self._count_estimate += 1  # stay conservative: force a rescan soon
+            over_entries = (
+                self.max_entries is not None and self._count_estimate > self.max_entries
+            )
+            over_bytes = (
+                self.max_bytes is not None and self._bytes_estimate > self.max_bytes
+            )
+            if over_entries or over_bytes:
+                self._enforce_bounds(protect=path)
         return path
+
+    def _entry_files(self) -> list[tuple[float, int, Path]]:
+        """``(mtime, size, path)`` of every entry file (unreadable ones skipped)."""
+        entries = []
+        for path in self.directory.glob("*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        return entries
+
+    def _enforce_bounds(self, protect: Path | None = None) -> None:
+        """Evict oldest-mtime entries until the configured bounds hold.
+
+        Runs the authoritative directory scan and re-seeds the running
+        occupancy estimate used by :meth:`put`.
+        """
+        if self.max_entries is None and self.max_bytes is None:
+            return
+        try:
+            entries = self._entry_files()
+        except OSError as exc:  # pragma: no cover - glob itself failing
+            self._warn_io("eviction scan", self.directory, exc)
+            return
+        entries.sort(key=lambda item: item[0])  # oldest first
+        count = len(entries)
+        total = sum(size for _, size, _ in entries)
+        try:
+            for _, size, path in entries:
+                over_entries = self.max_entries is not None and count > self.max_entries
+                over_bytes = self.max_bytes is not None and total > self.max_bytes
+                if not (over_entries or over_bytes):
+                    break
+                if protect is not None and path == protect:
+                    continue
+                try:
+                    path.unlink()
+                except FileNotFoundError:
+                    pass
+                except OSError as exc:
+                    self._warn_io("eviction", path, exc)
+                    return
+                self._evicted += 1
+                count -= 1
+                total -= size
+        finally:
+            self._count_estimate = count
+            self._bytes_estimate = total
+
+    def stats(self) -> dict:
+        """Current cache occupancy and configured bounds."""
+        entries = self._entry_files()
+        return {
+            "directory": str(self.directory),
+            "entries": len(entries),
+            "total_bytes": int(sum(size for _, size, _ in entries)),
+            "max_entries": self.max_entries,
+            "max_bytes": self.max_bytes,
+            "evicted": self._evicted,
+        }
 
     def __len__(self) -> int:
         return sum(1 for _ in self.directory.glob("*.json"))

@@ -7,6 +7,13 @@ softmax objective, one regression tree per class per round, second-order
 gradients and shrinkage.  It is deliberately small but captures the signal
 the attack exploits (systematic differences between the LDP report and the
 fake data), which is what matters for reproducing the paper's orderings.
+
+Hot-path layout: every round's ``n_classes`` trees are grown in lockstep by
+:func:`repro.ml.tree.grow_forest` (one histogram pass over the feature
+matrix per tree level for the whole round), the feature matrix is converted
+to float64 exactly once per fit, and tree outputs are accumulated into a
+single reused score buffer via ``predict_into`` instead of allocating a
+fresh prediction array per tree.
 """
 
 from __future__ import annotations
@@ -15,7 +22,8 @@ import numpy as np
 
 from ..core.rng import RngLike, ensure_rng
 from ..exceptions import InvalidParameterError, NotFittedError
-from .tree import BinaryFeatureRegressionTree
+from .tree import BinaryFeatureRegressionTree, grow_forest
+from .validation import validate_feature_matrix, validate_labels
 
 
 def softmax(scores: np.ndarray) -> np.ndarray:
@@ -42,6 +50,14 @@ class GradientBoostingClassifier:
         all rows.
     rng:
         Seed or generator controlling row subsampling.
+    tree_class:
+        Base-learner class; defaults to the level-wise
+        :class:`~repro.ml.tree.BinaryFeatureRegressionTree` (trained via the
+        lockstep :func:`~repro.ml.tree.grow_forest` fast path).  Any class
+        with the same constructor and ``fit``/``predict_into`` interface —
+        e.g. the recursive reference tree in :mod:`repro.ml.tree_reference`
+        — can be substituted for parity testing and benchmarking; non-default
+        classes are fitted one tree at a time.
     """
 
     def __init__(
@@ -53,6 +69,7 @@ class GradientBoostingClassifier:
         reg_lambda: float = 1.0,
         subsample: float = 1.0,
         rng: RngLike = None,
+        tree_class: type | None = None,
     ) -> None:
         if n_estimators < 1:
             raise InvalidParameterError("n_estimators must be >= 1")
@@ -66,25 +83,18 @@ class GradientBoostingClassifier:
         self.min_samples_leaf = min_samples_leaf
         self.reg_lambda = reg_lambda
         self.subsample = subsample
+        self.tree_class = tree_class or BinaryFeatureRegressionTree
         self._rng = ensure_rng(rng)
-        self._trees: list[list[BinaryFeatureRegressionTree]] = []
+        self._trees: list[list] = []
         self._base_scores: np.ndarray | None = None
         self.n_classes_: int | None = None
 
     # ------------------------------------------------------------------ #
     def fit(self, features: np.ndarray, labels: np.ndarray) -> "GradientBoostingClassifier":
         """Fit the boosting ensemble on integer class labels."""
-        features = np.asarray(features, dtype=np.float32)
-        labels = np.asarray(labels, dtype=np.int64).ravel()
-        if features.ndim != 2:
-            raise InvalidParameterError("features must be a 2-D array")
-        if labels.shape[0] != features.shape[0]:
-            raise InvalidParameterError("features and labels must align")
-        if labels.min() < 0:
-            raise InvalidParameterError("labels must be non-negative integers")
-        n_classes = int(labels.max()) + 1
-        if n_classes < 2:
-            raise InvalidParameterError("at least two classes are required")
+        # one float64 conversion shared by every tree of every round
+        features = validate_feature_matrix(features, dtype=np.float64)
+        labels, n_classes = validate_labels(features, labels)
         n_samples = features.shape[0]
 
         self.n_classes_ = n_classes
@@ -98,6 +108,13 @@ class GradientBoostingClassifier:
         self._base_scores = np.log(class_priors)
 
         scores = np.tile(self._base_scores, (n_samples, 1))
+        # contiguous transpose shared by every tree's batched prediction
+        # (only needed when trees must be re-applied to the full matrix)
+        features_t = (
+            np.ascontiguousarray(features.T)
+            if self.subsample < 1.0 or self.tree_class is not BinaryFeatureRegressionTree
+            else None
+        )
         self._trees = []
         for _ in range(self.n_estimators):
             probabilities = softmax(scores)
@@ -106,31 +123,78 @@ class GradientBoostingClassifier:
             if self.subsample < 1.0:
                 sample_size = max(1, int(round(self.subsample * n_samples)))
                 rows = self._rng.choice(n_samples, size=sample_size, replace=False)
-            else:
-                rows = np.arange(n_samples)
-            round_trees = []
-            for class_index in range(n_classes):
-                tree = BinaryFeatureRegressionTree(
-                    max_depth=self.max_depth,
-                    min_samples_leaf=self.min_samples_leaf,
-                    reg_lambda=self.reg_lambda,
+                round_trees, _ = self._fit_round(
+                    features[rows], gradients[rows], hessians[rows]
                 )
-                tree.fit(features[rows], gradients[rows, class_index], hessians[rows, class_index])
-                scores[:, class_index] += self.learning_rate * tree.predict(features)
-                round_trees.append(tree)
+            else:
+                round_trees, leaf_ids = self._fit_round(features, gradients, hessians)
+                if leaf_ids is not None:
+                    # lockstep growth already routed every training row to
+                    # its leaf: the score update is a plain gather, no
+                    # re-application of the trees to the training matrix
+                    for class_index, (tree, leaves) in enumerate(
+                        zip(round_trees, leaf_ids)
+                    ):
+                        scores[:, class_index] += self.learning_rate * tree._value[leaves]
+                    self._trees.append(round_trees)
+                    continue
+            for class_index, tree in enumerate(round_trees):
+                tree.predict_into(
+                    features, scores[:, class_index], self.learning_rate,
+                    features_t=features_t,
+                )
             self._trees.append(round_trees)
         return self
 
+    def _fit_round(
+        self, features: np.ndarray, gradients: np.ndarray, hessians: np.ndarray
+    ) -> tuple[list, "list[np.ndarray] | None"]:
+        """Train one boosting round: one tree per class.
+
+        Returns ``(trees, leaf_ids)``; ``leaf_ids`` carries each training
+        row's leaf per tree on the lockstep fast path and is ``None`` for
+        substituted tree classes (which are fitted one tree at a time).
+        """
+        if self.tree_class is BinaryFeatureRegressionTree:
+            return grow_forest(
+                features,
+                gradients,
+                hessians,
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                reg_lambda=self.reg_lambda,
+                return_leaf_ids=True,
+            )
+        round_trees = []
+        for class_index in range(gradients.shape[1]):
+            tree = self.tree_class(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                reg_lambda=self.reg_lambda,
+            )
+            tree.fit(features, gradients[:, class_index], hessians[:, class_index])
+            round_trees.append(tree)
+        return round_trees, None
+
     # ------------------------------------------------------------------ #
     def decision_function(self, features: np.ndarray) -> np.ndarray:
-        """Raw (pre-softmax) scores for every class."""
+        """Raw (pre-softmax) scores for every class.
+
+        Accumulates every tree's contribution into one ``(n, n_classes)``
+        score buffer — no per-tree prediction arrays, no re-stacking.
+        """
         if self._base_scores is None or self.n_classes_ is None:
             raise NotFittedError("classifier is not fitted")
-        features = np.asarray(features, dtype=np.float32)
-        scores = np.tile(self._base_scores, (features.shape[0], 1))
+        features = validate_feature_matrix(features)
+        scores = np.empty((features.shape[0], self.n_classes_), dtype=np.float64)
+        scores[:] = self._base_scores
+        features_t = np.ascontiguousarray(features.T)
         for round_trees in self._trees:
             for class_index, tree in enumerate(round_trees):
-                scores[:, class_index] += self.learning_rate * tree.predict(features)
+                tree.predict_into(
+                    features, scores[:, class_index], self.learning_rate,
+                    features_t=features_t,
+                )
         return scores
 
     def predict_proba(self, features: np.ndarray) -> np.ndarray:

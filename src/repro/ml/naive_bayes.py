@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..exceptions import InvalidParameterError, NotFittedError
+from .validation import validate_feature_matrix, validate_labels
 
 
 class BernoulliNaiveBayes:
@@ -35,24 +36,16 @@ class BernoulliNaiveBayes:
 
     def fit(self, features: np.ndarray, labels: np.ndarray) -> "BernoulliNaiveBayes":
         """Estimate per-class activation probabilities."""
-        features = np.asarray(features, dtype=float)
-        labels = np.asarray(labels, dtype=np.int64).ravel()
-        if features.ndim != 2:
-            raise InvalidParameterError("features must be a 2-D array")
-        if labels.shape[0] != features.shape[0]:
-            raise InvalidParameterError("features and labels must align")
-        n_classes = int(labels.max()) + 1
-        if n_classes < 2:
-            raise InvalidParameterError("at least two classes are required")
+        features = validate_feature_matrix(features, dtype=float)
+        labels, n_classes = validate_labels(features, labels)
         self.n_classes_ = n_classes
 
-        counts = np.zeros(n_classes)
-        activations = np.zeros((n_classes, features.shape[1]))
-        for class_index in range(n_classes):
-            mask = labels == class_index
-            counts[class_index] = mask.sum()
-            if mask.any():
-                activations[class_index] = features[mask].sum(axis=0)
+        counts = np.bincount(labels, minlength=n_classes).astype(float)
+        # per-class feature activations in one scatter product (no per-class
+        # row gathering): activations[c] = sum of feature rows with label c
+        one_hot = np.zeros((features.shape[0], n_classes))
+        one_hot[np.arange(features.shape[0]), labels] = 1.0
+        activations = one_hot.T @ features
 
         prior = (counts + self.alpha) / (counts.sum() + self.alpha * n_classes)
         prob_one = (activations + self.alpha) / (counts[:, None] + 2.0 * self.alpha)

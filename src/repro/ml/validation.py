@@ -1,0 +1,58 @@
+"""Shared input validation for the ML substrate.
+
+The tree, gradient-boosting and naive-Bayes models all consume the same kind
+of input — a 2-D (binary) feature matrix plus an aligned per-row target — so
+the checks live here once instead of being re-implemented (and drifting) in
+every model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+
+#: Feature dtypes accepted without copying.  Binary features are exact in
+#: every floating dtype, so callers may pre-convert once (e.g. the boosting
+#: loop converts to float64 a single time for all of its trees).
+_ACCEPTED_FLOAT_DTYPES = (np.float32, np.float64)
+
+
+def validate_feature_matrix(
+    features: np.ndarray, dtype: type | None = None
+) -> np.ndarray:
+    """Validate a 2-D feature matrix, converting the dtype only when needed.
+
+    ``dtype=None`` keeps any floating dtype as-is (no copy) and converts
+    integer/boolean inputs to float32; an explicit ``dtype`` forces that
+    dtype.
+    """
+    features = np.asarray(features)
+    if features.ndim != 2:
+        raise InvalidParameterError("features must be a 2-D array")
+    if dtype is not None:
+        return np.asarray(features, dtype=dtype)
+    if features.dtype not in _ACCEPTED_FLOAT_DTYPES:
+        return features.astype(np.float32)
+    return features
+
+
+def validate_aligned_targets(
+    features: np.ndarray, *targets: np.ndarray, names: str = "targets"
+) -> None:
+    """Check that every target array has one entry per feature row."""
+    for target in targets:
+        if target.shape[0] != features.shape[0]:
+            raise InvalidParameterError(f"features and {names} must align")
+
+
+def validate_labels(features: np.ndarray, labels: np.ndarray) -> tuple[np.ndarray, int]:
+    """Validate integer class labels; returns ``(labels, n_classes)``."""
+    labels = np.asarray(labels, dtype=np.int64).ravel()
+    validate_aligned_targets(features, labels, names="labels")
+    if labels.size and labels.min() < 0:
+        raise InvalidParameterError("labels must be non-negative integers")
+    n_classes = int(labels.max()) + 1 if labels.size else 0
+    if n_classes < 2:
+        raise InvalidParameterError("at least two classes are required")
+    return labels, n_classes

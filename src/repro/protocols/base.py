@@ -24,7 +24,7 @@ from ..core.frequencies import FrequencyEstimate
 from ..core.rng import RngLike, ensure_rng
 from ..exceptions import EstimationError, InvalidParameterError
 from ..core.composition import validate_epsilon
-from .streaming import CountAccumulator, concat_attacks, is_chunk_iterable
+from .streaming import CountAccumulator, concat_attacks, is_chunk_iterable, sum_support_counts
 
 
 class FrequencyOracle(abc.ABC):
@@ -100,9 +100,22 @@ class FrequencyOracle(abc.ABC):
     # ------------------------------------------------------------------ #
     # server side
     # ------------------------------------------------------------------ #
-    @abc.abstractmethod
     def support_counts(self, reports: Any) -> np.ndarray:
-        """Number of reports supporting each value (the paper's ``C(v_i)``)."""
+        """Number of reports supporting each value (the paper's ``C(v_i)``).
+
+        Final: accepts a monolithic report array or an iterable of report
+        chunks, summing per-chunk counts in the latter case.  Concrete
+        protocols implement the dense kernel
+        :meth:`_support_counts_dense` and never re-implement the chunk
+        dispatch, so a future oracle cannot forget the guard.
+        """
+        if is_chunk_iterable(reports):
+            return sum_support_counts(self.support_counts, reports, self.k)
+        return self._support_counts_dense(reports)
+
+    @abc.abstractmethod
+    def _support_counts_dense(self, reports: Any) -> np.ndarray:
+        """Support counts of one monolithic (non-chunked) report batch."""
 
     def aggregate(self, reports: Any, n: int | None = None) -> FrequencyEstimate:
         """Unbiased frequency estimation from perturbed reports (Eq. 2).
@@ -185,12 +198,19 @@ class FrequencyOracle(abc.ABC):
         """Predict the user's true value from a single report."""
 
     def attack_many(self, reports: Any) -> np.ndarray:
-        """Vectorized single-report attack; default loops over :meth:`attack`.
+        """Vectorized single-report attack.
 
-        Accepts an iterable of report chunks like :meth:`aggregate`.
+        Final: accepts an iterable of report chunks like :meth:`aggregate`,
+        concatenating per-chunk guesses.  Concrete protocols override the
+        dense kernel :meth:`_attack_dense` (which defaults to looping over
+        :meth:`attack`) instead of re-implementing the chunk dispatch.
         """
         if is_chunk_iterable(reports):
             return concat_attacks(self.attack_many, reports)
+        return self._attack_dense(reports)
+
+    def _attack_dense(self, reports: Any) -> np.ndarray:
+        """Attack one monolithic report batch; default loops over :meth:`attack`."""
         return np.asarray([self.attack(r) for r in reports], dtype=np.int64)
 
     @abc.abstractmethod

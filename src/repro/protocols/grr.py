@@ -13,7 +13,6 @@ import math
 import numpy as np
 
 from .base import FrequencyOracle
-from .streaming import concat_attacks, is_chunk_iterable, sum_support_counts
 
 
 class GRR(FrequencyOracle):
@@ -47,9 +46,7 @@ class GRR(FrequencyOracle):
         return np.where(keep, values, others).astype(np.int64)
 
     # -- server ------------------------------------------------------------
-    def support_counts(self, reports: np.ndarray) -> np.ndarray:
-        if is_chunk_iterable(reports):
-            return sum_support_counts(self.support_counts, reports, self.k)
+    def _support_counts_dense(self, reports: np.ndarray) -> np.ndarray:
         reports = np.asarray(reports, dtype=np.int64)
         return np.bincount(reports, minlength=self.k).astype(float)
 
@@ -61,9 +58,7 @@ class GRR(FrequencyOracle):
         # The reported value is the single most likely true value.
         return int(report)
 
-    def attack_many(self, reports: np.ndarray) -> np.ndarray:
-        if is_chunk_iterable(reports):
-            return concat_attacks(self.attack_many, reports)
+    def _attack_dense(self, reports: np.ndarray) -> np.ndarray:
         return np.asarray(reports, dtype=np.int64).copy()
 
     def expected_attack_accuracy(self) -> float:

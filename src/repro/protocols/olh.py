@@ -20,7 +20,7 @@ import numpy as np
 from ..core.rng import RngLike
 from ..exceptions import InvalidParameterError
 from .base import FrequencyOracle
-from .streaming import concat_attacks, is_chunk_iterable, resolve_chunk_size, sum_support_counts
+from .streaming import resolve_chunk_size, sum_support_counts
 
 #: Mersenne prime used by the Carter–Wegman universal hash family.  It is far
 #: larger than any categorical domain handled by this library while keeping
@@ -113,23 +113,23 @@ class OLH(FrequencyOracle):
         return np.column_stack([a, b, perturbed]).astype(np.int64)
 
     # -- server ------------------------------------------------------------
-    def support_counts(self, reports: np.ndarray) -> np.ndarray:
-        if is_chunk_iterable(reports):
-            return sum_support_counts(self.support_counts, reports, self.k)
+    def _support_counts_dense(self, reports: np.ndarray) -> np.ndarray:
+        """Dense kernel: internally blocked so the candidate-hash matrix
+        never exceeds ``chunk_size × k``."""
         reports = self._as_report_matrix(reports)
         if reports.shape[0] > self.chunk_size:
             return sum_support_counts(
-                self._support_counts_dense,
+                self._support_counts_block,
                 (
                     reports[start : start + self.chunk_size]
                     for start in range(0, reports.shape[0], self.chunk_size)
                 ),
                 self.k,
             )
-        return self._support_counts_dense(reports)
+        return self._support_counts_block(reports)
 
-    def _support_counts_dense(self, reports: np.ndarray) -> np.ndarray:
-        """Dense support-count kernel over one ``(m, 3)`` report block."""
+    def _support_counts_block(self, reports: np.ndarray) -> np.ndarray:
+        """Support-count kernel over one ``(m, 3)`` report block."""
         a, b, perturbed = reports[:, 0], reports[:, 1], reports[:, 2]
         domain = np.arange(self.k, dtype=np.int64)
         # hashed_all[i, v] = H_{a_i, b_i}(v); a report supports v iff it maps to
@@ -162,21 +162,20 @@ class OLH(FrequencyOracle):
             return int(self._rng.integers(0, self.k))
         return int(self._rng.choice(candidates))
 
-    def attack_many(self, reports: np.ndarray) -> np.ndarray:
-        if is_chunk_iterable(reports):
-            return concat_attacks(self.attack_many, reports)
+    def _attack_dense(self, reports: np.ndarray) -> np.ndarray:
+        """Dense kernel: internally blocked like :meth:`_support_counts_dense`."""
         reports = self._as_report_matrix(reports)
         if reports.shape[0] > self.chunk_size:
             return np.concatenate(
                 [
-                    self._attack_dense(reports[start : start + self.chunk_size])
+                    self._attack_block(reports[start : start + self.chunk_size])
                     for start in range(0, reports.shape[0], self.chunk_size)
                 ]
             )
-        return self._attack_dense(reports)
+        return self._attack_block(reports)
 
-    def _attack_dense(self, reports: np.ndarray) -> np.ndarray:
-        """Dense attack kernel over one ``(m, 3)`` report block."""
+    def _attack_block(self, reports: np.ndarray) -> np.ndarray:
+        """Attack kernel over one ``(m, 3)`` report block."""
         a, b, perturbed = reports[:, 0], reports[:, 1], reports[:, 2]
         domain = np.arange(self.k, dtype=np.int64)
         hashed_all = universal_hash(domain[None, :], a[:, None], b[:, None], self.g)

@@ -16,7 +16,7 @@ import numpy as np
 from ..core.rng import RngLike
 from ..exceptions import InvalidParameterError
 from .base import FrequencyOracle
-from .streaming import concat_attacks, is_chunk_iterable, resolve_chunk_size, sum_support_counts
+from .streaming import resolve_chunk_size
 
 
 def optimal_subset_size(k: int, epsilon: float) -> int:
@@ -152,9 +152,7 @@ class SubsetSelection(FrequencyOracle):
         return np.where(draw < excluded, draw, draw + 1).astype(np.int64)
 
     # -- server ------------------------------------------------------------
-    def support_counts(self, reports: np.ndarray) -> np.ndarray:
-        if is_chunk_iterable(reports):
-            return sum_support_counts(self.support_counts, reports, self.k)
+    def _support_counts_dense(self, reports: np.ndarray) -> np.ndarray:
         reports = np.asarray(reports, dtype=np.int64)
         if reports.ndim == 1:
             reports = reports.reshape(1, -1)
@@ -170,9 +168,7 @@ class SubsetSelection(FrequencyOracle):
         report = np.asarray(report, dtype=np.int64).ravel()
         return int(self._rng.choice(report))
 
-    def attack_many(self, reports: np.ndarray) -> np.ndarray:
-        if is_chunk_iterable(reports):
-            return concat_attacks(self.attack_many, reports)
+    def _attack_dense(self, reports: np.ndarray) -> np.ndarray:
         reports = np.asarray(reports, dtype=np.int64)
         if reports.ndim == 1:
             reports = reports.reshape(1, -1)

@@ -25,13 +25,7 @@ from scipy.stats import binom
 from ..core.frequencies import validate_probability_vector
 from ..core.rng import RngLike
 from .base import FrequencyOracle
-from .streaming import (
-    PackedBits,
-    concat_attacks,
-    is_chunk_iterable,
-    resolve_chunk_size,
-    sum_support_counts,
-)
+from .streaming import PackedBits, resolve_chunk_size
 
 
 class UnaryEncoding(FrequencyOracle):
@@ -154,9 +148,7 @@ class UnaryEncoding(FrequencyOracle):
         return self._emit_reports(values, count)
 
     # -- server ------------------------------------------------------------
-    def support_counts(self, reports: np.ndarray | PackedBits) -> np.ndarray:
-        if is_chunk_iterable(reports):
-            return sum_support_counts(self.support_counts, reports, self.k)
+    def _support_counts_dense(self, reports: np.ndarray | PackedBits) -> np.ndarray:
         if isinstance(reports, PackedBits):
             return reports.column_sums(self.chunk_size)
         reports = np.asarray(reports)
@@ -186,9 +178,7 @@ class UnaryEncoding(FrequencyOracle):
             return int(self._rng.choice(ones))
         return int(self._rng.integers(0, self.k))
 
-    def attack_many(self, reports: np.ndarray | PackedBits) -> np.ndarray:
-        if is_chunk_iterable(reports):
-            return concat_attacks(self.attack_many, reports)
+    def _attack_dense(self, reports: np.ndarray | PackedBits) -> np.ndarray:
         if isinstance(reports, PackedBits):
             if len(reports) == 0:
                 return np.empty(0, dtype=np.int64)
@@ -196,17 +186,17 @@ class UnaryEncoding(FrequencyOracle):
             # matrix stays bounded
             return np.concatenate(
                 [
-                    self._attack_dense(reports.unpack(start, start + self.chunk_size))
+                    self._attack_block(reports.unpack(start, start + self.chunk_size))
                     for start in range(0, len(reports), self.chunk_size)
                 ]
             )
         reports = np.asarray(reports)
         if reports.ndim == 1:
             reports = reports.reshape(1, -1)
-        return self._attack_dense(reports)
+        return self._attack_block(reports)
 
-    def _attack_dense(self, reports: np.ndarray) -> np.ndarray:
-        """Dense attack kernel over one ``(m, k)`` bit block."""
+    def _attack_block(self, reports: np.ndarray) -> np.ndarray:
+        """Attack kernel over one ``(m, k)`` bit block."""
         n = reports.shape[0]
         counts = reports.sum(axis=1)
         guesses = np.empty(n, dtype=np.int64)

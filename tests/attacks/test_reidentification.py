@@ -127,3 +127,32 @@ class TestReidentificationAttack:
         results = attack.evaluate_profiling(profiling, top_k=10, model="FK-RI", min_surveys=1)
         accuracies = [results[i].accuracy for i in sorted(results)]
         assert accuracies[-1] >= accuracies[0]
+
+
+class TestTieBreakingDeterminism:
+    def test_equal_distance_ties_identical_across_dtypes(self):
+        """Regression: jitter is taken in float64 explicitly, so a fixed seed
+        selects the same candidates no matter the distance dtype."""
+        base = np.array([[2, 2, 2, 2, 2, 0, 0, 2]])
+        reference = None
+        for dtype in (np.int32, np.int64, np.float32, np.float64):
+            candidates = top_k_candidates(
+                base.astype(dtype), 3, np.random.default_rng(1234)
+            )
+            if reference is None:
+                reference = candidates
+            else:
+                np.testing.assert_array_equal(candidates, reference)
+
+    def test_same_seed_same_ties_repeatedly(self):
+        distances = np.zeros((4, 20), dtype=np.int32)
+        first = top_k_candidates(distances, 5, np.random.default_rng(7))
+        second = top_k_candidates(distances, 5, np.random.default_rng(7))
+        np.testing.assert_array_equal(first, second)
+
+    def test_jitter_never_reorders_distinct_integer_distances(self):
+        rng = np.random.default_rng(0)
+        for trial in range(25):
+            distances = rng.integers(0, 10, size=(1, 30))
+            best = top_k_candidates(distances, 1, np.random.default_rng(trial))[0, 0]
+            assert distances[0, best] == distances.min()

@@ -274,3 +274,100 @@ class TestGridCache:
         assert summary["computed"] == 1
         assert summary["cell_timings"][0]["runner"] == "_test_echo"
         assert summary["cell_timings"][0]["source"] == "computed"
+
+
+class TestGridCacheBounds:
+    def _fill(self, cache, count, start=0):
+        """Insert ``count`` distinct entries with strictly increasing mtimes."""
+        import os
+        import time
+
+        cells = []
+        for index in range(start, start + count):
+            cell = GridCell(figure="f", runner="_test_echo", params={"value": index})
+            path = cache.put(cell, [{"value": index}], elapsed=0.0)
+            # entries created in the same clock tick get explicit mtimes so
+            # "oldest" is well-defined on coarse-mtime filesystems
+            stamp = time.time() - 1000 + index
+            os.utime(path, (stamp, stamp))
+            cells.append(cell)
+        return cells
+
+    def test_max_entries_evicts_oldest_first(self, tmp_path):
+        cache = GridCache(tmp_path, max_entries=3)
+        cells = self._fill(cache, 5)
+        assert len(cache) == 3
+        # the oldest two entries are gone, the newest three survive
+        assert cache.get(cells[0]) is None
+        assert cache.get(cells[1]) is None
+        for cell in cells[2:]:
+            assert cache.get(cell) == [{"value": cell.params["value"]}]
+        assert cache.stats()["evicted"] == 2
+
+    def test_newest_entry_never_evicted(self, tmp_path):
+        cache = GridCache(tmp_path, max_entries=1)
+        cells = self._fill(cache, 3)
+        assert len(cache) == 1
+        assert cache.get(cells[-1]) == [{"value": cells[-1].params["value"]}]
+
+    def test_max_bytes_bound(self, tmp_path):
+        cache = GridCache(tmp_path)
+        probe = cache.put(
+            GridCell(figure="f", runner="_test_echo", params={"value": -1}),
+            [{"value": -1}],
+            elapsed=0.0,
+        )
+        entry_size = probe.stat().st_size
+        bounded = GridCache(tmp_path, max_bytes=3 * entry_size + 3 * 16)
+        self._fill(bounded, 6)
+        stats = bounded.stats()
+        assert stats["total_bytes"] <= bounded.max_bytes
+        assert stats["entries"] < 7
+
+    def test_unbounded_cache_keeps_everything(self, tmp_path):
+        cache = GridCache(tmp_path)
+        self._fill(cache, 5)
+        assert len(cache) == 5
+        assert cache.stats()["evicted"] == 0
+
+    def test_invalid_bounds_rejected(self, tmp_path):
+        with pytest.raises(InvalidParameterError):
+            GridCache(tmp_path, max_entries=0)
+        with pytest.raises(InvalidParameterError):
+            GridCache(tmp_path, max_bytes=0)
+
+    def test_stats_shape(self, tmp_path):
+        cache = GridCache(tmp_path, max_entries=10, max_bytes=10**6)
+        self._fill(cache, 2)
+        stats = cache.stats()
+        assert stats["entries"] == 2
+        assert stats["total_bytes"] > 0
+        assert stats["max_entries"] == 10
+        assert stats["max_bytes"] == 10**6
+        assert stats["evicted"] == 0
+        assert stats["directory"] == str(tmp_path)
+
+    def test_eviction_unlink_failure_degrades_to_warning(self, tmp_path, monkeypatch):
+        from pathlib import Path
+
+        cache = GridCache(tmp_path, max_entries=1)
+        self._fill(cache, 1)
+
+        def failing_unlink(self):
+            raise PermissionError("read-only")
+
+        monkeypatch.setattr(Path, "unlink", failing_unlink)
+        with pytest.warns(RuntimeWarning):
+            self._fill(cache, 1, start=1)
+        # both entries still present (eviction failed), but the run went on
+        assert len(cache) == 2
+
+    def test_run_grid_with_bounded_cache(self, tmp_path):
+        cache = GridCache(tmp_path, max_entries=2)
+        cells = [
+            GridCell(figure="f", runner="_test_echo", params={"value": v})
+            for v in range(4)
+        ]
+        result = run_grid(cells, cache=cache)
+        assert len(result.rows) == 4
+        assert len(cache) <= 2

@@ -21,6 +21,7 @@ from repro.protocols import (
     PackedBits,
     is_chunk_iterable,
 )
+from repro.protocols.base import FrequencyOracle
 from repro.protocols.olh import OLH
 from repro.protocols.registry import make_protocol
 from repro.protocols.ss import SubsetSelection
@@ -280,3 +281,71 @@ class TestPriorValidation:
         oracle = OUE(k=3, epsilon=5.0, rng=0)
         reports = oracle.randomize_random_onehot(500, priors=np.asarray([1.0, 0.0, 0.0]))
         assert reports.shape == (500, 3)
+
+
+class TestDispatchHoistedToBase:
+    """The chunk-iterable guard lives on FrequencyOracle itself: an oracle
+    implementing only the dense kernels gets streaming support for free."""
+
+    class MinimalOracle(FrequencyOracle):
+        """Toy oracle implementing only the protected dense kernels."""
+
+        name = "MINIMAL"
+
+        @property
+        def p(self):
+            return 0.9
+
+        @property
+        def q(self):
+            return 0.1
+
+        def randomize(self, value):
+            return int(value)
+
+        def _support_counts_dense(self, reports):
+            return np.bincount(np.asarray(reports, dtype=np.int64), minlength=self.k).astype(
+                float
+            )
+
+        def attack(self, report):
+            return int(report)
+
+        def expected_attack_accuracy(self):
+            return self.p
+
+        def _num_reports(self, reports):
+            return int(np.asarray(reports).shape[0])
+
+    def test_chunked_support_counts_without_any_override(self):
+        oracle = self.MinimalOracle(k=5, epsilon=1.0, rng=0)
+        reports = np.array([0, 1, 1, 2, 4, 4, 4])
+        chunked = oracle.support_counts([reports[:3], reports[3:]])
+        np.testing.assert_array_equal(chunked, oracle.support_counts(reports))
+
+    def test_chunked_aggregate_matches_one_shot(self):
+        oracle = self.MinimalOracle(k=5, epsilon=1.0, rng=0)
+        reports = np.array([0, 1, 1, 2, 4, 4, 4])
+        one_shot = oracle.aggregate(reports)
+        chunked = oracle.aggregate([reports[:4], reports[4:]])
+        np.testing.assert_array_equal(one_shot.estimates, chunked.estimates)
+        assert one_shot.n == chunked.n
+
+    def test_chunked_attack_uses_default_dense_kernel(self):
+        oracle = self.MinimalOracle(k=5, epsilon=1.0, rng=0)
+        reports = np.array([3, 1, 0, 2])
+        guesses = oracle.attack_many([reports[:2], reports[2:]])
+        np.testing.assert_array_equal(guesses, reports)
+
+    def test_five_oracles_still_roundtrip_chunked(self):
+        for protocol in ("GRR", "OLH", "SS", "SUE", "OUE"):
+            oracle = make_protocol(protocol, 8, 1.0, rng=3)
+            values = np.random.default_rng(5).integers(0, 8, size=64)
+            reports = oracle.randomize_many(values)
+            if isinstance(reports, np.ndarray):
+                chunks = [reports[:30], reports[30:]]
+            else:
+                chunks = [reports]
+            np.testing.assert_array_equal(
+                oracle.support_counts(chunks), oracle.support_counts(reports)
+            )
