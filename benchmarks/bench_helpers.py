@@ -29,6 +29,13 @@ def grid_kwargs() -> dict:
     sequential in-process path, so timings stay comparable by default) and
     ``REPRO_BENCH_CACHE`` points at an on-disk cell-cache directory (unset =
     no caching, every benchmark run recomputes its cells).
+
+    ``REPRO_BENCH_SHARDS`` (> 1) routes each figure through the sharded
+    executor instead — one subprocess shard worker per shard, each running
+    ``REPRO_BENCH_WORKERS`` pool workers — with partial artifacts under
+    ``REPRO_BENCH_SHARD_DIR`` (a persistent directory makes interrupted
+    benchmark sweeps resumable; unset uses a temporary directory).  Rows are
+    byte-identical to the in-process paths.
     """
     kwargs: dict = {}
     workers = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
@@ -37,4 +44,14 @@ def grid_kwargs() -> dict:
     cache_dir = os.environ.get("REPRO_BENCH_CACHE")
     if cache_dir:
         kwargs["cache"] = cache_dir
+    shards = int(os.environ.get("REPRO_BENCH_SHARDS", "0"))
+    if shards > 1:
+        from repro.experiments.sharding import ShardedExecutor
+
+        kwargs["executor"] = ShardedExecutor(
+            shards,
+            workers=max(workers, 1),
+            directory=os.environ.get("REPRO_BENCH_SHARD_DIR"),
+            cache_dir=cache_dir or None,
+        )
     return kwargs

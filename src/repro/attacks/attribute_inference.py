@@ -164,15 +164,11 @@ class AttributeInferenceAttack:
         estimates: Sequence[FrequencyEstimate] | None = None,
     ) -> AttributeInferenceResult:
         """NK model: train only on synthetic profiles (Sec. 3.3.1)."""
-        if synthetic_factor <= 0:
-            raise InvalidParameterError("synthetic_factor must be positive")
-        num_profiles = max(1, int(round(synthetic_factor * reports.n)))
-        training = self.synthetic_training_reports(reports, num_profiles, estimates)
-        train_features = encode_reports(training)
-        train_labels = training.sampled
-        test_indices = np.arange(reports.n)
-        return self._run(
-            "NK", reports, train_features, train_labels, test_indices,
+        classifier = self.train_sampled_attribute_classifier(
+            reports, synthetic_factor, estimates
+        )
+        return self._evaluate(
+            "NK", reports, classifier, np.arange(reports.n),
             metadata={"s": synthetic_factor},
         )
 
@@ -221,13 +217,48 @@ class AttributeInferenceAttack:
     # ------------------------------------------------------------------ #
     # helpers
     # ------------------------------------------------------------------ #
+    def train_sampled_attribute_classifier(
+        self,
+        reports: MultidimReports,
+        synthetic_factor: float = 1.0,
+        estimates: Sequence[FrequencyEstimate] | None = None,
+    ) -> SampledAttributeClassifier:
+        """Fit the NK classifier and return it for reuse.
+
+        The training half of :meth:`no_knowledge` (which delegates here):
+        synthetic-profile sampling, collection, classifier fit.  ``train`` +
+        ``predict_sampled_attribute(..., classifier=...)`` is therefore
+        byte-identical to one ``no_knowledge`` call.  The returned
+        classifier can also be applied to *later* collections over the same
+        domain — the amortization
+        :func:`repro.attacks.profile.build_profiles_rsfd` uses across surveys
+        sharing an attribute set.
+        """
+        if synthetic_factor <= 0:
+            raise InvalidParameterError("synthetic_factor must be positive")
+        num_profiles = max(1, int(round(synthetic_factor * reports.n)))
+        training = self.synthetic_training_reports(reports, num_profiles, estimates)
+        classifier = self.classifier_factory()
+        classifier.fit(
+            encode_reports(training), np.asarray(training.sampled, dtype=np.int64)
+        )
+        return classifier
+
     def predict_sampled_attribute(
         self,
         reports: MultidimReports,
         synthetic_factor: float = 1.0,
         estimates: Sequence[FrequencyEstimate] | None = None,
+        classifier: SampledAttributeClassifier | None = None,
     ) -> np.ndarray:
-        """NK-model predictions for every user (used when chaining attacks)."""
+        """NK-model predictions for every user (used when chaining attacks).
+
+        A ``classifier`` previously fitted by
+        :meth:`train_sampled_attribute_classifier` skips training entirely
+        (``synthetic_factor`` / ``estimates`` are then ignored).
+        """
+        if classifier is not None:
+            return np.asarray(classifier.predict(encode_reports(reports)), dtype=np.int64)
         result = self.no_knowledge(reports, synthetic_factor, estimates)
         return result.predictions
 
@@ -251,12 +282,22 @@ class AttributeInferenceAttack:
         test_indices: np.ndarray,
         metadata: Mapping[str, object],
     ) -> AttributeInferenceResult:
+        classifier = self.classifier_factory()
+        classifier.fit(train_features, np.asarray(train_labels, dtype=np.int64))
+        return self._evaluate(model, reports, classifier, test_indices, metadata)
+
+    def _evaluate(
+        self,
+        model: str,
+        reports: MultidimReports,
+        classifier: SampledAttributeClassifier,
+        test_indices: np.ndarray,
+        metadata: Mapping[str, object],
+    ) -> AttributeInferenceResult:
         if reports.sampled is None:
             raise InvalidParameterError(
                 "reports carry no ground-truth sampled attribute; cannot evaluate the attack"
             )
-        classifier = self.classifier_factory()
-        classifier.fit(train_features, np.asarray(train_labels, dtype=np.int64))
         test_features = encode_reports(reports)[test_indices]
         predictions = np.asarray(classifier.predict(test_features), dtype=np.int64)
         truth = reports.sampled[test_indices]

@@ -243,6 +243,7 @@ def build_profiles_rsfd(
     metric: str = "uniform",
     synthetic_factor: float = 1.0,
     classifier_factory: ClassifierFactory | None = None,
+    amortize_nk: bool = True,
     rng: RngLike = None,
 ) -> ProfilingResult:
     """Accumulate inferred profiles from RS+FD collections over ``surveys``.
@@ -252,6 +253,17 @@ def build_profiles_rsfd(
     plausible-deniability attack to the report of the *predicted* attribute.
     Both predictions can be wrong, producing the chained errors that make
     RS+FD far more resistant to re-identification than SMP (Sec. 4.4).
+
+    ``amortize_nk`` (default on) trains the NK sampled-attribute classifier
+    once per *distinct survey attribute set* and reuses it for later surveys
+    over the same set: the synthetic training profiles are drawn from the
+    estimated marginals of the same sub-population either way, so the reused
+    classifier is statistically equivalent to a freshly trained one while
+    skipping the synthetic collection and classifier fit entirely.  Plans
+    whose surveys never repeat an attribute set consume the random stream
+    identically under both settings, so their profiles are byte-identical;
+    ``amortize_nk=False`` restores the strict per-survey training of the
+    sequential formulation everywhere.
     """
     metric = _normalize_metric(metric)
     generator = ensure_rng(rng)
@@ -259,6 +271,10 @@ def build_profiles_rsfd(
     profile = np.full((n, d), UNKNOWN, dtype=np.int64)
     reported = np.zeros((n, d), dtype=bool)
     snapshots: list[np.ndarray] = []
+    # one trained NK classifier per distinct survey attribute set
+    nk_classifiers: dict[tuple[int, ...], object] = {}
+    nk_accuracy: list[float] = []
+    nk_trained: list[bool] = []
 
     for survey in surveys:
         columns = list(survey.attributes)
@@ -282,9 +298,16 @@ def build_profiles_rsfd(
         attack = AttributeInferenceAttack(
             solution, classifier_factory=classifier_factory, rng=generator
         )
-        predicted_local = attack.predict_sampled_attribute(
-            reports, synthetic_factor=synthetic_factor
-        )
+        classifier = nk_classifiers.get(survey.attributes) if amortize_nk else None
+        nk_trained.append(classifier is None)
+        if classifier is None:
+            classifier = attack.train_sampled_attribute_classifier(
+                reports, synthetic_factor=synthetic_factor
+            )
+            if amortize_nk:
+                nk_classifiers[survey.attributes] = classifier
+        predicted_local = attack.predict_sampled_attribute(reports, classifier=classifier)
+        nk_accuracy.append(float(np.mean(predicted_local == sampled_local)))
 
         # infer the value of the predicted attribute from its (LDP or fake) report
         for local_index, attribute in enumerate(columns):
@@ -311,5 +334,9 @@ def build_profiles_rsfd(
             "ue_kind": ue_kind,
             "epsilon": epsilon,
             "synthetic_factor": synthetic_factor,
+            # per-survey NK diagnostics: sampled-attribute prediction accuracy
+            # and whether a classifier was trained (False = amortized reuse)
+            "nk_accuracy": nk_accuracy,
+            "nk_trained": nk_trained,
         },
     )

@@ -10,6 +10,7 @@ from .analytical_acc import (
     FIG1_PROTOCOLS,
     FIG1_SIZES,
     plan_analytical_acc,
+    postprocess_analytical_acc,
     run_analytical_acc,
 )
 from .attribute_inference_rsfd import (
@@ -19,6 +20,7 @@ from .attribute_inference_rsfd import (
     classifier_name,
     parse_rsfd_protocol,
     plan_attribute_inference_rsfd,
+    postprocess_attribute_inference_rsfd,
     register_classifier_factory,
     resolve_classifier_factory,
     run_attribute_inference_rsfd,
@@ -26,25 +28,59 @@ from .attribute_inference_rsfd import (
 from .attribute_inference_rsrfd import (
     RSRFD_PROTOCOLS,
     plan_attribute_inference_rsrfd,
+    postprocess_attribute_inference_rsrfd,
     run_attribute_inference_rsrfd,
 )
 from .config import FULL, PAPER_EPSILONS, PIE_BETAS, QUICK, SMOKE, UTILITY_EPSILONS, ExperimentConfig
 from .grid import (
     GRID_SCHEMA_VERSION,
     CellOutcome,
+    Executor,
     GridCache,
     GridCell,
     GridResult,
+    ProcessPoolExecutor,
+    SerialExecutor,
     cell_runner,
+    execute_plan,
     get_cell_runner,
     registered_cell_runners,
+    resolve_executor,
     run_grid,
 )
-from .reident_rsfd import plan_reidentification_rsfd, run_reidentification_rsfd
-from .reident_smp import SMP_PROTOCOLS, plan_reidentification_smp, run_reidentification_smp
+from .reident_rsfd import (
+    plan_reidentification_rsfd,
+    postprocess_reidentification_rsfd,
+    run_reidentification_rsfd,
+)
+from .reident_smp import (
+    SMP_PROTOCOLS,
+    plan_reidentification_smp,
+    postprocess_reidentification_smp,
+    run_reidentification_smp,
+)
 from .reporting import format_table, mean_rows, pivot_series, save_artifact
-from .runner import available_experiments, main, run_experiment
-from .utility_rsrfd import UTILITY_PROTOCOLS, plan_utility_rsrfd, run_utility_rsrfd
+from .runner import FigureSpec, available_experiments, figure_spec, main, run_experiment
+from .sharding import (
+    MergedShards,
+    ShardedExecutor,
+    ShardRunResult,
+    find_shard_artifacts,
+    load_plan,
+    load_shard_artifact,
+    merge_artifacts,
+    plan_fingerprint,
+    run_shard,
+    shard_artifact_path,
+    shard_positions,
+    write_plan,
+)
+from .utility_rsrfd import (
+    UTILITY_PROTOCOLS,
+    plan_utility_rsrfd,
+    postprocess_utility_rsrfd,
+    run_utility_rsrfd,
+)
 
 __all__ = [
     "ExperimentConfig",
@@ -64,30 +100,54 @@ __all__ = [
     "get_cell_runner",
     "registered_cell_runners",
     "run_grid",
+    "execute_plan",
+    # executors and sharding
+    "Executor",
+    "SerialExecutor",
+    "ProcessPoolExecutor",
+    "ShardedExecutor",
+    "resolve_executor",
+    "MergedShards",
+    "ShardRunResult",
+    "plan_fingerprint",
+    "shard_positions",
+    "shard_artifact_path",
+    "find_shard_artifacts",
+    "write_plan",
+    "load_plan",
+    "load_shard_artifact",
+    "run_shard",
+    "merge_artifacts",
     "register_classifier_factory",
     "resolve_classifier_factory",
     "classifier_name",
     # figure experiments
     "run_analytical_acc",
     "plan_analytical_acc",
+    "postprocess_analytical_acc",
     "FIG1_SIZES",
     "FIG1_PROTOCOLS",
     "run_reidentification_smp",
     "plan_reidentification_smp",
+    "postprocess_reidentification_smp",
     "SMP_PROTOCOLS",
     "run_attribute_inference_rsfd",
     "plan_attribute_inference_rsfd",
+    "postprocess_attribute_inference_rsfd",
     "RSFD_PROTOCOLS",
     "NK_FACTORS",
     "PK_FRACTIONS",
     "parse_rsfd_protocol",
     "run_reidentification_rsfd",
     "plan_reidentification_rsfd",
+    "postprocess_reidentification_rsfd",
     "run_utility_rsrfd",
     "plan_utility_rsrfd",
+    "postprocess_utility_rsrfd",
     "UTILITY_PROTOCOLS",
     "run_attribute_inference_rsrfd",
     "plan_attribute_inference_rsrfd",
+    "postprocess_attribute_inference_rsrfd",
     "RSRFD_PROTOCOLS",
     # reporting
     "format_table",
@@ -96,5 +156,7 @@ __all__ = [
     "save_artifact",
     "run_experiment",
     "available_experiments",
+    "figure_spec",
+    "FigureSpec",
     "main",
 ]

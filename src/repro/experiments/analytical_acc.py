@@ -18,7 +18,7 @@ import numpy as np
 from ..attacks.plausible_deniability import expected_profiling_accuracy
 from ..metrics.accuracy import as_percentage
 from .config import PAPER_EPSILONS
-from .grid import GridCache, GridCell, cell_runner, run_grid
+from .grid import Executor, GridCache, GridCell, cell_runner, execute_plan
 
 #: Domain sizes used by Fig. 1 (first three Adult attributes).
 FIG1_SIZES: tuple[int, ...] = (74, 7, 16)
@@ -72,6 +72,11 @@ def plan_analytical_acc(
     ]
 
 
+def postprocess_analytical_acc(rows: list[dict]) -> list[dict]:
+    """Fig. 1 rows are one-per-(metric, protocol, epsilon) already."""
+    return rows
+
+
 def run_analytical_acc(
     epsilons: Sequence[float] = PAPER_EPSILONS,
     sizes: Sequence[int] = FIG1_SIZES,
@@ -81,6 +86,7 @@ def run_analytical_acc(
     figure: str = "fig1",
     workers: int = 1,
     cache: "GridCache | str | None" = None,
+    executor: "Executor | None" = None,
     grid_info: dict | None = None,
 ) -> list[dict]:
     """Compute the Fig. 1 curves.
@@ -96,7 +102,11 @@ def run_analytical_acc(
         seed=seed,
         figure=figure,
     )
-    result = run_grid(cells, workers=workers, cache=cache)
-    if grid_info is not None:
-        grid_info.update(result.summary())
-    return result.rows
+    return execute_plan(
+        cells,
+        postprocess_analytical_acc,
+        workers=workers,
+        cache=cache,
+        executor=executor,
+        grid_info=grid_info,
+    )

@@ -23,7 +23,7 @@ from ..metrics.accuracy import as_percentage
 from ..ml.naive_bayes import BernoulliNaiveBayes
 from ..multidim.rsfd import RSFD
 from .config import PAPER_EPSILONS
-from .grid import GridCache, GridCell, cell_runner, run_grid
+from .grid import Executor, GridCache, GridCell, cell_runner, execute_plan
 from .reporting import mean_rows
 
 #: RS+FD protocol labels evaluated in Figs. 3 / 14 / 15.
@@ -191,6 +191,12 @@ def plan_attribute_inference_rsfd(
     return cells
 
 
+def postprocess_attribute_inference_rsfd(rows: list[dict]) -> list[dict]:
+    """Average raw cell rows over repetitions (the figure's final rows)."""
+    group_by = ["dataset", "protocol", "epsilon", "model", "s", "n_pk"]
+    return mean_rows(rows, group_by, ["aif_acc_pct", "baseline_pct"])
+
+
 def run_attribute_inference_rsfd(
     dataset_name: str = "acs_employment",
     n: int | None = None,
@@ -205,6 +211,7 @@ def run_attribute_inference_rsfd(
     figure: str = "attribute_inference_rsfd",
     workers: int = 1,
     cache: "GridCache | str | None" = None,
+    executor: "Executor | None" = None,
     grid_info: dict | None = None,
 ) -> list[dict]:
     """Measure the attacker's AIF-ACC against RS+FD collections.
@@ -226,8 +233,11 @@ def run_attribute_inference_rsfd(
         seed=seed,
         figure=figure,
     )
-    result = run_grid(cells, workers=workers, cache=cache)
-    if grid_info is not None:
-        grid_info.update(result.summary())
-    group_by = ["dataset", "protocol", "epsilon", "model", "s", "n_pk"]
-    return mean_rows(result.rows, group_by, ["aif_acc_pct", "baseline_pct"])
+    return execute_plan(
+        cells,
+        postprocess_attribute_inference_rsfd,
+        workers=workers,
+        cache=cache,
+        executor=executor,
+        grid_info=grid_info,
+    )

@@ -31,7 +31,7 @@ from .attribute_inference_rsfd import (
     resolve_classifier_factory,
 )
 from .config import PAPER_EPSILONS
-from .grid import GridCache, GridCell, cell_runner, run_grid
+from .grid import Executor, GridCache, GridCell, cell_runner, execute_plan
 from .reporting import mean_rows
 
 #: RS+RFD protocols evaluated in Figs. 6 and 17.
@@ -156,6 +156,12 @@ def plan_attribute_inference_rsrfd(
     return cells
 
 
+def postprocess_attribute_inference_rsrfd(rows: list[dict]) -> list[dict]:
+    """Average raw cell rows over repetitions (the figure's final rows)."""
+    group_by = ["dataset", "protocol", "prior", "epsilon", "model", "s", "n_pk"]
+    return mean_rows(rows, group_by, ["aif_acc_pct", "baseline_pct"])
+
+
 def run_attribute_inference_rsrfd(
     dataset_name: str = "acs_employment",
     n: int | None = None,
@@ -172,6 +178,7 @@ def run_attribute_inference_rsrfd(
     figure: str = "attribute_inference_rsrfd",
     workers: int = 1,
     cache: "GridCache | str | None" = None,
+    executor: "Executor | None" = None,
     grid_info: dict | None = None,
 ) -> list[dict]:
     """Measure the attacker's AIF-ACC against RS+RFD collections.
@@ -197,8 +204,11 @@ def run_attribute_inference_rsrfd(
         seed=seed,
         figure=figure,
     )
-    result = run_grid(cells, workers=workers, cache=cache)
-    if grid_info is not None:
-        grid_info.update(result.summary())
-    group_by = ["dataset", "protocol", "prior", "epsilon", "model", "s", "n_pk"]
-    return mean_rows(result.rows, group_by, ["aif_acc_pct", "baseline_pct"])
+    return execute_plan(
+        cells,
+        postprocess_attribute_inference_rsrfd,
+        workers=workers,
+        cache=cache,
+        executor=executor,
+        grid_info=grid_info,
+    )

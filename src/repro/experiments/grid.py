@@ -5,7 +5,10 @@ oracle × ε × seed) combinations.  Instead of hand-rolled nested loops, every
 figure is expressed as a list of independent :class:`GridCell`\\ s and handed
 to :func:`run_grid`, which
 
-* fans the cells out across a ``multiprocessing`` pool (``workers > 1``),
+* fans the cells out across a pluggable :class:`Executor`
+  (:class:`SerialExecutor`, :class:`ProcessPoolExecutor`, or the
+  subprocess-launchable :class:`repro.experiments.sharding.ShardedExecutor`;
+  ``workers > 1`` selects the process pool),
 * derives every cell's random stream deterministically from a single master
   seed and the cell's configuration (see
   :func:`repro.core.rng.derive_rng`), so results are bit-identical for any
@@ -24,13 +27,14 @@ resolve the runner from the registry) and cache keys stable.
 
 from __future__ import annotations
 
+import abc
+import concurrent.futures
 import hashlib
 import json
 import os
 import tempfile
 import time
 import warnings
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Mapping, Sequence
@@ -38,11 +42,13 @@ from typing import Any, Callable, Mapping, Sequence
 import numpy as np
 
 from ..core.rng import derive_rng
-from ..exceptions import InvalidParameterError
+from ..exceptions import GridExecutionError, InvalidParameterError
 
 #: Bumped whenever cell semantics change in a way that invalidates old
-#: cached rows; part of every cache key.
-GRID_SCHEMA_VERSION = 1
+#: cached rows; part of every cache key.  2: the level-wise GBDT rewrite
+#: changed the default attack classifier's predictions, so rows cached by
+#: schema 1 must not be mixed into regenerated figures.
+GRID_SCHEMA_VERSION = 2
 
 #: A cell runner maps ``(params, rng) -> rows``.
 CellRunner = Callable[[Mapping[str, Any], np.random.Generator], "list[dict]"]
@@ -108,6 +114,35 @@ def canonical_json(value: Any) -> str:
     return json.dumps(_jsonable(value), sort_keys=True, separators=(",", ":"))
 
 
+def _write_json_atomic(path: Path, payload: Any, indent: int | None = 1) -> Path:
+    """Write ``payload`` as JSON via a temp file + ``os.replace``.
+
+    Crash-atomic: readers never observe a torn file.  The shared
+    implementation behind cache entries, plan files and shard artifacts.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    handle = tempfile.NamedTemporaryFile(
+        mode="w",
+        encoding="utf-8",
+        dir=path.parent,
+        prefix=f".{path.name}.",
+        suffix=".tmp",
+        delete=False,
+    )
+    try:
+        with handle:
+            json.dump(payload, handle, indent=indent)
+        os.replace(handle.name, path)
+    except BaseException:
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
 # --------------------------------------------------------------------------- #
 # cells
 # --------------------------------------------------------------------------- #
@@ -159,6 +194,28 @@ class GridCell:
     def make_rng(self) -> np.random.Generator:
         """The cell's deterministic random stream."""
         return derive_rng(self.master_seed, "grid-cell", self.key)
+
+    def payload(self) -> dict:
+        """JSON-serializable description of the cell (plan files, workers)."""
+        return {
+            "figure": self.figure,
+            "runner": self.runner,
+            "params": _jsonable(self.params),
+            "master_seed": int(self.master_seed),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "GridCell":
+        """Reconstruct a cell from :meth:`payload` output (e.g. a plan file)."""
+        try:
+            return cls(
+                figure=str(payload["figure"]),
+                runner=str(payload["runner"]),
+                params=dict(payload["params"]),
+                master_seed=int(payload["master_seed"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise InvalidParameterError(f"malformed grid-cell payload: {exc}") from exc
 
 
 # --------------------------------------------------------------------------- #
@@ -218,6 +275,24 @@ class GridCache:
                 self._count_estimate += 1
                 self._bytes_estimate += size
 
+    @classmethod
+    def from_options(
+        cls,
+        directory: "str | Path | None",
+        max_entries: int | None = None,
+        max_bytes: int | None = None,
+    ) -> "GridCache | None":
+        """Build a cache from optional CLI-style options (``None`` → no cache).
+
+        The one place the ``(directory, max_entries, max_bytes)`` wiring
+        lives; the runner, the shard worker and the sharded executor all
+        construct their caches through it so a future option cannot silently
+        diverge between the parent and its workers.
+        """
+        if directory is None:
+            return None
+        return cls(directory, max_entries=max_entries, max_bytes=max_bytes)
+
     def _warn_io(self, action: str, path: Path, exc: OSError) -> None:
         """Warn once per cache instance that cache I/O is failing."""
         if self._warned:
@@ -269,6 +344,12 @@ class GridCache:
         path = self.path_for(cell)
         bounded = self.max_entries is not None or self.max_bytes is not None
         existed = bounded and path.exists()
+        old_size = 0
+        if existed:
+            try:
+                old_size = path.stat().st_size
+            except OSError:
+                existed = False  # vanished mid-put: account as a fresh entry
         entry = {
             "schema": GRID_SCHEMA_VERSION,
             "runner": cell.runner,
@@ -279,34 +360,14 @@ class GridCache:
             "rows": [_jsonable(row) for row in rows],
         }
         try:
-            handle = tempfile.NamedTemporaryFile(
-                mode="w",
-                encoding="utf-8",
-                dir=self.directory,
-                prefix=f".{cell.config_hash}.",
-                suffix=".tmp",
-                delete=False,
-            )
+            _write_json_atomic(path, entry, indent=None)
         except OSError as exc:
             self._warn_io("write", path, exc)
             return None
-        try:
-            with handle:
-                json.dump(entry, handle)
-            os.replace(handle.name, path)
-        except BaseException as exc:
-            try:
-                os.unlink(handle.name)
-            except OSError:
-                pass
-            if isinstance(exc, OSError):
-                self._warn_io("write", path, exc)
-                return None
-            raise
         if bounded:
             try:
                 self._count_estimate += 0 if existed else 1
-                self._bytes_estimate += path.stat().st_size
+                self._bytes_estimate += path.stat().st_size - old_size
             except OSError:
                 self._count_estimate += 1  # stay conservative: force a rescan soon
             over_entries = (
@@ -405,7 +466,7 @@ class CellOutcome:
     cell: GridCell
     rows: list[dict]
     elapsed: float
-    source: str  # "computed" | "cache" | "dedup"
+    source: str  # "computed" | "cache" | "dedup" | "resumed"
 
     @property
     def cached(self) -> bool:
@@ -421,6 +482,7 @@ class GridResult:
     outcomes: list[CellOutcome]
     elapsed: float
     workers: int
+    executor: str = "SerialExecutor"
 
     @property
     def n_cells(self) -> int:
@@ -438,6 +500,11 @@ class GridResult:
     def deduplicated(self) -> int:
         return sum(1 for outcome in self.outcomes if outcome.source == "dedup")
 
+    @property
+    def resumed(self) -> int:
+        """Cells restored from a prior interrupted run's partial artifacts."""
+        return sum(1 for outcome in self.outcomes if outcome.source == "resumed")
+
     def summary(self) -> dict:
         """JSON-serializable execution summary (for figure artifacts)."""
         return {
@@ -445,7 +512,10 @@ class GridResult:
             "computed": self.computed,
             "from_cache": self.from_cache,
             "deduplicated": self.deduplicated,
+            "resumed": self.resumed,
+            "missing": 0,  # run_grid raises instead of returning partial grids
             "workers": self.workers,
+            "executor": self.executor,
             "elapsed_seconds": self.elapsed,
             "cell_timings": [
                 {
@@ -471,10 +541,114 @@ def _execute_payload(payload: tuple[str, Mapping[str, Any], int, str]) -> tuple[
     return list(rows), time.perf_counter() - start
 
 
+def _cell_payload(cell: GridCell) -> tuple[str, dict, int, str]:
+    """Picklable ``_execute_payload`` argument for ``cell``."""
+    return (cell.runner, dict(cell.params), cell.master_seed, cell.key)
+
+
+# --------------------------------------------------------------------------- #
+# executors
+# --------------------------------------------------------------------------- #
+#: ``record(index, rows, elapsed, source)`` callback handed to executors.
+RecordFn = Callable[[int, "list[dict]", float, str], None]
+
+
+class Executor(abc.ABC):
+    """Strategy executing the pending cells of one :func:`run_grid` call.
+
+    :func:`run_grid` owns planning, cache lookups, within-run deduplication
+    and row assembly; the executor only decides *where and how* the remaining
+    cells run.  ``execute`` receives ``(index, cell)`` tasks — guaranteed to
+    have pairwise-distinct config hashes — and must call ``record`` exactly
+    once per task with the cell's rows, compute time and a source tag
+    (``"computed"``, or ``"resumed"`` for cells restored from a prior
+    interrupted run).  Because every cell derives its random stream from the
+    master seed and its own key alone, any executor that faithfully runs the
+    registered cell runner produces byte-identical rows.
+    """
+
+    #: Parallelism degree reported in execution summaries.
+    workers: int = 1
+
+    @abc.abstractmethod
+    def execute(self, tasks: Sequence[tuple[int, GridCell]], record: RecordFn) -> None:
+        """Run every task, reporting each completion through ``record``."""
+
+
+class SerialExecutor(Executor):
+    """Execute cells one after another in the calling process."""
+
+    def execute(self, tasks: Sequence[tuple[int, GridCell]], record: RecordFn) -> None:
+        for index, cell in tasks:
+            rows, elapsed = _execute_payload(_cell_payload(cell))
+            record(index, rows, elapsed, "computed")
+
+
+class ProcessPoolExecutor(Executor):
+    """Fan cells out across a ``multiprocessing`` pool (the former
+    ``run_grid(workers=N)`` path, extracted behind the executor seam).
+
+    Falls back to in-process execution when the pool cannot help (one worker
+    or at most one task).  On a failing cell the pool keeps draining so every
+    surviving cell is still recorded (and therefore cached) before the first
+    error propagates.
+    """
+
+    def __init__(self, workers: int = 2) -> None:
+        if int(workers) < 1:
+            raise InvalidParameterError(f"workers must be >= 1, got {workers}")
+        self.workers = int(workers)
+
+    def execute(self, tasks: Sequence[tuple[int, GridCell]], record: RecordFn) -> None:
+        tasks = list(tasks)
+        if self.workers == 1 or len(tasks) <= 1:
+            SerialExecutor().execute(tasks, record)
+            return
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(self.workers, len(tasks))
+        ) as pool:
+            futures = {
+                pool.submit(_execute_payload, _cell_payload(cell)): index
+                for index, cell in tasks
+            }
+            first_error: BaseException | None = None
+            for future in concurrent.futures.as_completed(futures):
+                try:
+                    rows, elapsed = future.result()
+                except BaseException as exc:
+                    # keep draining so the surviving cells still hit the cache
+                    if first_error is None:
+                        first_error = exc
+                    continue
+                record(futures[future], rows, elapsed, "computed")
+            if first_error is not None:
+                raise first_error
+
+
+def resolve_executor(executor: "Executor | None", workers: int = 1) -> Executor:
+    """Normalize the ``(executor, workers)`` pair of :func:`run_grid`.
+
+    An explicit executor wins; otherwise ``workers`` selects the classic
+    behaviour (serial for 1, process pool for more).
+    """
+    if executor is not None:
+        if not isinstance(executor, Executor):
+            raise InvalidParameterError(
+                f"executor must be an Executor instance or None, got {type(executor)!r}"
+            )
+        return executor
+    if int(workers) < 1:
+        raise InvalidParameterError(f"workers must be >= 1, got {workers}")
+    workers = int(workers)
+    return SerialExecutor() if workers == 1 else ProcessPoolExecutor(workers)
+
+
 def run_grid(
     cells: Sequence[GridCell],
     workers: int = 1,
     cache: "GridCache | str | Path | None" = None,
+    executor: "Executor | None" = None,
+    on_cell_complete: "Callable[[CellOutcome], None] | None" = None,
 ) -> GridResult:
     """Execute a grid of cells and assemble their rows in cell order.
 
@@ -484,14 +658,22 @@ def run_grid(
         The grid.  Cells are independent; rows are concatenated in the order
         the cells are given regardless of execution order.
     workers:
-        Process-pool size; ``1`` executes in-process (no pool).
+        Process-pool size; ``1`` executes in-process (no pool).  Ignored when
+        an explicit ``executor`` is given.
     cache:
         Optional :class:`GridCache` (or cache directory) serving completed
         cells and persisting fresh ones.
+    executor:
+        Optional :class:`Executor` deciding where the pending cells run
+        (serial, process pool, sharded subprocess workers, ...).  All
+        executors produce byte-identical rows.
+    on_cell_complete:
+        Optional observer invoked (in the parent process) with each
+        :class:`CellOutcome` the executor records, in completion order —
+        the hook shard workers use to persist partial artifacts
+        incrementally.
     """
-    if int(workers) < 1:
-        raise InvalidParameterError(f"workers must be >= 1, got {workers}")
-    workers = int(workers)
+    executor = resolve_executor(executor, workers)
     cache = ensure_cache(cache)
     cells = list(cells)
     for cell in cells:
@@ -526,42 +708,54 @@ def run_grid(
             primary_by_hash[config_hash] = index
             to_compute.append(index)
 
-    # 3. compute the remaining cells, in-process or across the pool; each
-    # cell is persisted to the cache as soon as it completes, so an
-    # interrupted or partially failed run keeps its completed work
-    payloads = [
-        (cells[i].runner, dict(cells[i].params), cells[i].master_seed, cells[i].key)
-        for i in to_compute
-    ]
+    # 3. hand the remaining cells to the executor; each cell is persisted to
+    # the cache as it is recorded (per completion for the in-process
+    # executors; shard workers additionally keep their own partial artifacts
+    # and can be handed the cache directly, so interrupted runs keep their
+    # completed work on every path).  When the executor already writes
+    # through the same unbounded cache directory, the parent-side put would
+    # only duplicate the I/O — skip it (a *bounded* cache still puts, since
+    # eviction accounting lives with the bounds).
+    executor_cache = getattr(executor, "cache_dir", None)
+    shares_cache_dir = (
+        cache is not None
+        and executor_cache is not None
+        and Path(executor_cache).resolve() == cache.directory.resolve()
+    )
+    redundant_put = (
+        shares_cache_dir and cache.max_entries is None and cache.max_bytes is None
+    )
 
-    def record(index: int, cell_rows: list[dict], elapsed: float) -> None:
+    def record(index: int, cell_rows: list[dict], elapsed: float, source: str = "computed") -> None:
         outcomes[index] = CellOutcome(
-            cell=cells[index], rows=cell_rows, elapsed=elapsed, source="computed"
+            cell=cells[index], rows=list(cell_rows), elapsed=float(elapsed), source=source
         )
-        if cache is not None:
+        # the redundant-put shortcut only applies to cells the workers wrote
+        # through (computed) or found in (cache) the shared directory this
+        # run; cells resumed from partial artifacts may predate the cache
+        if cache is not None and not (redundant_put and source in ("computed", "cache")):
             cache.put(cells[index], cell_rows, elapsed)
+        if on_cell_complete is not None:
+            on_cell_complete(outcomes[index])
 
-    if workers == 1 or len(payloads) <= 1:
-        for index, payload in zip(to_compute, payloads):
-            record(index, *_execute_payload(payload))
-    else:
-        with ProcessPoolExecutor(max_workers=min(workers, len(payloads))) as pool:
-            futures = {
-                pool.submit(_execute_payload, payload): index
-                for index, payload in zip(to_compute, payloads)
-            }
-            first_error: BaseException | None = None
-            for future in as_completed(futures):
-                try:
-                    cell_rows, elapsed = future.result()
-                except BaseException as exc:
-                    # keep draining so the surviving cells still hit the cache
-                    if first_error is None:
-                        first_error = exc
-                    continue
-                record(futures[future], cell_rows, elapsed)
-            if first_error is not None:
-                raise first_error
+    if to_compute:
+        executor.execute([(index, cells[index]) for index in to_compute], record)
+        if shares_cache_dir and not redundant_put:
+            # shard workers wrote through the cache out-of-band of this
+            # instance's occupancy estimate; rescan so the bounds hold over
+            # their entries too
+            cache._enforce_bounds()
+
+    unrecorded = [index for index in to_compute if outcomes[index] is None]
+    if unrecorded:
+        names = ", ".join(cells[index].runner for index in unrecorded[:5])
+        raise GridExecutionError(
+            f"executor {type(executor).__name__} finished without results for "
+            f"{len(unrecorded)} of {len(to_compute)} cells (runners: {names}"
+            + (", ..." if len(unrecorded) > 5 else "")
+            + ")"
+        )
+
     for index, primary in duplicates:
         outcomes[index] = CellOutcome(
             cell=cells[index],
@@ -577,5 +771,31 @@ def run_grid(
         rows=rows,
         outcomes=list(outcomes),
         elapsed=time.perf_counter() - start,
-        workers=workers,
+        # total_workers lets composite executors (sharded) report their full
+        # configured parallelism, not just the per-shard pool size
+        workers=getattr(executor, "total_workers", getattr(executor, "workers", 1)),
+        executor=type(executor).__name__,
     )
+
+
+def execute_plan(
+    cells: Sequence[GridCell],
+    postprocess: "Callable[[list[dict]], list[dict]] | None" = None,
+    *,
+    workers: int = 1,
+    cache: "GridCache | str | Path | None" = None,
+    executor: "Executor | None" = None,
+    grid_info: dict | None = None,
+) -> list[dict]:
+    """Run a planned grid and post-process its rows into figure rows.
+
+    The shared tail of every ``run_*`` experiment function: execute the
+    cells, surface the engine summary through ``grid_info`` (updated in
+    place) and apply the figure's row aggregation.  ``postprocess`` must be a
+    pure function of the raw rows, so sharded invocations can merge partial
+    artifacts first and aggregate once at the end.
+    """
+    result = run_grid(cells, workers=workers, cache=cache, executor=executor)
+    if grid_info is not None:
+        grid_info.update(result.summary())
+    return postprocess(result.rows) if postprocess is not None else result.rows

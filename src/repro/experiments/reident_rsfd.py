@@ -24,7 +24,7 @@ from ..datasets.loaders import load_dataset
 from ..metrics.accuracy import as_percentage
 from .attribute_inference_rsfd import classifier_name, resolve_classifier_factory
 from .config import PAPER_EPSILONS
-from .grid import GridCache, GridCell, cell_runner, run_grid
+from .grid import Executor, GridCache, GridCell, cell_runner, execute_plan
 from .reporting import mean_rows
 
 
@@ -48,6 +48,7 @@ def _reident_rsfd_cell(params: Mapping, rng: np.random.Generator) -> list[dict]:
         metric=params["metric"],
         synthetic_factor=float(params["synthetic_factor"]),
         classifier_factory=resolve_classifier_factory(params["classifier"]),
+        amortize_nk=bool(params.get("amortize_nk", True)),
         rng=rng,
     )
     rows: list[dict] = []
@@ -75,6 +76,20 @@ def _reident_rsfd_cell(params: Mapping, rng: np.random.Generator) -> list[dict]:
     return rows
 
 
+def postprocess_reidentification_rsfd(rows: list[dict]) -> list[dict]:
+    """Average raw cell rows over repetitions (the figure's final rows)."""
+    group_by = [
+        "dataset",
+        "protocol",
+        "epsilon",
+        "metric",
+        "knowledge",
+        "surveys",
+        "top_k",
+    ]
+    return mean_rows(rows, group_by, ["rid_acc_pct", "baseline_pct"])
+
+
 def plan_reidentification_rsfd(
     dataset_name: str = "adult",
     n: int | None = None,
@@ -91,8 +106,15 @@ def plan_reidentification_rsfd(
     runs: int = 1,
     seed: int = 42,
     figure: str = "reident_rsfd",
+    amortize_nk: bool = True,
 ) -> list[GridCell]:
-    """Express the RS+FD re-identification grid as independent cells."""
+    """Express the RS+FD re-identification grid as independent cells.
+
+    ``amortize_nk`` trains the NK sampled-attribute classifier once per
+    distinct survey attribute set instead of once per survey (see
+    :func:`repro.attacks.profile.build_profiles_rsfd`); it is part of the
+    cell parameters, so flipping it never reuses stale cache entries.
+    """
     classifier = classifier_name(classifier_factory)
     cells = []
     for run_index in range(runs):
@@ -117,6 +139,7 @@ def plan_reidentification_rsfd(
                         "knowledge": knowledge,
                         "min_surveys": min_surveys,
                         "classifier": classifier,
+                        "amortize_nk": bool(amortize_nk),
                     },
                     master_seed=seed,
                 )
@@ -140,8 +163,10 @@ def run_reidentification_rsfd(
     runs: int = 1,
     seed: int = 42,
     figure: str = "reident_rsfd",
+    amortize_nk: bool = True,
     workers: int = 1,
     cache: "GridCache | str | None" = None,
+    executor: "Executor | None" = None,
     grid_info: dict | None = None,
 ) -> list[dict]:
     """Measure RID-ACC when users adopt RS+FD (Fig. 4 setup).
@@ -166,17 +191,13 @@ def run_reidentification_rsfd(
         runs=runs,
         seed=seed,
         figure=figure,
+        amortize_nk=amortize_nk,
     )
-    result = run_grid(cells, workers=workers, cache=cache)
-    if grid_info is not None:
-        grid_info.update(result.summary())
-    group_by = [
-        "dataset",
-        "protocol",
-        "epsilon",
-        "metric",
-        "knowledge",
-        "surveys",
-        "top_k",
-    ]
-    return mean_rows(result.rows, group_by, ["rid_acc_pct", "baseline_pct"])
+    return execute_plan(
+        cells,
+        postprocess_reidentification_rsfd,
+        workers=workers,
+        cache=cache,
+        executor=executor,
+        grid_info=grid_info,
+    )

@@ -29,7 +29,7 @@ from ..core.rng import derive_rng
 from ..datasets.loaders import load_dataset
 from ..metrics.accuracy import as_percentage
 from .config import PAPER_EPSILONS
-from .grid import GridCache, GridCell, cell_runner, run_grid
+from .grid import Executor, GridCache, GridCell, cell_runner, execute_plan
 from .reporting import mean_rows
 
 #: Protocols plotted in Figs. 2 and 9-13.
@@ -149,6 +149,11 @@ def plan_reidentification_smp(
     return cells
 
 
+def postprocess_reidentification_smp(rows: list[dict]) -> list[dict]:
+    """Average raw cell rows over repetitions (the figure's final rows)."""
+    return mean_rows(rows, list(_GROUP_BY), ["rid_acc_pct", "baseline_pct"])
+
+
 def run_reidentification_smp(
     dataset_name: str = "adult",
     n: int | None = None,
@@ -165,6 +170,7 @@ def run_reidentification_smp(
     figure: str = "reident_smp",
     workers: int = 1,
     cache: "GridCache | str | None" = None,
+    executor: "Executor | None" = None,
     grid_info: dict | None = None,
 ) -> list[dict]:
     """Measure the attacker's RID-ACC for the SMP solution.
@@ -190,7 +196,11 @@ def run_reidentification_smp(
         seed=seed,
         figure=figure,
     )
-    result = run_grid(cells, workers=workers, cache=cache)
-    if grid_info is not None:
-        grid_info.update(result.summary())
-    return mean_rows(result.rows, list(_GROUP_BY), ["rid_acc_pct", "baseline_pct"])
+    return execute_plan(
+        cells,
+        postprocess_reidentification_smp,
+        workers=workers,
+        cache=cache,
+        executor=executor,
+        grid_info=grid_info,
+    )

@@ -6,32 +6,59 @@ has an entry; the ``--quick`` flag (the default; the inverse of ``--full``)
 scales the workload down so a figure regenerates in seconds-to-minutes,
 while the default parameters follow the paper's setup.
 
-All figures execute on the :mod:`repro.experiments.grid` engine:
-``--workers`` fans the figure's cells out across a process pool,
-``--cache-dir`` / ``--no-cache`` control the on-disk cell memo, ``--seed``
-overrides the master seed and ``--out`` persists the rows, metadata and
-per-cell timings as a figure artifact.
+Every figure is described by a :class:`FigureSpec` — a *plan* function
+expanding it into grid cells and a pure *postprocess* function aggregating
+raw cell rows into the figure's final rows.  That split is what makes
+execution pluggable: the same plan runs serially, across a process pool
+(``--workers``), as one sharded invocation (``--shards N``), or split over
+*separate* invocations (``--shards N --shard-index i`` writing per-shard
+partial artifacts, then ``--shards N --merge-shards`` reassembling the
+canonical figure artifact).  All paths produce byte-identical rows.
+
+Other engine knobs: ``--cache-dir`` / ``--no-cache`` control the on-disk
+cell memo, ``--cache-max-entries`` / ``--cache-max-bytes`` bound its size,
+``--seed`` overrides the master seed and ``--out`` persists rows, metadata
+and per-cell timings as a figure artifact.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from dataclasses import dataclass
 from typing import Callable, Mapping, Sequence
 
-from ..exceptions import InvalidParameterError
-from .analytical_acc import run_analytical_acc
-from .attribute_inference_rsfd import run_attribute_inference_rsfd
-from .attribute_inference_rsrfd import run_attribute_inference_rsrfd
+from ..exceptions import GridExecutionError, InvalidParameterError, ShardMergeError
+from .analytical_acc import plan_analytical_acc, postprocess_analytical_acc
+from .attribute_inference_rsfd import (
+    plan_attribute_inference_rsfd,
+    postprocess_attribute_inference_rsfd,
+)
+from .attribute_inference_rsrfd import (
+    plan_attribute_inference_rsrfd,
+    postprocess_attribute_inference_rsrfd,
+)
 from .config import PIE_BETAS, QUICK
-from .grid import GridCache
-from .reident_rsfd import run_reidentification_rsfd
-from .reident_smp import run_reidentification_smp
+from .grid import Executor, GridCache, GridCell, execute_plan
+from .reident_rsfd import plan_reidentification_rsfd, postprocess_reidentification_rsfd
+from .reident_smp import plan_reidentification_smp, postprocess_reidentification_smp
 from .reporting import format_table, save_artifact
-from .utility_rsrfd import run_utility_rsrfd
+from .sharding import (
+    ShardedExecutor,
+    find_shard_artifacts,
+    merge_artifacts,
+    plan_workspace,
+    run_shard,
+    validate_shards,
+)
+from .utility_rsrfd import plan_utility_rsrfd, postprocess_utility_rsrfd
 
 #: Default on-disk cell-cache directory used by the CLI.
 DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Default root for per-figure shard directories used by the CLI.
+DEFAULT_SHARD_ROOT = ".repro-shards"
 
 #: Reduced grids used by the ``--quick`` mode.
 _QUICK_EPSILONS = QUICK.epsilons
@@ -40,95 +67,199 @@ _QUICK_N_CLASSIFIER = 1200
 _QUICK_BETAS = (0.95, 0.8, 0.65, 0.5)
 
 
-def _experiment_registry(quick: bool) -> Mapping[str, Callable[..., list[dict]]]:
-    """Build the figure-id → runner mapping for the requested scale.
+@dataclass(frozen=True)
+class FigureSpec:
+    """One figure's plan/postprocess pair behind the executor seam.
 
-    Every registry entry accepts the engine keyword arguments (``workers``,
-    ``cache``, ``seed``, ``grid_info``) and forwards them to its experiment
-    function together with the figure id (labelling the grid cells).
+    Attributes
+    ----------
+    figure:
+        Figure identifier (``"fig2"``, ...).
+    plan:
+        ``plan(seed)`` expands the figure into grid cells; ``seed=None``
+        uses the experiment's default master seed (42).
+    postprocess:
+        Pure function turning the concatenated raw cell rows into the
+        figure's final rows (e.g. averaging over repetitions).  Keeping it
+        pure is what lets sharded invocations merge partial artifacts first
+        and aggregate once.
     """
+
+    figure: str
+    plan: Callable[[int | None], list[GridCell]]
+    postprocess: Callable[[list[dict]], list[dict]]
+
+
+def _figure_specs(quick: bool) -> Mapping[str, FigureSpec]:
+    """Build the figure-id → :class:`FigureSpec` mapping for one scale."""
     n = _QUICK_N if quick else None
     n_cls = _QUICK_N_CLASSIFIER if quick else None
     eps = _QUICK_EPSILONS if quick else None
     betas = _QUICK_BETAS if quick else PIE_BETAS
     kw_eps = {"epsilons": eps} if eps else {}
-    kw_util_eps = {}  # the utility grid (ln2..ln7) is already small
 
-    def reident_smp(figure, **overrides):
-        return lambda **engine: run_reidentification_smp(
-            n=n, figure=figure, **kw_eps, **overrides, **engine
+    def seeded(kwargs: dict, seed: int | None) -> dict:
+        return kwargs if seed is None else {**kwargs, "seed": int(seed)}
+
+    specs: dict[str, FigureSpec] = {}
+
+    def add(figure: str, planner, postprocess, **kwargs) -> None:
+        specs[figure] = FigureSpec(
+            figure=figure,
+            plan=lambda seed=None: planner(figure=figure, **seeded(kwargs, seed)),
+            postprocess=postprocess,
         )
 
-    def aif_rsfd(figure, **overrides):
-        return lambda **engine: run_attribute_inference_rsfd(
-            n=n_cls, figure=figure, **kw_eps, **overrides, **engine
-        )
+    add("fig1", plan_analytical_acc, postprocess_analytical_acc)
+    add(
+        "fig2",
+        plan_reidentification_smp,
+        postprocess_reidentification_smp,
+        dataset_name="adult",
+        n=n,
+        knowledge="FK-RI",
+        metric="uniform",
+        **kw_eps,
+    )
+    add(
+        "fig3",
+        plan_attribute_inference_rsfd,
+        postprocess_attribute_inference_rsfd,
+        dataset_name="acs_employment",
+        n=n_cls,
+        **kw_eps,
+    )
+    add(
+        "fig4",
+        plan_reidentification_rsfd,
+        postprocess_reidentification_rsfd,
+        dataset_name="adult",
+        n=n_cls,
+        **kw_eps,
+    )
+    add(
+        "fig5",
+        plan_utility_rsrfd,
+        postprocess_utility_rsrfd,
+        dataset_name="acs_employment",
+        n=n,
+        prior_kinds=("correct", "dir"),
+    )
+    add(
+        "fig6",
+        plan_attribute_inference_rsrfd,
+        postprocess_attribute_inference_rsrfd,
+        dataset_name="acs_employment",
+        n=n_cls,
+        prior_kind="correct",
+        **kw_eps,
+    )
+    add(
+        "fig9",
+        plan_reidentification_smp,
+        postprocess_reidentification_smp,
+        dataset_name="acs_employment",
+        n=n,
+        knowledge="FK-RI",
+        metric="uniform",
+        **kw_eps,
+    )
+    add(
+        "fig10",
+        plan_reidentification_smp,
+        postprocess_reidentification_smp,
+        dataset_name="adult",
+        n=n,
+        knowledge="PK-RI",
+        metric="uniform",
+        **kw_eps,
+    )
+    add(
+        "fig11",
+        plan_reidentification_smp,
+        postprocess_reidentification_smp,
+        dataset_name="adult",
+        n=n,
+        knowledge="FK-RI",
+        metric="non-uniform",
+        **kw_eps,
+    )
+    add(
+        "fig12",
+        plan_reidentification_smp,
+        postprocess_reidentification_smp,
+        dataset_name="adult",
+        n=n,
+        knowledge="FK-RI",
+        metric="uniform",
+        pie_betas=betas,
+    )
+    add(
+        "fig13",
+        plan_reidentification_smp,
+        postprocess_reidentification_smp,
+        dataset_name="adult",
+        n=n,
+        knowledge="FK-RI",
+        metric="non-uniform",
+        pie_betas=betas,
+    )
+    add(
+        "fig14",
+        plan_attribute_inference_rsfd,
+        postprocess_attribute_inference_rsfd,
+        dataset_name="adult",
+        n=n_cls,
+        **kw_eps,
+    )
+    add(
+        "fig15",
+        plan_attribute_inference_rsfd,
+        postprocess_attribute_inference_rsfd,
+        dataset_name="nursery",
+        n=n_cls,
+        **kw_eps,
+    )
+    add(
+        "fig16",
+        plan_utility_rsrfd,
+        lambda rows: postprocess_utility_rsrfd(rows, include_analytical=True),
+        dataset_name="adult",
+        n=n,
+        prior_kinds=("correct", "dir", "zipf", "exp"),
+        include_analytical=True,
+    )
+    add(
+        "fig17",
+        plan_attribute_inference_rsrfd,
+        postprocess_attribute_inference_rsrfd,
+        dataset_name="acs_employment",
+        n=n_cls,
+        prior_kind="dir",
+        models=("NK",),
+        **kw_eps,
+    )
+    return specs
 
-    def aif_rsrfd(figure, **overrides):
-        return lambda **engine: run_attribute_inference_rsrfd(
-            n=n_cls, figure=figure, **kw_eps, **overrides, **engine
-        )
 
-    return {
-        "fig1": lambda **engine: run_analytical_acc(figure="fig1", **engine),
-        "fig2": reident_smp("fig2", dataset_name="adult", knowledge="FK-RI", metric="uniform"),
-        "fig3": aif_rsfd("fig3", dataset_name="acs_employment"),
-        "fig4": lambda **engine: run_reidentification_rsfd(
-            dataset_name="adult", n=n_cls, figure="fig4", **kw_eps, **engine
-        ),
-        "fig5": lambda **engine: run_utility_rsrfd(
-            dataset_name="acs_employment",
-            n=n,
-            prior_kinds=("correct", "dir"),
-            figure="fig5",
-            **kw_util_eps,
-            **engine,
-        ),
-        "fig6": aif_rsrfd("fig6", dataset_name="acs_employment", prior_kind="correct"),
-        "fig9": reident_smp(
-            "fig9", dataset_name="acs_employment", knowledge="FK-RI", metric="uniform"
-        ),
-        "fig10": reident_smp("fig10", dataset_name="adult", knowledge="PK-RI", metric="uniform"),
-        "fig11": reident_smp(
-            "fig11", dataset_name="adult", knowledge="FK-RI", metric="non-uniform"
-        ),
-        "fig12": lambda **engine: run_reidentification_smp(
-            dataset_name="adult",
-            n=n,
-            knowledge="FK-RI",
-            metric="uniform",
-            pie_betas=betas,
-            figure="fig12",
-            **engine,
-        ),
-        "fig13": lambda **engine: run_reidentification_smp(
-            dataset_name="adult",
-            n=n,
-            knowledge="FK-RI",
-            metric="non-uniform",
-            pie_betas=betas,
-            figure="fig13",
-            **engine,
-        ),
-        "fig14": aif_rsfd("fig14", dataset_name="adult"),
-        "fig15": aif_rsfd("fig15", dataset_name="nursery"),
-        "fig16": lambda **engine: run_utility_rsrfd(
-            dataset_name="adult",
-            n=n,
-            prior_kinds=("correct", "dir", "zipf", "exp"),
-            include_analytical=True,
-            figure="fig16",
-            **engine,
-        ),
-        "fig17": aif_rsrfd(
-            "fig17", dataset_name="acs_employment", prior_kind="dir", models=("NK",)
-        ),
-    }
+def figure_spec(figure: str, quick: bool = True) -> FigureSpec:
+    """Resolve a figure identifier to its :class:`FigureSpec`.
+
+    Unknown identifiers raise
+    :class:`~repro.exceptions.InvalidParameterError` listing the valid ones.
+    """
+    specs = _figure_specs(quick)
+    key = figure.strip().lower()
+    if key not in specs:
+        raise InvalidParameterError(
+            f"unknown experiment {figure!r}; valid figures: {', '.join(sorted(specs))}"
+        )
+    return specs[key]
 
 
 def available_experiments() -> tuple[str, ...]:
     """Identifiers accepted by :func:`run_experiment`."""
-    return tuple(_experiment_registry(quick=True))
+    return tuple(_figure_specs(quick=True))
 
 
 def run_experiment(
@@ -138,6 +269,7 @@ def run_experiment(
     cache: "GridCache | str | None" = None,
     seed: int | None = None,
     grid_info: dict | None = None,
+    executor: "Executor | None" = None,
 ) -> list[dict]:
     """Run the experiment behind ``figure`` (e.g. ``"fig2"``) and return rows.
 
@@ -155,17 +287,20 @@ def run_experiment(
     grid_info:
         Optional dictionary updated in place with the engine's execution
         summary (cell counts, cache hits, per-cell timings).
+    executor:
+        Optional :class:`~repro.experiments.grid.Executor` overriding the
+        default serial/pool choice (e.g. a
+        :class:`~repro.experiments.sharding.ShardedExecutor`).
     """
-    registry = _experiment_registry(quick)
-    key = figure.strip().lower()
-    if key not in registry:
-        raise InvalidParameterError(
-            f"unknown experiment {figure!r}; valid figures: {', '.join(sorted(registry))}"
-        )
-    engine_kwargs: dict = {"workers": workers, "cache": cache, "grid_info": grid_info}
-    if seed is not None:
-        engine_kwargs["seed"] = int(seed)
-    return registry[key](**engine_kwargs)
+    spec = figure_spec(figure, quick)
+    return execute_plan(
+        spec.plan(seed),
+        spec.postprocess,
+        workers=workers,
+        cache=cache,
+        executor=executor,
+        grid_info=grid_info,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -208,6 +343,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the on-disk cell cache",
     )
     parser.add_argument(
+        "--cache-max-entries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="evict oldest cache entries beyond N files (default: unbounded)",
+    )
+    parser.add_argument(
+        "--cache-max-bytes",
+        type=int,
+        default=None,
+        metavar="B",
+        help="evict oldest cache entries beyond B total bytes (default: unbounded)",
+    )
+    parser.add_argument(
         "--out",
         default=None,
         metavar="DIR",
@@ -220,16 +369,129 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SEED",
         help="master seed for the grid (default: each experiment's default, 42)",
     )
+    sharding = parser.add_argument_group(
+        "sharded execution",
+        "split a figure's cells into N deterministic shards; run any shard in "
+        "its own invocation, then merge the partial artifacts back into the "
+        "canonical figure artifact (byte-identical to a single-invocation run)",
+    )
+    sharding.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="number of shards; alone it runs all shards from this invocation "
+        "via the sharded executor",
+    )
+    sharding.add_argument(
+        "--shard-index",
+        type=int,
+        default=None,
+        metavar="I",
+        help="execute only shard I (0-based) and write its partial artifact; "
+        "re-invoking resumes, recomputing only the missing cells",
+    )
+    sharding.add_argument(
+        "--merge-shards",
+        action="store_true",
+        help="merge the partial artifacts of all N shards into the figure's rows",
+    )
+    sharding.add_argument(
+        "--shard-dir",
+        default=None,
+        metavar="DIR",
+        help="directory holding per-shard partial artifacts "
+        f"(default: {DEFAULT_SHARD_ROOT}/<figure>)",
+    )
     return parser
+
+
+def _shard_root(args: argparse.Namespace) -> str:
+    return args.shard_dir or f"{DEFAULT_SHARD_ROOT}/{args.figure.strip().lower()}"
+
+
+def _shard_main(args: argparse.Namespace, cache: "GridCache | None") -> int:
+    """Handle the ``--shard-index`` / ``--merge-shards`` CLI paths."""
+    figure = args.figure.strip().lower()
+    spec = figure_spec(figure, quick=not args.full)
+    shards = validate_shards(args.shards, args.shard_index)
+    cells = spec.plan(args.seed)
+    # per-plan workspace inside the shard root: the same layout
+    # ShardedExecutor uses, so quick/full/seed variants never collide
+    workspace = plan_workspace(_shard_root(args), cells)
+
+    if args.shard_index is not None:
+        result = run_shard(
+            cells,
+            shards,
+            args.shard_index,
+            workspace,
+            workers=args.workers,
+            cache=cache,
+        )
+        print(json.dumps(result.summary()))
+        return 0
+
+    merged = merge_artifacts(
+        cells, find_shard_artifacts(workspace, shards), expected_shards=shards
+    )
+    rows = spec.postprocess(merged.rows)
+    print(format_table(rows))
+    _write_figure_artifact(args, figure, rows, merged.summary())
+    return 0
+
+
+def _write_figure_artifact(
+    args: argparse.Namespace, figure: str, rows: list[dict], grid_summary: dict
+) -> None:
+    """Persist a figure artifact when ``--out`` is given (shared CLI tail)."""
+    if args.out is None:
+        return
+    metadata = {
+        "quick": not args.full,
+        "seed": args.seed,
+        "cache_dir": None if args.no_cache else str(args.cache_dir),
+        "grid": grid_summary,
+    }
+    directory = save_artifact(args.out, figure, rows, metadata)
+    print(f"artifact written to {directory}", file=sys.stderr)
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """Command-line entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if (args.shard_index is not None or args.merge_shards) and args.shards is None:
+        parser.error("--shard-index/--merge-shards require --shards N")
+    if args.shard_index is not None and args.merge_shards:
+        parser.error("--shard-index and --merge-shards are mutually exclusive")
+    if args.shard_index is not None and args.out is not None:
+        parser.error(
+            "--out has no effect on a single-shard invocation; "
+            "pass it to --merge-shards instead"
+        )
     grid_info: dict = {}
     try:
-        cache = None if args.no_cache else GridCache(args.cache_dir)
+        cache = GridCache.from_options(
+            None if args.no_cache else args.cache_dir,
+            max_entries=args.cache_max_entries,
+            max_bytes=args.cache_max_bytes,
+        )
+        if args.shard_index is not None or args.merge_shards:
+            return _shard_main(args, cache)
+        executor = None
+        if args.shards is not None:
+            # persistent per-figure shard root (the documented default), so
+            # an interrupted sharded run resumes instead of starting over;
+            # the shared cell cache is handed to the shard workers too
+            executor = ShardedExecutor(
+                args.shards,
+                directory=_shard_root(args),
+                workers=args.workers,
+                cache_dir=None if args.no_cache else args.cache_dir,
+                cache_max_entries=None if args.no_cache else args.cache_max_entries,
+                cache_max_bytes=None if args.no_cache else args.cache_max_bytes,
+            )
         rows = run_experiment(
             args.figure,
             quick=not args.full,
@@ -237,18 +499,11 @@ def main(argv: Sequence[str] | None = None) -> int:
             cache=cache,
             seed=args.seed,
             grid_info=grid_info,
+            executor=executor,
         )
-    except InvalidParameterError as exc:
+    except (InvalidParameterError, GridExecutionError, ShardMergeError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(format_table(rows))
-    if args.out is not None:
-        metadata = {
-            "quick": not args.full,
-            "seed": args.seed,
-            "cache_dir": None if args.no_cache else str(args.cache_dir),
-            "grid": grid_info,
-        }
-        directory = save_artifact(args.out, args.figure.strip().lower(), rows, metadata)
-        print(f"artifact written to {directory}", file=sys.stderr)
+    _write_figure_artifact(args, args.figure.strip().lower(), rows, grid_info)
     return 0

@@ -1,0 +1,749 @@
+"""Sharded, resumable grid execution.
+
+A figure's cell plan can be split into ``N`` deterministic shards that
+execute in *separate invocations* — different processes, different machines
+sharing a filesystem, or different points in time — and merge back into the
+canonical figure artifact:
+
+* :func:`shard_positions` assigns cells to shards round-robin over the plan
+  order, so any ``(shards, shard_index)`` pair names the same subset on every
+  invocation of the same plan;
+* :func:`run_shard` executes one shard resumably: cells already present in
+  the shard's partial artifact (same :func:`plan_fingerprint`) are *resumed*
+  instead of recomputed, so an interrupted invocation picks up where it
+  stopped;
+* :func:`merge_artifacts` combines partial artifacts — in any order, from
+  any shard count — into the full plan's rows, with completeness checking
+  that names the missing cells instead of silently truncating;
+* :class:`ShardedExecutor` plugs the whole cycle behind the
+  :class:`repro.experiments.grid.Executor` seam, launching one
+  ``python -m repro.experiments.shard_worker`` subprocess per shard (or
+  running shards inline) and merging the partial artifacts back into the
+  grid result.
+
+Because every cell derives its random stream from the master seed and its
+own key alone (independent of placement), sharded execution is byte-identical
+to serial and process-pool execution; ``tests/experiments/test_executors.py``
+enforces this.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from ..exceptions import GridExecutionError, InvalidParameterError, ShardMergeError
+from .grid import (
+    GRID_SCHEMA_VERSION,
+    CellOutcome,
+    Executor,
+    GridCache,
+    GridCell,
+    RecordFn,
+    _jsonable,
+    _write_json_atomic,
+    canonical_json,
+    run_grid,
+)
+
+#: File name of the serialized plan inside a shard directory.
+PLAN_FILE = "plan.json"
+
+
+# --------------------------------------------------------------------------- #
+# plan identity and shard assignment
+# --------------------------------------------------------------------------- #
+def plan_fingerprint(cells: Sequence[GridCell]) -> str:
+    """Content hash identifying a cell plan (order-sensitive).
+
+    Two invocations agree on shard membership and merge validity iff they
+    agree on this fingerprint, which covers the grid schema version and every
+    cell's full configuration in plan order.
+    """
+    payload = canonical_json(
+        {
+            "schema": GRID_SCHEMA_VERSION,
+            "cells": [cell.payload() for cell in cells],
+        }
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def validate_shards(shards: int, shard_index: int | None = None) -> int:
+    """Validate a shard count (and optionally an index into it)."""
+    if int(shards) < 1:
+        raise InvalidParameterError(f"shards must be >= 1, got {shards}")
+    shards = int(shards)
+    if shard_index is not None and not 0 <= int(shard_index) < shards:
+        raise InvalidParameterError(
+            f"shard_index must be in [0, {shards}), got {shard_index}"
+        )
+    return shards
+
+
+def shard_positions(n_cells: int, shards: int, shard_index: int) -> list[int]:
+    """Plan positions assigned to ``shard_index`` (round-robin over order)."""
+    shards = validate_shards(shards, shard_index)
+    return list(range(int(shard_index), int(n_cells), shards))
+
+
+def plan_workspace(root: str | Path, cells: Sequence[GridCell]) -> Path:
+    """Per-plan shard workspace inside a shared ``root`` directory.
+
+    Keyed by the plan fingerprint, so one persistent root serves many plans
+    (figures, scales, seeds) without their partial artifacts colliding.
+    Both the CLI shard paths and :class:`ShardedExecutor` resolve workspaces
+    through this helper, so they agree on the layout.
+    """
+    return Path(root) / plan_fingerprint(cells)[:16]
+
+
+# --------------------------------------------------------------------------- #
+# plan and partial-artifact files
+# --------------------------------------------------------------------------- #
+def write_plan(directory: str | Path, cells: Sequence[GridCell], shards: int) -> Path:
+    """Persist the plan file a shard worker needs to recreate the cells.
+
+    Idempotent for the same plan; a *different* plan already occupying the
+    directory is an operator error (mixing two runs' partial artifacts would
+    poison the merge) and raises instead of silently overwriting.
+    """
+    shards = validate_shards(shards)
+    fingerprint = plan_fingerprint(cells)
+    path = Path(directory) / PLAN_FILE
+    if path.exists():
+        existing = load_plan(path)
+        if existing["plan_hash"] != fingerprint or existing["shards"] != shards:
+            raise InvalidParameterError(
+                f"shard directory {directory} already holds a different plan "
+                f"(hash {existing['plan_hash'][:12]}..., {existing['shards']} shards); "
+                "use a fresh directory per (figure, scale, seed, shard count)"
+            )
+        return path
+    return _write_json_atomic(
+        path,
+        {
+            "schema": GRID_SCHEMA_VERSION,
+            "plan_hash": fingerprint,
+            "shards": shards,
+            "cells": [cell.payload() for cell in cells],
+        },
+    )
+
+
+def load_plan(path: str | Path) -> dict:
+    """Load a plan file into ``{plan_hash, shards, cells: [GridCell, ...]}``."""
+    path = Path(path)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise InvalidParameterError(f"cannot read plan file {path}: {exc}") from exc
+    try:
+        cells = [GridCell.from_payload(entry) for entry in payload["cells"]]
+        plan = {
+            "schema": int(payload["schema"]),
+            "plan_hash": str(payload["plan_hash"]),
+            "shards": validate_shards(payload["shards"]),
+            "cells": cells,
+        }
+    except (KeyError, TypeError, ValueError) as exc:
+        raise InvalidParameterError(f"malformed plan file {path}: {exc}") from exc
+    if plan["schema"] != GRID_SCHEMA_VERSION:
+        raise InvalidParameterError(
+            f"plan file {path} has grid schema {plan['schema']}, "
+            f"this library uses {GRID_SCHEMA_VERSION}"
+        )
+    return plan
+
+
+def shard_artifact_path(directory: str | Path, shards: int, shard_index: int) -> Path:
+    """Canonical partial-artifact path of one shard."""
+    validate_shards(shards, shard_index)
+    return Path(directory) / f"shard-{int(shard_index):04d}-of-{int(shards):04d}.json"
+
+
+def _journal_path(artifact_path: Path) -> Path:
+    """Append-only completion journal backing one shard artifact."""
+    return artifact_path.with_name(artifact_path.name + ".journal.jsonl")
+
+
+def _load_journal(journal: Path, fingerprint: str) -> dict[str, dict]:
+    """Entries recovered from a crashed invocation's journal (may be empty).
+
+    Lines are self-contained ``{"plan_hash", "entry"}`` records; torn lines
+    (a crash interrupted the write) and records of a different plan are
+    skipped, never the valid records around them.
+    """
+    recovered: dict[str, dict] = {}
+    try:
+        with open(journal, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn line from a crash mid-append
+                if record.get("plan_hash") != fingerprint:
+                    continue
+                entry = record.get("entry") or {}
+                if "config_hash" in entry:
+                    recovered[str(entry["config_hash"])] = entry
+    except OSError:
+        pass
+    return recovered
+
+
+def find_shard_artifacts(directory: str | Path, shards: int) -> list[Path]:
+    """Existing partial artifacts of an ``N``-shard split (sorted by index)."""
+    shards = validate_shards(shards)
+    return [
+        path
+        for index in range(shards)
+        if (path := shard_artifact_path(directory, shards, index)).exists()
+    ]
+
+
+def load_shard_artifact(path: str | Path) -> dict:
+    """Load and structurally validate one partial artifact."""
+    path = Path(path)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ShardMergeError(f"cannot read shard artifact {path}: {exc}") from exc
+    for field in ("plan_hash", "shards", "shard_index", "entries"):
+        if field not in payload:
+            raise ShardMergeError(f"shard artifact {path} lacks the {field!r} field")
+    payload["path"] = str(path)
+    return payload
+
+
+def _cell_descriptor(entry: Mapping[str, Any]) -> str:
+    """Human-readable identity of a cell in error messages."""
+    return f"{entry['runner']}:{canonical_json(entry.get('params', {}))}"
+
+
+# --------------------------------------------------------------------------- #
+# executing one shard (resumably)
+# --------------------------------------------------------------------------- #
+@dataclass
+class ShardRunResult:
+    """Outcome of one :func:`run_shard` invocation."""
+
+    path: Path
+    plan_hash: str
+    shards: int
+    shard_index: int
+    cells: int
+    computed: int
+    resumed: int
+    from_cache: int
+    deduplicated: int
+
+    def summary(self) -> dict:
+        """JSON-serializable invocation summary (printed by the CLI)."""
+        return {
+            "shard_index": self.shard_index,
+            "shards": self.shards,
+            "plan_hash": self.plan_hash,
+            "cells": self.cells,
+            "computed": self.computed,
+            "resumed": self.resumed,
+            "from_cache": self.from_cache,
+            "deduplicated": self.deduplicated,
+            "artifact": str(self.path),
+        }
+
+
+def run_shard(
+    cells: Sequence[GridCell],
+    shards: int,
+    shard_index: int,
+    directory: str | Path,
+    *,
+    workers: int = 1,
+    cache: "GridCache | str | Path | None" = None,
+    resume: bool = True,
+) -> ShardRunResult:
+    """Execute one shard of a plan and write its partial artifact.
+
+    Resumable: when the shard's artifact — or the append-only completion
+    journal a killed invocation leaves behind — already holds cells for the
+    *same* plan fingerprint, they are reused (``resumed``) and only the
+    missing ones are recomputed, so re-invoking an interrupted shard
+    finishes the remainder.  Each completed cell is appended to the journal
+    (linear I/O); the canonical artifact is written once at the end, which
+    removes the journal.  A partial artifact belonging to a different plan
+    raises instead of being silently discarded.
+    """
+    cells = list(cells)
+    shards = validate_shards(shards, shard_index)
+    fingerprint = plan_fingerprint(cells)
+    path = shard_artifact_path(directory, shards, shard_index)
+    journal = _journal_path(path)
+
+    if not resume:
+        # a forced recompute must purge the old state: a crash mid-recompute
+        # would otherwise let the next (resuming) invocation restore exactly
+        # the stale entries this flag was meant to discard
+        path.unlink(missing_ok=True)
+        journal.unlink(missing_ok=True)
+
+    previous: dict[str, dict] = {}
+    if path.exists():
+        artifact = load_shard_artifact(path)
+        if artifact["plan_hash"] != fingerprint:
+            raise InvalidParameterError(
+                f"shard artifact {path} belongs to a different plan "
+                f"(hash {str(artifact['plan_hash'])[:12]}... != {fingerprint[:12]}...); "
+                "use a fresh shard directory per (figure, scale, seed)"
+            )
+        if resume:
+            previous = {
+                str(entry["config_hash"]): entry for entry in artifact["entries"]
+            }
+    if journal.exists():
+        if resume:
+            for config_hash, entry in _load_journal(journal, fingerprint).items():
+                previous.setdefault(config_hash, entry)
+        try:
+            # a killed append may have left a torn, newline-less tail; start
+            # this invocation's records on a fresh line so they stay parseable
+            content = journal.read_bytes()
+            if content and not content.endswith(b"\n"):
+                with open(journal, "ab") as handle:
+                    handle.write(b"\n")
+        except OSError:
+            pass
+
+    def entry_from_outcome(outcome: CellOutcome) -> dict:
+        return {
+            "config_hash": outcome.cell.config_hash,
+            "key": outcome.cell.key,
+            "figure": outcome.cell.figure,
+            "runner": outcome.cell.runner,
+            "params": outcome.cell.payload()["params"],
+            # same coercion GridCache.put applies, so runners returning
+            # numpy scalars serialize on the sharded path too
+            "rows": _jsonable(outcome.rows),
+            "elapsed": outcome.elapsed,
+            "source": outcome.source,
+        }
+
+    # duplicate work inside the shard gets one entry (first occurrence wins)
+    entries_by_hash: dict[str, dict] = {}
+    to_compute: dict[str, GridCell] = {}
+    resumed = 0
+    mine = 0
+    duplicates = 0
+    for position in shard_positions(len(cells), shards, shard_index):
+        cell = cells[position]
+        mine += 1
+        config_hash = cell.config_hash
+        if config_hash in entries_by_hash or config_hash in to_compute:
+            duplicates += 1
+            continue
+        if config_hash in previous:
+            entry = dict(previous[config_hash])
+            entry["source"] = "resumed"
+            entries_by_hash[config_hash] = entry
+            resumed += 1
+        else:
+            to_compute[config_hash] = cell
+    missing = list(to_compute.values())
+
+    def artifact_payload() -> dict:
+        return {
+            "schema": GRID_SCHEMA_VERSION,
+            "plan_hash": fingerprint,
+            "shards": shards,
+            "shard_index": shard_index,
+            "entries": list(entries_by_hash.values()),
+        }
+
+    def persist_incrementally(outcome: CellOutcome) -> None:
+        entry = entry_from_outcome(outcome)
+        entries_by_hash[outcome.cell.config_hash] = entry
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with open(journal, "a", encoding="utf-8") as handle:
+                handle.write(json.dumps({"plan_hash": fingerprint, "entry": entry}) + "\n")
+        except OSError:
+            pass  # the final artifact write below surfaces persistent failures
+
+    result = (
+        run_grid(
+            missing, workers=workers, cache=cache, on_cell_complete=persist_incrementally
+        )
+        if missing
+        else None
+    )
+    if result is not None:
+        # cells served by the cache stage never hit the completion hook
+        for outcome in result.outcomes:
+            entries_by_hash.setdefault(
+                outcome.cell.config_hash, entry_from_outcome(outcome)
+            )
+
+    _write_json_atomic(path, artifact_payload())
+    try:
+        journal.unlink(missing_ok=True)
+    except OSError:  # pragma: no cover - journal cleanup is best-effort
+        pass
+    return ShardRunResult(
+        path=path,
+        plan_hash=fingerprint,
+        shards=shards,
+        shard_index=shard_index,
+        cells=mine,
+        computed=result.computed if result is not None else 0,
+        resumed=resumed,
+        from_cache=result.from_cache if result is not None else 0,
+        deduplicated=duplicates + (result.deduplicated if result is not None else 0),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# merging partial artifacts
+# --------------------------------------------------------------------------- #
+@dataclass
+class MergedShards:
+    """Full-plan rows reassembled from per-shard partial artifacts."""
+
+    rows: list[dict]
+    outcomes: list[CellOutcome]
+    plan_hash: str
+    artifacts: list[str]
+
+    @property
+    def n_cells(self) -> int:
+        return len(self.outcomes)
+
+    def summary(self) -> dict:
+        """JSON-serializable merge summary (mirrors ``GridResult.summary``)."""
+        counts: dict[str, int] = {}
+        for outcome in self.outcomes:
+            counts[outcome.source] = counts.get(outcome.source, 0) + 1
+        return {
+            "cells": self.n_cells,
+            "computed": counts.get("computed", 0),
+            "from_cache": counts.get("cache", 0),
+            "deduplicated": counts.get("dedup", 0),
+            "resumed": counts.get("resumed", 0),
+            "missing": 0,  # merge_artifacts raises on incomplete plans
+            "workers": 0,  # the merge itself executes nothing
+            "executor": "merged-shards",
+            "plan_hash": self.plan_hash,
+            "artifacts": list(self.artifacts),
+            # summed per-cell compute time — NOT wall clock (the shards ran
+            # in other invocations), hence not named elapsed_seconds
+            "cell_seconds_total": sum(outcome.elapsed for outcome in self.outcomes),
+        }
+
+
+def merge_artifacts(
+    cells: Sequence[GridCell],
+    artifacts: Sequence[str | Path | Mapping[str, Any]],
+    *,
+    expected_shards: int | None = None,
+) -> MergedShards:
+    """Merge per-shard partial artifacts into the plan's canonical rows.
+
+    The merge is keyed by cell config hash and reassembles rows in *plan
+    order*, so it is invariant to the order the artifacts are given in and
+    to the shard count that produced them (merging a 2-way and a 3-way split
+    of the same plan yields identical rows).  Safety properties:
+
+    * every artifact must carry the plan's fingerprint (stale or foreign
+      partials are rejected);
+    * a cell appearing in several artifacts with *identical* rows is fine
+      (re-merges and overlapping resumed runs are idempotent); differing rows
+      raise :class:`ShardMergeError` naming the conflicting cells;
+    * planned cells absent from every artifact raise :class:`ShardMergeError`
+      naming the absent configs — never a bare ``KeyError``, never a silently
+      truncated figure.
+    """
+    cells = list(cells)
+    fingerprint = plan_fingerprint(cells)
+    loaded = [
+        artifact if isinstance(artifact, Mapping) else load_shard_artifact(artifact)
+        for artifact in artifacts
+    ]
+
+    for artifact in loaded:
+        if str(artifact["plan_hash"]) != fingerprint:
+            raise ShardMergeError(
+                f"shard artifact {artifact.get('path', '<in-memory>')} belongs to a "
+                f"different plan (hash {str(artifact['plan_hash'])[:12]}... != "
+                f"{fingerprint[:12]}...)"
+            )
+
+    by_hash: dict[str, dict] = {}
+    conflicting: list[str] = []
+    for artifact in loaded:
+        for entry in artifact["entries"]:
+            config_hash = str(entry["config_hash"])
+            if config_hash in by_hash:
+                ours = canonical_json(by_hash[config_hash]["rows"])
+                theirs = canonical_json(entry["rows"])
+                if ours != theirs:
+                    conflicting.append(_cell_descriptor(entry))
+                continue
+            by_hash[config_hash] = dict(entry)
+    if conflicting:
+        raise ShardMergeError(
+            f"{len(conflicting)} cells appear in several shard artifacts with "
+            f"differing rows (e.g. {conflicting[0]}); the partials mix "
+            "incompatible runs",
+            conflicting=conflicting,
+        )
+
+    missing = [cell for cell in cells if cell.config_hash not in by_hash]
+    if missing:
+        descriptors = [
+            _cell_descriptor({"runner": cell.runner, "params": cell.params})
+            for cell in missing
+        ]
+        shown = "; ".join(descriptors[:5]) + ("; ..." if len(descriptors) > 5 else "")
+        hint = (
+            f" (expected {expected_shards} shard artifacts, loaded {len(loaded)})"
+            if expected_shards is not None and len(loaded) != expected_shards
+            else ""
+        )
+        raise ShardMergeError(
+            f"{len(missing)} of {len(cells)} planned cells are absent from the "
+            f"merged shard artifacts{hint}: {shown}",
+            missing=descriptors,
+        )
+
+    outcomes = [
+        CellOutcome(
+            cell=cell,
+            rows=list(by_hash[cell.config_hash]["rows"]),
+            elapsed=float(by_hash[cell.config_hash].get("elapsed", 0.0)),
+            source=str(by_hash[cell.config_hash].get("source", "computed")),
+        )
+        for cell in cells
+    ]
+    rows: list[dict] = []
+    for outcome in outcomes:
+        rows.extend(outcome.rows)
+    return MergedShards(
+        rows=rows,
+        outcomes=outcomes,
+        plan_hash=fingerprint,
+        artifacts=[str(artifact.get("path", "<in-memory>")) for artifact in loaded],
+    )
+
+
+# --------------------------------------------------------------------------- #
+# the sharded executor
+# --------------------------------------------------------------------------- #
+def _worker_env() -> dict:
+    """Environment for shard-worker subprocesses (repro importable)."""
+    env = dict(os.environ)
+    src_root = str(Path(__file__).resolve().parents[2])
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src_root + (os.pathsep + existing if existing else "")
+    return env
+
+
+class ShardedExecutor(Executor):
+    """Execute a grid as ``N`` shard invocations and merge their artifacts.
+
+    Each shard runs as a separate ``python -m repro.experiments.shard_worker``
+    subprocess (``launch="subprocess"``, the default — the same entrypoint a
+    cluster scheduler would launch per machine) or inline in this process
+    (``launch="inline"``, no interpreter startup cost).  Partial artifacts
+    land under ``directory``, in a per-plan subdirectory named after the
+    plan fingerprint — so one persistent directory can serve many grids (a
+    whole benchmark sweep) and a changed pending-cell set (e.g. after cache
+    eviction) starts a fresh workspace instead of colliding with the old
+    plan.  Giving a persistent directory makes a run resumable — a
+    re-invocation of the same plan skips every cell whose shard artifact
+    already holds it — while ``None`` uses a temporary directory discarded
+    after the merge.
+
+    ``workers`` is the per-shard process-pool size handed to each shard's
+    ``run_grid`` call; subprocess shards additionally run concurrently with
+    each other.  ``cache_dir`` hands every shard worker the shared on-disk
+    :class:`GridCache`, so cells computed by the shards that *did* finish
+    survive an interrupted run even without a persistent ``directory``
+    (matching the in-process executors, which cache per completion).
+    """
+
+    def __init__(
+        self,
+        shards: int,
+        *,
+        directory: "str | Path | None" = None,
+        launch: str = "subprocess",
+        workers: int = 1,
+        python: str | None = None,
+        cache_dir: "str | Path | None" = None,
+        cache_max_entries: int | None = None,
+        cache_max_bytes: int | None = None,
+    ) -> None:
+        self.shards = validate_shards(shards)
+        if launch not in ("subprocess", "inline"):
+            raise InvalidParameterError(
+                f"launch must be 'subprocess' or 'inline', got {launch!r}"
+            )
+        if int(workers) < 1:
+            raise InvalidParameterError(f"workers must be >= 1, got {workers}")
+        self.directory = None if directory is None else Path(directory)
+        self.launch = launch
+        self.workers = int(workers)
+        self.python = python or sys.executable
+        self.cache_dir = None if cache_dir is None else Path(cache_dir)
+        self.cache_max_entries = cache_max_entries
+        self.cache_max_bytes = cache_max_bytes
+
+    @property
+    def total_workers(self) -> int:
+        """Configured parallelism across all shards (for run summaries)."""
+        return self.shards * self.workers
+
+    def execute(self, tasks: Sequence[tuple[int, GridCell]], record: RecordFn) -> None:
+        tasks = list(tasks)
+        cells = [cell for _, cell in tasks]
+        if self.directory is not None:
+            # per-plan workspace: many plans can share one persistent root
+            self._execute_in(plan_workspace(self.directory, cells), tasks, cells, record)
+        else:
+            with tempfile.TemporaryDirectory(prefix="repro-shards-") as scratch:
+                self._execute_in(Path(scratch), tasks, cells, record)
+
+    def _execute_in(
+        self,
+        directory: Path,
+        tasks: list[tuple[int, GridCell]],
+        cells: list[GridCell],
+        record: RecordFn,
+    ) -> None:
+        plan_path = write_plan(directory, cells, self.shards)
+        if self.launch == "inline":
+            cache = GridCache.from_options(
+                self.cache_dir,
+                max_entries=self.cache_max_entries,
+                max_bytes=self.cache_max_bytes,
+            )
+            for shard_index in range(self.shards):
+                run_shard(
+                    cells,
+                    self.shards,
+                    shard_index,
+                    directory,
+                    workers=self.workers,
+                    cache=cache,
+                )
+        else:
+            self._launch_subprocesses(plan_path, directory)
+        merged = merge_artifacts(
+            cells,
+            find_shard_artifacts(directory, self.shards),
+            expected_shards=self.shards,
+        )
+        for (index, _), outcome in zip(tasks, merged.outcomes):
+            # preserve worker-side provenance ("cache" hits, "resumed"
+            # cells) so the parent summary reports it truthfully
+            source = outcome.source if outcome.source in ("cache", "resumed") else "computed"
+            record(index, outcome.rows, outcome.elapsed, source)
+        if (
+            self.directory is not None
+            and self.cache_dir is not None
+            and self.cache_max_entries is None
+            and self.cache_max_bytes is None
+        ):
+            # every merged cell now lives in the (unbounded) shared cell
+            # cache, which makes the partial artifacts redundant — prune the
+            # per-plan workspace so persistent roots do not accumulate one
+            # directory per pending-set variant.  Without a cache — or with
+            # a bounded one that may evict the cells — the workspace remains
+            # the resume state, so it is kept.
+            shutil.rmtree(directory, ignore_errors=True)
+
+    def _worker_command(self, plan_path: Path, directory: Path, shard_index: int) -> list[str]:
+        command = [
+            self.python,
+            "-m",
+            "repro.experiments.shard_worker",
+            "--plan",
+            str(plan_path),
+            "--shard-index",
+            str(shard_index),
+            "--dir",
+            str(directory),
+            "--workers",
+            str(self.workers),
+        ]
+        if self.cache_dir is not None:
+            command += ["--cache-dir", str(self.cache_dir)]
+            if self.cache_max_entries is not None:
+                command += ["--cache-max-entries", str(self.cache_max_entries)]
+            if self.cache_max_bytes is not None:
+                command += ["--cache-max-bytes", str(self.cache_max_bytes)]
+        return command
+
+    def _launch_subprocesses(self, plan_path: Path, directory: Path) -> None:
+        env = _worker_env()
+        # cap concurrent shard workers so shards x per-shard pool workers
+        # cannot oversubscribe the machine; a sliding window (not waves)
+        # starts the next shard the moment any running one exits.  Worker
+        # stderr goes to files, not pipes, so a chatty worker can never
+        # dead-lock against an unread pipe buffer.
+        concurrency = max(1, (os.cpu_count() or 4) // self.workers)
+        pending = list(range(self.shards))
+        running: list[tuple[int, subprocess.Popen, Path]] = []
+        failures = []
+        try:
+            while pending or running:
+                while pending and len(running) < concurrency:
+                    shard_index = pending.pop(0)
+                    stderr_path = directory / f".shard-{shard_index:04d}.stderr"
+                    with open(stderr_path, "wb") as stderr_handle:
+                        process = subprocess.Popen(
+                            self._worker_command(plan_path, directory, shard_index),
+                            env=env,
+                            stdout=subprocess.DEVNULL,
+                            stderr=stderr_handle,
+                        )
+                    running.append((shard_index, process, stderr_path))
+                still_running = []
+                for shard_index, process, stderr_path in running:
+                    if process.poll() is None:
+                        still_running.append((shard_index, process, stderr_path))
+                        continue
+                    if process.returncode != 0:
+                        try:
+                            lines = stderr_path.read_text(errors="replace").strip().splitlines()
+                        except OSError:
+                            lines = []
+                        tail = "\n".join(lines[-5:])
+                        failures.append(
+                            f"shard {shard_index} exited {process.returncode}: {tail}"
+                        )
+                    stderr_path.unlink(missing_ok=True)
+                running = still_running
+                if running:
+                    time.sleep(0.05)
+        finally:
+            for _, process, _ in running:  # only on an unexpected exception
+                process.kill()
+        if failures:
+            raise GridExecutionError(
+                f"{len(failures)} of {self.shards} shard workers failed — "
+                + " | ".join(failures)
+            )

@@ -27,7 +27,7 @@ from ..multidim.variance import averaged_analytical_variance
 from ..protocols.streaming import validate_chunk_size
 from .attribute_inference_rsrfd import shared_priors
 from .config import UTILITY_EPSILONS
-from .grid import GridCache, GridCell, cell_runner, run_grid
+from .grid import Executor, GridCache, GridCell, cell_runner, execute_plan
 from .reporting import mean_rows
 
 #: Protocols compared in Figs. 5 and 16.
@@ -162,6 +162,15 @@ def plan_utility_rsrfd(
     return cells
 
 
+def postprocess_utility_rsrfd(
+    rows: list[dict], include_analytical: bool = False
+) -> list[dict]:
+    """Average raw cell rows over repetitions (the figure's final rows)."""
+    group_by = ["dataset", "solution", "protocol", "epsilon", "prior"]
+    value_columns = ["mse_avg"] + (["analytical_variance"] if include_analytical else [])
+    return mean_rows(rows, group_by, value_columns)
+
+
 def run_utility_rsrfd(
     dataset_name: str = "acs_employment",
     n: int | None = None,
@@ -176,6 +185,7 @@ def run_utility_rsrfd(
     chunk_size: int | None = None,
     workers: int = 1,
     cache: "GridCache | str | None" = None,
+    executor: "Executor | None" = None,
     grid_info: dict | None = None,
 ) -> list[dict]:
     """Compare RS+RFD against RS+FD on multidimensional frequency estimation.
@@ -201,9 +211,11 @@ def run_utility_rsrfd(
         figure=figure,
         chunk_size=chunk_size,
     )
-    result = run_grid(cells, workers=workers, cache=cache)
-    if grid_info is not None:
-        grid_info.update(result.summary())
-    group_by = ["dataset", "solution", "protocol", "epsilon", "prior"]
-    value_columns = ["mse_avg"] + (["analytical_variance"] if include_analytical else [])
-    return mean_rows(result.rows, group_by, value_columns)
+    return execute_plan(
+        cells,
+        lambda rows: postprocess_utility_rsrfd(rows, include_analytical),
+        workers=workers,
+        cache=cache,
+        executor=executor,
+        grid_info=grid_info,
+    )

@@ -146,3 +146,71 @@ class TestRSFDProfiling:
             return ((profile == small_dataset.data) & known).sum() / max(1, known.sum())
 
         assert correctness(rsfd) < correctness(smp)
+
+
+class TestNKAmortization:
+    """Amortizing NK training across surveys sharing a domain (ISSUE 4)."""
+
+    def _build(self, dataset, surveys, amortize, rng, factory=BernoulliNaiveBayes):
+        return build_profiles_rsfd(
+            dataset,
+            surveys,
+            epsilon=4.0,
+            variant="grr",
+            metric="uniform",
+            synthetic_factor=0.5,
+            classifier_factory=factory,
+            amortize_nk=amortize,
+            rng=rng,
+        )
+
+    def test_identical_when_no_surveys_share_a_domain(self, small_dataset):
+        """Distinct attribute sets never amortize, so both paths are
+        byte-identical (the default flip cannot perturb such plans)."""
+        surveys = [Survey((0, 1)), Survey((1, 2)), Survey((0, 2))]
+        amortized = self._build(small_dataset, surveys, True, rng=7)
+        per_survey = self._build(small_dataset, surveys, False, rng=7)
+        assert all(amortized.extra["nk_trained"])
+        for a, b in zip(amortized.snapshots, per_survey.snapshots):
+            np.testing.assert_array_equal(a, b)
+
+    def test_trains_once_per_distinct_domain(self, small_dataset):
+        calls = []
+
+        def counting_factory():
+            calls.append(1)
+            return BernoulliNaiveBayes()
+
+        surveys = [Survey((0, 1, 2)), Survey((0, 1, 2)), Survey((1, 2))]
+        result = self._build(small_dataset, surveys, True, rng=1, factory=counting_factory)
+        assert len(calls) == 2  # two distinct attribute sets
+        assert result.extra["nk_trained"] == [True, False, True]
+        calls.clear()
+        per_survey = self._build(
+            small_dataset, surveys, False, rng=1, factory=counting_factory
+        )
+        assert len(calls) == 3  # one training per survey
+        assert per_survey.extra["nk_trained"] == [True, True, True]
+
+    def test_attack_accuracy_matches_per_survey_path(self, small_dataset):
+        """Regression pin: reusing the classifier must not change the NK
+        attack's accuracy beyond seed-to-seed noise.
+
+        The first survey trains in both paths (exactly equal); later surveys
+        of the same domain reuse a classifier trained on synthetic profiles
+        drawn from the same marginals, so their per-survey accuracies are
+        compared in the mean over seeds.
+        """
+        surveys = [Survey((0, 1, 2))] * 3
+        amortized_acc, per_survey_acc = [], []
+        for seed in range(4):
+            amortized = self._build(small_dataset, surveys, True, rng=seed)
+            per_survey = self._build(small_dataset, surveys, False, rng=seed)
+            assert amortized.extra["nk_accuracy"][0] == per_survey.extra["nk_accuracy"][0]
+            amortized_acc.append(amortized.extra["nk_accuracy"])
+            per_survey_acc.append(per_survey.extra["nk_accuracy"])
+        mean_amortized = float(np.mean(amortized_acc))
+        mean_per_survey = float(np.mean(per_survey_acc))
+        assert abs(mean_amortized - mean_per_survey) < 0.03
+        # both stay clear of a broken classifier (d=3 random guessing = 1/3)
+        assert mean_amortized > 1.0 / small_dataset.d - 0.05

@@ -362,6 +362,14 @@ class TestGridCacheBounds:
         # both entries still present (eviction failed), but the run went on
         assert len(cache) == 2
 
+    def test_overwrites_do_not_inflate_the_byte_estimate(self, tmp_path):
+        cache = GridCache(tmp_path, max_bytes=10**6)
+        cell = GridCell(figure="f", runner="_test_echo", params={"value": 1})
+        for _ in range(20):
+            path = cache.put(cell, [{"value": 1}], elapsed=0.0)
+        # the running estimate tracks the single file, not 20x its size
+        assert cache._bytes_estimate == path.stat().st_size
+
     def test_run_grid_with_bounded_cache(self, tmp_path):
         cache = GridCache(tmp_path, max_entries=2)
         cells = [

@@ -5,7 +5,13 @@ import json
 import pytest
 
 from repro.exceptions import InvalidParameterError
-from repro.experiments.runner import available_experiments, main, run_experiment
+from repro.experiments.grid import SerialExecutor
+from repro.experiments.runner import (
+    available_experiments,
+    figure_spec,
+    main,
+    run_experiment,
+)
 
 
 class TestRegistry:
@@ -44,6 +50,26 @@ class TestRegistry:
         assert info["cells"] == 10  # 2 metrics x 5 protocols
         assert info["computed"] == 10
         assert info["from_cache"] == 0
+        assert info["executor"] == "SerialExecutor"
+
+    def test_explicit_executor_matches_default(self):
+        default = run_experiment("fig1", quick=True)
+        explicit = run_experiment("fig1", quick=True, executor=SerialExecutor())
+        assert default == explicit
+
+    def test_figure_spec_plan_and_postprocess_compose(self):
+        """run_experiment is exactly plan -> run_grid -> postprocess."""
+        from repro.experiments.grid import run_grid
+
+        spec = figure_spec("fig1", quick=True)
+        cells = spec.plan(None)
+        assert len(cells) == 10
+        rows = spec.postprocess(run_grid(cells).rows)
+        assert rows == run_experiment("fig1", quick=True)
+
+    def test_figure_spec_rejects_unknown_figure(self):
+        with pytest.raises(InvalidParameterError):
+            figure_spec("fig99")
 
 
 class TestCli:
@@ -94,3 +120,123 @@ class TestCli:
         not_a_dir.write_text("")
         assert main(["fig1", "--cache-dir", str(not_a_dir)]) == 2
         assert "not usable" in capsys.readouterr().err
+
+
+class TestCliCacheBounds:
+    def test_cache_max_entries_caps_the_cache_dir_during_a_sweep(
+        self, tmp_path, capsys
+    ):
+        """fig1 computes 10 cells; the bounded cache keeps at most 4 files."""
+        cache_dir = tmp_path / "cache"
+        assert main(["fig1", "--cache-dir", str(cache_dir), "--cache-max-entries", "4"]) == 0
+        capsys.readouterr()
+        assert len(list(cache_dir.glob("*.json"))) <= 4
+
+    def test_cache_max_bytes_caps_the_cache_dir_during_a_sweep(self, tmp_path, capsys):
+        unbounded = tmp_path / "unbounded"
+        assert main(["fig1", "--cache-dir", str(unbounded)]) == 0
+        capsys.readouterr()
+        total = sum(path.stat().st_size for path in unbounded.glob("*.json"))
+        budget = total // 3
+        bounded = tmp_path / "bounded"
+        assert main(["fig1", "--cache-dir", str(bounded), "--cache-max-bytes", str(budget)]) == 0
+        capsys.readouterr()
+        assert sum(path.stat().st_size for path in bounded.glob("*.json")) <= budget
+
+    def test_cache_bounds_hold_under_sharded_execution(self, tmp_path, capsys):
+        """Shard workers receive the bounds too, so --shards N cannot
+        overflow a bounded cache."""
+        cache_dir = tmp_path / "cache"
+        code = main(
+            ["fig1", "--cache-dir", str(cache_dir), "--cache-max-entries", "4",
+             "--shards", "2", "--shard-dir", str(tmp_path / "shards")]
+        )
+        assert code == 0
+        capsys.readouterr()
+        assert len(list(cache_dir.glob("*.json"))) <= 4
+
+    def test_invalid_bound_exits_2(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        assert main(["fig1", "--cache-dir", str(cache_dir), "--cache-max-entries", "0"]) == 2
+        assert "max_entries" in capsys.readouterr().err
+
+
+class TestCliSharding:
+    def _rows(self, out_dir, figure="fig1"):
+        return (out_dir / figure / "rows.json").read_bytes()
+
+    def test_shard_invocations_merge_into_identical_artifact(self, tmp_path, capsys):
+        reference = tmp_path / "reference"
+        assert main(["fig1", "--no-cache", "--out", str(reference)]) == 0
+        capsys.readouterr()
+        shard_dir = tmp_path / "shards"
+        for index in ("0", "1"):
+            code = main(
+                ["fig1", "--no-cache", "--shards", "2", "--shard-index", index,
+                 "--shard-dir", str(shard_dir)]
+            )
+            assert code == 0
+            summary = json.loads(capsys.readouterr().out)
+            assert summary["shards"] == 2
+            assert summary["computed"] == summary["cells"]
+        merged = tmp_path / "merged"
+        code = main(
+            ["fig1", "--no-cache", "--shards", "2", "--merge-shards",
+             "--shard-dir", str(shard_dir), "--out", str(merged)]
+        )
+        assert code == 0
+        capsys.readouterr()
+        assert self._rows(merged) == self._rows(reference)
+        meta = json.loads((merged / "fig1" / "meta.json").read_text())
+        assert meta["grid"]["cells"] == 10
+        assert meta["grid"]["missing"] == 0
+
+    def test_shard_reinvocation_resumes(self, tmp_path, capsys):
+        shard_dir = tmp_path / "shards"
+        args = ["fig1", "--no-cache", "--shards", "2", "--shard-index", "0",
+                "--shard-dir", str(shard_dir)]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["computed"] == 0
+        assert summary["resumed"] == summary["cells"]
+
+    def test_single_invocation_sharded_executor(self, tmp_path, capsys):
+        reference = tmp_path / "reference"
+        assert main(["fig1", "--no-cache", "--out", str(reference)]) == 0
+        capsys.readouterr()
+        sharded = tmp_path / "sharded"
+        assert main(["fig1", "--no-cache", "--shards", "2", "--shard-dir",
+                     str(tmp_path / "parts"), "--out", str(sharded)]) == 0
+        capsys.readouterr()
+        assert self._rows(sharded) == self._rows(reference)
+
+    def test_merge_with_missing_shard_exits_2_naming_cells(self, tmp_path, capsys):
+        shard_dir = tmp_path / "shards"
+        assert main(["fig1", "--no-cache", "--shards", "2", "--shard-index", "0",
+                     "--shard-dir", str(shard_dir)]) == 0
+        capsys.readouterr()
+        assert main(["fig1", "--no-cache", "--shards", "2", "--merge-shards",
+                     "--shard-dir", str(shard_dir)]) == 2
+        err = capsys.readouterr().err
+        assert "absent" in err
+        assert "analytical_acc" in err
+
+    def test_shard_index_requires_shards(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig1", "--shard-index", "0"])
+
+    def test_shard_index_conflicts_with_merge(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig1", "--shards", "2", "--shard-index", "0", "--merge-shards"])
+
+    def test_shard_index_rejects_out(self, capsys):
+        """--out would be silently ignored on a single-shard invocation."""
+        with pytest.raises(SystemExit):
+            main(["fig1", "--shards", "2", "--shard-index", "0", "--out", "x"])
+
+    def test_out_of_range_shard_index_exits_2(self, tmp_path, capsys):
+        assert main(["fig1", "--no-cache", "--shards", "2", "--shard-index", "5",
+                     "--shard-dir", str(tmp_path)]) == 2
+        assert "shard_index" in capsys.readouterr().err
