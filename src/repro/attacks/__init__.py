@@ -20,8 +20,10 @@ from .plausible_deniability import (
 )
 from .profile import (
     UNKNOWN,
+    DeltaRecorder,
     ProfilingResult,
     Survey,
+    SurveyDelta,
     build_profiles_rsfd,
     build_profiles_smp,
     plan_surveys,
@@ -29,9 +31,11 @@ from .profile import (
 from .reidentification import (
     ReidentificationAttack,
     ReidentificationResult,
+    count_topk_hits,
     match_distances,
     top_k_candidates,
 )
+from .reidentification_reference import ReferenceReidentificationAttack
 
 __all__ = [
     "single_report_attack_accuracy",
@@ -39,13 +43,17 @@ __all__ = [
     "expected_profiling_accuracy",
     "profiling_accuracy_curve",
     "Survey",
+    "SurveyDelta",
+    "DeltaRecorder",
     "plan_surveys",
     "ProfilingResult",
     "UNKNOWN",
     "build_profiles_smp",
     "build_profiles_rsfd",
     "ReidentificationAttack",
+    "ReferenceReidentificationAttack",
     "ReidentificationResult",
+    "count_topk_hits",
     "match_distances",
     "top_k_candidates",
     "AttributeInferenceAttack",

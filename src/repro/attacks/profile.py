@@ -11,14 +11,20 @@ privacy metrics across users:
 * **non-uniform** — users sample with replacement and memoize the previous
   report when an attribute repeats, which slows down profile growth.
 
-The result keeps a snapshot of the inferred profile after each survey so
-the re-identification accuracy can be evaluated for ``#surveys = 2..S``.
+The result keeps, for each survey, the **delta** of cells actually written
+during that survey (``(rows, attributes, values)`` triples) instead of a
+dense copy of the cumulative profile.  Snapshots after any number of surveys
+are reconstructed on demand from the deltas (byte-identical to the dense
+copies the builders used to keep), so the re-identification accuracy can be
+evaluated for ``#surveys = 2..S`` without retaining ``S`` dense ``(n, d)``
+matrices — a large memory win at ACS scale — and the re-identification
+engine can update its distance matrices incrementally from the same deltas.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Iterator, Sequence
 
 import numpy as np
 
@@ -85,26 +91,181 @@ def plan_surveys(
     return surveys
 
 
+@dataclass(frozen=True)
+class SurveyDelta:
+    """Cells written to the inferred profile during one survey.
+
+    The three arrays are parallel: cell ``(rows[i], attributes[i])`` was set
+    to ``values[i]``.  Entries are kept in write order; a survey writes each
+    cell at most once (SMP users report one fresh attribute per survey,
+    RS+FD assigns one predicted attribute per user), but later surveys may
+    rewrite a cell an earlier survey already filled, which replaying the
+    deltas in order reproduces exactly.
+    """
+
+    rows: np.ndarray
+    attributes: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        rows = np.ascontiguousarray(self.rows, dtype=np.int64)
+        attributes = np.ascontiguousarray(self.attributes, dtype=np.int64)
+        values = np.ascontiguousarray(self.values, dtype=np.int64)
+        if not rows.shape == attributes.shape == values.shape or rows.ndim != 1:
+            raise InvalidParameterError(
+                "rows, attributes and values must be equally sized 1-D arrays"
+            )
+        object.__setattr__(self, "rows", rows)
+        object.__setattr__(self, "attributes", attributes)
+        object.__setattr__(self, "values", values)
+
+    @property
+    def size(self) -> int:
+        """Number of cells written in this survey."""
+        return int(self.rows.size)
+
+    def apply(self, profile: np.ndarray) -> np.ndarray:
+        """Write this delta's cells into ``profile`` (in place) and return it."""
+        if self.size:
+            profile[self.rows, self.attributes] = self.values
+        return profile
+
+
+class DeltaRecorder:
+    """Accumulates profile writes into per-survey :class:`SurveyDelta` records.
+
+    The recorder owns the dense working profile the builders update, so the
+    recorded deltas are — by construction — exactly the cells whose dense
+    values changed hands; ``commit_survey`` seals the pending writes into the
+    next survey's delta.
+    """
+
+    def __init__(self, n: int, d: int) -> None:
+        self.profile = np.full((int(n), int(d)), UNKNOWN, dtype=np.int64)
+        self.deltas: list[SurveyDelta] = []
+        self._pending: list[tuple[np.ndarray, int, np.ndarray]] = []
+
+    def write(self, rows: np.ndarray, attribute: int, values: np.ndarray) -> None:
+        """Record that ``profile[rows, attribute] = values`` this survey."""
+        rows = np.asarray(rows, dtype=np.int64)
+        values = np.asarray(values, dtype=np.int64)
+        if rows.size == 0:
+            return
+        attribute = int(attribute)
+        self.profile[rows, attribute] = values
+        self._pending.append((rows, attribute, values))
+
+    def commit_survey(self) -> SurveyDelta:
+        """Seal the writes since the previous commit into one delta."""
+        if self._pending:
+            rows = np.concatenate([entry[0] for entry in self._pending])
+            attributes = np.concatenate(
+                [np.full(entry[0].size, entry[1], dtype=np.int64) for entry in self._pending]
+            )
+            values = np.concatenate([entry[2] for entry in self._pending])
+            self._pending.clear()
+        else:
+            rows = attributes = values = np.empty(0, dtype=np.int64)
+        delta = SurveyDelta(rows=rows, attributes=attributes, values=values)
+        self.deltas.append(delta)
+        return delta
+
+
+class SnapshotView(Sequence):
+    """Lazy sequence of cumulative profile snapshots, one per survey.
+
+    ``view[i]`` reconstructs the dense ``(n, d)`` profile after survey
+    ``i + 1`` by replaying deltas ``0..i`` onto an all-:data:`UNKNOWN`
+    matrix; iteration replays each delta once and yields an independent copy
+    per survey.  Reconstruction is byte-identical to the dense per-survey
+    copies the builders historically kept, without retaining ``S`` of them.
+    """
+
+    def __init__(self, result: "ProfilingResult") -> None:
+        self._result = result
+
+    def __len__(self) -> int:
+        return len(self._result.deltas)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        index = int(index)
+        length = len(self)
+        if index < 0:
+            index += length
+        if not 0 <= index < length:
+            raise IndexError(f"snapshot index {index} out of range for {length} surveys")
+        profile = np.full(self._result.shape, UNKNOWN, dtype=np.int64)
+        for delta in self._result.deltas[: index + 1]:
+            delta.apply(profile)
+        return profile
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        profile = np.full(self._result.shape, UNKNOWN, dtype=np.int64)
+        for delta in self._result.deltas:
+            delta.apply(profile)
+            yield profile.copy()
+
+
 @dataclass
 class ProfilingResult:
-    """Inferred profiles accumulated over the surveys.
+    """Inferred profiles accumulated over the surveys (delta-backed).
 
     Attributes
     ----------
-    snapshots:
-        One ``(n, d)`` matrix per survey with the *cumulative* inferred
-        profile after that survey; entries equal :data:`UNKNOWN` when the
-        attribute has not been inferred yet.
+    deltas:
+        One :class:`SurveyDelta` per survey holding the cells written during
+        that survey; cumulative snapshots are reconstructed from them on
+        demand (see :attr:`snapshots`) instead of being stored densely.
+    shape:
+        ``(n, d)`` shape of the dense profile matrices.
     surveys:
-        The survey plan that generated the snapshots.
+        The survey plan that generated the deltas.
     metric:
         ``"uniform"`` or ``"non-uniform"``.
     """
 
-    snapshots: list[np.ndarray]
+    deltas: list[SurveyDelta]
+    shape: tuple[int, int]
     surveys: list[Survey]
     metric: str
     extra: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_snapshots(
+        cls,
+        snapshots: Sequence[np.ndarray],
+        surveys: list[Survey],
+        metric: str,
+        extra: dict | None = None,
+    ) -> "ProfilingResult":
+        """Build a delta-backed result by diffing dense cumulative snapshots."""
+        if not snapshots:
+            raise InvalidParameterError("at least one snapshot is required")
+        previous = np.full_like(np.asarray(snapshots[0], dtype=np.int64), UNKNOWN)
+        deltas = []
+        for snapshot in snapshots:
+            snapshot = np.asarray(snapshot, dtype=np.int64)
+            if snapshot.shape != previous.shape:
+                raise InvalidParameterError("snapshots must all share one shape")
+            rows, attributes = np.nonzero(snapshot != previous)
+            deltas.append(
+                SurveyDelta(rows=rows, attributes=attributes, values=snapshot[rows, attributes])
+            )
+            previous = snapshot
+        return cls(
+            deltas=deltas,
+            shape=tuple(int(s) for s in previous.shape),
+            surveys=surveys,
+            metric=metric,
+            extra=dict(extra or {}),
+        )
+
+    @property
+    def snapshots(self) -> SnapshotView:
+        """Lazy per-survey cumulative snapshots (reconstructed on demand)."""
+        return SnapshotView(self)
 
     @property
     def final_profile(self) -> np.ndarray:
@@ -182,9 +343,8 @@ def build_profiles_smp(
     metric = _normalize_metric(metric)
     generator = ensure_rng(rng)
     n, d = dataset.n, dataset.d
-    profile = np.full((n, d), UNKNOWN, dtype=np.int64)
+    recorder = DeltaRecorder(n, d)
     reported = np.zeros((n, d), dtype=bool)
-    snapshots: list[np.ndarray] = []
     # protocol objects are stateless apart from the shared generator, so one
     # oracle per (k, epsilon) serves every survey and attribute
     oracle_cache: dict[tuple[int, float], object] = {}
@@ -219,12 +379,13 @@ def build_profiles_smp(
             else:
                 oracle = cached_oracle(k, epsilon)
                 guesses = oracle.attack_many(oracle.randomize_many(true_values))
-            profile[fresh_rows, attribute] = guesses
+            recorder.write(fresh_rows, attribute, guesses)
             reported[fresh_rows, attribute] = True
-        snapshots.append(profile.copy())
+        recorder.commit_survey()
 
     return ProfilingResult(
-        snapshots=snapshots,
+        deltas=recorder.deltas,
+        shape=(n, d),
         surveys=list(surveys),
         metric=metric,
         extra={"solution": "SMP", "protocol": protocol, "epsilon": epsilon, "pie_beta": pie_beta},
@@ -268,9 +429,8 @@ def build_profiles_rsfd(
     metric = _normalize_metric(metric)
     generator = ensure_rng(rng)
     n, d = dataset.n, dataset.d
-    profile = np.full((n, d), UNKNOWN, dtype=np.int64)
+    recorder = DeltaRecorder(n, d)
     reported = np.zeros((n, d), dtype=bool)
-    snapshots: list[np.ndarray] = []
     # one trained NK classifier per distinct survey attribute set
     nk_classifiers: dict[tuple[int, ...], object] = {}
     nk_accuracy: list[float] = []
@@ -321,11 +481,12 @@ def build_profiles_rsfd(
             if not isinstance(column_reports, PackedBits):
                 column_reports = np.asarray(column_reports)
             guesses = randomizer.attack_many(column_reports[rows])
-            profile[rows, attribute] = guesses
-        snapshots.append(profile.copy())
+            recorder.write(rows, attribute, guesses)
+        recorder.commit_survey()
 
     return ProfilingResult(
-        snapshots=snapshots,
+        deltas=recorder.deltas,
+        shape=(n, d),
         surveys=list(surveys),
         metric=metric,
         extra={

@@ -58,6 +58,7 @@ def _reident_rsfd_cell(params: Mapping, rng: np.random.Generator) -> list[dict]:
             top_k=int(top_k),
             model=params["knowledge"],
             min_surveys=int(params["min_surveys"]),
+            redraw_attributes=bool(params.get("redraw_attributes", False)),
         )
         for surveys_done, result in results.items():
             rows.append(
@@ -107,6 +108,7 @@ def plan_reidentification_rsfd(
     seed: int = 42,
     figure: str = "reident_rsfd",
     amortize_nk: bool = True,
+    redraw_attributes: bool = False,
 ) -> list[GridCell]:
     """Express the RS+FD re-identification grid as independent cells.
 
@@ -140,6 +142,7 @@ def plan_reidentification_rsfd(
                         "min_surveys": min_surveys,
                         "classifier": classifier,
                         "amortize_nk": bool(amortize_nk),
+                        "redraw_attributes": bool(redraw_attributes),
                     },
                     master_seed=seed,
                 )
@@ -164,6 +167,7 @@ def run_reidentification_rsfd(
     seed: int = 42,
     figure: str = "reident_rsfd",
     amortize_nk: bool = True,
+    redraw_attributes: bool = False,
     workers: int = 1,
     cache: "GridCache | str | None" = None,
     executor: "Executor | None" = None,
@@ -192,6 +196,7 @@ def run_reidentification_rsfd(
         seed=seed,
         figure=figure,
         amortize_nk=amortize_nk,
+        redraw_attributes=redraw_attributes,
     )
     return execute_plan(
         cells,

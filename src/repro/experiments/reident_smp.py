@@ -80,6 +80,7 @@ def _reident_smp_cell(params: Mapping, rng: np.random.Generator) -> list[dict]:
             top_k=int(top_k),
             model=params["knowledge"],
             min_surveys=int(params["min_surveys"]),
+            redraw_attributes=bool(params.get("redraw_attributes", False)),
         )
         for surveys_done, result in results.items():
             rows.append(
@@ -113,8 +114,17 @@ def plan_reidentification_smp(
     runs: int = 1,
     seed: int = 42,
     figure: str = "reident_smp",
+    redraw_attributes: bool = False,
 ) -> list[GridCell]:
-    """Express the SMP re-identification grid as independent cells."""
+    """Express the SMP re-identification grid as independent cells.
+
+    ``redraw_attributes`` only matters for ``knowledge="PK-RI"`` (Fig. 10):
+    by default one random attribute subset is drawn per evaluation, so the
+    curve isolates profile growth; ``True`` restores the historical
+    per-snapshot redraw (a different partial-knowledge adversary at every
+    point).  The flag is part of the cell params, so caches never mix the
+    two fidelities.
+    """
     privacy_levels = (
         [("beta", float(b)) for b in pie_betas]
         if pie_betas is not None
@@ -142,6 +152,7 @@ def plan_reidentification_smp(
                             "knowledge": knowledge,
                             "metric": metric,
                             "min_surveys": min_surveys,
+                            "redraw_attributes": bool(redraw_attributes),
                         },
                         master_seed=seed,
                     )
@@ -168,6 +179,7 @@ def run_reidentification_smp(
     runs: int = 1,
     seed: int = 42,
     figure: str = "reident_smp",
+    redraw_attributes: bool = False,
     workers: int = 1,
     cache: "GridCache | str | None" = None,
     executor: "Executor | None" = None,
@@ -195,6 +207,7 @@ def run_reidentification_smp(
         runs=runs,
         seed=seed,
         figure=figure,
+        redraw_attributes=redraw_attributes,
     )
     return execute_plan(
         cells,

@@ -45,8 +45,10 @@ from .reident_rsfd import plan_reidentification_rsfd, postprocess_reidentificati
 from .reident_smp import plan_reidentification_smp, postprocess_reidentification_smp
 from .reporting import format_table, save_artifact
 from .sharding import (
+    DEFAULT_GC_MAX_AGE_SECONDS,
     ShardedExecutor,
     find_shard_artifacts,
+    gc_shard_workspaces,
     merge_artifacts,
     plan_workspace,
     run_shard,
@@ -403,6 +405,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory holding per-shard partial artifacts "
         f"(default: {DEFAULT_SHARD_ROOT}/<figure>)",
     )
+    sharding.add_argument(
+        "--gc-shards",
+        action="store_true",
+        help="instead of running the figure, sweep orphaned per-plan "
+        "workspaces under the shard directory (interrupted cached runs can "
+        "leave them behind) and exit; workspaces whose newest file is "
+        "younger than --gc-max-age are never touched",
+    )
+    sharding.add_argument(
+        "--gc-max-age",
+        type=float,
+        default=DEFAULT_GC_MAX_AGE_SECONDS,
+        metavar="SECONDS",
+        help="age threshold for --gc-shards "
+        f"(default: {DEFAULT_GC_MAX_AGE_SECONDS:.0f}s = 7 days)",
+    )
     return parser
 
 
@@ -461,6 +479,20 @@ def main(argv: Sequence[str] | None = None) -> int:
     """Command-line entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.gc_shards and (
+        args.shards is not None or args.shard_index is not None or args.merge_shards
+    ):
+        parser.error(
+            "--gc-shards cannot be combined with --shards/--shard-index/--merge-shards"
+        )
+    if args.gc_shards:
+        try:
+            summary = gc_shard_workspaces(_shard_root(args), args.gc_max_age)
+        except InvalidParameterError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(json.dumps(summary))
+        return 0
     if (args.shard_index is not None or args.merge_shards) and args.shards is None:
         parser.error("--shard-index/--merge-shards require --shards N")
     if args.shard_index is not None and args.merge_shards:

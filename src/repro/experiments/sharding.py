@@ -549,6 +549,74 @@ def merge_artifacts(
 
 
 # --------------------------------------------------------------------------- #
+# workspace garbage collection
+# --------------------------------------------------------------------------- #
+#: Default GC age threshold: workspaces untouched for a week are orphans.
+DEFAULT_GC_MAX_AGE_SECONDS = 7 * 24 * 3600.0
+
+
+def _newest_mtime(directory: Path) -> float:
+    """Most recent modification time of a workspace or anything inside it.
+
+    A concurrent invocation that still owns the workspace keeps appending to
+    its journal / partial artifacts, so *any* fresh file (not just the old
+    ``plan.json``) must protect the whole workspace from the sweep.
+    """
+    try:
+        newest = directory.stat().st_mtime
+    except OSError:
+        return float("-inf")
+    for child in directory.rglob("*"):
+        try:
+            newest = max(newest, child.stat().st_mtime)
+        except OSError:
+            continue
+    return newest
+
+
+def gc_shard_workspaces(
+    root: str | Path,
+    max_age_seconds: float = DEFAULT_GC_MAX_AGE_SECONDS,
+    *,
+    now: float | None = None,
+) -> dict:
+    """Sweep orphaned per-plan shard workspaces under a persistent root.
+
+    Interrupted cached ``--shards N`` runs can leave per-pending-set
+    workspaces behind (successful unbounded-cache runs prune their own).
+    This sweep removes every workspace directory whose newest content is
+    older than ``max_age_seconds`` and **never** touches younger ones — a
+    workspace an active concurrent run owns is protected because that run
+    keeps refreshing its journal and partial artifacts.  Returns a JSON-able
+    summary naming the removed and kept workspaces.
+    """
+    if float(max_age_seconds) < 0:
+        raise InvalidParameterError(
+            f"max_age_seconds must be >= 0, got {max_age_seconds}"
+        )
+    root = Path(root)
+    reference = time.time() if now is None else float(now)
+    removed: list[str] = []
+    kept: list[str] = []
+    if root.is_dir():
+        for entry in sorted(root.iterdir()):
+            if not entry.is_dir():
+                continue  # stray files are not workspaces; leave them alone
+            age = reference - _newest_mtime(entry)
+            if age > float(max_age_seconds):
+                shutil.rmtree(entry, ignore_errors=True)
+                removed.append(entry.name)
+            else:
+                kept.append(entry.name)
+    return {
+        "root": str(root),
+        "max_age_seconds": float(max_age_seconds),
+        "removed": removed,
+        "kept": kept,
+    }
+
+
+# --------------------------------------------------------------------------- #
 # the sharded executor
 # --------------------------------------------------------------------------- #
 def _worker_env() -> dict:

@@ -2,10 +2,17 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
+import repro.attacks.profile as profile_module
 from repro.attacks.profile import (
     UNKNOWN,
+    DeltaRecorder,
+    ProfilingResult,
+    SnapshotView,
     Survey,
+    SurveyDelta,
     build_profiles_rsfd,
     build_profiles_smp,
     plan_surveys,
@@ -214,3 +221,178 @@ class TestNKAmortization:
         assert abs(mean_amortized - mean_per_survey) < 0.03
         # both stay clear of a broken classifier (d=3 random guessing = 1/3)
         assert mean_amortized > 1.0 / small_dataset.d - 0.05
+
+
+# --------------------------------------------------------------------------- #
+# delta-backed snapshot storage (ISSUE 5)
+# --------------------------------------------------------------------------- #
+class _InstrumentedRecorder(DeltaRecorder):
+    """Recorder that also keeps the dense per-survey copies the builders
+    historically stored, as the independent ground truth for reconstruction."""
+
+    def __init__(self, n, d):
+        super().__init__(n, d)
+        self.dense_snapshots = []
+
+    def commit_survey(self):
+        delta = super().commit_survey()
+        self.dense_snapshots.append(self.profile.copy())
+        return delta
+
+
+class TestDeltaReconstruction:
+    def _intercept(self, monkeypatch):
+        captured = []
+
+        def factory(n, d):
+            recorder = _InstrumentedRecorder(n, d)
+            captured.append(recorder)
+            return recorder
+
+        monkeypatch.setattr(profile_module, "DeltaRecorder", factory)
+        return captured
+
+    def test_smp_snapshots_byte_identical_to_dense_copies(
+        self, small_dataset, monkeypatch
+    ):
+        captured = self._intercept(monkeypatch)
+        surveys = plan_surveys(small_dataset.d, 4, rng=2, min_fraction=0.6)
+        result = build_profiles_smp(
+            small_dataset, surveys, protocol="GRR", epsilon=4.0, metric="uniform", rng=3
+        )
+        (recorder,) = captured
+        assert len(result.snapshots) == len(recorder.dense_snapshots) == 4
+        for reconstructed, dense in zip(result.snapshots, recorder.dense_snapshots):
+            assert reconstructed.dtype == dense.dtype
+            np.testing.assert_array_equal(reconstructed, dense)
+
+    def test_rsfd_snapshots_byte_identical_to_dense_copies(
+        self, small_dataset, monkeypatch
+    ):
+        captured = self._intercept(monkeypatch)
+        surveys = [Survey(tuple(range(small_dataset.d)))] * 3
+        result = build_profiles_rsfd(
+            small_dataset,
+            surveys,
+            epsilon=4.0,
+            variant="grr",
+            metric="uniform",
+            synthetic_factor=0.5,
+            classifier_factory=BernoulliNaiveBayes,
+            rng=3,
+        )
+        (recorder,) = captured
+        assert len(result.snapshots) == 3
+        # RS+FD rewrites cells across surveys, so this also exercises the
+        # overwrite path of the delta replay
+        for reconstructed, dense in zip(result.snapshots, recorder.dense_snapshots):
+            np.testing.assert_array_equal(reconstructed, dense)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1),
+           num_surveys=st.integers(min_value=1, max_value=5))
+    def test_recorder_replay_matches_naive_dense_accumulation(self, seed, num_surveys):
+        """Arbitrary write sequences (including overwrites) replay exactly."""
+        rng = np.random.default_rng(seed)
+        n, d = 17, 5
+        recorder = DeltaRecorder(n, d)
+        naive = np.full((n, d), UNKNOWN, dtype=np.int64)
+        dense_truth = []
+        for _ in range(num_surveys):
+            written = set()
+            for _ in range(int(rng.integers(0, 4))):
+                attribute = int(rng.integers(0, d))
+                candidates = [r for r in range(n) if (r, attribute) not in written]
+                rows = rng.choice(
+                    candidates, size=min(len(candidates), int(rng.integers(1, 8))),
+                    replace=False,
+                )
+                values = rng.integers(0, 9, size=rows.size)
+                recorder.write(rows, attribute, values)
+                naive[rows, attribute] = values
+                written.update((int(r), attribute) for r in rows)
+            recorder.commit_survey()
+            dense_truth.append(naive.copy())
+        result = ProfilingResult(
+            deltas=recorder.deltas, shape=(n, d), surveys=[], metric="uniform"
+        )
+        for reconstructed, dense in zip(result.snapshots, dense_truth):
+            np.testing.assert_array_equal(reconstructed, dense)
+
+
+class TestProfilingResultDeltas:
+    def test_no_dense_snapshot_copies_are_retained(self):
+        # the adult surrogate's d=10 shows the storage win (each survey
+        # writes ~1 of d cells per user); small_dataset's d=3 would tie
+        from repro.datasets.loaders import load_dataset
+
+        dataset = load_dataset("adult", n=200, rng=0)
+        surveys = plan_surveys(dataset.d, 3, rng=0, min_fraction=0.6)
+        result = build_profiles_smp(
+            dataset, surveys, protocol="GRR", epsilon=4.0, metric="uniform", rng=1
+        )
+        assert isinstance(result.snapshots, SnapshotView)
+        assert len(result.deltas) == 3
+        n, d = result.shape
+        dense_bytes = len(result.deltas) * n * d * 8
+        delta_bytes = sum(
+            delta.rows.nbytes + delta.attributes.nbytes + delta.values.nbytes
+            for delta in result.deltas
+        )
+        assert delta_bytes < dense_bytes
+
+    def test_snapshot_view_indexing(self, small_dataset):
+        surveys = plan_surveys(small_dataset.d, 3, rng=0, min_fraction=0.6)
+        result = build_profiles_smp(
+            small_dataset, surveys, protocol="GRR", epsilon=4.0, metric="uniform", rng=1
+        )
+        view = result.snapshots
+        np.testing.assert_array_equal(view[-1], view[2])
+        np.testing.assert_array_equal(result.final_profile, view[2])
+        sliced = view[1:]
+        assert len(sliced) == 2
+        np.testing.assert_array_equal(sliced[0], view[1])
+        for index, snapshot in enumerate(view):
+            np.testing.assert_array_equal(snapshot, view[index])
+        with pytest.raises(IndexError):
+            view[3]
+        with pytest.raises(IndexError):
+            view[-4]
+
+    def test_from_snapshots_roundtrip(self):
+        first = np.array([[UNKNOWN, 2], [1, UNKNOWN]], dtype=np.int64)
+        second = np.array([[3, 2], [1, 0]], dtype=np.int64)
+        result = ProfilingResult.from_snapshots(
+            [first, second], surveys=[], metric="uniform"
+        )
+        assert result.shape == (2, 2)
+        np.testing.assert_array_equal(result.snapshots[0], first)
+        np.testing.assert_array_equal(result.snapshots[1], second)
+        # diffing records exactly the three cells that changed hands
+        assert result.deltas[0].size == 2
+        assert result.deltas[1].size == 2
+
+    def test_from_snapshots_validation(self):
+        with pytest.raises(InvalidParameterError):
+            ProfilingResult.from_snapshots([], surveys=[], metric="uniform")
+        with pytest.raises(InvalidParameterError):
+            ProfilingResult.from_snapshots(
+                [np.zeros((2, 2)), np.zeros((3, 2))], surveys=[], metric="uniform"
+            )
+
+    def test_survey_delta_validation(self):
+        with pytest.raises(InvalidParameterError):
+            SurveyDelta(
+                rows=np.zeros(2, dtype=np.int64),
+                attributes=np.zeros(3, dtype=np.int64),
+                values=np.zeros(2, dtype=np.int64),
+            )
+
+    def test_known_counts_from_deltas(self, small_dataset):
+        surveys = plan_surveys(small_dataset.d, 2, rng=0, min_fraction=0.6)
+        result = build_profiles_smp(
+            small_dataset, surveys, protocol="GRR", epsilon=4.0, metric="uniform", rng=1
+        )
+        counts = result.known_counts(0)
+        assert (counts == 1).all()  # one attribute inferred after survey 1
+        assert (result.known_counts(-1) >= counts).all()
