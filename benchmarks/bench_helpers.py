@@ -36,14 +36,21 @@ def grid_kwargs() -> dict:
     ``REPRO_BENCH_SHARD_DIR`` (a persistent directory makes interrupted
     benchmark sweeps resumable; unset uses a temporary directory).  Rows are
     byte-identical to the in-process paths.
+
+    ``REPRO_BENCH_CACHE_BACKEND`` (``json``, the default, or ``sqlite``)
+    selects the cell-store layout for both the cache and the shard
+    journal/artifact layer.
     """
     kwargs: dict = {}
     workers = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
     if workers > 1:
         kwargs["workers"] = workers
     cache_dir = os.environ.get("REPRO_BENCH_CACHE")
+    backend = os.environ.get("REPRO_BENCH_CACHE_BACKEND", "json")
     if cache_dir:
-        kwargs["cache"] = cache_dir
+        from repro.experiments.grid import CellStore
+
+        kwargs["cache"] = CellStore.from_options(cache_dir, cache_backend=backend)
     shards = int(os.environ.get("REPRO_BENCH_SHARDS", "0"))
     if shards > 1:
         from repro.experiments.sharding import ShardedExecutor
@@ -53,5 +60,6 @@ def grid_kwargs() -> dict:
             workers=max(workers, 1),
             directory=os.environ.get("REPRO_BENCH_SHARD_DIR"),
             cache_dir=cache_dir or None,
+            cache_backend=backend,
         )
     return kwargs

@@ -31,10 +31,13 @@ from .attribute_inference_rsrfd import (
     postprocess_attribute_inference_rsrfd,
     run_attribute_inference_rsrfd,
 )
+from .cellstore import CELLSTORE_SCHEMA_VERSION, SQLiteCellStore
 from .config import FULL, PAPER_EPSILONS, PIE_BETAS, QUICK, SMOKE, UTILITY_EPSILONS, ExperimentConfig
 from .grid import (
+    CACHE_BACKENDS,
     GRID_SCHEMA_VERSION,
     CellOutcome,
+    CellStore,
     Executor,
     GridCache,
     GridCell,
@@ -47,6 +50,7 @@ from .grid import (
     registered_cell_runners,
     resolve_executor,
     run_grid,
+    validate_cache_backend,
 )
 from .reident_rsfd import (
     plan_reidentification_rsfd,
@@ -62,10 +66,12 @@ from .reident_smp import (
 from .reporting import format_table, mean_rows, pivot_series, save_artifact
 from .runner import FigureSpec, available_experiments, figure_spec, main, run_experiment
 from .sharding import (
+    SHARD_DB_NAME,
     MergedShards,
     ShardedExecutor,
     ShardRunResult,
     find_shard_artifacts,
+    journal_artifacts,
     load_plan,
     load_shard_artifact,
     merge_artifacts,
@@ -73,6 +79,7 @@ from .sharding import (
     run_shard,
     shard_artifact_path,
     shard_positions,
+    workspace_store,
     write_plan,
 )
 from .utility_rsrfd import (
@@ -90,10 +97,15 @@ __all__ = [
     "PAPER_EPSILONS",
     "UTILITY_EPSILONS",
     "PIE_BETAS",
-    # grid engine
+    # grid engine and cell stores
     "GRID_SCHEMA_VERSION",
+    "CELLSTORE_SCHEMA_VERSION",
+    "CACHE_BACKENDS",
+    "validate_cache_backend",
     "GridCell",
+    "CellStore",
     "GridCache",
+    "SQLiteCellStore",
     "GridResult",
     "CellOutcome",
     "cell_runner",
@@ -118,6 +130,9 @@ __all__ = [
     "load_shard_artifact",
     "run_shard",
     "merge_artifacts",
+    "journal_artifacts",
+    "workspace_store",
+    "SHARD_DB_NAME",
     "register_classifier_factory",
     "resolve_classifier_factory",
     "classifier_name",

@@ -1,0 +1,627 @@
+"""WAL-mode SQLite cell store: cache entries, shard journals, run ledger.
+
+The JSON :class:`~repro.experiments.grid.GridCache` keeps one file per
+cached cell and the sharded engine keeps one append-only JSONL journal per
+shard — at production grid sizes (1e5+ cells) directory scans, per-file
+eviction and journal replay dominate wall-clock.  This module moves all
+three kinds of state into **one SQLite database** per store:
+
+* ``cells`` — the completed-cell memo (``config_hash`` primary key, rows as
+  canonical JSON, ``last_used_at`` refreshed on every hit so eviction is a
+  single indexed least-recently-used delete);
+* ``shard_journal`` — per-plan completion journals: concurrent shard
+  invocations append to the same database (WAL + ``busy_timeout`` make the
+  tiny per-cell transactions safe) and resume state becomes a query,
+  ``SELECT ... FROM shard_journal WHERE fingerprint = ?``, instead of a
+  line-by-line JSONL replay;
+* ``runs`` — a ledger of every ``run_grid`` / ``run_shard`` invocation with
+  its JSON execution summary, so a long sweep's history is queryable.
+
+The database is opened with ``journal_mode=WAL`` (readers never block the
+writer), ``synchronous=NORMAL`` and a 30 s ``busy_timeout``; the schema is
+created and upgraded through the ordered migration scripts in
+:data:`_MIGRATIONS`, tracked by SQLite's ``user_version`` pragma — opening
+an old database applies only the missing migrations, and a database written
+by a *newer* library version is refused instead of corrupted.
+
+:class:`SQLiteCellStore` implements the same
+:class:`~repro.experiments.grid.CellStore` seam as ``GridCache`` (the JSON
+layout stays as the parity baseline, selected by ``--cache-backend json``),
+including the degrade-to-a-warned-miss contract: no storage failure may
+abort a grid run that can still compute its cells.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import time
+import warnings
+from pathlib import Path
+from typing import Any, Iterator, Mapping, Sequence
+
+from ..exceptions import InvalidParameterError
+from .grid import GRID_SCHEMA_VERSION, CellStore, GridCell, _jsonable
+
+#: Database file name used when a store is built from a cache *directory*
+#: (``--cache-dir X --cache-backend sqlite`` → ``X/cells.sqlite``).
+DEFAULT_DB_NAME = "cells.sqlite"
+
+#: How long a writer waits on a locked database before failing (concurrent
+#: shard invocations appending to one journal).
+DEFAULT_BUSY_TIMEOUT_MS = 30_000
+
+#: Ordered, append-only migration scripts; ``PRAGMA user_version`` records
+#: how many have been applied.  Never edit an existing script — append a new
+#: one, so any database version on disk upgrades along the same path.
+_MIGRATIONS: tuple[str, ...] = (
+    # 1: the three core tables
+    """
+    CREATE TABLE cells (
+        config_hash  TEXT PRIMARY KEY,
+        key          TEXT NOT NULL,
+        schema       INTEGER NOT NULL,
+        runner       TEXT NOT NULL,
+        master_seed  INTEGER NOT NULL,
+        rows         TEXT NOT NULL,
+        elapsed      REAL NOT NULL,
+        size_bytes   INTEGER NOT NULL,
+        created_at   REAL NOT NULL,
+        last_used_at REAL NOT NULL
+    );
+    CREATE TABLE shard_journal (
+        fingerprint TEXT NOT NULL,
+        shard_index INTEGER NOT NULL,
+        config_hash TEXT NOT NULL,
+        entry       TEXT NOT NULL,
+        created_at  REAL NOT NULL,
+        PRIMARY KEY (fingerprint, config_hash)
+    );
+    CREATE TABLE runs (
+        run_id      INTEGER PRIMARY KEY AUTOINCREMENT,
+        kind        TEXT NOT NULL,
+        figure      TEXT,
+        started_at  REAL NOT NULL,
+        finished_at REAL NOT NULL,
+        summary     TEXT NOT NULL
+    );
+    """,
+    # 2: the indexes behind LRU eviction and journal resume queries
+    """
+    CREATE INDEX idx_cells_last_used ON cells (last_used_at);
+    CREATE INDEX idx_journal_fingerprint ON shard_journal (fingerprint, shard_index);
+    """,
+)
+
+#: Schema version a freshly created database ends up at.
+CELLSTORE_SCHEMA_VERSION = len(_MIGRATIONS)
+
+
+def _statements(script: str) -> list[str]:
+    """Split a migration script into individual SQL statements."""
+    return [part.strip() for part in script.split(";") if part.strip()]
+
+
+def _compact_json(value: Any) -> str:
+    """Compact JSON encoding of an already-jsonable value."""
+    return json.dumps(value, separators=(",", ":"))
+
+
+class SQLiteCellStore(CellStore):
+    """One WAL-mode SQLite database holding cells, shard journals and runs.
+
+    Parameters
+    ----------
+    path:
+        Database file.  Use :meth:`for_directory` to follow the CLI
+        convention of ``<cache-dir>/cells.sqlite``.
+    max_entries, max_bytes:
+        Optional bounds on the ``cells`` table (count / cumulative stored
+        row-payload bytes).  Eviction is least-recently-used: :meth:`get`
+        refreshes ``last_used_at`` on every hit and :meth:`put` deletes the
+        stalest entries (never the one just written) with one indexed
+        query — no directory scan.
+    busy_timeout_ms:
+        ``PRAGMA busy_timeout`` — how long concurrent writers (shard
+        invocations sharing one journal database) wait on a lock.
+
+    Error contract: construction fails fast with
+    :class:`~repro.exceptions.InvalidParameterError` on an unusable path —
+    exactly like ``GridCache`` with an unusable directory — while every
+    later storage failure degrades to a once-warned miss/no-op so a grid
+    run keeps computing.
+    """
+
+    backend = "sqlite"
+
+    def __init__(
+        self,
+        path: str | Path,
+        max_entries: int | None = None,
+        max_bytes: int | None = None,
+        busy_timeout_ms: int = DEFAULT_BUSY_TIMEOUT_MS,
+    ) -> None:
+        self.path = Path(path)
+        self.directory = self.path.parent
+        if max_entries is not None and int(max_entries) < 1:
+            raise InvalidParameterError(f"max_entries must be >= 1, got {max_entries}")
+        if max_bytes is not None and int(max_bytes) < 1:
+            raise InvalidParameterError(f"max_bytes must be >= 1, got {max_bytes}")
+        self.max_entries = None if max_entries is None else int(max_entries)
+        self.max_bytes = None if max_bytes is None else int(max_bytes)
+        self._evicted = 0
+        self._warned = False
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            self._conn = sqlite3.connect(self.path, timeout=busy_timeout_ms / 1000.0)
+            self._conn.row_factory = sqlite3.Row
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._conn.execute("PRAGMA foreign_keys=ON")
+            self._conn.execute(f"PRAGMA busy_timeout={int(busy_timeout_ms)}")
+            self._migrate()
+        except (OSError, sqlite3.Error) as exc:
+            raise InvalidParameterError(
+                f"cell store {self.path} is not usable: {exc}"
+            ) from exc
+
+    @classmethod
+    def for_directory(
+        cls,
+        directory: str | Path,
+        max_entries: int | None = None,
+        max_bytes: int | None = None,
+    ) -> "SQLiteCellStore":
+        """The store backing a cache *directory*: ``<directory>/cells.sqlite``."""
+        return cls(
+            Path(directory) / DEFAULT_DB_NAME,
+            max_entries=max_entries,
+            max_bytes=max_bytes,
+        )
+
+    # ------------------------------------------------------------------ #
+    # schema migrations
+    # ------------------------------------------------------------------ #
+    def schema_version(self) -> int:
+        """The database's current migration level (``PRAGMA user_version``)."""
+        return int(self._conn.execute("PRAGMA user_version").fetchone()[0])
+
+    def _migrate(self) -> None:
+        """Apply every migration the database has not seen yet, in order."""
+        version = self.schema_version()
+        if version > len(_MIGRATIONS):
+            raise InvalidParameterError(
+                f"cell store {self.path} has schema version {version}, newer than "
+                f"this library's {CELLSTORE_SCHEMA_VERSION}; refusing to touch it"
+            )
+        for number in range(version + 1, len(_MIGRATIONS) + 1):
+            # one transaction per migration: a crash mid-upgrade leaves the
+            # database at the previous consistent version, not in between
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                for statement in _statements(_MIGRATIONS[number - 1]):
+                    self._conn.execute(statement)
+                self._conn.execute(f"PRAGMA user_version = {number}")
+                self._conn.execute("COMMIT")
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+
+    # ------------------------------------------------------------------ #
+    # shared plumbing
+    # ------------------------------------------------------------------ #
+    def _warn_io(self, action: str, exc: Exception) -> None:
+        """Warn once per store instance that storage I/O is failing."""
+        if self._warned:
+            return
+        self._warned = True
+        warnings.warn(
+            f"cell store {action} failed for {self.path} ({exc}); "
+            "continuing without the store (cells are recomputed, not persisted)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+    def close(self) -> None:
+        """Close the underlying connection (idempotent)."""
+        try:
+            self._conn.close()
+        except sqlite3.Error:  # pragma: no cover - close never fails in practice
+            pass
+
+    def __enter__(self) -> "SQLiteCellStore":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # the cells table (the CellStore seam)
+    # ------------------------------------------------------------------ #
+    def get(self, cell: GridCell) -> "list[dict] | None":
+        """Cached rows of ``cell``, or ``None`` on a miss.
+
+        A hit refreshes the entry's ``last_used_at`` (best-effort), so a
+        bounded store evicts stale entries before hot ones.
+        """
+        try:
+            row = self._conn.execute(
+                "SELECT key, master_seed, rows FROM cells WHERE config_hash = ?",
+                (cell.config_hash,),
+            ).fetchone()
+        except sqlite3.Error as exc:
+            self._warn_io("read", exc)
+            return None
+        if row is None:
+            return None
+        # same tamper/collision guard as the JSON cache
+        if row["key"] != cell.key or int(row["master_seed"]) != int(cell.master_seed):
+            return None
+        try:
+            rows = json.loads(row["rows"])
+        except (json.JSONDecodeError, TypeError):
+            return None
+        if not isinstance(rows, list):
+            return None
+        try:
+            with self._conn:
+                self._conn.execute(
+                    "UPDATE cells SET last_used_at = ? WHERE config_hash = ?",
+                    (time.time(), cell.config_hash),
+                )
+        except sqlite3.Error:
+            pass  # the LRU refresh is best-effort, like the JSON mtime touch
+        return rows
+
+    def put(
+        self, cell: GridCell, rows: Sequence[Mapping[str, Any]], elapsed: float
+    ) -> "Path | None":
+        """Persist the rows of a freshly computed cell.
+
+        Returns the database path, or ``None`` when the write failed (the
+        run continues uncached).
+        """
+        payload = _compact_json([_jsonable(row) for row in rows])
+        now = time.time()
+        try:
+            with self._conn:
+                self._conn.execute(
+                    """
+                    INSERT INTO cells (config_hash, key, schema, runner, master_seed,
+                                       rows, elapsed, size_bytes, created_at, last_used_at)
+                    VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+                    ON CONFLICT(config_hash) DO UPDATE SET
+                        rows = excluded.rows,
+                        elapsed = excluded.elapsed,
+                        size_bytes = excluded.size_bytes,
+                        last_used_at = excluded.last_used_at
+                    """,
+                    (
+                        cell.config_hash,
+                        cell.key,
+                        GRID_SCHEMA_VERSION,
+                        cell.runner,
+                        int(cell.master_seed),
+                        payload,
+                        float(elapsed),
+                        len(payload.encode("utf-8")),
+                        now,
+                        now,
+                    ),
+                )
+        except sqlite3.Error as exc:
+            self._warn_io("write", exc)
+            return None
+        self._enforce_bounds(protect=cell.config_hash)
+        return self.path
+
+    def _enforce_bounds(self, protect: "str | None" = None) -> None:
+        """Evict least-recently-used cells until the configured bounds hold.
+
+        One indexed pass over ``last_used_at`` order — no directory scan;
+        the entry named by ``protect`` (the one just written) survives.
+        """
+        if self.max_entries is None and self.max_bytes is None:
+            return
+        try:
+            count, total = self._conn.execute(
+                "SELECT COUNT(*), COALESCE(SUM(size_bytes), 0) FROM cells"
+            ).fetchone()
+            doomed: list[tuple[str]] = []
+            if (self.max_entries is not None and count > self.max_entries) or (
+                self.max_bytes is not None and total > self.max_bytes
+            ):
+                for row in self._conn.execute(
+                    "SELECT config_hash, size_bytes FROM cells "
+                    "ORDER BY last_used_at, rowid"
+                ):
+                    over_entries = (
+                        self.max_entries is not None and count > self.max_entries
+                    )
+                    over_bytes = self.max_bytes is not None and total > self.max_bytes
+                    if not (over_entries or over_bytes):
+                        break
+                    if row["config_hash"] == protect:
+                        continue
+                    doomed.append((row["config_hash"],))
+                    count -= 1
+                    total -= int(row["size_bytes"])
+            if doomed:
+                with self._conn:
+                    self._conn.executemany(
+                        "DELETE FROM cells WHERE config_hash = ?", doomed
+                    )
+                self._evicted += len(doomed)
+        except sqlite3.Error as exc:
+            self._warn_io("eviction", exc)
+
+    def stats(self) -> dict:
+        """Current store occupancy, configured bounds and table sizes."""
+        try:
+            entries, total = self._conn.execute(
+                "SELECT COUNT(*), COALESCE(SUM(size_bytes), 0) FROM cells"
+            ).fetchone()
+            journal = self._conn.execute(
+                "SELECT COUNT(*) FROM shard_journal"
+            ).fetchone()[0]
+            runs = self._conn.execute("SELECT COUNT(*) FROM runs").fetchone()[0]
+            version = self.schema_version()
+        except sqlite3.Error as exc:
+            self._warn_io("stats", exc)
+            entries = total = journal = runs = version = 0
+        return {
+            "backend": self.backend,
+            "directory": str(self.directory),
+            "path": str(self.path),
+            "entries": int(entries),
+            "total_bytes": int(total),
+            "max_entries": self.max_entries,
+            "max_bytes": self.max_bytes,
+            "evicted": self._evicted,
+            "journal_entries": int(journal),
+            "runs": int(runs),
+            "schema_version": int(version),
+        }
+
+    def __len__(self) -> int:
+        try:
+            return int(self._conn.execute("SELECT COUNT(*) FROM cells").fetchone()[0])
+        except sqlite3.Error as exc:
+            self._warn_io("read", exc)
+            return 0
+
+    # ------------------------------------------------------------------ #
+    # the shard_journal table
+    # ------------------------------------------------------------------ #
+    def journal_append(
+        self, fingerprint: str, shard_index: int, entry: Mapping[str, Any]
+    ) -> bool:
+        """Record one completed cell of a plan's shard (idempotent upsert).
+
+        The per-cell transaction is what makes *concurrent* shard
+        invocations safe: WAL mode plus ``busy_timeout`` serialize the tiny
+        writes without any merge step afterwards.
+        """
+        try:
+            record = _compact_json(_jsonable(dict(entry)))
+            with self._conn:
+                self._conn.execute(
+                    """
+                    INSERT INTO shard_journal
+                        (fingerprint, shard_index, config_hash, entry, created_at)
+                    VALUES (?, ?, ?, ?, ?)
+                    ON CONFLICT(fingerprint, config_hash) DO UPDATE SET
+                        shard_index = excluded.shard_index,
+                        entry = excluded.entry
+                    """,
+                    (
+                        str(fingerprint),
+                        int(shard_index),
+                        str(entry["config_hash"]),
+                        record,
+                        time.time(),
+                    ),
+                )
+            return True
+        except (sqlite3.Error, KeyError) as exc:
+            self._warn_io("journal append", exc)
+            return False
+
+    def journal_records(self, fingerprint: str) -> Iterator[tuple[int, dict]]:
+        """``(shard_index, entry)`` of every journaled cell of a plan.
+
+        Undecodable entries are skipped (mirroring the JSONL journal's
+        torn-line tolerance); storage failures degrade to an empty iteration
+        with the usual warning.
+        """
+        try:
+            rows = self._conn.execute(
+                "SELECT shard_index, entry FROM shard_journal "
+                "WHERE fingerprint = ? ORDER BY rowid",
+                (str(fingerprint),),
+            ).fetchall()
+        except sqlite3.Error as exc:
+            self._warn_io("journal read", exc)
+            return
+        for row in rows:
+            try:
+                entry = json.loads(row["entry"])
+            except (json.JSONDecodeError, TypeError):
+                continue
+            if isinstance(entry, dict) and "config_hash" in entry:
+                yield int(row["shard_index"]), entry
+
+    def journal_entries(self, fingerprint: str) -> dict[str, dict]:
+        """Resume state of a plan: ``{config_hash: entry}`` for every shard.
+
+        This is the query that replaces the JSONL journal replay — one
+        indexed lookup instead of re-parsing a line per completed cell.
+        """
+        return {
+            str(entry["config_hash"]): entry
+            for _, entry in self.journal_records(fingerprint)
+        }
+
+    def journal_clear(
+        self, fingerprint: str, shard_index: int | None = None
+    ) -> int:
+        """Drop a plan's journal (optionally only one shard's rows)."""
+        try:
+            with self._conn:
+                if shard_index is None:
+                    cursor = self._conn.execute(
+                        "DELETE FROM shard_journal WHERE fingerprint = ?",
+                        (str(fingerprint),),
+                    )
+                else:
+                    cursor = self._conn.execute(
+                        "DELETE FROM shard_journal "
+                        "WHERE fingerprint = ? AND shard_index = ?",
+                        (str(fingerprint), int(shard_index)),
+                    )
+            return int(cursor.rowcount)
+        except sqlite3.Error as exc:
+            self._warn_io("journal clear", exc)
+            return 0
+
+    # ------------------------------------------------------------------ #
+    # the runs ledger
+    # ------------------------------------------------------------------ #
+    def record_run(
+        self,
+        kind: str,
+        figure: str | None = None,
+        summary: Mapping[str, Any] | None = None,
+        started_at: float | None = None,
+        finished_at: float | None = None,
+    ) -> int | None:
+        """Append one invocation to the run ledger; returns its ``run_id``.
+
+        ``kind`` names the entry point (``"run_grid"``, ``"run_shard"``,
+        ``"merge_shards"``, ...); ``summary`` is any JSON-able execution
+        summary.  Failures degrade to ``None`` — the ledger is bookkeeping,
+        never a reason to fail a finished run.
+        """
+        now = time.time()
+        try:
+            with self._conn:
+                cursor = self._conn.execute(
+                    "INSERT INTO runs (kind, figure, started_at, finished_at, summary) "
+                    "VALUES (?, ?, ?, ?, ?)",
+                    (
+                        str(kind),
+                        None if figure is None else str(figure),
+                        now if started_at is None else float(started_at),
+                        now if finished_at is None else float(finished_at),
+                        _compact_json(_jsonable(dict(summary or {}))),
+                    ),
+                )
+            return int(cursor.lastrowid)
+        except sqlite3.Error as exc:
+            self._warn_io("ledger append", exc)
+            return None
+
+    def runs_ledger(
+        self, limit: int | None = None, kind: str | None = None
+    ) -> list[dict]:
+        """The ledger, newest first (optionally filtered / truncated)."""
+        query = "SELECT run_id, kind, figure, started_at, finished_at, summary FROM runs"
+        params: list[Any] = []
+        if kind is not None:
+            query += " WHERE kind = ?"
+            params.append(str(kind))
+        query += " ORDER BY run_id DESC"
+        if limit is not None:
+            query += " LIMIT ?"
+            params.append(int(limit))
+        try:
+            rows = self._conn.execute(query, params).fetchall()
+        except sqlite3.Error as exc:
+            self._warn_io("ledger read", exc)
+            return []
+        ledger = []
+        for row in rows:
+            try:
+                summary = json.loads(row["summary"])
+            except (json.JSONDecodeError, TypeError):
+                summary = None
+            ledger.append(
+                {
+                    "run_id": int(row["run_id"]),
+                    "kind": row["kind"],
+                    "figure": row["figure"],
+                    "started_at": float(row["started_at"]),
+                    "finished_at": float(row["finished_at"]),
+                    "summary": summary,
+                }
+            )
+        return ledger
+
+    # ------------------------------------------------------------------ #
+    # migration from a JSON cache directory
+    # ------------------------------------------------------------------ #
+    def import_json_cache(self, directory: str | Path) -> dict:
+        """Import a :class:`GridCache` directory's entries into ``cells``.
+
+        Unreadable/corrupt files, entries of a different grid schema version
+        (their config hashes could never be queried anyway) and hashes
+        already present in the store (the database copy wins — it may be
+        fresher) are skipped, each counted in the returned summary.  File
+        modification times become ``last_used_at``, so the imported entries
+        keep their LRU order.
+        """
+        directory = Path(directory)
+        imported = skipped = present = 0
+        for path in sorted(directory.glob("*.json")):
+            try:
+                stat = path.stat()
+                entry = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+                skipped += 1
+                continue
+            if (
+                not isinstance(entry, dict)
+                or entry.get("schema") != GRID_SCHEMA_VERSION
+                or not isinstance(entry.get("rows"), list)
+                or not isinstance(entry.get("key"), str)
+            ):
+                skipped += 1
+                continue
+            payload = _compact_json(entry["rows"])
+            try:
+                with self._conn:
+                    cursor = self._conn.execute(
+                        """
+                        INSERT OR IGNORE INTO cells
+                            (config_hash, key, schema, runner, master_seed,
+                             rows, elapsed, size_bytes, created_at, last_used_at)
+                        VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+                        """,
+                        (
+                            path.stem,
+                            entry["key"],
+                            int(entry["schema"]),
+                            str(entry.get("runner", "")),
+                            int(entry.get("master_seed", 0)),
+                            payload,
+                            float(entry.get("elapsed", 0.0)),
+                            len(payload.encode("utf-8")),
+                            stat.st_mtime,
+                            stat.st_mtime,
+                        ),
+                    )
+            except (sqlite3.Error, TypeError, ValueError):
+                skipped += 1
+                continue
+            if cursor.rowcount:
+                imported += 1
+            else:
+                present += 1
+        self._enforce_bounds()
+        return {
+            "directory": str(directory),
+            "store": str(self.path),
+            "imported": imported,
+            "already_present": present,
+            "skipped": skipped,
+        }

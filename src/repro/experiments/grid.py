@@ -114,11 +114,34 @@ def canonical_json(value: Any) -> str:
     return json.dumps(_jsonable(value), sort_keys=True, separators=(",", ":"))
 
 
-def _write_json_atomic(path: Path, payload: Any, indent: int | None = 1) -> Path:
-    """Write ``payload`` as JSON via a temp file + ``os.replace``.
+def _fsync_directory(directory: Path) -> None:
+    """Best-effort fsync of a directory, so a fresh rename survives power loss.
 
-    Crash-atomic: readers never observe a torn file.  The shared
-    implementation behind cache entries, plan files and shard artifacts.
+    Platforms that cannot open directories for fsync (e.g. Windows) simply
+    skip this step — it strengthens durability, never correctness.
+    """
+    fd = None
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        if fd is not None:
+            try:
+                os.close(fd)
+            except OSError:
+                pass
+
+
+def _write_json_atomic(path: Path, payload: Any, indent: int | None = 1) -> Path:
+    """Write ``payload`` as JSON via a temp file + fsync + ``os.replace``.
+
+    Crash-atomic: readers never observe a torn file, and the temp file is
+    fsynced *before* the rename (plus a best-effort fsync of the directory
+    after it) so a power loss cannot surface an empty or torn renamed file.
+    The shared implementation behind cache entries, plan files and shard
+    artifacts.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -133,7 +156,10 @@ def _write_json_atomic(path: Path, payload: Any, indent: int | None = 1) -> Path
     try:
         with handle:
             json.dump(payload, handle, indent=indent)
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(handle.name, path)
+        _fsync_directory(path.parent)
     except BaseException:
         try:
             os.unlink(handle.name)
@@ -219,15 +245,97 @@ class GridCell:
 
 
 # --------------------------------------------------------------------------- #
-# cache
+# cell-store seam and the JSON cache
 # --------------------------------------------------------------------------- #
-class GridCache:
+#: Valid values of the ``cache_backend`` option threaded through
+#: :meth:`CellStore.from_options`, ``run_shard``, ``ShardedExecutor`` and the
+#: CLIs.  ``json`` is the file-per-cell parity baseline; ``sqlite`` is the
+#: WAL-mode single-database store of :mod:`repro.experiments.cellstore`.
+CACHE_BACKENDS = ("json", "sqlite")
+
+
+def validate_cache_backend(cache_backend: str) -> str:
+    """Validate a ``cache_backend`` option value."""
+    if cache_backend not in CACHE_BACKENDS:
+        raise InvalidParameterError(
+            f"cache_backend must be one of {CACHE_BACKENDS}, got {cache_backend!r}"
+        )
+    return cache_backend
+
+
+class CellStore(abc.ABC):
+    """Storage seam behind the grid engine's completed-cell memo.
+
+    :func:`run_grid` (and everything above it) only relies on this
+    interface, so the persistence layer is pluggable: :class:`GridCache`
+    keeps one JSON file per cell (the parity baseline), while
+    :class:`repro.experiments.cellstore.SQLiteCellStore` keeps every entry —
+    plus shard completion journals and a run ledger — in one WAL-mode SQLite
+    database.  Implementations must degrade I/O failures to a once-warned
+    cache miss rather than aborting a grid run.
+    """
+
+    #: Backend tag (``"json"`` / ``"sqlite"``), used to decide whether a
+    #: parent cache and a sharded executor's worker caches share storage.
+    backend: str = "json"
+    #: Directory the store lives in (shared-storage identity checks).
+    directory: Path
+    max_entries: int | None = None
+    max_bytes: int | None = None
+
+    @abc.abstractmethod
+    def get(self, cell: "GridCell") -> "list[dict] | None":
+        """Cached rows of ``cell``, or ``None`` on a miss."""
+
+    @abc.abstractmethod
+    def put(
+        self, cell: "GridCell", rows: Sequence[Mapping[str, Any]], elapsed: float
+    ) -> "Path | None":
+        """Persist the rows of a freshly computed cell (``None`` on failure)."""
+
+    @abc.abstractmethod
+    def stats(self) -> dict:
+        """Current occupancy and configured bounds."""
+
+    def _enforce_bounds(self, protect: Any = None) -> None:
+        """Re-check the size bounds after out-of-band writes (no-op default)."""
+
+    @classmethod
+    def from_options(
+        cls,
+        directory: "str | Path | None",
+        max_entries: int | None = None,
+        max_bytes: int | None = None,
+        cache_backend: str = "json",
+    ) -> "CellStore | None":
+        """Build a cell store from optional CLI-style options (``None`` → no cache).
+
+        The one place the ``(directory, max_entries, max_bytes,
+        cache_backend)`` wiring lives; the runner, the shard worker and the
+        sharded executor all construct their caches through it so a future
+        option cannot silently diverge between the parent and its workers.
+        ``cache_backend="sqlite"`` stores the cells in
+        ``<directory>/cells.sqlite`` instead of one JSON file per cell.
+        """
+        validate_cache_backend(cache_backend)
+        if directory is None:
+            return None
+        if cache_backend == "sqlite":
+            from .cellstore import SQLiteCellStore  # late: avoids a cycle
+
+            return SQLiteCellStore.for_directory(
+                directory, max_entries=max_entries, max_bytes=max_bytes
+            )
+        return GridCache(directory, max_entries=max_entries, max_bytes=max_bytes)
+
+
+class GridCache(CellStore):
     """On-disk JSON memo of completed grid cells.
 
     Layout: one ``<config-hash>.json`` file per cell under ``directory``,
     holding the cell description, its rows and the compute time.  Writes are
-    atomic (temp file + ``os.replace``) so concurrent runs never observe a
-    torn entry.
+    atomic (temp file + fsync + ``os.replace``) so concurrent runs never
+    observe a torn entry, even across a power loss.
 
     I/O failures beyond a plain miss — a read-only cache directory, a
     ``PermissionError``, an entry that is actually a directory (``EISDIR``),
@@ -238,11 +346,15 @@ class GridCache:
 
     Size bounds: ``max_entries`` / ``max_bytes`` cap the number of entry
     files and their cumulative size.  Bounds are enforced after every
-    :meth:`put` by evicting the oldest entries (by file modification time)
-    first; the entry just written is never evicted, so a single oversized
-    cell still round-trips within its own run.  An unbounded cache (both
-    limits ``None``) behaves exactly as before.
+    :meth:`put` by evicting the least-recently-*used* entries first —
+    :meth:`get` refreshes the entry's modification time on every hit, so a
+    hot entry survives eviction while a stale one goes (true LRU, not
+    FIFO-by-write-time); the entry just written is never evicted, so a
+    single oversized cell still round-trips within its own run.  An
+    unbounded cache (both limits ``None``) behaves exactly as before.
     """
+
+    backend = "json"
 
     def __init__(
         self,
@@ -274,24 +386,6 @@ class GridCache:
             for _, size, _ in self._entry_files():
                 self._count_estimate += 1
                 self._bytes_estimate += size
-
-    @classmethod
-    def from_options(
-        cls,
-        directory: "str | Path | None",
-        max_entries: int | None = None,
-        max_bytes: int | None = None,
-    ) -> "GridCache | None":
-        """Build a cache from optional CLI-style options (``None`` → no cache).
-
-        The one place the ``(directory, max_entries, max_bytes)`` wiring
-        lives; the runner, the shard worker and the sharded executor all
-        construct their caches through it so a future option cannot silently
-        diverge between the parent and its workers.
-        """
-        if directory is None:
-            return None
-        return cls(directory, max_entries=max_entries, max_bytes=max_bytes)
 
     def _warn_io(self, action: str, path: Path, exc: OSError) -> None:
         """Warn once per cache instance that cache I/O is failing."""
@@ -331,7 +425,15 @@ class GridCache:
         if entry.get("key") != cell.key or entry.get("master_seed") != cell.master_seed:
             return None
         rows = entry.get("rows")
-        return rows if isinstance(rows, list) else None
+        if not isinstance(rows, list):
+            return None
+        try:
+            # LRU: a hit refreshes the entry's eviction clock, so a bounded
+            # cache evicts stale entries before hot ones
+            os.utime(path)
+        except OSError:
+            pass
+        return rows
 
     def put(
         self, cell: GridCell, rows: Sequence[Mapping[str, Any]], elapsed: float
@@ -369,7 +471,12 @@ class GridCache:
                 self._count_estimate += 0 if existed else 1
                 self._bytes_estimate += path.stat().st_size - old_size
             except OSError:
-                self._count_estimate += 1  # stay conservative: force a rescan soon
+                # the fresh entry's size is unknowable, so neither running
+                # estimate can be kept honest — run the authoritative rescan
+                # now (it re-seeds both) instead of letting the byte estimate
+                # silently drift below reality
+                self._enforce_bounds(protect=path)
+                return path
             over_entries = (
                 self.max_entries is not None and self._count_estimate > self.max_entries
             )
@@ -381,21 +488,30 @@ class GridCache:
         return path
 
     def _entry_files(self) -> list[tuple[float, int, Path]]:
-        """``(mtime, size, path)`` of every entry file (unreadable ones skipped)."""
+        """``(mtime, size, path)`` of every entry file (unreadable ones skipped).
+
+        An unreadable *directory* degrades to an empty listing with the usual
+        once-per-instance warning — :meth:`stats` and eviction must never
+        raise where :meth:`get`/:meth:`put` would have warned.
+        """
         entries = []
-        for path in self.directory.glob("*.json"):
-            try:
-                stat = path.stat()
-            except OSError:
-                continue
-            entries.append((stat.st_mtime, stat.st_size, path))
+        try:
+            for path in self.directory.glob("*.json"):
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                entries.append((stat.st_mtime, stat.st_size, path))
+        except OSError as exc:
+            self._warn_io("directory scan", self.directory, exc)
         return entries
 
     def _enforce_bounds(self, protect: Path | None = None) -> None:
-        """Evict oldest-mtime entries until the configured bounds hold.
+        """Evict least-recently-used entries until the configured bounds hold.
 
-        Runs the authoritative directory scan and re-seeds the running
-        occupancy estimate used by :meth:`put`.
+        "Used" is the file modification time, which :meth:`get` refreshes on
+        every hit.  Runs the authoritative directory scan and re-seeds the
+        running occupancy estimate used by :meth:`put`.
         """
         if self.max_entries is None and self.max_bytes is None:
             return
@@ -433,6 +549,7 @@ class GridCache:
         """Current cache occupancy and configured bounds."""
         entries = self._entry_files()
         return {
+            "backend": self.backend,
             "directory": str(self.directory),
             "entries": len(entries),
             "total_bytes": int(sum(size for _, size, _ in entries)),
@@ -442,17 +559,21 @@ class GridCache:
         }
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.directory.glob("*.json"))
+        try:
+            return sum(1 for _ in self.directory.glob("*.json"))
+        except OSError as exc:
+            self._warn_io("directory scan", self.directory, exc)
+            return 0
 
 
-def ensure_cache(cache: "GridCache | str | Path | None") -> GridCache | None:
-    """Normalize a cache argument (instance, directory path or ``None``)."""
-    if cache is None or isinstance(cache, GridCache):
+def ensure_cache(cache: "CellStore | str | Path | None") -> "CellStore | None":
+    """Normalize a cache argument (cell store, directory path or ``None``)."""
+    if cache is None or isinstance(cache, CellStore):
         return cache
     if isinstance(cache, (str, Path)):
         return GridCache(cache)
     raise InvalidParameterError(
-        f"cache must be a GridCache, a directory path or None, got {type(cache)!r}"
+        f"cache must be a CellStore, a directory path or None, got {type(cache)!r}"
     )
 
 
@@ -646,7 +767,7 @@ def resolve_executor(executor: "Executor | None", workers: int = 1) -> Executor:
 def run_grid(
     cells: Sequence[GridCell],
     workers: int = 1,
-    cache: "GridCache | str | Path | None" = None,
+    cache: "CellStore | str | Path | None" = None,
     executor: "Executor | None" = None,
     on_cell_complete: "Callable[[CellOutcome], None] | None" = None,
 ) -> GridResult:
@@ -661,7 +782,7 @@ def run_grid(
         Process-pool size; ``1`` executes in-process (no pool).  Ignored when
         an explicit ``executor`` is given.
     cache:
-        Optional :class:`GridCache` (or cache directory) serving completed
+        Optional :class:`CellStore` (or cache directory) serving completed
         cells and persisting fresh ones.
     executor:
         Optional :class:`Executor` deciding where the pending cells run
@@ -720,6 +841,7 @@ def run_grid(
     shares_cache_dir = (
         cache is not None
         and executor_cache is not None
+        and getattr(executor, "cache_backend", "json") == cache.backend
         and Path(executor_cache).resolve() == cache.directory.resolve()
     )
     redundant_put = (
@@ -783,7 +905,7 @@ def execute_plan(
     postprocess: "Callable[[list[dict]], list[dict]] | None" = None,
     *,
     workers: int = 1,
-    cache: "GridCache | str | Path | None" = None,
+    cache: "CellStore | str | Path | None" = None,
     executor: "Executor | None" = None,
     grid_info: dict | None = None,
 ) -> list[dict]:

@@ -16,9 +16,14 @@ partial artifacts, then ``--shards N --merge-shards`` reassembling the
 canonical figure artifact).  All paths produce byte-identical rows.
 
 Other engine knobs: ``--cache-dir`` / ``--no-cache`` control the on-disk
-cell memo, ``--cache-max-entries`` / ``--cache-max-bytes`` bound its size,
-``--seed`` overrides the master seed and ``--out`` persists rows, metadata
-and per-cell timings as a figure artifact.
+cell memo, ``--cache-backend {json,sqlite}`` selects its storage layout
+(file-per-cell JSON, or one WAL-mode SQLite database that also carries the
+shard journal and a run ledger), ``--cache-max-entries`` /
+``--cache-max-bytes`` bound its size, ``--seed`` overrides the master seed
+and ``--out`` persists rows, metadata and per-cell timings as a figure
+artifact.  Figure-less maintenance commands: ``--migrate-cache`` imports an
+existing JSON cache directory into the SQLite store, ``--show-runs [N]``
+prints the run ledger.
 """
 
 from __future__ import annotations
@@ -26,6 +31,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from dataclasses import dataclass
 from typing import Callable, Mapping, Sequence
 
@@ -40,7 +46,7 @@ from .attribute_inference_rsrfd import (
     postprocess_attribute_inference_rsrfd,
 )
 from .config import PIE_BETAS, QUICK
-from .grid import Executor, GridCache, GridCell, execute_plan
+from .grid import CACHE_BACKENDS, CellStore, Executor, GridCell, execute_plan
 from .reident_rsfd import plan_reidentification_rsfd, postprocess_reidentification_rsfd
 from .reident_smp import plan_reidentification_smp, postprocess_reidentification_smp
 from .reporting import format_table, save_artifact
@@ -49,10 +55,13 @@ from .sharding import (
     ShardedExecutor,
     find_shard_artifacts,
     gc_shard_workspaces,
+    journal_artifacts,
     merge_artifacts,
+    plan_fingerprint,
     plan_workspace,
     run_shard,
     validate_shards,
+    workspace_store,
 )
 from .utility_rsrfd import plan_utility_rsrfd, postprocess_utility_rsrfd
 
@@ -268,7 +277,7 @@ def run_experiment(
     figure: str,
     quick: bool = True,
     workers: int = 1,
-    cache: "GridCache | str | None" = None,
+    cache: "CellStore | str | None" = None,
     seed: int | None = None,
     grid_info: dict | None = None,
     executor: "Executor | None" = None,
@@ -285,7 +294,7 @@ def run_experiment(
         Reduced grids (default) versus the paper-scale parameters.
     workers, cache, seed:
         Grid-engine knobs: process-pool size, on-disk cell cache (directory
-        or :class:`~repro.experiments.grid.GridCache`) and master seed.
+        or :class:`~repro.experiments.grid.CellStore`) and master seed.
     grid_info:
         Optional dictionary updated in place with the engine's execution
         summary (cell counts, cache hits, per-cell timings).
@@ -313,7 +322,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "figure",
-        help=f"figure identifier, one of: {', '.join(sorted(available_experiments()))}",
+        nargs="?",
+        default=None,
+        help=f"figure identifier, one of: {', '.join(sorted(available_experiments()))} "
+        "(omittable only with the maintenance flags --migrate-cache/--show-runs)",
     )
     scale = parser.add_mutually_exclusive_group()
     scale.add_argument(
@@ -343,6 +355,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache",
         action="store_true",
         help="disable the on-disk cell cache",
+    )
+    parser.add_argument(
+        "--cache-backend",
+        choices=CACHE_BACKENDS,
+        default="json",
+        help="cell-store layout: 'json' keeps one file per cached cell plus "
+        "per-shard artifact files (the parity baseline); 'sqlite' keeps "
+        "cells, shard journals and the run ledger in WAL-mode databases "
+        "(default: json)",
     )
     parser.add_argument(
         "--cache-max-entries",
@@ -421,6 +442,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="age threshold for --gc-shards "
         f"(default: {DEFAULT_GC_MAX_AGE_SECONDS:.0f}s = 7 days)",
     )
+    maintenance = parser.add_argument_group(
+        "cell-store maintenance",
+        "figure-less commands operating on the --cache-dir cell store",
+    )
+    maintenance.add_argument(
+        "--migrate-cache",
+        action="store_true",
+        help="import the JSON cache entries of --cache-dir into its SQLite "
+        "store (cells.sqlite) and exit; existing database entries win, file "
+        "modification times become the entries' LRU order",
+    )
+    maintenance.add_argument(
+        "--show-runs",
+        type=int,
+        nargs="?",
+        const=20,
+        default=None,
+        metavar="N",
+        help="print the newest N entries (default 20) of the SQLite store's "
+        "run ledger as JSON lines and exit",
+    )
     return parser
 
 
@@ -428,12 +470,28 @@ def _shard_root(args: argparse.Namespace) -> str:
     return args.shard_dir or f"{DEFAULT_SHARD_ROOT}/{args.figure.strip().lower()}"
 
 
-def _shard_main(args: argparse.Namespace, cache: "GridCache | None") -> int:
+def _record_run(
+    cache: "CellStore | None", kind: str, figure: str | None, summary: dict, started_at: float
+) -> None:
+    """Append to the SQLite store's run ledger (no-op for other backends)."""
+    recorder = getattr(cache, "record_run", None)
+    if recorder is not None:
+        recorder(
+            kind,
+            figure=figure,
+            summary=summary,
+            started_at=started_at,
+            finished_at=time.time(),
+        )
+
+
+def _shard_main(args: argparse.Namespace, cache: "CellStore | None") -> int:
     """Handle the ``--shard-index`` / ``--merge-shards`` CLI paths."""
     figure = args.figure.strip().lower()
     spec = figure_spec(figure, quick=not args.full)
     shards = validate_shards(args.shards, args.shard_index)
     cells = spec.plan(args.seed)
+    started_at = time.time()
     # per-plan workspace inside the shard root: the same layout
     # ShardedExecutor uses, so quick/full/seed variants never collide
     workspace = plan_workspace(_shard_root(args), cells)
@@ -446,14 +504,23 @@ def _shard_main(args: argparse.Namespace, cache: "GridCache | None") -> int:
             workspace,
             workers=args.workers,
             cache=cache,
+            cache_backend=args.cache_backend,
         )
+        _record_run(cache, "run_shard", figure, result.summary(), started_at)
         print(json.dumps(result.summary()))
         return 0
 
-    merged = merge_artifacts(
-        cells, find_shard_artifacts(workspace, shards), expected_shards=shards
-    )
+    if args.cache_backend == "sqlite":
+        store = workspace_store(workspace)
+        try:
+            artifacts = journal_artifacts(store, plan_fingerprint(cells), shards)
+        finally:
+            store.close()
+    else:
+        artifacts = find_shard_artifacts(workspace, shards)
+    merged = merge_artifacts(cells, artifacts, expected_shards=shards)
     rows = spec.postprocess(merged.rows)
+    _record_run(cache, "merge_shards", figure, merged.summary(), started_at)
     print(format_table(rows))
     _write_figure_artifact(args, figure, rows, merged.summary())
     return 0
@@ -469,10 +536,36 @@ def _write_figure_artifact(
         "quick": not args.full,
         "seed": args.seed,
         "cache_dir": None if args.no_cache else str(args.cache_dir),
+        "cache_backend": args.cache_backend,
         "grid": grid_summary,
     }
     directory = save_artifact(args.out, figure, rows, metadata)
     print(f"artifact written to {directory}", file=sys.stderr)
+
+
+def _maintenance_main(args: argparse.Namespace) -> int:
+    """Handle the figure-less ``--migrate-cache`` / ``--show-runs`` paths."""
+    from .cellstore import SQLiteCellStore
+
+    try:
+        store = SQLiteCellStore.for_directory(
+            args.cache_dir,
+            max_entries=args.cache_max_entries,
+            max_bytes=args.cache_max_bytes,
+        )
+    except InvalidParameterError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        if args.migrate_cache:
+            summary = store.import_json_cache(args.cache_dir)
+            print(json.dumps(summary))
+        if args.show_runs is not None:
+            for entry in store.runs_ledger(limit=args.show_runs):
+                print(json.dumps(entry))
+    finally:
+        store.close()
+    return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -485,6 +578,17 @@ def main(argv: Sequence[str] | None = None) -> int:
         parser.error(
             "--gc-shards cannot be combined with --shards/--shard-index/--merge-shards"
         )
+    if args.migrate_cache or args.show_runs is not None:
+        if args.figure is not None or args.shards is not None or args.gc_shards:
+            parser.error(
+                "--migrate-cache/--show-runs are figure-less maintenance "
+                "commands and cannot be combined with a figure or sharding flags"
+            )
+        if args.no_cache:
+            parser.error("--migrate-cache/--show-runs require a cache directory")
+        return _maintenance_main(args)
+    if args.figure is None:
+        parser.error("a figure identifier is required")
     if args.gc_shards:
         try:
             summary = gc_shard_workspaces(_shard_root(args), args.gc_max_age)
@@ -503,11 +607,14 @@ def main(argv: Sequence[str] | None = None) -> int:
             "pass it to --merge-shards instead"
         )
     grid_info: dict = {}
+    cache = None
+    started_at = time.time()
     try:
-        cache = GridCache.from_options(
+        cache = CellStore.from_options(
             None if args.no_cache else args.cache_dir,
             max_entries=args.cache_max_entries,
             max_bytes=args.cache_max_bytes,
+            cache_backend=args.cache_backend,
         )
         if args.shard_index is not None or args.merge_shards:
             return _shard_main(args, cache)
@@ -523,6 +630,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 cache_dir=None if args.no_cache else args.cache_dir,
                 cache_max_entries=None if args.no_cache else args.cache_max_entries,
                 cache_max_bytes=None if args.no_cache else args.cache_max_bytes,
+                cache_backend=args.cache_backend,
             )
         rows = run_experiment(
             args.figure,
@@ -533,9 +641,13 @@ def main(argv: Sequence[str] | None = None) -> int:
             grid_info=grid_info,
             executor=executor,
         )
+        _record_run(cache, "run_grid", args.figure.strip().lower(), grid_info, started_at)
     except (InvalidParameterError, GridExecutionError, ShardMergeError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if cache is not None and hasattr(cache, "close"):
+            cache.close()
     print(format_table(rows))
     _write_figure_artifact(args, args.figure.strip().lower(), rows, grid_info)
     return 0

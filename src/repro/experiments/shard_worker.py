@@ -21,7 +21,7 @@ from pathlib import Path
 from typing import Sequence
 
 from ..exceptions import ReproError
-from .grid import GridCache
+from .grid import CACHE_BACKENDS, CellStore
 from .sharding import load_plan, run_shard
 
 
@@ -75,6 +75,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="evict oldest cache entries beyond B total bytes",
     )
     parser.add_argument(
+        "--cache-backend",
+        choices=CACHE_BACKENDS,
+        default="json",
+        metavar="BACKEND",
+        help="cell-store layout: 'json' (file-per-cell cache + per-shard "
+        "artifact files) or 'sqlite' (WAL-mode databases; shards journal "
+        "into the workspace's shards.sqlite)",
+    )
+    parser.add_argument(
         "--no-resume",
         action="store_true",
         help="recompute every cell even when the shard's partial artifact exists",
@@ -85,13 +94,15 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     """Command-line entry point."""
     args = build_parser().parse_args(argv)
+    cache = None
     try:
         plan = load_plan(args.plan)
         directory = Path(args.dir) if args.dir is not None else Path(args.plan).parent
-        cache = GridCache.from_options(
+        cache = CellStore.from_options(
             args.cache_dir,
             max_entries=args.cache_max_entries,
             max_bytes=args.cache_max_bytes,
+            cache_backend=args.cache_backend,
         )
         result = run_shard(
             plan["cells"],
@@ -101,10 +112,14 @@ def main(argv: Sequence[str] | None = None) -> int:
             workers=args.workers,
             cache=cache,
             resume=not args.no_resume,
+            cache_backend=args.cache_backend,
         )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if cache is not None and hasattr(cache, "close"):
+            cache.close()
     print(json.dumps(result.summary()))
     return 0
 

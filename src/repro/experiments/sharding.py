@@ -45,18 +45,33 @@ from ..exceptions import GridExecutionError, InvalidParameterError, ShardMergeEr
 from .grid import (
     GRID_SCHEMA_VERSION,
     CellOutcome,
+    CellStore,
     Executor,
-    GridCache,
     GridCell,
     RecordFn,
     _jsonable,
     _write_json_atomic,
     canonical_json,
     run_grid,
+    validate_cache_backend,
 )
 
 #: File name of the serialized plan inside a shard directory.
 PLAN_FILE = "plan.json"
+
+#: Database file holding a workspace's shard completion journal when the
+#: ``sqlite`` cache backend is selected: every shard invocation of a plan
+#: appends its completed cells to this one WAL-mode database (no per-shard
+#: artifact files, no merge of partials — the merge reads the journal back
+#: with one query per plan fingerprint).
+SHARD_DB_NAME = "shards.sqlite"
+
+
+def workspace_store(directory: str | Path) -> "Any":
+    """Open (creating if needed) a workspace's shard-journal database."""
+    from .cellstore import SQLiteCellStore
+
+    return SQLiteCellStore(Path(directory) / SHARD_DB_NAME)
 
 
 # --------------------------------------------------------------------------- #
@@ -230,6 +245,34 @@ def load_shard_artifact(path: str | Path) -> dict:
     return payload
 
 
+def journal_artifacts(
+    store: "Any", fingerprint: str, shards: int
+) -> list[dict]:
+    """Reassemble per-shard in-memory artifacts from a journal database.
+
+    The DB-backed counterpart of :func:`find_shard_artifacts` +
+    :func:`load_shard_artifact`: one ``shard_journal`` query per plan
+    fingerprint replaces reading ``N`` partial-artifact files, and the
+    returned mappings feed straight into :func:`merge_artifacts` (which
+    accepts in-memory artifacts as well as paths).
+    """
+    shards = validate_shards(shards)
+    entries_by_shard: dict[int, list[dict]] = {index: [] for index in range(shards)}
+    for shard_index, entry in store.journal_records(fingerprint):
+        entries_by_shard.setdefault(shard_index, []).append(entry)
+    return [
+        {
+            "schema": GRID_SCHEMA_VERSION,
+            "plan_hash": fingerprint,
+            "shards": shards,
+            "shard_index": shard_index,
+            "entries": entries,
+            "path": f"{store.path}#shard-{shard_index}",
+        }
+        for shard_index, entries in sorted(entries_by_shard.items())
+    ]
+
+
 def _cell_descriptor(entry: Mapping[str, Any]) -> str:
     """Human-readable identity of a cell in error messages."""
     return f"{entry['runner']}:{canonical_json(entry.get('params', {}))}"
@@ -251,6 +294,7 @@ class ShardRunResult:
     resumed: int
     from_cache: int
     deduplicated: int
+    backend: str = "json"
 
     def summary(self) -> dict:
         """JSON-serializable invocation summary (printed by the CLI)."""
@@ -264,6 +308,7 @@ class ShardRunResult:
             "from_cache": self.from_cache,
             "deduplicated": self.deduplicated,
             "artifact": str(self.path),
+            "backend": self.backend,
         }
 
 
@@ -274,10 +319,11 @@ def run_shard(
     directory: str | Path,
     *,
     workers: int = 1,
-    cache: "GridCache | str | Path | None" = None,
+    cache: "CellStore | str | Path | None" = None,
     resume: bool = True,
+    cache_backend: str = "json",
 ) -> ShardRunResult:
-    """Execute one shard of a plan and write its partial artifact.
+    """Execute one shard of a plan and persist its completed cells.
 
     Resumable: when the shard's artifact — or the append-only completion
     journal a killed invocation leaves behind — already holds cells for the
@@ -287,46 +333,73 @@ def run_shard(
     (linear I/O); the canonical artifact is written once at the end, which
     removes the journal.  A partial artifact belonging to a different plan
     raises instead of being silently discarded.
+
+    ``cache_backend="sqlite"`` replaces the per-shard JSON artifact and
+    JSONL journal with the workspace's one :data:`SHARD_DB_NAME` database:
+    every completed cell is journaled there as it finishes (concurrent
+    shard invocations append to the same database — WAL mode plus
+    ``busy_timeout`` serialize them), resume state is the single query
+    ``journal_entries(fingerprint)``, and no artifact file is written —
+    the merge reads the journal back.  Any entry of the plan already in
+    the journal counts as resumable, whichever invocation computed it.
     """
     cells = list(cells)
     shards = validate_shards(shards, shard_index)
+    validate_cache_backend(cache_backend)
     fingerprint = plan_fingerprint(cells)
-    path = shard_artifact_path(directory, shards, shard_index)
-    journal = _journal_path(path)
+    if isinstance(cache, (str, Path)):
+        cache = CellStore.from_options(cache, cache_backend=cache_backend)
 
-    if not resume:
-        # a forced recompute must purge the old state: a crash mid-recompute
-        # would otherwise let the next (resuming) invocation restore exactly
-        # the stale entries this flag was meant to discard
-        path.unlink(missing_ok=True)
-        journal.unlink(missing_ok=True)
-
+    store = None
     previous: dict[str, dict] = {}
-    if path.exists():
-        artifact = load_shard_artifact(path)
-        if artifact["plan_hash"] != fingerprint:
-            raise InvalidParameterError(
-                f"shard artifact {path} belongs to a different plan "
-                f"(hash {str(artifact['plan_hash'])[:12]}... != {fingerprint[:12]}...); "
-                "use a fresh shard directory per (figure, scale, seed)"
-            )
-        if resume:
-            previous = {
-                str(entry["config_hash"]): entry for entry in artifact["entries"]
-            }
-    if journal.exists():
-        if resume:
-            for config_hash, entry in _load_journal(journal, fingerprint).items():
-                previous.setdefault(config_hash, entry)
-        try:
-            # a killed append may have left a torn, newline-less tail; start
-            # this invocation's records on a fresh line so they stay parseable
-            content = journal.read_bytes()
-            if content and not content.endswith(b"\n"):
-                with open(journal, "ab") as handle:
-                    handle.write(b"\n")
-        except OSError:
-            pass
+    if cache_backend == "sqlite":
+        path = Path(directory) / SHARD_DB_NAME
+        journal = None
+        store = workspace_store(directory)
+        if not resume:
+            # purge only THIS shard's journal rows: other shards' completed
+            # work (possibly still being appended concurrently) stays valid
+            store.journal_clear(fingerprint, shard_index=shard_index)
+        else:
+            previous = store.journal_entries(fingerprint)
+    else:
+        path = shard_artifact_path(directory, shards, shard_index)
+        journal = _journal_path(path)
+
+        if not resume:
+            # a forced recompute must purge the old state: a crash
+            # mid-recompute would otherwise let the next (resuming)
+            # invocation restore exactly the stale entries this flag was
+            # meant to discard
+            path.unlink(missing_ok=True)
+            journal.unlink(missing_ok=True)
+
+        if path.exists():
+            artifact = load_shard_artifact(path)
+            if artifact["plan_hash"] != fingerprint:
+                raise InvalidParameterError(
+                    f"shard artifact {path} belongs to a different plan "
+                    f"(hash {str(artifact['plan_hash'])[:12]}... != {fingerprint[:12]}...); "
+                    "use a fresh shard directory per (figure, scale, seed)"
+                )
+            if resume:
+                previous = {
+                    str(entry["config_hash"]): entry for entry in artifact["entries"]
+                }
+        if journal.exists():
+            if resume:
+                for config_hash, entry in _load_journal(journal, fingerprint).items():
+                    previous.setdefault(config_hash, entry)
+            try:
+                # a killed append may have left a torn, newline-less tail;
+                # start this invocation's records on a fresh line so they
+                # stay parseable
+                content = journal.read_bytes()
+                if content and not content.endswith(b"\n"):
+                    with open(journal, "ab") as handle:
+                        handle.write(b"\n")
+            except OSError:
+                pass
 
     def entry_from_outcome(outcome: CellOutcome) -> dict:
         return {
@@ -376,6 +449,9 @@ def run_shard(
     def persist_incrementally(outcome: CellOutcome) -> None:
         entry = entry_from_outcome(outcome)
         entries_by_hash[outcome.cell.config_hash] = entry
+        if store is not None:
+            store.journal_append(fingerprint, shard_index, entry)
+            return
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             with open(journal, "a", encoding="utf-8") as handle:
@@ -383,25 +459,35 @@ def run_shard(
         except OSError:
             pass  # the final artifact write below surfaces persistent failures
 
-    result = (
-        run_grid(
-            missing, workers=workers, cache=cache, on_cell_complete=persist_incrementally
-        )
-        if missing
-        else None
-    )
-    if result is not None:
-        # cells served by the cache stage never hit the completion hook
-        for outcome in result.outcomes:
-            entries_by_hash.setdefault(
-                outcome.cell.config_hash, entry_from_outcome(outcome)
-            )
-
-    _write_json_atomic(path, artifact_payload())
     try:
-        journal.unlink(missing_ok=True)
-    except OSError:  # pragma: no cover - journal cleanup is best-effort
-        pass
+        result = (
+            run_grid(
+                missing, workers=workers, cache=cache, on_cell_complete=persist_incrementally
+            )
+            if missing
+            else None
+        )
+        if result is not None:
+            # cells served by the cache stage never hit the completion hook
+            for outcome in result.outcomes:
+                if outcome.cell.config_hash in entries_by_hash:
+                    continue
+                entry = entry_from_outcome(outcome)
+                entries_by_hash[outcome.cell.config_hash] = entry
+                if store is not None:
+                    store.journal_append(fingerprint, shard_index, entry)
+
+        if store is None:
+            _write_json_atomic(path, artifact_payload())
+            try:
+                journal.unlink(missing_ok=True)
+            except OSError:  # pragma: no cover - journal cleanup is best-effort
+                pass
+        # sqlite mode writes no artifact: the journal rows ARE the shard's
+        # durable state, already committed per cell as each one finished
+    finally:
+        if store is not None:
+            store.close()
     return ShardRunResult(
         path=path,
         plan_hash=fingerprint,
@@ -412,6 +498,7 @@ def run_shard(
         resumed=resumed,
         from_cache=result.from_cache if result is not None else 0,
         deduplicated=duplicates + (result.deduplicated if result is not None else 0),
+        backend=cache_backend,
     )
 
 
@@ -647,9 +734,15 @@ class ShardedExecutor(Executor):
     ``workers`` is the per-shard process-pool size handed to each shard's
     ``run_grid`` call; subprocess shards additionally run concurrently with
     each other.  ``cache_dir`` hands every shard worker the shared on-disk
-    :class:`GridCache`, so cells computed by the shards that *did* finish
-    survive an interrupted run even without a persistent ``directory``
-    (matching the in-process executors, which cache per completion).
+    cell store, so cells computed by the shards that *did* finish survive
+    an interrupted run even without a persistent ``directory`` (matching
+    the in-process executors, which cache per completion).
+    ``cache_backend`` selects the storage layout everywhere at once —
+    worker cell caches *and* the shard journal/artifact layer: ``json``
+    keeps the historical file-per-cell cache plus per-shard artifact files,
+    ``sqlite`` routes both through WAL-mode databases (the cache at
+    ``cache_dir/cells.sqlite``, the journal at the workspace's
+    :data:`SHARD_DB_NAME`).
     """
 
     def __init__(
@@ -663,6 +756,7 @@ class ShardedExecutor(Executor):
         cache_dir: "str | Path | None" = None,
         cache_max_entries: int | None = None,
         cache_max_bytes: int | None = None,
+        cache_backend: str = "json",
     ) -> None:
         self.shards = validate_shards(shards)
         if launch not in ("subprocess", "inline"):
@@ -678,6 +772,7 @@ class ShardedExecutor(Executor):
         self.cache_dir = None if cache_dir is None else Path(cache_dir)
         self.cache_max_entries = cache_max_entries
         self.cache_max_bytes = cache_max_bytes
+        self.cache_backend = validate_cache_backend(cache_backend)
 
     @property
     def total_workers(self) -> int:
@@ -703,10 +798,11 @@ class ShardedExecutor(Executor):
     ) -> None:
         plan_path = write_plan(directory, cells, self.shards)
         if self.launch == "inline":
-            cache = GridCache.from_options(
+            cache = CellStore.from_options(
                 self.cache_dir,
                 max_entries=self.cache_max_entries,
                 max_bytes=self.cache_max_bytes,
+                cache_backend=self.cache_backend,
             )
             for shard_index in range(self.shards):
                 run_shard(
@@ -716,12 +812,25 @@ class ShardedExecutor(Executor):
                     directory,
                     workers=self.workers,
                     cache=cache,
+                    cache_backend=self.cache_backend,
                 )
         else:
             self._launch_subprocesses(plan_path, directory)
+        if self.cache_backend == "sqlite":
+            # no per-shard artifact files to find or load: one journal
+            # query reassembles every shard's entries from the workspace DB
+            store = workspace_store(directory)
+            try:
+                artifacts = journal_artifacts(
+                    store, plan_fingerprint(cells), self.shards
+                )
+            finally:
+                store.close()
+        else:
+            artifacts = find_shard_artifacts(directory, self.shards)
         merged = merge_artifacts(
             cells,
-            find_shard_artifacts(directory, self.shards),
+            artifacts,
             expected_shards=self.shards,
         )
         for (index, _), outcome in zip(tasks, merged.outcomes):
@@ -763,6 +872,10 @@ class ShardedExecutor(Executor):
                 command += ["--cache-max-entries", str(self.cache_max_entries)]
             if self.cache_max_bytes is not None:
                 command += ["--cache-max-bytes", str(self.cache_max_bytes)]
+        if self.cache_backend != "json":
+            # the backend governs the journal/artifact layout too, so it is
+            # passed even without a cache directory
+            command += ["--cache-backend", self.cache_backend]
         return command
 
     def _launch_subprocesses(self, plan_path: Path, directory: Path) -> None:

@@ -1,0 +1,306 @@
+"""Unit tests for the WAL-mode SQLite cell store."""
+
+import json
+import sqlite3
+import warnings
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.experiments.cellstore import (
+    CELLSTORE_SCHEMA_VERSION,
+    SQLiteCellStore,
+    _MIGRATIONS,
+    _statements,
+)
+from repro.experiments.grid import GridCache, GridCell, cell_runner, run_grid
+
+
+@cell_runner("_test_store_echo")
+def _store_echo_cell(params, rng):
+    return [{"value": params.get("value", 0)}]
+
+
+def cell(value: int, seed: int = 42) -> GridCell:
+    return GridCell(
+        figure="f", runner="_test_store_echo", params={"value": value}, master_seed=seed
+    )
+
+
+@pytest.fixture
+def store(tmp_path):
+    store = SQLiteCellStore.for_directory(tmp_path / "cache")
+    yield store
+    store.close()
+
+
+class TestCellsTable:
+    def test_roundtrip(self, store):
+        assert store.get(cell(1)) is None
+        assert store.put(cell(1), [{"value": 1, "draw": 4}], elapsed=0.1) is not None
+        assert store.get(cell(1)) == [{"value": 1, "draw": 4}]
+        assert len(store) == 1
+
+    def test_wal_mode_and_schema_version(self, store):
+        assert store._conn.execute("PRAGMA journal_mode").fetchone()[0] == "wal"
+        assert store.schema_version() == CELLSTORE_SCHEMA_VERSION
+
+    def test_key_mismatch_is_a_miss(self, store):
+        store.put(cell(1), [{"value": 1}], elapsed=0.0)
+        store._conn.execute("UPDATE cells SET key = 'tampered'")
+        store._conn.commit()
+        assert store.get(cell(1)) is None
+
+    def test_master_seed_mismatch_is_a_miss(self, store):
+        store.put(cell(1, seed=42), [{"value": 1}], elapsed=0.0)
+        store._conn.execute("UPDATE cells SET master_seed = 7")
+        store._conn.commit()
+        assert store.get(cell(1)) is None
+
+    def test_corrupt_rows_payload_is_a_miss(self, store):
+        store.put(cell(1), [{"value": 1}], elapsed=0.0)
+        store._conn.execute("UPDATE cells SET rows = '{not json'")
+        store._conn.commit()
+        assert store.get(cell(1)) is None
+
+    def test_overwrite_keeps_one_entry(self, store):
+        store.put(cell(1), [{"value": 1}], elapsed=0.0)
+        store.put(cell(1), [{"value": 2}], elapsed=0.0)
+        assert len(store) == 1
+        assert store.get(cell(1)) == [{"value": 2}]
+
+    def test_stats_shape(self, store):
+        store.put(cell(1), [{"value": 1}], elapsed=0.0)
+        stats = store.stats()
+        assert stats["backend"] == "sqlite"
+        assert stats["entries"] == 1
+        assert stats["total_bytes"] > 0
+        assert stats["journal_entries"] == 0
+        assert stats["runs"] == 0
+        assert stats["schema_version"] == CELLSTORE_SCHEMA_VERSION
+
+    def test_run_grid_serves_second_run_from_cache(self, tmp_path):
+        store = SQLiteCellStore.for_directory(tmp_path / "cache")
+        cells = [cell(v) for v in range(3)]
+        cold = run_grid(cells, cache=store)
+        assert cold.computed == 3 and cold.from_cache == 0
+        warm = run_grid(cells, cache=store)
+        assert warm.computed == 0 and warm.from_cache == 3
+        assert warm.rows == cold.rows
+        store.close()
+
+    def test_unusable_path_raises_invalid_parameter(self, tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("not a directory")
+        with pytest.raises(InvalidParameterError):
+            SQLiteCellStore.for_directory(blocker / "cache")
+
+    def test_invalid_bounds_rejected(self, tmp_path):
+        with pytest.raises(InvalidParameterError):
+            SQLiteCellStore.for_directory(tmp_path, max_entries=0)
+        with pytest.raises(InvalidParameterError):
+            SQLiteCellStore.for_directory(tmp_path, max_bytes=0)
+
+
+class TestEviction:
+    def test_max_entries_evicts_least_recently_used(self, tmp_path):
+        store = SQLiteCellStore.for_directory(tmp_path, max_entries=2)
+        store.put(cell(0), [{"value": 0}], elapsed=0.0)  # oldest write...
+        store.put(cell(1), [{"value": 1}], elapsed=0.0)
+        assert store.get(cell(0)) is not None  # ...but refreshed: hot
+        store.put(cell(2), [{"value": 2}], elapsed=0.0)
+        assert store.get(cell(0)) is not None
+        assert store.get(cell(1)) is None  # the stale entry went
+        assert store.stats()["evicted"] == 1
+        store.close()
+
+    def test_newest_entry_never_evicted(self, tmp_path):
+        store = SQLiteCellStore.for_directory(tmp_path, max_entries=1)
+        for value in range(3):
+            store.put(cell(value), [{"value": value}], elapsed=0.0)
+        assert len(store) == 1
+        assert store.get(cell(2)) is not None
+        store.close()
+
+    def test_max_bytes_bound(self, tmp_path):
+        store = SQLiteCellStore.for_directory(tmp_path)
+        store.put(cell(0), [{"value": 0}], elapsed=0.0)
+        entry_size = store.stats()["total_bytes"]
+        store.close()
+        bounded = SQLiteCellStore.for_directory(tmp_path, max_bytes=3 * entry_size)
+        for value in range(1, 7):
+            bounded.put(cell(value), [{"value": value}], elapsed=0.0)
+        stats = bounded.stats()
+        assert stats["total_bytes"] <= bounded.max_bytes
+        assert stats["entries"] < 7
+        bounded.close()
+
+    def test_unbounded_store_keeps_everything(self, tmp_path):
+        store = SQLiteCellStore.for_directory(tmp_path)
+        for value in range(5):
+            store.put(cell(value), [{"value": value}], elapsed=0.0)
+        assert len(store) == 5
+        assert store.stats()["evicted"] == 0
+        store.close()
+
+
+class TestMigrations:
+    def test_fresh_database_lands_at_current_version(self, store):
+        assert store.schema_version() == CELLSTORE_SCHEMA_VERSION == len(_MIGRATIONS)
+
+    def test_old_database_upgrades_in_place(self, tmp_path):
+        # hand-build a version-1 database (tables, no indexes), then reopen
+        path = tmp_path / "cells.sqlite"
+        conn = sqlite3.connect(path)
+        for statement in _statements(_MIGRATIONS[0]):
+            conn.execute(statement)
+        conn.execute("PRAGMA user_version = 1")
+        conn.commit()
+        conn.close()
+        store = SQLiteCellStore(path)
+        assert store.schema_version() == CELLSTORE_SCHEMA_VERSION
+        indexes = {
+            row[0]
+            for row in store._conn.execute(
+                "SELECT name FROM sqlite_master WHERE type = 'index'"
+            )
+        }
+        assert "idx_cells_last_used" in indexes
+        store.close()
+
+    def test_newer_database_is_refused(self, tmp_path):
+        path = tmp_path / "cells.sqlite"
+        conn = sqlite3.connect(path)
+        conn.execute(f"PRAGMA user_version = {CELLSTORE_SCHEMA_VERSION + 1}")
+        conn.commit()
+        conn.close()
+        with pytest.raises(InvalidParameterError, match="newer"):
+            SQLiteCellStore(path)
+
+    def test_reopening_is_idempotent(self, tmp_path):
+        first = SQLiteCellStore.for_directory(tmp_path)
+        first.put(cell(1), [{"value": 1}], elapsed=0.0)
+        first.close()
+        second = SQLiteCellStore.for_directory(tmp_path)
+        assert second.get(cell(1)) == [{"value": 1}]
+        assert second.schema_version() == CELLSTORE_SCHEMA_VERSION
+        second.close()
+
+
+class TestShardJournal:
+    def entry(self, value: int) -> dict:
+        return {"config_hash": f"hash-{value}", "rows": [{"value": value}]}
+
+    def test_append_and_query(self, store):
+        for value in range(4):
+            assert store.journal_append("plan-a", value % 2, self.entry(value))
+        recovered = store.journal_entries("plan-a")
+        assert set(recovered) == {f"hash-{v}" for v in range(4)}
+        assert store.journal_entries("plan-b") == {}
+
+    def test_append_is_idempotent_per_cell(self, store):
+        store.journal_append("plan-a", 0, self.entry(1))
+        store.journal_append("plan-a", 1, {"config_hash": "hash-1", "rows": [{"value": 9}]})
+        recovered = store.journal_entries("plan-a")
+        assert len(recovered) == 1
+        assert recovered["hash-1"]["rows"] == [{"value": 9}]  # the upsert won
+
+    def test_clear_one_shard_keeps_the_others(self, store):
+        store.journal_append("plan-a", 0, self.entry(0))
+        store.journal_append("plan-a", 1, self.entry(1))
+        assert store.journal_clear("plan-a", shard_index=0) == 1
+        assert set(store.journal_entries("plan-a")) == {"hash-1"}
+        assert store.journal_clear("plan-a") == 1
+        assert store.journal_entries("plan-a") == {}
+
+    def test_undecodable_entry_rows_are_skipped(self, store):
+        store.journal_append("plan-a", 0, self.entry(0))
+        store._conn.execute("UPDATE shard_journal SET entry = '{torn'")
+        store._conn.commit()
+        assert store.journal_entries("plan-a") == {}
+
+
+class TestRunsLedger:
+    def test_record_and_read_back_newest_first(self, store):
+        first = store.record_run("run_grid", figure="fig2", summary={"cells": 3})
+        second = store.record_run("run_shard", figure="fig2", summary={"cells": 1})
+        ledger = store.runs_ledger()
+        assert [entry["run_id"] for entry in ledger] == [second, first]
+        assert ledger[1]["kind"] == "run_grid"
+        assert ledger[1]["summary"] == {"cells": 3}
+        assert ledger[1]["finished_at"] >= ledger[1]["started_at"]
+
+    def test_filter_and_limit(self, store):
+        for index in range(5):
+            store.record_run("run_shard", summary={"i": index})
+        store.record_run("merge_shards", summary={})
+        assert len(store.runs_ledger(limit=2)) == 2
+        kinds = {entry["kind"] for entry in store.runs_ledger(kind="run_shard")}
+        assert kinds == {"run_shard"}
+
+
+class TestImportJsonCache:
+    def test_imports_entries_and_counts(self, tmp_path):
+        json_cache = GridCache(tmp_path / "cache")
+        cells = [cell(v) for v in range(3)]
+        for value, c in enumerate(cells):
+            json_cache.put(c, [{"value": value}], elapsed=0.0)
+        (tmp_path / "cache" / "garbage.json").write_text("{not json")
+
+        store = SQLiteCellStore.for_directory(tmp_path / "cache")
+        summary = store.import_json_cache(tmp_path / "cache")
+        assert summary["imported"] == 3
+        assert summary["skipped"] == 1
+        for value, c in enumerate(cells):
+            assert store.get(c) == [{"value": value}]
+        # a re-import changes nothing: the database copy wins
+        again = store.import_json_cache(tmp_path / "cache")
+        assert again["imported"] == 0
+        assert again["already_present"] == 3
+        store.close()
+
+    def test_import_preserves_lru_order(self, tmp_path):
+        import os
+        import time
+
+        json_cache = GridCache(tmp_path / "cache")
+        cells = [cell(v) for v in range(3)]
+        for value, c in enumerate(cells):
+            path = json_cache.put(c, [{"value": value}], elapsed=0.0)
+            stamp = time.time() - 1000 + value
+            os.utime(path, (stamp, stamp))
+        store = SQLiteCellStore(tmp_path / "imported.sqlite", max_entries=2)
+        store.import_json_cache(tmp_path / "cache")
+        assert store.get(cells[0]) is None  # the stalest import was evicted
+        assert store.get(cells[1]) is not None
+        assert store.get(cells[2]) is not None
+        store.close()
+
+
+class TestDegradation:
+    def test_failures_degrade_to_a_single_warning(self, tmp_path):
+        store = SQLiteCellStore.for_directory(tmp_path)
+        store.put(cell(1), [{"value": 1}], elapsed=0.0)
+        store.close()  # every later query raises sqlite3.ProgrammingError
+        with pytest.warns(RuntimeWarning, match="cell store read failed"):
+            assert store.get(cell(1)) is None
+        # warned once only; later failures degrade silently
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert store.put(cell(2), [{"value": 2}], elapsed=0.0) is None
+            assert store.journal_append("plan", 0, {"config_hash": "h"}) is False
+            assert store.journal_entries("plan") == {}
+            assert store.record_run("run_grid") is None
+            assert store.runs_ledger() == []
+            assert len(store) == 0
+            assert store.stats()["entries"] == 0
+        assert caught == []
+
+    def test_run_grid_completes_with_failing_store(self, tmp_path):
+        store = SQLiteCellStore.for_directory(tmp_path)
+        store.close()
+        cells = [cell(v) for v in range(3)]
+        with pytest.warns(RuntimeWarning, match="cell store"):
+            result = run_grid(cells, cache=store)
+        assert result.computed == 3
+        assert [row["value"] for row in result.rows] == [0, 1, 2]

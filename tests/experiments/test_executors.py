@@ -14,6 +14,7 @@ import pytest
 
 from repro.exceptions import GridExecutionError, InvalidParameterError, ShardMergeError
 from repro.experiments.grid import (
+    CellStore,
     Executor,
     GridCell,
     ProcessPoolExecutor,
@@ -24,13 +25,17 @@ from repro.experiments.grid import (
 )
 from repro.experiments.reident_smp import plan_reidentification_smp
 from repro.experiments.sharding import (
+    SHARD_DB_NAME,
     ShardedExecutor,
     find_shard_artifacts,
+    journal_artifacts,
     load_shard_artifact,
     merge_artifacts,
+    plan_fingerprint,
     run_shard,
     shard_artifact_path,
     shard_positions,
+    workspace_store,
     write_plan,
 )
 from repro.experiments.utility_rsrfd import plan_utility_rsrfd
@@ -377,6 +382,215 @@ class TestResume:
         write_plan(tmp_path, _echo_cells(4), shards=2)  # idempotent
         with pytest.raises(InvalidParameterError, match="different plan"):
             write_plan(tmp_path, _echo_cells(5), shards=2)
+
+
+class TestJournalKillSimulation:
+    """Kill-simulation coverage of the JSONL journal's torn-tail recovery:
+    a crashed invocation can leave a newline-less tail AND a corrupt
+    mid-file line, and the resuming invocation must recover every valid
+    record, heal the tail onto a fresh line, and keep its own appends
+    parseable."""
+
+    def _crashed_cells(self, marker):
+        return _echo_cells(4) + [
+            GridCell(
+                figure="f",
+                runner="_test_exec_flaky",
+                params={"marker": str(marker)},
+                master_seed=3,
+            )
+        ]
+
+    def test_corrupt_midfile_line_and_torn_tail_recover_and_heal(self, tmp_path):
+        marker = tmp_path / "marker"
+        cells = self._crashed_cells(marker)
+        with pytest.raises(RuntimeError, match="flaky cell failed"):
+            run_shard(cells, 1, 0, tmp_path)
+        artifact_path = shard_artifact_path(tmp_path, 1, 0)
+        journal = artifact_path.with_name(artifact_path.name + ".journal.jsonl")
+        records = journal.read_text().strip().splitlines()
+        assert len(records) == 4
+
+        # simulate a messier crash: records 0-2 intact, a corrupt line in
+        # the middle, and record 3 torn mid-write with no trailing newline
+        journal.write_text(
+            records[0]
+            + "\n"
+            + '{"plan_hash": "corrupt-mid-file\n'
+            + records[1]
+            + "\n"
+            + records[2]
+            + "\n"
+            + records[3][: len(records[3]) // 2]  # torn tail, no newline
+        )
+
+        # second crashed invocation: resumes the 3 valid records, recomputes
+        # the torn one, journals it — and must first heal the torn tail
+        with pytest.raises(RuntimeError, match="flaky cell failed"):
+            run_shard(cells, 1, 0, tmp_path)
+        content = journal.read_text()
+        torn = records[3][: len(records[3]) // 2]
+        assert torn + "\n" in content  # the tail was healed onto its own line
+        parsed = []
+        for line in content.splitlines():
+            try:
+                parsed.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue
+        # 3 resumed records re-read, plus the recomputed 4th on a clean line
+        hashes = {record["entry"]["config_hash"] for record in parsed}
+        assert len(hashes) == 4
+
+        # the fixed invocation finishes from the healed journal alone
+        marker.touch()
+        final = run_shard(cells, 1, 0, tmp_path)
+        assert final.resumed == 4
+        assert final.computed == 1
+        assert not journal.exists()
+        assert len(load_shard_artifact(artifact_path)["entries"]) == 5
+
+    def test_resumed_entries_match_the_original_rows(self, tmp_path):
+        cells = _echo_cells(4)
+        first = run_shard(cells, 1, 0, tmp_path)
+        artifact_path = shard_artifact_path(tmp_path, 1, 0)
+        original = load_shard_artifact(artifact_path)
+        journal = artifact_path.with_name(artifact_path.name + ".journal.jsonl")
+        # rebuild the journal as a crash would have left it (torn tail) and
+        # drop the artifact: the journal is now the only resume state
+        with open(journal, "w", encoding="utf-8") as handle:
+            for entry in original["entries"]:
+                handle.write(
+                    json.dumps({"plan_hash": original["plan_hash"], "entry": entry})
+                    + "\n"
+                )
+            handle.write('{"plan_hash": "torn')
+        artifact_path.unlink()
+        resumed = run_shard(cells, 1, 0, tmp_path)
+        assert resumed.resumed == 4 and resumed.computed == 0
+        restored = load_shard_artifact(artifact_path)
+        assert _canonical(
+            [entry["rows"] for entry in restored["entries"]]
+        ) == _canonical([entry["rows"] for entry in original["entries"]])
+
+
+class TestSqliteBackend:
+    """The sqlite cell-store path of run_shard / ShardedExecutor: one
+    WAL-mode workspace database replaces per-shard artifact files and JSONL
+    journals, and resume state becomes a journal query."""
+
+    def test_shards_journal_into_one_database(self, tmp_path):
+        cells = _echo_cells(5)
+        for shard_index in range(2):
+            result = run_shard(
+                cells, 2, shard_index, tmp_path, cache_backend="sqlite"
+            )
+            assert result.backend == "sqlite"
+        assert (tmp_path / SHARD_DB_NAME).exists()
+        assert find_shard_artifacts(tmp_path, 2) == []  # no artifact files
+        store = workspace_store(tmp_path)
+        artifacts = journal_artifacts(store, plan_fingerprint(cells), 2)
+        store.close()
+        merged = merge_artifacts(cells, artifacts, expected_shards=2)
+        assert _canonical(merged.rows) == _canonical(run_grid(cells).rows)
+
+    def test_rerun_resumes_from_the_journal(self, tmp_path):
+        cells = _echo_cells(5)
+        first = run_shard(cells, 2, 0, tmp_path, cache_backend="sqlite")
+        assert first.computed == first.cells and first.resumed == 0
+        again = run_shard(cells, 2, 0, tmp_path, cache_backend="sqlite")
+        assert again.computed == 0
+        assert again.resumed == first.cells
+
+    def test_killed_invocation_keeps_journaled_cells(self, tmp_path):
+        marker = tmp_path / "marker"
+        cells = _echo_cells(3) + [
+            GridCell(
+                figure="f",
+                runner="_test_exec_flaky",
+                params={"marker": str(marker)},
+                master_seed=3,
+            )
+        ]
+        with pytest.raises(RuntimeError, match="flaky cell failed"):
+            run_shard(cells, 1, 0, tmp_path, cache_backend="sqlite")
+        store = workspace_store(tmp_path)
+        journaled = store.journal_entries(plan_fingerprint(cells))
+        store.close()
+        assert len(journaled) == 3  # the echo cells committed per completion
+        marker.touch()
+        second = run_shard(cells, 1, 0, tmp_path, cache_backend="sqlite")
+        assert second.resumed == 3
+        assert second.computed == 1
+
+    def test_no_resume_clears_only_this_shards_rows(self, tmp_path):
+        cells = _echo_cells(6)
+        run_shard(cells, 2, 0, tmp_path, cache_backend="sqlite")
+        run_shard(cells, 2, 1, tmp_path, cache_backend="sqlite")
+        forced = run_shard(
+            cells, 2, 0, tmp_path, cache_backend="sqlite", resume=False
+        )
+        assert forced.computed == forced.cells and forced.resumed == 0
+        # shard 1's journal rows survived the forced recompute of shard 0
+        other = run_shard(cells, 2, 1, tmp_path, cache_backend="sqlite")
+        assert other.resumed == other.cells
+
+    def test_inline_sharded_executor_sqlite(self, tmp_path):
+        cells = _echo_cells(5)
+        result = run_grid(
+            cells,
+            executor=ShardedExecutor(
+                2,
+                launch="inline",
+                directory=tmp_path / "shards",
+                cache_dir=tmp_path / "cache",
+                cache_backend="sqlite",
+            ),
+        )
+        assert _canonical(result.rows) == _canonical(run_grid(cells).rows)
+        # the shared sqlite cache serves a later non-sharded run
+        warm = run_grid(
+            cells,
+            cache=CellStore.from_options(tmp_path / "cache", cache_backend="sqlite"),
+        )
+        assert warm.from_cache == 5 and warm.computed == 0
+
+
+class TestBackendParity:
+    """json and sqlite cell stores must be an implementation detail: the
+    fig2-quick rows are byte-identical across backends for serial, pool-4
+    and 2-shard execution, cold and warm."""
+
+    @pytest.mark.parametrize("backend", ["json", "sqlite"])
+    def test_fig2_serial_cold_and_warm(
+        self, backend, fig2_cells, fig2_serial_rows, tmp_path
+    ):
+        cache = CellStore.from_options(tmp_path / "cache", cache_backend=backend)
+        cold = run_grid(fig2_cells, executor=SerialExecutor(), cache=cache)
+        warm = run_grid(fig2_cells, executor=SerialExecutor(), cache=cache)
+        assert warm.from_cache == len(fig2_cells)
+        assert _canonical(cold.rows) == _canonical(fig2_serial_rows)
+        assert _canonical(warm.rows) == _canonical(fig2_serial_rows)
+
+    @pytest.mark.parametrize("backend", ["json", "sqlite"])
+    def test_fig2_pool4(self, backend, fig2_cells, fig2_serial_rows, tmp_path):
+        cache = CellStore.from_options(tmp_path / "cache", cache_backend=backend)
+        pool = run_grid(
+            fig2_cells, executor=ProcessPoolExecutor(workers=4), cache=cache
+        )
+        assert _canonical(pool.rows) == _canonical(fig2_serial_rows)
+
+    @pytest.mark.parametrize("backend", ["json", "sqlite"])
+    def test_fig2_two_shards(self, backend, fig2_cells, fig2_serial_rows, tmp_path):
+        sharded = run_grid(
+            fig2_cells,
+            executor=ShardedExecutor(
+                2,
+                launch="inline",
+                directory=tmp_path / "shards",
+                cache_backend=backend,
+            ),
+        )
+        assert _canonical(sharded.rows) == _canonical(fig2_serial_rows)
 
 
 class TestExecutorSeam:

@@ -266,6 +266,63 @@ class TestGridCache:
         with pytest.raises(InvalidParameterError):
             GridCache(blocker / "cache")
 
+    def test_entry_write_fsyncs_before_rename(self, tmp_path, monkeypatch):
+        # the crash-atomicity claim requires the temp file's data to be on
+        # disk before os.replace publishes it: without the fsync a power
+        # loss can surface an empty or torn *renamed* entry
+        import os as os_module
+
+        events = []
+        real_fsync, real_replace = os_module.fsync, os_module.replace
+        monkeypatch.setattr(
+            os_module, "fsync", lambda fd: (events.append("fsync"), real_fsync(fd))[1]
+        )
+        monkeypatch.setattr(
+            os_module,
+            "replace",
+            lambda src, dst: (events.append("replace"), real_replace(src, dst))[1],
+        )
+        cache = GridCache(tmp_path)
+        cell = GridCell(figure="f", runner="_test_echo", params={"value": 1})
+        cache.put(cell, [{"value": 1}], elapsed=0.0)
+        assert "fsync" in events and "replace" in events
+        assert events.index("fsync") < events.index("replace")
+        assert cache.get(cell) == [{"value": 1}]
+
+    def test_stats_on_unreadable_directory_degrades_to_warning(
+        self, tmp_path, monkeypatch
+    ):
+        # stats() must follow the documented warned-degrade contract, not
+        # raise where get()/put() would have warned
+        from pathlib import Path
+
+        cache = GridCache(tmp_path)
+        cell = GridCell(figure="f", runner="_test_echo", params={"value": 1})
+        cache.put(cell, [{"value": 1}], elapsed=0.0)
+
+        def denied(self, pattern):
+            raise PermissionError(13, "unreadable cache dir")
+
+        monkeypatch.setattr(Path, "glob", denied)
+        with pytest.warns(RuntimeWarning, match="directory scan"):
+            stats = cache.stats()
+        assert stats["entries"] == 0
+        # __len__ degrades the same way (warned once per instance already)
+        assert len(cache) == 0
+
+    def test_from_options_backend_dispatch(self, tmp_path):
+        from repro.experiments.cellstore import SQLiteCellStore
+        from repro.experiments.grid import CellStore
+
+        assert CellStore.from_options(None) is None
+        json_cache = CellStore.from_options(tmp_path / "j")
+        assert isinstance(json_cache, GridCache)
+        sqlite_cache = CellStore.from_options(tmp_path / "s", cache_backend="sqlite")
+        assert isinstance(sqlite_cache, SQLiteCellStore)
+        sqlite_cache.close()
+        with pytest.raises(InvalidParameterError):
+            CellStore.from_options(tmp_path, cache_backend="mongodb")
+
     def test_summary_shape(self, tmp_path):
         cells = [GridCell(figure="f", runner="_test_echo", params={"value": 1})]
         result = run_grid(cells, cache=tmp_path)
@@ -361,6 +418,55 @@ class TestGridCacheBounds:
             self._fill(cache, 1, start=1)
         # both entries still present (eviction failed), but the run went on
         assert len(cache) == 2
+
+    def test_repeatedly_read_entry_survives_eviction(self, tmp_path):
+        # LRU, not FIFO-by-write-time: a get() refreshes the entry's
+        # eviction clock, so the hottest entry must outlive a stale one
+        # written after it
+        cache = GridCache(tmp_path, max_entries=2)
+        hot, stale = self._fill(cache, 2)  # hot is the OLDER write
+        assert cache.get(hot) is not None  # the hit refreshes hot's mtime
+        self._fill(cache, 1, start=2)  # a third entry forces one eviction
+        assert cache.get(hot) == [{"value": hot.params["value"]}]
+        assert cache.get(stale) is None
+
+    def test_put_stat_failure_reseeds_both_estimates(self, tmp_path, monkeypatch):
+        # when the fresh entry's size probe fails, put() must rescan instead
+        # of bumping only the count estimate (which let the byte estimate
+        # silently drift below reality)
+        from pathlib import Path
+
+        cell = GridCell(figure="f", runner="_test_echo", params={"value": 1})
+        cache = GridCache(tmp_path, max_bytes=10**6)
+        real_stat = Path.stat
+        flaky = {"remaining": 1}
+
+        def flaky_stat(self, **kwargs):
+            result = real_stat(self, **kwargs)
+            # fail only the post-write size probe (the file exists by then)
+            if flaky["remaining"] and self.name == f"{cell.config_hash}.json":
+                flaky["remaining"] -= 1
+                raise OSError(5, "flaky stat")
+            return result
+
+        monkeypatch.setattr(Path, "stat", flaky_stat)
+        path = cache.put(cell, [{"value": 1}], elapsed=0.0)
+        assert path is not None
+        assert cache._count_estimate == 1
+        assert cache._bytes_estimate == real_stat(path).st_size
+
+    def test_out_of_band_deletions_do_not_evict_spuriously(self, tmp_path):
+        # entries deleted behind the cache's back leave the running
+        # estimates overcounting; the authoritative rescan must correct
+        # them instead of evicting entries that are not actually over-bound
+        cache = GridCache(tmp_path, max_entries=4)
+        cells = self._fill(cache, 3)
+        cache.path_for(cells[0]).unlink()
+        cache.path_for(cells[1]).unlink()
+        self._fill(cache, 2, start=3)  # estimate crosses 4, reality is 3
+        assert len(cache) == 3
+        assert cache.stats()["evicted"] == 0
+        assert cache._count_estimate == 3
 
     def test_overwrites_do_not_inflate_the_byte_estimate(self, tmp_path):
         cache = GridCache(tmp_path, max_bytes=10**6)

@@ -161,6 +161,123 @@ class TestCliCacheBounds:
         assert "max_entries" in capsys.readouterr().err
 
 
+class TestCliCellStore:
+    """--cache-backend, the run ledger and the figure-less maintenance
+    commands (--migrate-cache / --show-runs)."""
+
+    def test_sqlite_backend_round_trip_matches_json(self, tmp_path, capsys):
+        json_dir = tmp_path / "json-cache"
+        assert main(["fig1", "--cache-dir", str(json_dir)]) == 0
+        reference = capsys.readouterr().out
+        cache_dir = tmp_path / "sqlite-cache"
+        args = ["fig1", "--cache-dir", str(cache_dir), "--cache-backend", "sqlite"]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert cold == reference
+        assert (cache_dir / "cells.sqlite").exists()
+        assert list(cache_dir.glob("*.json")) == []  # no per-cell files
+        # warm rerun is served from the database
+        assert main(args) == 0
+        assert capsys.readouterr().out == cold
+
+    def test_sqlite_backend_records_run_ledger(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        assert main(["fig1", "--cache-dir", str(cache_dir),
+                     "--cache-backend", "sqlite"]) == 0
+        capsys.readouterr()
+        assert main(["--cache-dir", str(cache_dir), "--show-runs"]) == 0
+        lines = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+        assert len(lines) == 1
+        entry = lines[0]
+        assert entry["kind"] == "run_grid"
+        assert entry["figure"] == "fig1"
+        assert entry["summary"]["cells"] == 10
+
+    def test_sqlite_sharded_invocations_merge_identically(self, tmp_path, capsys):
+        reference = tmp_path / "reference"
+        assert main(["fig1", "--no-cache", "--out", str(reference)]) == 0
+        capsys.readouterr()
+        shard_dir = tmp_path / "shards"
+        cache_dir = tmp_path / "cache"
+        common = ["fig1", "--cache-dir", str(cache_dir),
+                  "--cache-backend", "sqlite", "--shards", "2",
+                  "--shard-dir", str(shard_dir)]
+        for index in ("0", "1"):
+            assert main(common + ["--shard-index", index]) == 0
+            summary = json.loads(capsys.readouterr().out)
+            assert summary["backend"] == "sqlite"
+        merged = tmp_path / "merged"
+        assert main(common + ["--merge-shards", "--out", str(merged)]) == 0
+        capsys.readouterr()
+        assert (merged / "fig1" / "rows.json").read_bytes() == (
+            reference / "fig1" / "rows.json"
+        ).read_bytes()
+        meta = json.loads((merged / "fig1" / "meta.json").read_text())
+        assert meta["cache_backend"] == "sqlite"
+        # the ledger saw both shard runs and the merge
+        assert main(["--cache-dir", str(cache_dir), "--show-runs"]) == 0
+        kinds = [json.loads(line)["kind"]
+                 for line in capsys.readouterr().out.splitlines()]
+        assert kinds.count("run_shard") == 2
+        assert kinds.count("merge_shards") == 1
+
+    def test_migrate_cache_imports_json_entries(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        assert main(["fig1", "--cache-dir", str(cache_dir)]) == 0
+        capsys.readouterr()
+        assert len(list(cache_dir.glob("*.json"))) == 10
+        assert main(["--cache-dir", str(cache_dir), "--migrate-cache"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["imported"] == 10
+        assert summary["skipped"] == 0
+        # the migrated store now serves a warm sqlite run
+        assert main(["fig1", "--cache-dir", str(cache_dir),
+                     "--cache-backend", "sqlite"]) == 0
+        capsys.readouterr()
+
+    def test_migrate_cache_is_idempotent(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        assert main(["fig1", "--cache-dir", str(cache_dir)]) == 0
+        capsys.readouterr()
+        assert main(["--cache-dir", str(cache_dir), "--migrate-cache"]) == 0
+        capsys.readouterr()
+        assert main(["--cache-dir", str(cache_dir), "--migrate-cache"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["imported"] == 0
+        assert summary["already_present"] == 10
+
+    def test_show_runs_limit(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        for _ in range(3):
+            assert main(["fig1", "--cache-dir", str(cache_dir),
+                         "--cache-backend", "sqlite"]) == 0
+            capsys.readouterr()
+        assert main(["--cache-dir", str(cache_dir), "--show-runs", "2"]) == 0
+        assert len(capsys.readouterr().out.splitlines()) == 2
+
+    def test_invalid_backend_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig1", "--cache-backend", "mongodb"])
+
+    def test_figure_required_without_maintenance_flags(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--no-cache"])
+
+    def test_maintenance_flags_reject_figure(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig1", "--migrate-cache"])
+
+    def test_maintenance_flags_reject_no_cache(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--no-cache", "--migrate-cache"])
+
+    def test_maintenance_on_unusable_cache_dir_exits_2(self, tmp_path, capsys):
+        occupied = tmp_path / "occupied"
+        occupied.write_text("")
+        assert main(["--cache-dir", str(occupied), "--show-runs"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
 class TestCliSharding:
     def _rows(self, out_dir, figure="fig1"):
         return (out_dir / figure / "rows.json").read_bytes()
