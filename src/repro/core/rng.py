@@ -9,7 +9,7 @@ allowing composition (pass a shared generator).
 from __future__ import annotations
 
 import hashlib
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

@@ -1,0 +1,15 @@
+"""Developer tooling for the :mod:`repro` codebase.
+
+This package never ships runtime behaviour — it holds the project's own
+development infrastructure, starting with **reprolint**
+(:mod:`repro.devtools.lint`): an AST-based static-analysis pass that turns
+the repository's documented correctness conventions (RNG discipline, the
+final-dispatch oracle contract, cell-parameter completeness, cell-store seam
+hygiene) into machine-checked rules.  Run it as::
+
+    python -m repro.devtools.lint [--format json] [paths...]
+
+See :mod:`repro.devtools.checkers` for the rule catalogue.
+"""
+
+from __future__ import annotations

@@ -1,0 +1,8 @@
+"""``python -m repro.devtools`` — alias for ``python -m repro.devtools.lint``."""
+
+from __future__ import annotations
+
+from repro.devtools.lint import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,349 @@
+"""**reprolint** — the driver behind ``python -m repro.devtools.lint``.
+
+The rule catalogue lives in :mod:`repro.devtools.checkers`; this module owns
+everything around it:
+
+* file discovery (``src`` + ``tests`` by default; explicit file arguments are
+  always linted, directory walks skip lint fixtures and hidden dirs),
+* per-line suppressions (``# reprolint: disable=CODE[,CODE...]``, bare
+  ``# reprolint: disable`` silences every rule on that line),
+* a checked-in baseline (``.reprolint-baseline.json``) for grandfathered
+  findings, matched on ``(path, rule, stripped line content)`` so entries
+  survive unrelated line-number drift,
+* text and ``--format json`` reporters, and POSIX-style exit codes
+  (0 clean, 1 violations, 2 usage error).
+
+Run it from the repo root::
+
+    PYTHONPATH=src python -m repro.devtools.lint            # src + tests
+    PYTHONPATH=src python -m repro.devtools.lint --format json src
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import re
+import sys
+from collections import Counter
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.devtools.checkers import (
+    RULES,
+    FileContext,
+    Violation,
+    build_context,
+    rule_catalogue,
+)
+
+#: Report schema / baseline schema version, bumped on breaking change.
+REPORT_VERSION = 1
+
+#: Default baseline location, resolved relative to the working directory.
+DEFAULT_BASELINE = Path(".reprolint-baseline.json")
+
+#: Pseudo-rule used for files the parser rejects — suppressible nowhere.
+PARSE_ERROR_RULE = "REPRO000"
+
+#: Directory names never descended into during discovery.  Fixture files are
+#: deliberately-broken inputs for the lint tests; explicit file arguments
+#: still reach them.
+_SKIP_DIR_NAMES = {
+    "__pycache__",
+    ".git",
+    ".hypothesis",
+    ".pytest_cache",
+    "fixtures",
+}
+
+_SUPPRESSION_RE = re.compile(
+    r"#\s*reprolint:\s*disable(?:\s*=\s*(?P<codes>[A-Z0-9_,\s]+))?"
+)
+
+
+def iter_source_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Yield the Python files named by ``paths``, in deterministic order.
+
+    File arguments are yielded as-is (even fixtures); directories are walked
+    recursively, skipping hidden/fixture/cache directories.
+    """
+    seen: set[Path] = set()
+    for path in paths:
+        if path.is_file():
+            resolved = path.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield path
+        elif path.is_dir():
+            for child in sorted(path.rglob("*.py")):
+                if any(
+                    part in _SKIP_DIR_NAMES or part.startswith(".")
+                    for part in child.relative_to(path).parts[:-1]
+                ):
+                    continue
+                resolved = child.resolve()
+                if resolved not in seen:
+                    seen.add(resolved)
+                    yield child
+        else:
+            raise FileNotFoundError(str(path))
+
+
+def suppressed_codes(line: str) -> set[str] | None:
+    """Codes disabled by a ``# reprolint: disable`` comment on ``line``.
+
+    Returns ``None`` when there is no suppression comment; an empty set means
+    a bare ``disable`` (silence everything on the line).
+    """
+    match = _SUPPRESSION_RE.search(line)
+    if match is None:
+        return None
+    codes = match.group("codes")
+    if codes is None:
+        return set()
+    return {code.strip() for code in codes.split(",") if code.strip()}
+
+
+def _is_suppressed(violation: Violation, ctx: FileContext) -> bool:
+    if violation.rule == PARSE_ERROR_RULE:
+        return False
+    codes = suppressed_codes(ctx.line_content(violation.line))
+    if codes is None:
+        return False
+    return not codes or violation.rule in codes
+
+
+def lint_file(path: Path, display_path: str | None = None) -> list[Violation]:
+    """Run every registered rule over one file, honouring suppressions."""
+    display = display_path if display_path is not None else str(path)
+    display = display.replace("\\", "/")
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=display)
+    except SyntaxError as exc:
+        return [
+            Violation(
+                path=display,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1),
+                rule=PARSE_ERROR_RULE,
+                name="parse-error",
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    ctx = build_context(display, source, tree)
+    violations = [
+        violation
+        for registered in RULES
+        for violation in registered.check(ctx)
+        if not _is_suppressed(violation, ctx)
+    ]
+    violations.sort(key=lambda v: (v.line, v.col, v.rule))
+    return violations
+
+
+def lint_paths(paths: Sequence[Path]) -> tuple[list[Violation], int]:
+    """Lint every file under ``paths``; returns (violations, files_checked)."""
+    violations: list[Violation] = []
+    files_checked = 0
+    for path in iter_source_files(paths):
+        files_checked += 1
+        violations.extend(lint_file(path))
+    return violations, files_checked
+
+
+# --------------------------------------------------------------------------- #
+# Baseline
+# --------------------------------------------------------------------------- #
+def _baseline_key(violation: Violation) -> tuple[str, str, str]:
+    return (violation.path, violation.rule, violation.content)
+
+
+def load_baseline(path: Path) -> Counter[tuple[str, str, str]]:
+    """Load baseline entries as a multiset of ``(path, rule, content)``."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        return Counter()
+    if not isinstance(payload, dict) or "entries" not in payload:
+        raise ValueError(f"{path}: not a reprolint baseline file")
+    entries: Counter[tuple[str, str, str]] = Counter()
+    for entry in payload["entries"]:
+        entries[(entry["path"], entry["rule"], entry.get("content", ""))] += 1
+    return entries
+
+
+def write_baseline(path: Path, violations: Iterable[Violation]) -> None:
+    """Persist the current findings as the new grandfathered baseline."""
+    entries = [
+        {
+            "path": v.path,
+            "rule": v.rule,
+            "line": v.line,
+            "content": v.content,
+        }
+        for v in violations
+    ]
+    payload = {"version": REPORT_VERSION, "entries": entries}
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def apply_baseline(
+    violations: Sequence[Violation], baseline: Counter[tuple[str, str, str]]
+) -> tuple[list[Violation], int]:
+    """Drop findings covered by the baseline multiset.
+
+    Returns ``(fresh_violations, matched_count)``; each baseline entry
+    absorbs at most one finding, so a *second* occurrence of a grandfathered
+    pattern still fails.
+    """
+    remaining = Counter(baseline)
+    fresh: list[Violation] = []
+    matched = 0
+    for violation in violations:
+        key = _baseline_key(violation)
+        if remaining[key] > 0:
+            remaining[key] -= 1
+            matched += 1
+        else:
+            fresh.append(violation)
+    return fresh, matched
+
+
+# --------------------------------------------------------------------------- #
+# Reporters + CLI
+# --------------------------------------------------------------------------- #
+def render_text(violations: Sequence[Violation], files_checked: int) -> str:
+    lines = [
+        f"{v.path}:{v.line}:{v.col}: {v.rule} ({v.name}) {v.message}"
+        for v in violations
+    ]
+    noun = "file" if files_checked == 1 else "files"
+    if violations:
+        count = len(violations)
+        lines.append(
+            f"reprolint: {count} violation{'s' if count != 1 else ''} "
+            f"in {files_checked} {noun}"
+        )
+    else:
+        lines.append(f"reprolint: clean ({files_checked} {noun} checked)")
+    return "\n".join(lines)
+
+
+def render_json(
+    violations: Sequence[Violation], files_checked: int, baselined: int
+) -> str:
+    payload = {
+        "version": REPORT_VERSION,
+        "files_checked": files_checked,
+        "baselined": baselined,
+        "rules": rule_catalogue(),
+        "counts": dict(sorted(Counter(v.rule for v in violations).items())),
+        "violations": [
+            {
+                "path": v.path,
+                "line": v.line,
+                "col": v.col,
+                "rule": v.rule,
+                "name": v.name,
+                "message": v.message,
+            }
+            for v in violations
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.lint",
+        description="Project-invariant static analysis for the repro codebase.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help=f"baseline file of grandfathered findings (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file even if present",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.no_baseline and (args.baseline is not None or args.write_baseline):
+        parser.error("--no-baseline cannot be combined with --baseline/--write-baseline")
+
+    if args.list_rules:
+        for code, description in sorted(rule_catalogue().items()):
+            print(f"{code}  {description}")
+        return 0
+
+    paths = list(args.paths) if args.paths else [Path("src"), Path("tests")]
+    for path in paths:
+        if not path.exists():
+            parser.error(f"no such file or directory: {path}")
+
+    try:
+        violations, files_checked = lint_paths(paths)
+    except FileNotFoundError as exc:
+        parser.error(f"no such file or directory: {exc}")
+
+    baseline_path = args.baseline if args.baseline is not None else DEFAULT_BASELINE
+    if args.write_baseline:
+        write_baseline(baseline_path, violations)
+        print(
+            f"reprolint: wrote {len(violations)} baseline "
+            f"entr{'y' if len(violations) == 1 else 'ies'} to {baseline_path}"
+        )
+        return 0
+
+    baselined = 0
+    if not args.no_baseline:
+        try:
+            baseline = load_baseline(baseline_path)
+        except ValueError as exc:
+            parser.error(str(exc))
+        violations, baselined = apply_baseline(violations, baseline)
+
+    if args.format == "json":
+        print(render_json(violations, files_checked, baselined))
+    else:
+        print(render_text(violations, files_checked))
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

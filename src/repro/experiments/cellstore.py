@@ -238,7 +238,7 @@ class SQLiteCellStore(CellStore):
     # ------------------------------------------------------------------ #
     # the cells table (the CellStore seam)
     # ------------------------------------------------------------------ #
-    def get(self, cell: GridCell) -> "list[dict] | None":
+    def get(self, cell: GridCell) -> "list[dict[str, Any]] | None":
         """Cached rows of ``cell``, or ``None`` on a miss.
 
         A hit refreshes the entry's ``last_used_at`` (best-effort), so a
@@ -355,7 +355,7 @@ class SQLiteCellStore(CellStore):
         except sqlite3.Error as exc:
             self._warn_io("eviction", exc)
 
-    def stats(self) -> dict:
+    def stats(self) -> dict[str, Any]:
         """Current store occupancy, configured bounds and table sizes."""
         try:
             entries, total = self._conn.execute(
@@ -427,7 +427,7 @@ class SQLiteCellStore(CellStore):
             self._warn_io("journal append", exc)
             return False
 
-    def journal_records(self, fingerprint: str) -> Iterator[tuple[int, dict]]:
+    def journal_records(self, fingerprint: str) -> Iterator[tuple[int, dict[str, Any]]]:
         """``(shard_index, entry)`` of every journaled cell of a plan.
 
         Undecodable entries are skipped (mirroring the JSONL journal's
@@ -451,7 +451,7 @@ class SQLiteCellStore(CellStore):
             if isinstance(entry, dict) and "config_hash" in entry:
                 yield int(row["shard_index"]), entry
 
-    def journal_entries(self, fingerprint: str) -> dict[str, dict]:
+    def journal_entries(self, fingerprint: str) -> dict[str, dict[str, Any]]:
         """Resume state of a plan: ``{config_hash: entry}`` for every shard.
 
         This is the query that replaces the JSONL journal replay — one
@@ -516,14 +516,15 @@ class SQLiteCellStore(CellStore):
                         _compact_json(_jsonable(dict(summary or {}))),
                     ),
                 )
-            return int(cursor.lastrowid)
+            row_id = cursor.lastrowid  # None only on a non-INSERT cursor
+            return None if row_id is None else int(row_id)
         except sqlite3.Error as exc:
             self._warn_io("ledger append", exc)
             return None
 
     def runs_ledger(
         self, limit: int | None = None, kind: str | None = None
-    ) -> list[dict]:
+    ) -> list[dict[str, Any]]:
         """The ledger, newest first (optionally filtered / truncated)."""
         query = "SELECT run_id, kind, figure, started_at, finished_at, summary FROM runs"
         params: list[Any] = []
@@ -539,7 +540,7 @@ class SQLiteCellStore(CellStore):
         except sqlite3.Error as exc:
             self._warn_io("ledger read", exc)
             return []
-        ledger = []
+        ledger: list[dict[str, Any]] = []
         for row in rows:
             try:
                 summary = json.loads(row["summary"])
@@ -560,7 +561,7 @@ class SQLiteCellStore(CellStore):
     # ------------------------------------------------------------------ #
     # migration from a JSON cache directory
     # ------------------------------------------------------------------ #
-    def import_json_cache(self, directory: str | Path) -> dict:
+    def import_json_cache(self, directory: str | Path) -> dict[str, Any]:
         """Import a :class:`GridCache` directory's entries into ``cells``.
 
         Unreadable/corrupt files, entries of a different grid schema version

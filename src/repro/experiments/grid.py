@@ -51,7 +51,7 @@ from ..exceptions import GridExecutionError, InvalidParameterError
 GRID_SCHEMA_VERSION = 2
 
 #: A cell runner maps ``(params, rng) -> rows``.
-CellRunner = Callable[[Mapping[str, Any], np.random.Generator], "list[dict]"]
+CellRunner = Callable[[Mapping[str, Any], np.random.Generator], "list[dict[str, Any]]"]
 
 _CELL_RUNNERS: dict[str, CellRunner] = {}
 
@@ -221,7 +221,7 @@ class GridCell:
         """The cell's deterministic random stream."""
         return derive_rng(self.master_seed, "grid-cell", self.key)
 
-    def payload(self) -> dict:
+    def payload(self) -> dict[str, Any]:
         """JSON-serializable description of the cell (plan files, workers)."""
         return {
             "figure": self.figure,
@@ -284,7 +284,7 @@ class CellStore(abc.ABC):
     max_bytes: int | None = None
 
     @abc.abstractmethod
-    def get(self, cell: "GridCell") -> "list[dict] | None":
+    def get(self, cell: "GridCell") -> "list[dict[str, Any]] | None":
         """Cached rows of ``cell``, or ``None`` on a miss."""
 
     @abc.abstractmethod
@@ -294,7 +294,7 @@ class CellStore(abc.ABC):
         """Persist the rows of a freshly computed cell (``None`` on failure)."""
 
     @abc.abstractmethod
-    def stats(self) -> dict:
+    def stats(self) -> dict[str, Any]:
         """Current occupancy and configured bounds."""
 
     def _enforce_bounds(self, protect: Any = None) -> None:
@@ -403,7 +403,7 @@ class GridCache(CellStore):
         """Cache file path of ``cell``."""
         return self.directory / f"{cell.config_hash}.json"
 
-    def get(self, cell: GridCell) -> list[dict] | None:
+    def get(self, cell: GridCell) -> list[dict[str, Any]] | None:
         """Cached rows of ``cell``, or ``None`` on a miss.
 
         Unreadable entries (corrupt JSON, permission errors, a directory in
@@ -494,7 +494,7 @@ class GridCache(CellStore):
         once-per-instance warning — :meth:`stats` and eviction must never
         raise where :meth:`get`/:meth:`put` would have warned.
         """
-        entries = []
+        entries: list[tuple[float, int, Path]] = []
         try:
             for path in self.directory.glob("*.json"):
                 try:
@@ -545,7 +545,7 @@ class GridCache(CellStore):
             self._count_estimate = count
             self._bytes_estimate = total
 
-    def stats(self) -> dict:
+    def stats(self) -> dict[str, Any]:
         """Current cache occupancy and configured bounds."""
         entries = self._entry_files()
         return {
@@ -585,7 +585,7 @@ class CellOutcome:
     """Execution record of one grid cell."""
 
     cell: GridCell
-    rows: list[dict]
+    rows: list[dict[str, Any]]
     elapsed: float
     source: str  # "computed" | "cache" | "dedup" | "resumed"
 
@@ -599,7 +599,7 @@ class CellOutcome:
 class GridResult:
     """Rows plus execution metadata of one :func:`run_grid` call."""
 
-    rows: list[dict]
+    rows: list[dict[str, Any]]
     outcomes: list[CellOutcome]
     elapsed: float
     workers: int
@@ -626,7 +626,7 @@ class GridResult:
         """Cells restored from a prior interrupted run's partial artifacts."""
         return sum(1 for outcome in self.outcomes if outcome.source == "resumed")
 
-    def summary(self) -> dict:
+    def summary(self) -> dict[str, Any]:
         """JSON-serializable execution summary (for figure artifacts)."""
         return {
             "cells": self.n_cells,
@@ -652,7 +652,9 @@ class GridResult:
         }
 
 
-def _execute_payload(payload: tuple[str, Mapping[str, Any], int, str]) -> tuple[list[dict], float]:
+def _execute_payload(
+    payload: tuple[str, Mapping[str, Any], int, str]
+) -> tuple[list[dict[str, Any]], float]:
     """Execute one cell in a (possibly remote) worker process."""
     runner_name, params, master_seed, key = payload
     runner = get_cell_runner(runner_name)
@@ -662,7 +664,7 @@ def _execute_payload(payload: tuple[str, Mapping[str, Any], int, str]) -> tuple[
     return list(rows), time.perf_counter() - start
 
 
-def _cell_payload(cell: GridCell) -> tuple[str, dict, int, str]:
+def _cell_payload(cell: GridCell) -> tuple[str, dict[str, Any], int, str]:
     """Picklable ``_execute_payload`` argument for ``cell``."""
     return (cell.runner, dict(cell.params), cell.master_seed, cell.key)
 
@@ -671,7 +673,7 @@ def _cell_payload(cell: GridCell) -> tuple[str, dict, int, str]:
 # executors
 # --------------------------------------------------------------------------- #
 #: ``record(index, rows, elapsed, source)`` callback handed to executors.
-RecordFn = Callable[[int, "list[dict]", float, str], None]
+RecordFn = Callable[[int, "list[dict[str, Any]]", float, str], None]
 
 
 class Executor(abc.ABC):
@@ -848,17 +850,23 @@ def run_grid(
         shares_cache_dir and cache.max_entries is None and cache.max_bytes is None
     )
 
-    def record(index: int, cell_rows: list[dict], elapsed: float, source: str = "computed") -> None:
-        outcomes[index] = CellOutcome(
+    def record(
+        index: int,
+        cell_rows: list[dict[str, Any]],
+        elapsed: float,
+        source: str = "computed",
+    ) -> None:
+        outcome = CellOutcome(
             cell=cells[index], rows=list(cell_rows), elapsed=float(elapsed), source=source
         )
+        outcomes[index] = outcome
         # the redundant-put shortcut only applies to cells the workers wrote
         # through (computed) or found in (cache) the shared directory this
         # run; cells resumed from partial artifacts may predate the cache
         if cache is not None and not (redundant_put and source in ("computed", "cache")):
             cache.put(cells[index], cell_rows, elapsed)
         if on_cell_complete is not None:
-            on_cell_complete(outcomes[index])
+            on_cell_complete(outcome)
 
     if to_compute:
         executor.execute([(index, cells[index]) for index in to_compute], record)
@@ -879,19 +887,24 @@ def run_grid(
         )
 
     for index, primary in duplicates:
+        primary_outcome = outcomes[primary]
+        assert primary_outcome is not None  # primaries were recorded above
         outcomes[index] = CellOutcome(
             cell=cells[index],
-            rows=list(outcomes[primary].rows),
+            rows=list(primary_outcome.rows),
             elapsed=0.0,
             source="dedup",
         )
 
-    rows: list[dict] = []
-    for outcome in outcomes:
+    # every index is now covered: cache hits (step 1), executed primaries
+    # (step 3, checked above) and their duplicates — narrow away the Nones
+    completed = [outcome for outcome in outcomes if outcome is not None]
+    rows: list[dict[str, Any]] = []
+    for outcome in completed:
         rows.extend(outcome.rows)
     return GridResult(
         rows=rows,
-        outcomes=list(outcomes),
+        outcomes=completed,
         elapsed=time.perf_counter() - start,
         # total_workers lets composite executors (sharded) report their full
         # configured parallelism, not just the per-shard pool size
@@ -902,13 +915,13 @@ def run_grid(
 
 def execute_plan(
     cells: Sequence[GridCell],
-    postprocess: "Callable[[list[dict]], list[dict]] | None" = None,
+    postprocess: "Callable[[list[dict[str, Any]]], list[dict[str, Any]]] | None" = None,
     *,
     workers: int = 1,
     cache: "CellStore | str | Path | None" = None,
     executor: "Executor | None" = None,
-    grid_info: dict | None = None,
-) -> list[dict]:
+    grid_info: dict[str, Any] | None = None,
+) -> list[dict[str, Any]]:
     """Run a planned grid and post-process its rows into figure rows.
 
     The shared tail of every ``run_*`` experiment function: execute the

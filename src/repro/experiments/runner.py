@@ -359,7 +359,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--cache-backend",
         choices=CACHE_BACKENDS,
-        default="json",
+        # None is a sentinel for "not given", so the conflict checks can tell
+        # an explicit --cache-backend json apart from the default; main()
+        # resolves it to "json" after validation
+        default=None,
         help="cell-store layout: 'json' keeps one file per cached cell plus "
         "per-shard artifact files (the parity baseline); 'sqlite' keeps "
         "cells, shard journals and the run ledger in WAL-mode databases "
@@ -578,15 +581,42 @@ def main(argv: Sequence[str] | None = None) -> int:
         parser.error(
             "--gc-shards cannot be combined with --shards/--shard-index/--merge-shards"
         )
+    if args.no_cache and (
+        args.cache_max_entries is not None or args.cache_max_bytes is not None
+    ):
+        parser.error(
+            "--cache-max-entries/--cache-max-bytes bound the on-disk cell "
+            "cache and cannot be combined with --no-cache"
+        )
     if args.migrate_cache or args.show_runs is not None:
-        if args.figure is not None or args.shards is not None or args.gc_shards:
+        if (
+            args.figure is not None
+            or args.shards is not None
+            or args.shard_index is not None
+            or args.merge_shards
+            or args.gc_shards
+            or args.shard_dir is not None
+        ):
             parser.error(
                 "--migrate-cache/--show-runs are figure-less maintenance "
                 "commands and cannot be combined with a figure or sharding flags"
             )
+        if args.out is not None:
+            parser.error(
+                "--migrate-cache/--show-runs print JSON to stdout and write no "
+                "figure artifact; --out requires a figure"
+            )
         if args.no_cache:
             parser.error("--migrate-cache/--show-runs require a cache directory")
+        if args.cache_backend == "json":
+            parser.error(
+                "--migrate-cache/--show-runs operate on the SQLite cell store "
+                "of --cache-dir and cannot be combined with --cache-backend json"
+            )
         return _maintenance_main(args)
+    # every remaining path runs a figure; resolve the backend sentinel now
+    if args.cache_backend is None:
+        args.cache_backend = "json"
     if args.figure is None:
         parser.error("a figure identifier is required")
     if args.gc_shards:

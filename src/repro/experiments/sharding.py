@@ -39,7 +39,10 @@ import tempfile
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
+
+if TYPE_CHECKING:
+    from .cellstore import SQLiteCellStore
 
 from ..exceptions import GridExecutionError, InvalidParameterError, ShardMergeError
 from .grid import (
@@ -67,11 +70,19 @@ PLAN_FILE = "plan.json"
 SHARD_DB_NAME = "shards.sqlite"
 
 
-def workspace_store(directory: str | Path) -> "Any":
-    """Open (creating if needed) a workspace's shard-journal database."""
+def workspace_store(directory: str | Path) -> "SQLiteCellStore":
+    """Open (creating if needed) a workspace's shard-journal database.
+
+    The journal is *not* a cell cache: it holds shard completion records
+    keyed by plan fingerprint, lives at a fixed path inside the workspace,
+    and has no bounds or backend choice — so ``CellStore.from_options``
+    (which wires user-facing cache options) is deliberately not involved.
+    """
     from .cellstore import SQLiteCellStore
 
-    return SQLiteCellStore(Path(directory) / SHARD_DB_NAME)
+    return SQLiteCellStore(  # reprolint: disable=REPRO401
+        Path(directory) / SHARD_DB_NAME
+    )
 
 
 # --------------------------------------------------------------------------- #
@@ -155,7 +166,7 @@ def write_plan(directory: str | Path, cells: Sequence[GridCell], shards: int) ->
     )
 
 
-def load_plan(path: str | Path) -> dict:
+def load_plan(path: str | Path) -> dict[str, Any]:
     """Load a plan file into ``{plan_hash, shards, cells: [GridCell, ...]}``."""
     path = Path(path)
     try:
@@ -192,14 +203,14 @@ def _journal_path(artifact_path: Path) -> Path:
     return artifact_path.with_name(artifact_path.name + ".journal.jsonl")
 
 
-def _load_journal(journal: Path, fingerprint: str) -> dict[str, dict]:
+def _load_journal(journal: Path, fingerprint: str) -> dict[str, dict[str, Any]]:
     """Entries recovered from a crashed invocation's journal (may be empty).
 
     Lines are self-contained ``{"plan_hash", "entry"}`` records; torn lines
     (a crash interrupted the write) and records of a different plan are
     skipped, never the valid records around them.
     """
-    recovered: dict[str, dict] = {}
+    recovered: dict[str, dict[str, Any]] = {}
     try:
         with open(journal, "r", encoding="utf-8") as handle:
             for line in handle:
@@ -230,7 +241,7 @@ def find_shard_artifacts(directory: str | Path, shards: int) -> list[Path]:
     ]
 
 
-def load_shard_artifact(path: str | Path) -> dict:
+def load_shard_artifact(path: str | Path) -> dict[str, Any]:
     """Load and structurally validate one partial artifact."""
     path = Path(path)
     try:
@@ -238,6 +249,8 @@ def load_shard_artifact(path: str | Path) -> dict:
             payload = json.load(handle)
     except (OSError, json.JSONDecodeError) as exc:
         raise ShardMergeError(f"cannot read shard artifact {path}: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ShardMergeError(f"shard artifact {path} is not a JSON object")
     for field in ("plan_hash", "shards", "shard_index", "entries"):
         if field not in payload:
             raise ShardMergeError(f"shard artifact {path} lacks the {field!r} field")
@@ -246,8 +259,8 @@ def load_shard_artifact(path: str | Path) -> dict:
 
 
 def journal_artifacts(
-    store: "Any", fingerprint: str, shards: int
-) -> list[dict]:
+    store: "SQLiteCellStore", fingerprint: str, shards: int
+) -> list[dict[str, Any]]:
     """Reassemble per-shard in-memory artifacts from a journal database.
 
     The DB-backed counterpart of :func:`find_shard_artifacts` +
@@ -257,7 +270,9 @@ def journal_artifacts(
     accepts in-memory artifacts as well as paths).
     """
     shards = validate_shards(shards)
-    entries_by_shard: dict[int, list[dict]] = {index: [] for index in range(shards)}
+    entries_by_shard: dict[int, list[dict[str, Any]]] = {
+        index: [] for index in range(shards)
+    }
     for shard_index, entry in store.journal_records(fingerprint):
         entries_by_shard.setdefault(shard_index, []).append(entry)
     return [
@@ -296,7 +311,7 @@ class ShardRunResult:
     deduplicated: int
     backend: str = "json"
 
-    def summary(self) -> dict:
+    def summary(self) -> dict[str, Any]:
         """JSON-serializable invocation summary (printed by the CLI)."""
         return {
             "shard_index": self.shard_index,
@@ -350,8 +365,8 @@ def run_shard(
     if isinstance(cache, (str, Path)):
         cache = CellStore.from_options(cache, cache_backend=cache_backend)
 
-    store = None
-    previous: dict[str, dict] = {}
+    store: "SQLiteCellStore | None" = None
+    previous: dict[str, dict[str, Any]] = {}
     if cache_backend == "sqlite":
         path = Path(directory) / SHARD_DB_NAME
         journal = None
@@ -401,7 +416,7 @@ def run_shard(
             except OSError:
                 pass
 
-    def entry_from_outcome(outcome: CellOutcome) -> dict:
+    def entry_from_outcome(outcome: CellOutcome) -> dict[str, Any]:
         return {
             "config_hash": outcome.cell.config_hash,
             "key": outcome.cell.key,
@@ -416,7 +431,7 @@ def run_shard(
         }
 
     # duplicate work inside the shard gets one entry (first occurrence wins)
-    entries_by_hash: dict[str, dict] = {}
+    entries_by_hash: dict[str, dict[str, Any]] = {}
     to_compute: dict[str, GridCell] = {}
     resumed = 0
     mine = 0
@@ -437,7 +452,7 @@ def run_shard(
             to_compute[config_hash] = cell
     missing = list(to_compute.values())
 
-    def artifact_payload() -> dict:
+    def artifact_payload() -> dict[str, Any]:
         return {
             "schema": GRID_SCHEMA_VERSION,
             "plan_hash": fingerprint,
@@ -452,6 +467,7 @@ def run_shard(
         if store is not None:
             store.journal_append(fingerprint, shard_index, entry)
             return
+        assert journal is not None  # json mode always sets the journal path
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             with open(journal, "a", encoding="utf-8") as handle:
@@ -478,6 +494,7 @@ def run_shard(
                     store.journal_append(fingerprint, shard_index, entry)
 
         if store is None:
+            assert journal is not None  # json mode always sets the journal path
             _write_json_atomic(path, artifact_payload())
             try:
                 journal.unlink(missing_ok=True)
@@ -509,7 +526,7 @@ def run_shard(
 class MergedShards:
     """Full-plan rows reassembled from per-shard partial artifacts."""
 
-    rows: list[dict]
+    rows: list[dict[str, Any]]
     outcomes: list[CellOutcome]
     plan_hash: str
     artifacts: list[str]
@@ -518,7 +535,7 @@ class MergedShards:
     def n_cells(self) -> int:
         return len(self.outcomes)
 
-    def summary(self) -> dict:
+    def summary(self) -> dict[str, Any]:
         """JSON-serializable merge summary (mirrors ``GridResult.summary``)."""
         counts: dict[str, int] = {}
         for outcome in self.outcomes:
@@ -577,7 +594,7 @@ def merge_artifacts(
                 f"{fingerprint[:12]}...)"
             )
 
-    by_hash: dict[str, dict] = {}
+    by_hash: dict[str, dict[str, Any]] = {}
     conflicting: list[str] = []
     for artifact in loaded:
         for entry in artifact["entries"]:
@@ -624,7 +641,7 @@ def merge_artifacts(
         )
         for cell in cells
     ]
-    rows: list[dict] = []
+    rows: list[dict[str, Any]] = []
     for outcome in outcomes:
         rows.extend(outcome.rows)
     return MergedShards(
@@ -666,7 +683,7 @@ def gc_shard_workspaces(
     max_age_seconds: float = DEFAULT_GC_MAX_AGE_SECONDS,
     *,
     now: float | None = None,
-) -> dict:
+) -> dict[str, Any]:
     """Sweep orphaned per-plan shard workspaces under a persistent root.
 
     Interrupted cached ``--shards N`` runs can leave per-pending-set
@@ -706,7 +723,7 @@ def gc_shard_workspaces(
 # --------------------------------------------------------------------------- #
 # the sharded executor
 # --------------------------------------------------------------------------- #
-def _worker_env() -> dict:
+def _worker_env() -> dict[str, str]:
     """Environment for shard-worker subprocesses (repro importable)."""
     env = dict(os.environ)
     src_root = str(Path(__file__).resolve().parents[2])
@@ -887,8 +904,8 @@ class ShardedExecutor(Executor):
         # dead-lock against an unread pipe buffer.
         concurrency = max(1, (os.cpu_count() or 4) // self.workers)
         pending = list(range(self.shards))
-        running: list[tuple[int, subprocess.Popen, Path]] = []
-        failures = []
+        running: list[tuple[int, "subprocess.Popen[bytes]", Path]] = []
+        failures: list[str] = []
         try:
             while pending or running:
                 while pending and len(running) < concurrency:
@@ -902,7 +919,7 @@ class ShardedExecutor(Executor):
                             stderr=stderr_handle,
                         )
                     running.append((shard_index, process, stderr_path))
-                still_running = []
+                still_running: list[tuple[int, "subprocess.Popen[bytes]", Path]] = []
                 for shard_index, process, stderr_path in running:
                     if process.poll() is None:
                         still_running.append((shard_index, process, stderr_path))

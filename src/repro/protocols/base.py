@@ -16,9 +16,10 @@ All three faces (randomize / aggregate / attack) share the protocol's
 from __future__ import annotations
 
 import abc
-from typing import Any, Iterable, Mapping, Sequence
+from typing import Any, Iterable, Mapping, Sequence, final
 
 import numpy as np
+from numpy.typing import NDArray
 
 from ..core.frequencies import FrequencyEstimate
 from ..core.rng import RngLike, ensure_rng
@@ -70,7 +71,7 @@ class FrequencyOracle(abc.ABC):
     def randomize(self, value: int) -> Any:
         """Perturb one true value and return the protocol-specific report."""
 
-    def randomize_many(self, values: np.ndarray) -> Any:
+    def randomize_many(self, values: NDArray[np.int64]) -> Any:
         """Vectorized perturbation of an array of true values.
 
         The default implementation loops over :meth:`randomize`; concrete
@@ -87,7 +88,7 @@ class FrequencyOracle(abc.ABC):
             )
         return value
 
-    def _validate_values(self, values: np.ndarray) -> np.ndarray:
+    def _validate_values(self, values: NDArray[np.int64]) -> NDArray[np.int64]:
         values = np.asarray(values, dtype=np.int64)
         if values.ndim != 1:
             raise InvalidParameterError("values must be a 1-D array")
@@ -100,21 +101,23 @@ class FrequencyOracle(abc.ABC):
     # ------------------------------------------------------------------ #
     # server side
     # ------------------------------------------------------------------ #
-    def support_counts(self, reports: Any) -> np.ndarray:
+    @final
+    def support_counts(self, reports: Any) -> NDArray[np.float64]:
         """Number of reports supporting each value (the paper's ``C(v_i)``).
 
-        Final: accepts a monolithic report array or an iterable of report
-        chunks, summing per-chunk counts in the latter case.  Concrete
-        protocols implement the dense kernel
-        :meth:`_support_counts_dense` and never re-implement the chunk
-        dispatch, so a future oracle cannot forget the guard.
+        Final (``@typing.final``, also enforced by reprolint REPRO201):
+        accepts a monolithic report array or an iterable of report chunks,
+        summing per-chunk counts in the latter case.  Concrete protocols
+        implement the dense kernel :meth:`_support_counts_dense` and never
+        re-implement the chunk dispatch, so a future oracle cannot forget
+        the guard.
         """
         if is_chunk_iterable(reports):
             return sum_support_counts(self.support_counts, reports, self.k)
         return self._support_counts_dense(reports)
 
     @abc.abstractmethod
-    def _support_counts_dense(self, reports: Any) -> np.ndarray:
+    def _support_counts_dense(self, reports: Any) -> NDArray[np.float64]:
         """Support counts of one monolithic (non-chunked) report batch."""
 
     def aggregate(self, reports: Any, n: int | None = None) -> FrequencyEstimate:
@@ -136,7 +139,9 @@ class FrequencyOracle(abc.ABC):
         total = int(n) if n is not None else int(self._num_reports(reports))
         return self._estimate_from_counts(counts, total)
 
-    def _estimate_from_counts(self, counts: np.ndarray, n: int) -> FrequencyEstimate:
+    def _estimate_from_counts(
+        self, counts: NDArray[np.float64], n: int
+    ) -> FrequencyEstimate:
         """Apply the unbiased estimator to precomputed support counts."""
         if n <= 0:
             raise EstimationError("cannot aggregate zero reports")
@@ -153,10 +158,12 @@ class FrequencyOracle(abc.ABC):
             metadata={"protocol": self.name, "epsilon": self.epsilon, "k": self.k},
         )
 
+    @final
     def accumulator(self) -> CountAccumulator:
         """Streaming aggregation state: ``add(chunk)`` then ``finalize(n)``.
 
-        Holds O(k) floats regardless of how many reports are consumed; the
+        Final (``@typing.final``, also enforced by reprolint REPRO201): holds
+        O(k) floats regardless of how many reports are consumed; the
         finalized estimate is byte-identical to one-shot :meth:`aggregate`.
         """
         return CountAccumulator(self)
@@ -197,10 +204,12 @@ class FrequencyOracle(abc.ABC):
     def attack(self, report: Any) -> int:
         """Predict the user's true value from a single report."""
 
-    def attack_many(self, reports: Any) -> np.ndarray:
+    @final
+    def attack_many(self, reports: Any) -> NDArray[np.int64]:
         """Vectorized single-report attack.
 
-        Final: accepts an iterable of report chunks like :meth:`aggregate`,
+        Final (``@typing.final``, also enforced by reprolint REPRO201):
+        accepts an iterable of report chunks like :meth:`aggregate`,
         concatenating per-chunk guesses.  Concrete protocols override the
         dense kernel :meth:`_attack_dense` (which defaults to looping over
         :meth:`attack`) instead of re-implementing the chunk dispatch.
@@ -209,7 +218,7 @@ class FrequencyOracle(abc.ABC):
             return concat_attacks(self.attack_many, reports)
         return self._attack_dense(reports)
 
-    def _attack_dense(self, reports: Any) -> np.ndarray:
+    def _attack_dense(self, reports: Any) -> NDArray[np.int64]:
         """Attack one monolithic report batch; default loops over :meth:`attack`."""
         return np.asarray([self.attack(r) for r in reports], dtype=np.int64)
 
@@ -235,15 +244,15 @@ class FrequencyOracle(abc.ABC):
 
 
 def empirical_attack_accuracy(
-    oracle: FrequencyOracle, values: Sequence[int] | np.ndarray
+    oracle: FrequencyOracle, values: Sequence[int] | NDArray[np.int64]
 ) -> float:
     """Run the randomize→attack pipeline and return the attacker's ACC.
 
     ``ACC_FO = (1/n) * sum 1[v_i == v_hat_i]`` (Sec. 3.2.1).
     """
-    values = np.asarray(values, dtype=np.int64)
-    if values.size == 0:
+    true_values = np.asarray(values, dtype=np.int64)
+    if true_values.size == 0:
         raise InvalidParameterError("values must not be empty")
-    reports = oracle.randomize_many(values)
+    reports = oracle.randomize_many(true_values)
     guesses = oracle.attack_many(reports)
-    return float(np.mean(guesses == values))
+    return float(np.mean(guesses == true_values))

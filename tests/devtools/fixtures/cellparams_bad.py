@@ -1,0 +1,16 @@
+"""Fixture: plan_* functions dropping fidelity kwargs from cell params."""
+
+from typing import Any
+
+
+def plan_dropped_chunk_size(n: int, chunk_size: int | None = None) -> list[dict]:
+    # chunk_size never reaches the params dict -> REPRO301
+    return [{"figure": "figX", "params": {"n": n}}]
+
+
+def plan_dropped_two(
+    n: int, packed: bool = False, amortize_nk: bool = True
+) -> list[dict]:
+    params: dict[str, Any] = {"n": n, "packed": packed}
+    # amortize_nk accepted but never stored -> REPRO301
+    return [{"figure": "figX", "params": params}]

@@ -1,0 +1,21 @@
+"""Fixture: plan_* functions threading every fidelity kwarg into params."""
+
+from typing import Any
+
+
+def plan_literal_key(n: int, redraw_attributes: bool = False) -> list[dict]:
+    # dict-literal key style (reident_smp.py idiom)
+    return [{"params": {"n": n, "redraw_attributes": redraw_attributes}}]
+
+
+def plan_subscript_key(n: int, chunk_size: int | None = None) -> list[dict]:
+    # conditional subscript-store style (utility_rsrfd.py idiom)
+    params: dict[str, Any] = {"n": n}
+    if chunk_size is not None:
+        params["chunk_size"] = chunk_size
+    return [{"params": params}]
+
+
+def plan_no_fidelity_kwargs(n: int, epsilon: float) -> list[dict]:
+    # no fidelity kwargs accepted: nothing to thread
+    return [{"params": {"n": n, "epsilon": epsilon}}]

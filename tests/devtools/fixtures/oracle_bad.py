@@ -1,0 +1,26 @@
+"""Fixture: FrequencyOracle subclasses breaking the final-dispatch contract."""
+
+from typing import Any
+
+import numpy as np
+
+from repro.protocols.base import FrequencyOracle
+
+
+class OverridingOracle(FrequencyOracle):
+    """Overrides every final dispatch method (3x REPRO201, 2x REPRO202)."""
+
+    def support_counts(self, reports: Any) -> np.ndarray:  # REPRO201
+        return np.zeros(self.k)
+
+    def attack_many(self, reports: Any) -> np.ndarray:  # REPRO201
+        return np.zeros(len(reports), dtype=np.int64)
+
+    def accumulator(self) -> Any:  # REPRO201
+        return None
+
+
+class KernelLessOracle(FrequencyOracle):
+    """Concrete subclass missing both dense kernels (2x REPRO202)."""
+
+    name = "KERNELLESS"

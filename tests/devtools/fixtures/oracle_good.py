@@ -1,0 +1,45 @@
+"""Fixture: FrequencyOracle subclasses honouring the dispatch contract."""
+
+import abc
+from typing import Any
+
+import numpy as np
+
+from repro.protocols.base import FrequencyOracle
+
+
+class WellBehavedOracle(FrequencyOracle):
+    """Implements the protected dense kernels, never the final dispatch."""
+
+    name = "WELL"
+
+    @property
+    def p(self) -> float:
+        return 0.75
+
+    @property
+    def q(self) -> float:
+        return 0.25
+
+    def randomize(self, value: int) -> int:
+        return value
+
+    def attack(self, report: Any) -> int:
+        return int(report)
+
+    def expected_attack_accuracy(self) -> float:
+        return 0.75
+
+    def _support_counts_dense(self, reports: Any) -> np.ndarray:
+        return np.bincount(np.asarray(reports), minlength=self.k).astype(float)
+
+    def _attack_dense(self, reports: Any) -> np.ndarray:
+        return np.asarray(reports, dtype=np.int64)
+
+
+class AbstractIntermediate(FrequencyOracle):
+    """Abstract intermediates may defer the kernels to their subclasses."""
+
+    @abc.abstractmethod
+    def matrix_shape(self) -> tuple[int, int]:
+        """Subclass-specific report-matrix shape."""

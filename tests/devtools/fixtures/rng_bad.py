@@ -1,0 +1,29 @@
+"""Fixture: every RNG-discipline violation reprolint must catch."""
+
+import random
+import time
+
+import numpy as np
+from numpy.random import default_rng
+
+from repro.core.rng import derive_rng
+
+
+def global_seed() -> None:
+    np.random.seed(42)  # REPRO101
+
+
+def naked_generator() -> np.random.Generator:
+    return np.random.default_rng()  # REPRO102
+
+
+def naked_generator_from_import() -> np.random.Generator:
+    return default_rng()  # REPRO102
+
+
+def stdlib_random() -> float:
+    return random.random()  # REPRO103 (the import line is flagged)
+
+
+def time_seeded() -> np.random.Generator:
+    return derive_rng(int(time.time()), "cell")  # REPRO103

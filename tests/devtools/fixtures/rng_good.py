@@ -1,0 +1,17 @@
+"""Fixture: RNG usage that follows the repro.core.rng discipline."""
+
+import numpy as np
+
+from repro.core.rng import RngLike, derive_rng, ensure_rng
+
+
+def seeded_generator(rng: RngLike = None) -> np.random.Generator:
+    return ensure_rng(rng)
+
+
+def explicit_seed() -> np.random.Generator:
+    return np.random.default_rng(7)  # seeded: fine
+
+
+def cell_stream(master_seed: int, key: str) -> np.random.Generator:
+    return derive_rng(master_seed, "grid-cell", key)

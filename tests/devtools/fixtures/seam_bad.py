@@ -1,0 +1,24 @@
+"""Fixture: seam-hygiene violations (store construction, non-canonical JSON)."""
+
+import hashlib
+import json
+
+from repro.experiments.cellstore import SQLiteCellStore
+from repro.experiments.grid import GridCache
+
+
+def build_json_cache(directory: str) -> GridCache:
+    return GridCache(directory)  # REPRO401
+
+
+def build_sqlite_store(path: str) -> SQLiteCellStore:
+    return SQLiteCellStore(path)  # REPRO401
+
+
+def config_hash(config: dict) -> str:
+    payload = json.dumps(config)  # REPRO402: unsorted keys feed the hash
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def shared_state(acc=[]):  # REPRO501
+    return acc

@@ -1,0 +1,17 @@
+"""Fixture: inline suppression comments."""
+
+import numpy as np
+
+
+def blessed_entropy() -> np.random.Generator:
+    # the bootstrap generator deliberately draws OS entropy
+    return np.random.default_rng()  # reprolint: disable=REPRO102
+
+
+def blanket() -> None:
+    np.random.seed(0)  # reprolint: disable
+
+
+def wrong_code() -> np.random.Generator:
+    # suppressing a different rule does NOT silence REPRO102
+    return np.random.default_rng()  # reprolint: disable=REPRO101

@@ -271,6 +271,45 @@ class TestCliCellStore:
         with pytest.raises(SystemExit):
             main(["--no-cache", "--migrate-cache"])
 
+    def test_maintenance_flags_reject_sharding_flags(self, capsys):
+        for extra in (["--merge-shards"], ["--shard-index", "0"],
+                      ["--shard-dir", "workdir"]):
+            with pytest.raises(SystemExit) as excinfo:
+                main(["--show-runs", *extra])
+            assert excinfo.value.code == 2
+            assert "sharding" in capsys.readouterr().err
+
+    def test_maintenance_flags_reject_out(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--migrate-cache", "--out", str(tmp_path / "figs")])
+        assert excinfo.value.code == 2
+        assert "--out" in capsys.readouterr().err
+
+    def test_maintenance_flags_reject_json_backend(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--show-runs", "--cache-backend", "json"])
+        assert excinfo.value.code == 2
+        assert "SQLite" in capsys.readouterr().err
+
+    def test_maintenance_flags_accept_explicit_sqlite_backend(
+        self, tmp_path, capsys
+    ):
+        # redundant but consistent: maintenance targets the sqlite store anyway
+        cache_dir = tmp_path / "cache"
+        assert main(["fig1", "--cache-dir", str(cache_dir),
+                     "--cache-backend", "sqlite"]) == 0
+        capsys.readouterr()
+        assert main(["--cache-dir", str(cache_dir), "--cache-backend", "sqlite",
+                     "--show-runs"]) == 0
+
+    def test_no_cache_rejects_cache_bounds(self, capsys):
+        for bound in (["--cache-max-entries", "4"],
+                      ["--cache-max-bytes", "1024"]):
+            with pytest.raises(SystemExit) as excinfo:
+                main(["fig1", "--no-cache", *bound])
+            assert excinfo.value.code == 2
+            assert "--no-cache" in capsys.readouterr().err
+
     def test_maintenance_on_unusable_cache_dir_exits_2(self, tmp_path, capsys):
         occupied = tmp_path / "occupied"
         occupied.write_text("")
