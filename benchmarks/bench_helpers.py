@@ -40,6 +40,13 @@ def grid_kwargs() -> dict:
     ``REPRO_BENCH_CACHE_BACKEND`` (``json``, the default, or ``sqlite``)
     selects the cell-store layout for both the cache and the shard
     journal/artifact layer.
+
+    ``REPRO_BENCH_REMOTE_WORKERS`` (> 0) routes each figure through the
+    lease-based remote executor instead — a local HTTP coordinator plus
+    that many worker subprocesses (``REPRO_BENCH_SHARDS`` takes precedence
+    when both are set).  Rows are byte-identical to the in-process paths;
+    ``REPRO_CHAOS`` fault-injection directives apply to the workers as
+    usual, so recovery costs can be benchmarked too.
     """
     kwargs: dict = {}
     workers = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
@@ -52,6 +59,7 @@ def grid_kwargs() -> dict:
 
         kwargs["cache"] = CellStore.from_options(cache_dir, cache_backend=backend)
     shards = int(os.environ.get("REPRO_BENCH_SHARDS", "0"))
+    remote_workers = int(os.environ.get("REPRO_BENCH_REMOTE_WORKERS", "0"))
     if shards > 1:
         from repro.experiments.sharding import ShardedExecutor
 
@@ -62,4 +70,8 @@ def grid_kwargs() -> dict:
             cache_dir=cache_dir or None,
             cache_backend=backend,
         )
+    elif remote_workers > 0:
+        from repro.experiments.remote import RemoteExecutor
+
+        kwargs["executor"] = RemoteExecutor(workers=remote_workers)
     return kwargs

@@ -1,0 +1,109 @@
+"""Benchmark — lease-based remote executor vs the serial engine.
+
+PR 8 adds :class:`repro.experiments.RemoteExecutor`: a coordinator that
+leases cells to worker subprocesses over stdlib HTTP, with heartbeats, lease
+expiry and work stealing.  This benchmark measures what that machinery costs
+(and buys) on a real figure grid:
+
+* **serial** — the in-process baseline (:class:`SerialExecutor`);
+* **remote-1** — coordinator + one local worker subprocess: the pure
+  orchestration overhead (HTTP round-trips, heartbeats, JSON marshalling)
+  with zero parallelism;
+* **remote-N** — coordinator + N workers: the speedup once cells run
+  concurrently;
+* **remote-N-chaos** — the same N workers, but worker 0 is killed by
+  ``kill_after:1`` fault injection mid-run: the cost of recovery
+  (lease expiry + re-grant) with the artifact still byte-identical.
+
+Byte-identical rows across all four runs are the acceptance gate — a remote
+run that drifts from the serial artifact exits non-zero, timings attached.
+
+Run directly (this file is a script, not a pytest-benchmark module)::
+
+    PYTHONPATH=src python benchmarks/bench_remote_executor.py --quick --out out.json
+
+``--workers`` sets N (default 3); ``--figure`` picks the grid (default
+``fig1``, whose quick plan is 10 independent cells).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.experiments import RemoteExecutor, SerialExecutor
+from repro.experiments.grid import run_grid
+from repro.experiments.remote import CHAOS_ENV
+from repro.experiments.runner import figure_spec
+
+
+def time_run(cells, executor=None) -> tuple[float, list[dict]]:
+    """Wall-clock one uncached grid execution; returns (seconds, rows)."""
+    start = time.perf_counter()
+    result = run_grid(cells, executor=executor)
+    return time.perf_counter() - start, result.rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--figure", default="fig1", help="figure grid to run")
+    parser.add_argument("--workers", type=int, default=3, metavar="N")
+    parser.add_argument(
+        "--quick", action="store_true", help="quick-config plan (the CI size)"
+    )
+    parser.add_argument("--lease-timeout", type=float, default=5.0, metavar="S")
+    parser.add_argument("--out", default=None, metavar="FILE")
+    args = parser.parse_args(argv)
+
+    cells = figure_spec(args.figure, quick=args.quick).plan(None)
+    report: dict = {
+        "figure": args.figure,
+        "quick": args.quick,
+        "cells": len(cells),
+        "workers": args.workers,
+    }
+
+    serial_s, serial_rows = time_run(cells, SerialExecutor())
+    report["serial_s"] = round(serial_s, 4)
+
+    def remote(workers: int) -> RemoteExecutor:
+        return RemoteExecutor(workers=workers, lease_timeout=args.lease_timeout)
+
+    remote1_s, remote1_rows = time_run(cells, remote(1))
+    report["remote_1_s"] = round(remote1_s, 4)
+    report["overhead_1_s"] = round(remote1_s - serial_s, 4)
+
+    remote_n_s, remote_n_rows = time_run(cells, remote(args.workers))
+    report[f"remote_{args.workers}_s"] = round(remote_n_s, 4)
+    report["speedup_n"] = round(serial_s / remote_n_s, 3) if remote_n_s else None
+
+    # chaos leg: worker 0 dies holding its 2nd lease; survivors recover it
+    os.environ[CHAOS_ENV] = "kill_after:1@0"
+    try:
+        chaos_s, chaos_rows = time_run(cells, remote(args.workers))
+    finally:
+        del os.environ[CHAOS_ENV]
+    report["remote_chaos_s"] = round(chaos_s, 4)
+    report["recovery_cost_s"] = round(chaos_s - remote_n_s, 4)
+
+    blob = json.dumps(serial_rows, sort_keys=True)
+    report["byte_identical"] = all(
+        json.dumps(rows, sort_keys=True) == blob
+        for rows in (remote1_rows, remote_n_rows, chaos_rows)
+    )
+
+    print(json.dumps(report, indent=2))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+    if not report["byte_identical"]:
+        print("FAIL: remote artifacts drifted from the serial baseline", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,7 @@ from .composition import (
 from .dataset import TabularDataset
 from .domain import Attribute, Domain
 from .frequencies import FrequencyEstimate, averaged_mse, true_frequencies
+from .retry import RetryPolicy, retry_call
 from .rng import derive_rng, derive_seed_sequence, ensure_rng, spawn_rngs
 
 __all__ = [
@@ -24,6 +25,8 @@ __all__ = [
     "spawn_rngs",
     "derive_rng",
     "derive_seed_sequence",
+    "RetryPolicy",
+    "retry_call",
     "validate_epsilon",
     "split_budget",
     "sequential_composition",

@@ -1,0 +1,138 @@
+"""Shared bounded-retry policy: capped exponential backoff, deterministic jitter.
+
+Every transient-failure seam of the library retries through one policy
+object so the backoff shape cannot silently diverge between components:
+
+* the remote worker's connect/report loop
+  (:mod:`repro.experiments.remote`) retries coordinator requests that hit
+  a network error;
+* the coordinator's lease re-grant policy backs off re-leasing a cell
+  whose worker died, so a poisoned cell cannot hot-loop through workers;
+* :class:`repro.experiments.cellstore.SQLiteCellStore` retries write
+  transactions on a locked database instead of leaning on one long
+  ``busy_timeout``.
+
+Jitter is *deterministic*: it is derived from the retry key and attempt
+number through :func:`repro.core.rng.derive_rng`, never from wall-clock or
+OS entropy.  Two processes retrying the same key therefore back off
+identically run-to-run (reproducible schedules, testable without sleeping),
+while different keys decorrelate — which is all jitter is for.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterator, Tuple, Type, TypeVar
+
+from ..exceptions import InvalidParameterError
+from .rng import derive_rng
+
+T = TypeVar("T")
+
+#: Master seed of the jitter stream.  A fixed constant: retry jitter must be
+#: reproducible across processes and runs, independent of any grid seed.
+_JITTER_SEED = 0
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with deterministic, key-derived jitter.
+
+    Attributes
+    ----------
+    max_retries:
+        How many times an operation is retried *after* its first attempt
+        (``0`` disables retrying).  The total number of attempts is
+        ``max_retries + 1``.
+    base_delay:
+        Delay before the first retry, in seconds.
+    max_delay:
+        Cap on every delay (the exponential growth saturates here).
+    multiplier:
+        Geometric growth factor between consecutive delays.
+    jitter:
+        Fraction of each delay randomized deterministically (``0.1`` means
+        ±10%).  The jitter factor depends only on ``(key, attempt)``, so a
+        retry schedule is reproducible while distinct keys decorrelate.
+    """
+
+    max_retries: int = 5
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if int(self.max_retries) < 0:
+            raise InvalidParameterError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if not self.base_delay > 0:
+            raise InvalidParameterError(
+                f"base_delay must be > 0, got {self.base_delay}"
+            )
+        if self.max_delay < self.base_delay:
+            raise InvalidParameterError(
+                f"max_delay must be >= base_delay, got {self.max_delay}"
+            )
+        if self.multiplier < 1:
+            raise InvalidParameterError(
+                f"multiplier must be >= 1, got {self.multiplier}"
+            )
+        if not 0 <= self.jitter < 1:
+            raise InvalidParameterError(
+                f"jitter must be in [0, 1), got {self.jitter}"
+            )
+
+    def delay(self, attempt: int, key: str = "") -> float:
+        """Backoff before retry number ``attempt`` (0-based), in seconds.
+
+        ``min(max_delay, base_delay * multiplier**attempt)``, scaled by the
+        deterministic jitter factor of ``(key, attempt)``.
+        """
+        if int(attempt) < 0:
+            raise InvalidParameterError(f"attempt must be >= 0, got {attempt}")
+        raw = min(float(self.max_delay), float(self.base_delay) * float(self.multiplier) ** int(attempt))
+        if self.jitter:
+            rng = derive_rng(_JITTER_SEED, "retry-jitter", key, int(attempt))
+            raw *= 1.0 + float(self.jitter) * (2.0 * float(rng.random()) - 1.0)
+        return min(raw, float(self.max_delay))
+
+    def delays(self, key: str = "") -> Iterator[float]:
+        """The policy's full backoff schedule (``max_retries`` delays)."""
+        for attempt in range(int(self.max_retries)):
+            yield self.delay(attempt, key=key)
+
+
+def retry_call(
+    fn: Callable[[], T],
+    policy: RetryPolicy,
+    key: str = "",
+    retry_on: Tuple[Type[BaseException], ...] = (OSError,),
+    sleep: Callable[[float], None] = time.sleep,
+    on_retry: "Callable[[int, BaseException, float], None] | None" = None,
+) -> T:
+    """Call ``fn`` with bounded retries under ``policy``.
+
+    Exceptions matching ``retry_on`` trigger a backoff sleep and a retry, up
+    to ``policy.max_retries`` times; the final failure re-raises the last
+    exception unchanged (callers keep their existing ``except`` semantics —
+    e.g. the cell store's degrade-to-a-warned-miss path).  Any other
+    exception propagates immediately.
+
+    ``sleep`` is injectable so tests can record the schedule instead of
+    waiting it out; ``on_retry(attempt, exc, delay)`` observes each retry.
+    """
+    attempt = 0
+    while True:
+        try:
+            return fn()
+        except retry_on as exc:
+            if attempt >= int(policy.max_retries):
+                raise
+            pause = policy.delay(attempt, key=key)
+            if on_retry is not None:
+                on_retry(attempt, exc, pause)
+            sleep(pause)
+            attempt += 1

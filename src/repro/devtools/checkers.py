@@ -18,7 +18,8 @@ Rule codes are grouped by convention:
 * ``REPRO4xx`` — seam hygiene: cell stores are built through
   ``CellStore.from_options``; serialized payloads feeding hashes must be
   canonical (``sort_keys=True``).
-* ``REPRO5xx`` — general determinism hazards (mutable default arguments).
+* ``REPRO5xx`` — general determinism/robustness hazards (mutable default
+  arguments, silently swallowed broad exceptions).
 
 A checker is a function ``check(ctx) -> Iterable[Violation]`` registered
 with :func:`rule`; :mod:`repro.devtools.lint` drives the catalogue over a
@@ -571,6 +572,69 @@ def check_mutable_default_argument(ctx: FileContext) -> Iterator[Violation]:
                     "mutable default argument is shared across calls; "
                     "default to None and build the container in the body",
                 )
+
+
+@rule("REPRO502", "silent-exception-swallow")
+def check_silent_exception_swallow(ctx: FileContext) -> Iterator[Violation]:
+    """A broad exception handler silently swallows everything it catches.
+
+    ``except Exception: pass`` (and the even broader bare ``except:``) is
+    exactly what masks lost completions in a network executor — a failed
+    heartbeat, a dropped row report, a torn cache write all vanish without a
+    trace.  The project's documented degrade seams narrow the caught type
+    (``except OSError``) or act on the failure (warn once, re-raise,
+    requeue); a handler that catches ``Exception``/``BaseException`` and does
+    *nothing* is flagged everywhere, tests included.  A genuinely intentional
+    seam carries a ``# reprolint: disable=REPRO502`` comment explaining
+    itself.
+    """
+    this = _rule("REPRO502")
+
+    def is_broad(handler: ast.ExceptHandler) -> bool:
+        if handler.type is None:
+            return True  # bare except:
+        types = (
+            handler.type.elts
+            if isinstance(handler.type, ast.Tuple)
+            else [handler.type]
+        )
+        for node in types:
+            name = dotted_name(node)
+            if name is not None and name.split(".")[-1] in (
+                "Exception",
+                "BaseException",
+            ):
+                return True
+        return False
+
+    def is_silent(handler: ast.ExceptHandler) -> bool:
+        for stmt in handler.body:
+            if isinstance(stmt, ast.Pass):
+                continue
+            if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+                continue  # docstring or bare `...`
+            return False
+        return True
+
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if not is_broad(node):
+            continue
+        if node.type is None:
+            yield ctx.violation(
+                node,
+                this,
+                "bare except: swallows SystemExit/KeyboardInterrupt too; "
+                "catch the narrow exception type the seam degrades on",
+            )
+        elif is_silent(node):
+            yield ctx.violation(
+                node,
+                this,
+                "except Exception: pass silently discards the failure; "
+                "narrow the type or handle it (warn/requeue/re-raise)",
+            )
 
 
 def _rule(code: str) -> Rule:

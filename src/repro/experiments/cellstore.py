@@ -18,7 +18,11 @@ three kinds of state into **one SQLite database** per store:
   its JSON execution summary, so a long sweep's history is queryable.
 
 The database is opened with ``journal_mode=WAL`` (readers never block the
-writer), ``synchronous=NORMAL`` and a 30 s ``busy_timeout``; the schema is
+writer), ``synchronous=NORMAL`` and a short per-attempt ``busy_timeout``;
+write transactions that still find the database locked are retried on the
+bounded, deterministically jittered backoff schedule of
+:mod:`repro.core.retry` before degrading to the store's usual warned miss —
+a wedged co-writer costs a few seconds, never a 30 s stall.  The schema is
 created and upgraded through the ordered migration scripts in
 :data:`_MIGRATIONS`, tracked by SQLite's ``user_version`` pragma — opening
 an old database applies only the missing migrations, and a database written
@@ -38,18 +42,52 @@ import sqlite3
 import time
 import warnings
 from pathlib import Path
-from typing import Any, Iterator, Mapping, Sequence
+from typing import Any, Callable, Iterator, Mapping, Sequence, TypeVar
 
+from ..core.retry import RetryPolicy, retry_call
 from ..exceptions import InvalidParameterError
 from .grid import GRID_SCHEMA_VERSION, CellStore, GridCell, _jsonable
+
+T = TypeVar("T")
 
 #: Database file name used when a store is built from a cache *directory*
 #: (``--cache-dir X --cache-backend sqlite`` → ``X/cells.sqlite``).
 DEFAULT_DB_NAME = "cells.sqlite"
 
-#: How long a writer waits on a locked database before failing (concurrent
-#: shard invocations appending to one journal).
-DEFAULT_BUSY_TIMEOUT_MS = 30_000
+#: How long one write *attempt* waits on a locked database.  Deliberately
+#: short: contention is handled by the bounded, jittered retry schedule of
+#: :data:`DEFAULT_WRITE_RETRY_POLICY`, not by camping on the lock — a wedged
+#: writer degrades to a warned miss in a few seconds, not after 30.
+DEFAULT_BUSY_TIMEOUT_MS = 250
+
+#: Bounded backoff between write attempts on a locked database.  Worst-case
+#: total wait ≈ 7 × 0.25 s lock waits + 2.5 s of backoff — a few seconds,
+#: after which the write degrades to the store's usual warned miss.
+DEFAULT_WRITE_RETRY_POLICY = RetryPolicy(
+    max_retries=6, base_delay=0.05, max_delay=1.0, multiplier=2.0, jitter=0.1
+)
+
+
+class _DatabaseLockedError(sqlite3.OperationalError):
+    """SQLITE_BUSY/SQLITE_LOCKED — the one retryable write failure."""
+
+
+def _tag_locked(fn: Callable[[], T]) -> T:
+    """Run ``fn``, re-raising lock contention as :class:`_DatabaseLockedError`.
+
+    Every other ``OperationalError`` (corrupt schema, disk full, ...) keeps
+    its type and is *not* retried — retrying cannot fix it.
+    """
+    try:
+        return fn()
+    except _DatabaseLockedError:
+        raise
+    except sqlite3.OperationalError as exc:
+        text = str(exc).lower()
+        if "locked" in text or "busy" in text:
+            raise _DatabaseLockedError(str(exc)) from exc
+        raise
+
 
 #: Ordered, append-only migration scripts; ``PRAGMA user_version`` records
 #: how many have been applied.  Never edit an existing script — append a new
@@ -122,8 +160,14 @@ class SQLiteCellStore(CellStore):
         stalest entries (never the one just written) with one indexed
         query — no directory scan.
     busy_timeout_ms:
-        ``PRAGMA busy_timeout`` — how long concurrent writers (shard
-        invocations sharing one journal database) wait on a lock.
+        ``PRAGMA busy_timeout`` — how long one write *attempt* waits on a
+        lock before the bounded retry schedule takes over.
+    retry_policy:
+        Backoff between write attempts on a locked database (defaults to
+        :data:`DEFAULT_WRITE_RETRY_POLICY`).  When the schedule is
+        exhausted the write degrades to the usual warned miss instead of
+        raising — concurrent shard invocations sharing one journal
+        database never abort each other.
 
     Error contract: construction fails fast with
     :class:`~repro.exceptions.InvalidParameterError` on an unusable path —
@@ -140,9 +184,11 @@ class SQLiteCellStore(CellStore):
         max_entries: int | None = None,
         max_bytes: int | None = None,
         busy_timeout_ms: int = DEFAULT_BUSY_TIMEOUT_MS,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         self.path = Path(path)
         self.directory = self.path.parent
+        self.retry_policy = DEFAULT_WRITE_RETRY_POLICY if retry_policy is None else retry_policy
         if max_entries is not None and int(max_entries) < 1:
             raise InvalidParameterError(f"max_entries must be >= 1, got {max_entries}")
         if max_bytes is not None and int(max_bytes) < 1:
@@ -171,12 +217,14 @@ class SQLiteCellStore(CellStore):
         directory: str | Path,
         max_entries: int | None = None,
         max_bytes: int | None = None,
+        retry_policy: RetryPolicy | None = None,
     ) -> "SQLiteCellStore":
         """The store backing a cache *directory*: ``<directory>/cells.sqlite``."""
         return cls(
             Path(directory) / DEFAULT_DB_NAME,
             max_entries=max_entries,
             max_bytes=max_bytes,
+            retry_policy=retry_policy,
         )
 
     # ------------------------------------------------------------------ #
@@ -220,6 +268,23 @@ class SQLiteCellStore(CellStore):
             "continuing without the store (cells are recomputed, not persisted)",
             RuntimeWarning,
             stacklevel=3,
+        )
+
+    def _retry_write(self, action: str, fn: Callable[[], T]) -> T:
+        """Run one write transaction, retrying briefly while the DB is locked.
+
+        ``SQLITE_BUSY``/``SQLITE_LOCKED`` surviving the short per-attempt
+        ``busy_timeout`` is retried on the bounded backoff schedule of
+        ``self.retry_policy`` (jitter deterministically keyed on
+        ``action``); the final failure propagates so each caller's usual
+        warned-miss degrade path handles it.  Non-lock errors are never
+        retried.
+        """
+        return retry_call(
+            lambda: _tag_locked(fn),
+            self.retry_policy,
+            key=action,
+            retry_on=(_DatabaseLockedError,),
         )
 
     def close(self) -> None:
@@ -283,7 +348,8 @@ class SQLiteCellStore(CellStore):
         """
         payload = _compact_json([_jsonable(row) for row in rows])
         now = time.time()
-        try:
+
+        def write() -> None:
             with self._conn:
                 self._conn.execute(
                     """
@@ -309,6 +375,9 @@ class SQLiteCellStore(CellStore):
                         now,
                     ),
                 )
+
+        try:
+            self._retry_write("write", write)
         except sqlite3.Error as exc:
             self._warn_io("write", exc)
             return None
@@ -347,10 +416,14 @@ class SQLiteCellStore(CellStore):
                     count -= 1
                     total -= int(row["size_bytes"])
             if doomed:
-                with self._conn:
-                    self._conn.executemany(
-                        "DELETE FROM cells WHERE config_hash = ?", doomed
-                    )
+
+                def delete() -> None:
+                    with self._conn:
+                        self._conn.executemany(
+                            "DELETE FROM cells WHERE config_hash = ?", doomed
+                        )
+
+                self._retry_write("eviction", delete)
                 self._evicted += len(doomed)
         except sqlite3.Error as exc:
             self._warn_io("eviction", exc)
@@ -399,29 +472,35 @@ class SQLiteCellStore(CellStore):
         """Record one completed cell of a plan's shard (idempotent upsert).
 
         The per-cell transaction is what makes *concurrent* shard
-        invocations safe: WAL mode plus ``busy_timeout`` serialize the tiny
-        writes without any merge step afterwards.
+        invocations safe: WAL mode plus the short ``busy_timeout`` and the
+        bounded write-retry schedule serialize the tiny writes without any
+        merge step afterwards.
         """
         try:
             record = _compact_json(_jsonable(dict(entry)))
-            with self._conn:
-                self._conn.execute(
-                    """
-                    INSERT INTO shard_journal
-                        (fingerprint, shard_index, config_hash, entry, created_at)
-                    VALUES (?, ?, ?, ?, ?)
-                    ON CONFLICT(fingerprint, config_hash) DO UPDATE SET
-                        shard_index = excluded.shard_index,
-                        entry = excluded.entry
-                    """,
-                    (
-                        str(fingerprint),
-                        int(shard_index),
-                        str(entry["config_hash"]),
-                        record,
-                        time.time(),
-                    ),
-                )
+            config_hash = str(entry["config_hash"])
+
+            def append() -> None:
+                with self._conn:
+                    self._conn.execute(
+                        """
+                        INSERT INTO shard_journal
+                            (fingerprint, shard_index, config_hash, entry, created_at)
+                        VALUES (?, ?, ?, ?, ?)
+                        ON CONFLICT(fingerprint, config_hash) DO UPDATE SET
+                            shard_index = excluded.shard_index,
+                            entry = excluded.entry
+                        """,
+                        (
+                            str(fingerprint),
+                            int(shard_index),
+                            config_hash,
+                            record,
+                            time.time(),
+                        ),
+                    )
+
+            self._retry_write("journal append", append)
             return True
         except (sqlite3.Error, KeyError) as exc:
             self._warn_io("journal append", exc)
@@ -466,7 +545,8 @@ class SQLiteCellStore(CellStore):
         self, fingerprint: str, shard_index: int | None = None
     ) -> int:
         """Drop a plan's journal (optionally only one shard's rows)."""
-        try:
+
+        def clear() -> int:
             with self._conn:
                 if shard_index is None:
                     cursor = self._conn.execute(
@@ -480,6 +560,9 @@ class SQLiteCellStore(CellStore):
                         (str(fingerprint), int(shard_index)),
                     )
             return int(cursor.rowcount)
+
+        try:
+            return self._retry_write("journal clear", clear)
         except sqlite3.Error as exc:
             self._warn_io("journal clear", exc)
             return 0
@@ -503,7 +586,8 @@ class SQLiteCellStore(CellStore):
         never a reason to fail a finished run.
         """
         now = time.time()
-        try:
+
+        def append() -> "int | None":
             with self._conn:
                 cursor = self._conn.execute(
                     "INSERT INTO runs (kind, figure, started_at, finished_at, summary) "
@@ -518,6 +602,9 @@ class SQLiteCellStore(CellStore):
                 )
             row_id = cursor.lastrowid  # None only on a non-INSERT cursor
             return None if row_id is None else int(row_id)
+
+        try:
+            return self._retry_write("ledger append", append)
         except sqlite3.Error as exc:
             self._warn_io("ledger append", exc)
             return None
@@ -589,9 +676,15 @@ class SQLiteCellStore(CellStore):
                 skipped += 1
                 continue
             payload = _compact_json(entry["rows"])
-            try:
+
+            def insert(
+                stem: str = path.stem,
+                record: "dict[str, Any]" = entry,
+                blob: str = payload,
+                mtime: float = stat.st_mtime,
+            ) -> sqlite3.Cursor:
                 with self._conn:
-                    cursor = self._conn.execute(
+                    return self._conn.execute(
                         """
                         INSERT OR IGNORE INTO cells
                             (config_hash, key, schema, runner, master_seed,
@@ -599,18 +692,21 @@ class SQLiteCellStore(CellStore):
                         VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
                         """,
                         (
-                            path.stem,
-                            entry["key"],
-                            int(entry["schema"]),
-                            str(entry.get("runner", "")),
-                            int(entry.get("master_seed", 0)),
-                            payload,
-                            float(entry.get("elapsed", 0.0)),
-                            len(payload.encode("utf-8")),
-                            stat.st_mtime,
-                            stat.st_mtime,
+                            stem,
+                            record["key"],
+                            int(record["schema"]),
+                            str(record.get("runner", "")),
+                            int(record.get("master_seed", 0)),
+                            blob,
+                            float(record.get("elapsed", 0.0)),
+                            len(blob.encode("utf-8")),
+                            mtime,
+                            mtime,
                         ),
                     )
+
+            try:
+                cursor = self._retry_write("import", insert)
             except (sqlite3.Error, TypeError, ValueError):
                 skipped += 1
                 continue

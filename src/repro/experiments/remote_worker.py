@@ -1,0 +1,81 @@
+"""``python -m repro.experiments.remote_worker`` — one lease-based worker.
+
+The subprocess entrypoint spawned per local worker by
+:class:`repro.experiments.remote.RemoteExecutor` (and launchable by hand on
+any machine that can reach the coordinator): it registers, leases one cell at
+a time, heartbeats while computing, reports rows back, and exits when the
+coordinator announces shutdown.  Fault injection is read from the
+``REPRO_CHAOS`` environment variable (scoped by ``REPRO_WORKER_INDEX``); a
+one-line JSON summary (``completed`` / ``errors`` / ``killed``) is printed to
+stdout on the way out.
+
+Exit status: 0 on a clean run *or* a chaos-scheduled death (the schedule did
+what it was told), 2 on configuration or protocol errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from ..core.retry import RetryPolicy
+from ..exceptions import ReproError
+from .remote import ChaosConfig, worker_loop
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Argument parser of ``python -m repro.experiments.remote_worker``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.remote_worker",
+        description="Lease grid cells from a remote coordinator and compute them.",
+    )
+    parser.add_argument(
+        "--coordinator",
+        required=True,
+        metavar="URL",
+        help="coordinator base URL, e.g. http://127.0.0.1:8765",
+    )
+    parser.add_argument(
+        "--worker-id",
+        default=None,
+        metavar="ID",
+        help="stable worker identity (default: coordinator-assigned)",
+    )
+    parser.add_argument(
+        "--connect-retries",
+        type=int,
+        default=8,
+        metavar="N",
+        help="bounded retries per coordinator request (default: 8)",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Command-line entry point."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.connect_retries < 0:
+            raise ReproError(
+                f"--connect-retries must be >= 0, got {args.connect_retries}"
+            )
+        summary = worker_loop(
+            args.coordinator,
+            worker_id=args.worker_id,
+            chaos=ChaosConfig.from_env(),
+            retry_policy=RetryPolicy(max_retries=args.connect_retries),
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: cannot reach coordinator {args.coordinator}: {exc}", file=sys.stderr)
+        return 2
+    print(json.dumps(summary, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

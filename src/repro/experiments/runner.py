@@ -13,7 +13,11 @@ execution pluggable: the same plan runs serially, across a process pool
 (``--workers``), as one sharded invocation (``--shards N``), or split over
 *separate* invocations (``--shards N --shard-index i`` writing per-shard
 partial artifacts, then ``--shards N --merge-shards`` reassembling the
-canonical figure artifact).  All paths produce byte-identical rows.
+canonical figure artifact), or on the lease-based remote executor
+(``--remote-workers N`` spawning local workers, ``--remote-listen``
+accepting external ones, tuned by ``--lease-timeout`` / ``--max-retries``
+with the coordinator's event journal in ``--remote-log``).  All paths
+produce byte-identical rows.
 
 Other engine knobs: ``--cache-dir`` / ``--no-cache`` control the on-disk
 cell memo, ``--cache-backend {json,sqlite}`` selects its storage layout
@@ -49,6 +53,12 @@ from .config import PIE_BETAS, QUICK
 from .grid import CACHE_BACKENDS, CellStore, Executor, GridCell, execute_plan
 from .reident_rsfd import plan_reidentification_rsfd, postprocess_reidentification_rsfd
 from .reident_smp import plan_reidentification_smp, postprocess_reidentification_smp
+from .remote import (
+    DEFAULT_LEASE_TIMEOUT,
+    DEFAULT_MAX_RETRIES,
+    RemoteExecutor,
+    parse_listen,
+)
 from .reporting import format_table, save_artifact
 from .sharding import (
     DEFAULT_GC_MAX_AGE_SECONDS,
@@ -314,6 +324,56 @@ def run_experiment(
     )
 
 
+def _positive_int(text: str) -> int:
+    """argparse type: a strictly positive integer, rejected at parse time."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {value}")
+    return value
+
+
+def _nonnegative_int(text: str) -> int:
+    """argparse type: an integer >= 0, rejected at parse time."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative integer, got {text!r}"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative integer, got {value}"
+        )
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """argparse type: a strictly positive float, rejected at parse time."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive number, got {text!r}"
+        ) from None
+    if not value > 0:
+        raise argparse.ArgumentTypeError(f"expected a positive number, got {value}")
+    return value
+
+
+def _listen_address(text: str) -> str:
+    """argparse type: a HOST:PORT listen address, rejected at parse time."""
+    try:
+        parse_listen(text)
+    except InvalidParameterError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return text
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Argument parser of ``python -m repro.experiments``."""
     parser = argparse.ArgumentParser(
@@ -340,7 +400,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--workers",
-        type=int,
+        type=_positive_int,
         default=1,
         metavar="N",
         help="number of worker processes executing grid cells (default: 1)",
@@ -370,14 +430,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--cache-max-entries",
-        type=int,
+        type=_positive_int,
         default=None,
         metavar="N",
         help="evict oldest cache entries beyond N files (default: unbounded)",
     )
     parser.add_argument(
         "--cache-max-bytes",
-        type=int,
+        type=_positive_int,
         default=None,
         metavar="B",
         help="evict oldest cache entries beyond B total bytes (default: unbounded)",
@@ -403,7 +463,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sharding.add_argument(
         "--shards",
-        type=int,
+        type=_positive_int,
         default=None,
         metavar="N",
         help="number of shards; alone it runs all shards from this invocation "
@@ -411,7 +471,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sharding.add_argument(
         "--shard-index",
-        type=int,
+        type=_nonnegative_int,
         default=None,
         metavar="I",
         help="execute only shard I (0-based) and write its partial artifact; "
@@ -444,6 +504,53 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="age threshold for --gc-shards "
         f"(default: {DEFAULT_GC_MAX_AGE_SECONDS:.0f}s = 7 days)",
+    )
+    remote = parser.add_argument_group(
+        "remote execution",
+        "lease cells to networked workers over HTTP: the coordinator "
+        "re-leases any cell whose worker stops heartbeating, idle workers "
+        "steal from stragglers, and rows stream back into the cell cache "
+        "(byte-identical to a serial run under any failure schedule)",
+    )
+    remote.add_argument(
+        "--remote-listen",
+        type=_listen_address,
+        default=None,
+        metavar="HOST:PORT",
+        help="run this figure through the remote executor, listening on "
+        "HOST:PORT (port 0 = ephemeral); with --remote-workers 0 the "
+        "coordinator only waits for external remote_worker processes",
+    )
+    remote.add_argument(
+        "--remote-workers",
+        type=_nonnegative_int,
+        default=None,
+        metavar="N",
+        help="spawn N local remote_worker subprocesses (implies remote "
+        "mode; default listen address is 127.0.0.1:0)",
+    )
+    remote.add_argument(
+        "--lease-timeout",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="re-lease a cell whose heartbeat lapses this long "
+        f"(default: {DEFAULT_LEASE_TIMEOUT:.0f}s; requires remote mode)",
+    )
+    remote.add_argument(
+        "--max-retries",
+        type=_nonnegative_int,
+        default=None,
+        metavar="N",
+        help="re-grants per cell before the run is declared failed "
+        f"(default: {DEFAULT_MAX_RETRIES}; requires remote mode)",
+    )
+    remote.add_argument(
+        "--remote-log",
+        default=None,
+        metavar="FILE",
+        help="write the coordinator's lease/heartbeat event journal to FILE "
+        "as JSON lines (requires remote mode)",
     )
     maintenance = parser.add_argument_group(
         "cell-store maintenance",
@@ -588,6 +695,32 @@ def main(argv: Sequence[str] | None = None) -> int:
             "--cache-max-entries/--cache-max-bytes bound the on-disk cell "
             "cache and cannot be combined with --no-cache"
         )
+    remote_mode = args.remote_listen is not None or args.remote_workers is not None
+    if remote_mode:
+        if (
+            args.shards is not None
+            or args.shard_index is not None
+            or args.merge_shards
+            or args.gc_shards
+        ):
+            parser.error(
+                "remote execution (--remote-listen/--remote-workers) cannot "
+                "be combined with --shards/--shard-index/--merge-shards/--gc-shards"
+            )
+        if args.workers != 1:
+            parser.error(
+                "--workers selects the in-process pool and has no effect on "
+                "remote execution; use --remote-workers N instead"
+            )
+    elif (
+        args.lease_timeout is not None
+        or args.max_retries is not None
+        or args.remote_log is not None
+    ):
+        parser.error(
+            "--lease-timeout/--max-retries/--remote-log tune remote "
+            "execution and require --remote-listen or --remote-workers"
+        )
     if args.migrate_cache or args.show_runs is not None:
         if (
             args.figure is not None
@@ -596,10 +729,12 @@ def main(argv: Sequence[str] | None = None) -> int:
             or args.merge_shards
             or args.gc_shards
             or args.shard_dir is not None
+            or remote_mode
         ):
             parser.error(
                 "--migrate-cache/--show-runs are figure-less maintenance "
-                "commands and cannot be combined with a figure or sharding flags"
+                "commands and cannot be combined with a figure, sharding or "
+                "remote-execution flags"
             )
         if args.out is not None:
             parser.error(
@@ -649,7 +784,25 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.shard_index is not None or args.merge_shards:
             return _shard_main(args, cache)
         executor = None
-        if args.shards is not None:
+        if remote_mode:
+            executor = RemoteExecutor(
+                workers=(
+                    args.remote_workers if args.remote_workers is not None else 0
+                ),
+                listen=args.remote_listen or "127.0.0.1:0",
+                lease_timeout=(
+                    args.lease_timeout
+                    if args.lease_timeout is not None
+                    else DEFAULT_LEASE_TIMEOUT
+                ),
+                max_retries=(
+                    args.max_retries
+                    if args.max_retries is not None
+                    else DEFAULT_MAX_RETRIES
+                ),
+                event_log=args.remote_log,
+            )
+        elif args.shards is not None:
             # persistent per-figure shard root (the documented default), so
             # an interrupted sharded run resumes instead of starting over;
             # the shared cell cache is handed to the shard workers too

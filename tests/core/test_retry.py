@@ -1,0 +1,149 @@
+"""Unit tests for the shared bounded-retry policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.retry import RetryPolicy, retry_call
+from repro.exceptions import InvalidParameterError
+
+
+class TestRetryPolicy:
+    def test_defaults_are_valid(self) -> None:
+        policy = RetryPolicy()
+        assert policy.max_retries == 5
+        assert len(list(policy.delays())) == 5
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_retries": -1},
+            {"base_delay": 0.0},
+            {"base_delay": -0.5},
+            {"max_delay": 0.01, "base_delay": 0.05},
+            {"multiplier": 0.5},
+            {"jitter": -0.1},
+            {"jitter": 1.0},
+        ],
+    )
+    def test_invalid_parameters_fail_fast(self, kwargs: dict) -> None:
+        with pytest.raises(InvalidParameterError):
+            RetryPolicy(**kwargs)
+
+    def test_exponential_growth_saturates_at_max_delay(self) -> None:
+        policy = RetryPolicy(
+            max_retries=6, base_delay=0.1, max_delay=0.8, multiplier=2.0, jitter=0.0
+        )
+        assert list(policy.delays()) == pytest.approx([0.1, 0.2, 0.4, 0.8, 0.8, 0.8])
+
+    def test_jitter_stays_within_fraction_and_cap(self) -> None:
+        policy = RetryPolicy(
+            max_retries=8, base_delay=0.1, max_delay=1.0, multiplier=2.0, jitter=0.2
+        )
+        for attempt in range(8):
+            raw = min(1.0, 0.1 * 2.0**attempt)
+            delay = policy.delay(attempt, key="cell-x")
+            assert delay <= 1.0  # never exceeds the cap, jitter included
+            assert abs(delay - raw) <= 0.2 * raw + 1e-12
+
+    def test_jitter_is_deterministic_per_key_and_attempt(self) -> None:
+        policy = RetryPolicy(jitter=0.3)
+        first = [policy.delay(a, key="cell-a") for a in range(4)]
+        again = [policy.delay(a, key="cell-a") for a in range(4)]
+        other = [policy.delay(a, key="cell-b") for a in range(4)]
+        assert first == again  # reproducible schedule
+        assert first != other  # distinct keys decorrelate
+
+    def test_negative_attempt_rejected(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            RetryPolicy().delay(-1)
+
+
+class TestRetryCall:
+    def test_success_needs_no_sleep(self) -> None:
+        slept: list[float] = []
+        assert retry_call(lambda: 42, RetryPolicy(), sleep=slept.append) == 42
+        assert slept == []
+
+    def test_retries_until_success_following_the_schedule(self) -> None:
+        policy = RetryPolicy(max_retries=5, base_delay=0.1, max_delay=1.0, jitter=0.0)
+        failures = [OSError("boom"), OSError("boom")]
+        slept: list[float] = []
+
+        def flaky() -> str:
+            if failures:
+                raise failures.pop(0)
+            return "ok"
+
+        assert retry_call(flaky, policy, key="k", sleep=slept.append) == "ok"
+        assert slept == pytest.approx([policy.delay(0, key="k"), policy.delay(1, key="k")])
+
+    def test_final_failure_reraises_last_exception_unchanged(self) -> None:
+        policy = RetryPolicy(max_retries=2, base_delay=0.01, max_delay=0.01, jitter=0.0)
+        attempts: list[int] = []
+
+        def always_fails() -> None:
+            attempts.append(1)
+            raise OSError(f"failure {len(attempts)}")
+
+        with pytest.raises(OSError, match="failure 3"):
+            retry_call(always_fails, policy, sleep=lambda _: None)
+        assert len(attempts) == 3  # first try + max_retries
+
+    def test_non_matching_exception_propagates_immediately(self) -> None:
+        attempts: list[int] = []
+
+        def wrong_kind() -> None:
+            attempts.append(1)
+            raise ValueError("not transient")
+
+        with pytest.raises(ValueError):
+            retry_call(wrong_kind, RetryPolicy(), sleep=lambda _: None)
+        assert len(attempts) == 1
+
+    def test_custom_retry_on_types(self) -> None:
+        failures = [KeyError("x")]
+
+        def flaky() -> str:
+            if failures:
+                raise failures.pop(0)
+            return "ok"
+
+        assert (
+            retry_call(
+                flaky, RetryPolicy(), retry_on=(KeyError,), sleep=lambda _: None
+            )
+            == "ok"
+        )
+
+    def test_zero_retries_means_one_attempt(self) -> None:
+        policy = RetryPolicy(max_retries=0)
+        attempts: list[int] = []
+
+        def fails() -> None:
+            attempts.append(1)
+            raise OSError("boom")
+
+        with pytest.raises(OSError):
+            retry_call(fails, policy, sleep=lambda _: None)
+        assert len(attempts) == 1
+
+    def test_on_retry_observes_each_attempt(self) -> None:
+        policy = RetryPolicy(max_retries=3, base_delay=0.1, max_delay=1.0, jitter=0.0)
+        seen: list[tuple[int, str, float]] = []
+        failures = [OSError("a"), OSError("b")]
+
+        def flaky() -> str:
+            if failures:
+                raise failures.pop(0)
+            return "ok"
+
+        retry_call(
+            flaky,
+            policy,
+            sleep=lambda _: None,
+            on_retry=lambda attempt, exc, delay: seen.append(
+                (attempt, str(exc), delay)
+            ),
+        )
+        assert seen == [(0, "a", pytest.approx(0.1)), (1, "b", pytest.approx(0.2))]

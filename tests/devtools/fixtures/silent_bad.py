@@ -1,0 +1,29 @@
+"""Fixture: broad exception handlers that silently swallow failures."""
+
+
+def swallow_everything(fn):
+    try:
+        return fn()
+    except Exception:  # REPRO502: silent broad handler
+        pass
+
+
+def bare_handler(fn):
+    try:
+        return fn()
+    except:  # noqa: E722 — REPRO502: bare except is flagged even when it acts
+        return None
+
+
+def tuple_of_types(fn):
+    try:
+        return fn()
+    except (ValueError, Exception):  # REPRO502: Exception hides in the tuple
+        ...
+
+
+def base_exception(fn):
+    try:
+        return fn()
+    except BaseException:  # REPRO502: docstring-only body is still silent
+        """swallowed"""

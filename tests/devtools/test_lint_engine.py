@@ -112,6 +112,29 @@ def test_seam_good_fixture_is_clean() -> None:
     assert fixture_codes("seam_good.py") == []
 
 
+def test_silent_bad_fixture() -> None:
+    violations = lint_file(FIXTURES / "silent_bad.py", display_path="silent_bad.py")
+    codes = [v.rule for v in violations]
+    assert codes == ["REPRO502"] * 4
+    messages = " ".join(v.message for v in violations)
+    assert "bare except" in messages
+    assert "silently discards" in messages
+
+
+def test_silent_good_fixture_is_clean() -> None:
+    assert fixture_codes("silent_good.py") == []
+
+
+def test_silent_rule_applies_inside_tests_too() -> None:
+    codes = [
+        v.rule
+        for v in lint_file(
+            FIXTURES / "silent_bad.py", display_path="tests/test_silent_bad.py"
+        )
+    ]
+    assert codes == ["REPRO502"] * 4
+
+
 def test_violations_carry_location_and_content() -> None:
     violations = lint_file(FIXTURES / "seam_bad.py", display_path="seam_bad.py")
     v = next(v for v in violations if v.rule == "REPRO402")

@@ -2,10 +2,12 @@
 
 import json
 import sqlite3
+import threading
 import warnings
 
 import pytest
 
+from repro.core.retry import RetryPolicy
 from repro.exceptions import InvalidParameterError
 from repro.experiments.cellstore import (
     CELLSTORE_SCHEMA_VERSION,
@@ -304,3 +306,84 @@ class TestDegradation:
             result = run_grid(cells, cache=store)
         assert result.computed == 3
         assert [row["value"] for row in result.rows] == [0, 1, 2]
+
+
+class TestWriteContention:
+    """Two writers on one database: bounded retry, then warned miss."""
+
+    @staticmethod
+    def _tiny_policy(max_retries: int = 2) -> RetryPolicy:
+        return RetryPolicy(
+            max_retries=max_retries, base_delay=0.001, max_delay=0.002, jitter=0.0
+        )
+
+    def test_locked_db_degrades_to_warned_miss_not_exception(self, tmp_path):
+        path = tmp_path / "cells.sqlite"
+        store = SQLiteCellStore(
+            path, busy_timeout_ms=5, retry_policy=self._tiny_policy()
+        )
+        blocker = sqlite3.connect(path)
+        try:
+            blocker.execute("BEGIN IMMEDIATE")  # hold the write lock
+            with pytest.warns(RuntimeWarning, match="cell store write failed"):
+                assert store.put(cell(1), [{"value": 1}], elapsed=0.0) is None
+        finally:
+            blocker.rollback()
+            blocker.close()
+        # once the co-writer is gone the same store writes normally again
+        assert store.put(cell(1), [{"value": 1}], elapsed=0.0) == path
+        assert store.get(cell(1)) == [{"value": 1}]
+        store.close()
+
+    def test_retry_outlasts_a_transient_lock(self, tmp_path):
+        path = tmp_path / "cells.sqlite"
+        store = SQLiteCellStore(
+            path,
+            busy_timeout_ms=50,
+            retry_policy=RetryPolicy(
+                max_retries=40, base_delay=0.05, max_delay=0.05, jitter=0.0
+            ),
+        )
+        blocker = sqlite3.connect(path, check_same_thread=False)
+        blocker.execute("BEGIN IMMEDIATE")
+        release = threading.Timer(0.2, lambda: (blocker.rollback(), blocker.close()))
+        release.start()
+        try:
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                assert store.put(cell(7), [{"value": 7}], elapsed=0.0) == path
+            assert caught == []
+        finally:
+            release.join()
+            store.close()
+
+    def test_two_writers_share_one_journal(self, tmp_path):
+        path = tmp_path / "cells.sqlite"
+        first = SQLiteCellStore(path)
+        second = SQLiteCellStore(path)
+        try:
+            for index in range(4):
+                writer = first if index % 2 == 0 else second
+                assert writer.journal_append(
+                    "plan", index % 2, {"config_hash": f"h{index}", "value": index}
+                )
+            assert set(first.journal_entries("plan")) == {"h0", "h1", "h2", "h3"}
+            assert second.journal_entries("plan") == first.journal_entries("plan")
+        finally:
+            first.close()
+            second.close()
+
+    def test_non_lock_errors_are_not_retried(self, tmp_path):
+        store = SQLiteCellStore(
+            tmp_path / "cells.sqlite", retry_policy=self._tiny_policy(max_retries=50)
+        )
+        attempts = []
+
+        def broken():
+            attempts.append(1)
+            raise sqlite3.OperationalError("no such table: nowhere")
+
+        with pytest.raises(sqlite3.OperationalError, match="no such table"):
+            store._retry_write("write", broken)
+        assert len(attempts) == 1  # retrying cannot fix a schema error
+        store.close()

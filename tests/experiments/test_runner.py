@@ -156,9 +156,93 @@ class TestCliCacheBounds:
         assert len(list(cache_dir.glob("*.json"))) <= 4
 
     def test_invalid_bound_exits_2(self, tmp_path, capsys):
+        # rejected by argparse before any run state is touched
         cache_dir = tmp_path / "cache"
-        assert main(["fig1", "--cache-dir", str(cache_dir), "--cache-max-entries", "0"]) == 2
-        assert "max_entries" in capsys.readouterr().err
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig1", "--cache-dir", str(cache_dir), "--cache-max-entries", "0"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--cache-max-entries" in err
+        assert "positive integer" in err
+
+
+class TestCliArgumentValidation:
+    """Bad numeric flags fail at parse time: exit 2, naming flag and value."""
+
+    @pytest.mark.parametrize(
+        ("flag", "value", "expected"),
+        [
+            ("--workers", "0", "positive integer"),
+            ("--workers", "-2", "positive integer"),
+            ("--shards", "0", "positive integer"),
+            ("--shard-index", "-1", "non-negative integer"),
+            ("--lease-timeout", "0", "positive number"),
+            ("--cache-max-entries", "banana", "positive integer"),
+        ],
+    )
+    def test_invalid_values_exit_2_naming_the_flag(
+        self, capsys, flag, value, expected
+    ):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig1", flag, value])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert flag in err
+        assert expected in err
+        assert value in err
+
+    def test_max_retries_rejects_negatives_but_allows_zero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig1", "--max-retries", "-1"])
+        assert excinfo.value.code == 2
+        assert "--max-retries" in capsys.readouterr().err
+
+    def test_bad_listen_address_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig1", "--remote-listen", "nonsense"])
+        assert excinfo.value.code == 2
+        assert "HOST:PORT" in capsys.readouterr().err
+
+    def test_remote_conflicts_with_sharding(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig1", "--remote-workers", "2", "--shards", "2"])
+        assert excinfo.value.code == 2
+        assert "--shards" in capsys.readouterr().err
+
+    def test_remote_conflicts_with_workers(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig1", "--remote-workers", "2", "--workers", "2"])
+        assert excinfo.value.code == 2
+        assert "--remote-workers" in capsys.readouterr().err
+
+    def test_remote_tuning_flags_require_remote_mode(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig1", "--lease-timeout", "5"])
+        assert excinfo.value.code == 2
+        assert "--remote-listen or --remote-workers" in capsys.readouterr().err
+
+
+class TestCliRemote:
+    def test_remote_workers_artifact_matches_serial(self, tmp_path, capsys):
+        serial_out = tmp_path / "serial"
+        assert main(["fig1", "--no-cache", "--out", str(serial_out)]) == 0
+        capsys.readouterr()
+        remote_out = tmp_path / "remote"
+        event_log = tmp_path / "events.jsonl"
+        code = main(
+            ["fig1", "--no-cache", "--remote-workers", "2",
+             "--out", str(remote_out), "--remote-log", str(event_log)]
+        )
+        capsys.readouterr()
+        assert code == 0
+        assert (remote_out / "fig1" / "rows.json").read_bytes() == (
+            serial_out / "fig1" / "rows.json"
+        ).read_bytes()
+        lines = [json.loads(line) for line in event_log.read_text().splitlines()]
+        assert lines[-1]["event"] == "summary"
+        assert {"worker_spawned", "lease_granted", "cell_completed"} <= {
+            line["event"] for line in lines
+        }
 
 
 class TestCliCellStore:
