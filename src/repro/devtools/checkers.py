@@ -37,7 +37,12 @@ from typing import Callable, Iterable, Iterator
 FIDELITY_KWARGS = ("amortize_nk", "chunk_size", "packed", "redraw_attributes")
 
 #: Methods whose dispatch is final on :class:`FrequencyOracle` (REPRO201).
-ORACLE_FINAL_METHODS = ("accumulator", "attack_many", "support_counts")
+ORACLE_FINAL_METHODS = (
+    "accumulator",
+    "attack_many",
+    "estimator_fingerprint",
+    "support_counts",
+)
 
 #: Protected dense kernels every concrete oracle must implement (REPRO202).
 ORACLE_REQUIRED_KERNELS = ("_attack_dense", "_support_counts_dense")

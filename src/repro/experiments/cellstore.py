@@ -196,7 +196,7 @@ class SQLiteCellStore(CellStore):
         self.max_entries = None if max_entries is None else int(max_entries)
         self.max_bytes = None if max_bytes is None else int(max_bytes)
         self._evicted = 0
-        self._warned = False
+        self._warned: set[tuple[str, int | None]] = set()
         try:
             self.directory.mkdir(parents=True, exist_ok=True)
             self._conn = sqlite3.connect(self.path, timeout=busy_timeout_ms / 1000.0)
@@ -259,10 +259,18 @@ class SQLiteCellStore(CellStore):
     # shared plumbing
     # ------------------------------------------------------------------ #
     def _warn_io(self, action: str, exc: Exception) -> None:
-        """Warn once per store instance that storage I/O is failing."""
-        if self._warned:
+        """Warn once per ``(action, errno)`` category that storage I/O fails.
+
+        A boolean guard would let the first failure (say, a locked read)
+        permanently suppress reports of later, differently-caused failures
+        (a full disk on write); keying on the category surfaces each
+        distinct failure mode exactly once per store instance.  sqlite3
+        errors carry no ``errno``, so they key on ``(action, None)``.
+        """
+        category = (action, getattr(exc, "errno", None))
+        if category in self._warned:
             return
-        self._warned = True
+        self._warned.add(category)
         warnings.warn(
             f"cell store {action} failed for {self.path} ({exc}); "
             "continuing without the store (cells are recomputed, not persisted)",

@@ -370,7 +370,7 @@ class GridCache(CellStore):
         self.max_entries = None if max_entries is None else int(max_entries)
         self.max_bytes = None if max_bytes is None else int(max_bytes)
         self._evicted = 0
-        self._warned = False
+        self._warned: set[tuple[str, int | None]] = set()
         try:
             self.directory.mkdir(parents=True, exist_ok=True)
         except OSError as exc:
@@ -388,10 +388,17 @@ class GridCache(CellStore):
                 self._bytes_estimate += size
 
     def _warn_io(self, action: str, path: Path, exc: OSError) -> None:
-        """Warn once per cache instance that cache I/O is failing."""
-        if self._warned:
+        """Warn once per ``(action, errno)`` category that cache I/O is failing.
+
+        Keying on the failure category (rather than a single boolean) means a
+        read permission error does not suppress the later report of, say, a
+        write hitting a full disk — each distinct failure mode surfaces
+        exactly once per cache instance.
+        """
+        category = (action, getattr(exc, "errno", None))
+        if category in self._warned:
             return
-        self._warned = True
+        self._warned.add(category)
         warnings.warn(
             f"grid cache {action} failed for {path} ({exc}); "
             "continuing without the cache (cells are recomputed, not persisted)",

@@ -79,6 +79,39 @@ DEFAULT_LEASE_TIMEOUT = 30.0
 #: Default re-grants per cell before the run is declared failed.
 DEFAULT_MAX_RETRIES = 3
 
+#: Default seconds the coordinator waits for workers to exit on their own
+#: (after the shutdown ``/lease`` reply) before escalating to SIGTERM.
+DEFAULT_SHUTDOWN_GRACE = 2.0
+
+
+def wait_for_worker_exit(
+    procs: "Sequence[tuple[int, subprocess.Popen[bytes], Path]]",
+    grace: float = DEFAULT_SHUTDOWN_GRACE,
+    poll_interval: float = 0.02,
+    clock: Callable[[], float] = time.monotonic,
+    sleep: Callable[[float], None] = time.sleep,
+) -> bool:
+    """Wait up to ``grace`` seconds for every worker process to exit.
+
+    Returns ``True`` when all workers exited within the grace period and
+    ``False`` on timeout (the caller then escalates to ``terminate``).  The
+    clock and sleep are injectable like :class:`LeaseTable`'s ``now``
+    arguments, so the grace-period logic is unit-testable with a
+    hand-advanced clock instead of real elapsed time.
+    """
+    if not float(grace) >= 0:
+        raise InvalidParameterError(f"grace must be >= 0, got {grace}")
+    if not float(poll_interval) > 0:
+        raise InvalidParameterError(
+            f"poll_interval must be > 0, got {poll_interval}"
+        )
+    deadline = clock() + float(grace)
+    while any(proc.poll() is None for _, proc, _ in procs):
+        if clock() >= deadline:
+            return False
+        sleep(float(poll_interval))
+    return True
+
 
 # --------------------------------------------------------------------------- #
 # fault injection
@@ -945,7 +978,9 @@ class RemoteExecutor(Executor):
         python: "str | None" = None,
         event_log: "str | Path | None" = None,
         retry_policy: "RetryPolicy | None" = None,
+        shutdown_grace: float = DEFAULT_SHUTDOWN_GRACE,
         clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         if int(workers) < 0:
             raise InvalidParameterError(f"workers must be >= 0, got {workers}")
@@ -961,6 +996,10 @@ class RemoteExecutor(Executor):
             raise InvalidParameterError(
                 f"poll_interval must be > 0, got {poll_interval}"
             )
+        if not float(shutdown_grace) >= 0:
+            raise InvalidParameterError(
+                f"shutdown_grace must be >= 0, got {shutdown_grace}"
+            )
         self.workers = int(workers)
         self.listen = parse_listen(listen)
         self.lease_timeout = float(lease_timeout)
@@ -970,7 +1009,9 @@ class RemoteExecutor(Executor):
         self.python = python or sys.executable
         self.event_log = None if event_log is None else Path(event_log)
         self.retry_policy = retry_policy
+        self.shutdown_grace = float(shutdown_grace)
         self._clock = clock
+        self._sleep = sleep
         #: ``http://host:port`` once the coordinator is listening.
         self.address: "str | None" = None
         #: Set as soon as :attr:`address` is valid — in-process worker
@@ -1032,12 +1073,13 @@ class RemoteExecutor(Executor):
             self.address = None
             # grace period: let workers see the shutdown /lease reply and
             # exit on their own before the server (and then SIGTERM) goes
-            deadline = time.monotonic() + 2.0
-            while (
-                any(proc.poll() is None for _, proc, _ in procs)
-                and time.monotonic() < deadline
-            ):
-                time.sleep(0.02)
+            wait_for_worker_exit(
+                procs,
+                grace=self.shutdown_grace,
+                poll_interval=self.poll_interval,
+                clock=self._clock,
+                sleep=self._sleep,
+            )
             server.shutdown()
             server.server_close()
             server_thread.join(timeout=5.0)

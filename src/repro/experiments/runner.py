@@ -28,6 +28,12 @@ and ``--out`` persists rows, metadata and per-cell timings as a figure
 artifact.  Figure-less maintenance commands: ``--migrate-cache`` imports an
 existing JSON cache directory into the SQLite store, ``--show-runs [N]``
 prints the run ledger.
+
+Figure-less service commands: ``--serve HOST:PORT`` runs the live LDP
+collection server of :mod:`repro.service` over the attributes given by
+repeatable ``--attribute NAME:PROTOCOL:K:EPSILON`` flags, windowed by
+``--window``; ``--snapshot URL`` prints the snapshot estimates of a running
+service as JSON lines.
 """
 
 from __future__ import annotations
@@ -552,6 +558,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the coordinator's lease/heartbeat event journal to FILE "
         "as JSON lines (requires remote mode)",
     )
+    service = parser.add_argument_group(
+        "live collection service",
+        "figure-less commands around the repro.service collection server: "
+        "ingest LDP report batches for many attributes concurrently with "
+        "O(k) state per attribute, windowed estimates and bounded-queue "
+        "backpressure (HTTP 429 + Retry-After)",
+    )
+    service.add_argument(
+        "--serve",
+        type=_listen_address,
+        default=None,
+        metavar="HOST:PORT",
+        help="run a collection service on HOST:PORT (port 0 = ephemeral) "
+        "until interrupted; requires at least one --attribute",
+    )
+    service.add_argument(
+        "--attribute",
+        action="append",
+        default=None,
+        metavar="NAME:PROTOCOL:K:EPSILON",
+        help="attribute to collect under --serve, e.g. age:GRR:16:1.0 "
+        "(repeatable); with --snapshot, restrict the printed estimates to "
+        "these attribute names",
+    )
+    service.add_argument(
+        "--window",
+        default=None,
+        metavar="SPEC",
+        help="window shape for --serve: cumulative (default), "
+        "tumbling:SECONDS or sliding:SECONDSxPANES",
+    )
+    service.add_argument(
+        "--queue-size",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="ingest-queue bound in batches for --serve; a full queue is "
+        "backpressure (HTTP 429), never unbounded memory",
+    )
+    service.add_argument(
+        "--snapshot",
+        default=None,
+        metavar="URL",
+        help="print the snapshot estimate of every attribute of the running "
+        "collection service at URL as JSON lines, then exit",
+    )
     maintenance = parser.add_argument_group(
         "cell-store maintenance",
         "figure-less commands operating on the --cache-dir cell store",
@@ -653,6 +705,59 @@ def _write_figure_artifact(
     print(f"artifact written to {directory}", file=sys.stderr)
 
 
+def _service_main(
+    args: argparse.Namespace, stop: "Callable[[], None] | None" = None
+) -> int:
+    """Handle the figure-less ``--serve`` / ``--snapshot`` paths.
+
+    ``stop`` is a test seam: under ``--serve`` it replaces the
+    wait-until-interrupted loop (production passes ``None``).
+    """
+    from ..service.client import CollectionClient, ServiceUnavailableError
+    from ..service.server import CollectionService, parse_attribute_spec
+
+    if args.snapshot is not None:
+        client = CollectionClient(args.snapshot)
+        wanted = None
+        if args.attribute:
+            # accept bare names or full NAME:PROTOCOL:K:EPSILON specs
+            wanted = {spec.split(":", 1)[0] for spec in args.attribute}
+        try:
+            names = sorted(client.stats()["attributes"])
+            for name in names:
+                if wanted is not None and name not in wanted:
+                    continue
+                print(json.dumps(client.estimate(name), sort_keys=True))
+        except ServiceUnavailableError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        return 0
+
+    try:
+        service = CollectionService(
+            listen=parse_listen(args.serve),
+            window=args.window or "cumulative",
+            queue_size=args.queue_size or 256,
+        )
+        for spec in args.attribute:
+            service.registry.register(**parse_attribute_spec(spec))
+    except InvalidParameterError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    with service:
+        print(f"collection service listening on {service.url}", flush=True)
+        if stop is not None:
+            stop()
+        else:  # pragma: no cover - interactive serve loop
+            import threading
+
+            try:
+                threading.Event().wait()
+            except KeyboardInterrupt:
+                print("shutting down", file=sys.stderr)
+    return 0
+
+
 def _maintenance_main(args: argparse.Namespace) -> int:
     """Handle the figure-less ``--migrate-cache`` / ``--show-runs`` paths."""
     from .cellstore import SQLiteCellStore
@@ -720,6 +825,42 @@ def main(argv: Sequence[str] | None = None) -> int:
         parser.error(
             "--lease-timeout/--max-retries/--remote-log tune remote "
             "execution and require --remote-listen or --remote-workers"
+        )
+    service_mode = args.serve is not None or args.snapshot is not None
+    if service_mode:
+        if args.serve is not None and args.snapshot is not None:
+            parser.error("--serve and --snapshot are mutually exclusive")
+        if (
+            args.figure is not None
+            or args.shards is not None
+            or args.shard_index is not None
+            or args.merge_shards
+            or args.gc_shards
+            or remote_mode
+            or args.migrate_cache
+            or args.show_runs is not None
+            or args.out is not None
+        ):
+            parser.error(
+                "--serve/--snapshot are figure-less service commands and "
+                "cannot be combined with a figure, sharding, remote-execution "
+                "or maintenance flags"
+            )
+        if args.snapshot is not None and (
+            args.window is not None or args.queue_size is not None
+        ):
+            parser.error(
+                "--window/--queue-size configure the server and require --serve"
+            )
+        if args.serve is not None and not args.attribute:
+            parser.error(
+                "--serve requires at least one --attribute NAME:PROTOCOL:K:EPSILON"
+            )
+        return _service_main(args)
+    if args.window is not None or args.attribute is not None or args.queue_size is not None:
+        parser.error(
+            "--window/--attribute/--queue-size configure the collection "
+            "service and require --serve or --snapshot"
         )
     if args.migrate_cache or args.show_runs is not None:
         if (

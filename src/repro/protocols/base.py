@@ -16,6 +16,7 @@ All three faces (randomize / aggregate / attack) share the protocol's
 from __future__ import annotations
 
 import abc
+import json
 from typing import Any, Iterable, Mapping, Sequence, final
 
 import numpy as np
@@ -229,6 +230,43 @@ class FrequencyOracle(abc.ABC):
     # ------------------------------------------------------------------ #
     # misc
     # ------------------------------------------------------------------ #
+    def _fingerprint_params(self) -> Mapping[str, object]:
+        """Protocol-specific estimator-relevant parameters.
+
+        Concrete protocols override this to expose every parameter beyond
+        ``(name, k, epsilon, p, q)`` that changes what their support counts
+        *mean* (OLH's hash range ``g``, SS's subset size ``omega``, UE's
+        report packing).  These feed :meth:`estimator_fingerprint`, which
+        gates :meth:`CountAccumulator.merge <repro.protocols.streaming.CountAccumulator.merge>`.
+        """
+        return {}
+
+    @final
+    def estimator_fingerprint(self) -> str:
+        """Canonical fingerprint of every estimator-relevant parameter.
+
+        Two accumulators may only be merged when their oracles' fingerprints
+        are identical.  Comparing rounded ``(p, q)`` alone is not enough: at
+        large ``epsilon`` the keep probability saturates to ``1.0`` in
+        float64, so oracles with wildly different privacy budgets (or
+        different protocol-specific parameters) can collide on ``(name, k,
+        p, q)`` while their counts demand different estimators and carry
+        different privacy metadata.  The fingerprint is canonical JSON
+        (sorted keys, exact float round-trip) over the protocol name, ``k``,
+        ``epsilon``, ``p``, ``q`` and the protocol-specific extras from
+        :meth:`_fingerprint_params`.
+        """
+        payload: dict[str, object] = {
+            "protocol": self.name,
+            "k": self.k,
+            "epsilon": float(self.epsilon),
+            "p": float(self.p),
+            "q": float(self.q),
+        }
+        for key, value in self._fingerprint_params().items():
+            payload[str(key)] = value
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
     def describe(self) -> Mapping[str, object]:
         """Dictionary description of the protocol configuration."""
         return {

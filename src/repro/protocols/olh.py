@@ -141,8 +141,18 @@ class OLH(FrequencyOracle):
     def _num_reports(self, reports: np.ndarray) -> int:
         return int(self._as_report_matrix(reports).shape[0])
 
+    def _fingerprint_params(self) -> dict[str, object]:
+        # the hash range changes what a support count means: two OLH oracles
+        # whose large epsilons round p to the same float64 still disagree on
+        # g (and therefore on q = 1/g and the candidate sets)
+        return {"g": self.g}
+
     def _as_report_matrix(self, reports: np.ndarray) -> np.ndarray:
         reports = np.asarray(reports, dtype=np.int64)
+        if reports.size == 0:
+            # zero-row chunk (an idle shard, a drained stream): a valid
+            # (0, 3) report matrix, never a shape error
+            return reports.reshape(0, 3)
         if reports.ndim == 1:
             reports = reports.reshape(1, -1)
         if reports.shape[1] != 3:

@@ -160,7 +160,17 @@ class SubsetSelection(FrequencyOracle):
 
     def _num_reports(self, reports: np.ndarray) -> int:
         reports = np.asarray(reports)
+        if reports.size == 0:
+            # a zero-row chunk carries zero reports — the 1-D fallback below
+            # (one subset as a flat array) must not count an empty array as
+            # one report
+            return 0
         return 1 if reports.ndim == 1 else int(reports.shape[0])
+
+    def _fingerprint_params(self) -> dict[str, object]:
+        # omega is part of what a support count means (each report supports
+        # omega values), so accumulators of different subset sizes never merge
+        return {"omega": self.omega}
 
     # -- attack --------------------------------------------------------------
     def attack(self, report: np.ndarray) -> int:
@@ -170,6 +180,10 @@ class SubsetSelection(FrequencyOracle):
 
     def _attack_dense(self, reports: np.ndarray) -> np.ndarray:
         reports = np.asarray(reports, dtype=np.int64)
+        if reports.size == 0:
+            # empty chunk → no guesses (the 1-D fallback would turn (0,)
+            # into a (1, 0) matrix and ask for a pick from zero columns)
+            return np.empty(0, dtype=np.int64)
         if reports.ndim == 1:
             reports = reports.reshape(1, -1)
         picks = self._rng.integers(0, reports.shape[1], size=reports.shape[0])

@@ -198,22 +198,23 @@ class CountAccumulator:
     def merge(self, other: "CountAccumulator") -> "CountAccumulator":
         """Fold another accumulator (e.g. from a parallel shard) into this one.
 
-        Both accumulators must belong to the same estimator — same protocol,
-        domain size and ``(p, q)`` parameters — otherwise the merged counts
-        would be finalized with the wrong unbiased estimator and silently
-        biased.
+        Both accumulators must belong to the same estimator, compared via the
+        oracles' canonical parameter fingerprint
+        (:meth:`~repro.protocols.base.FrequencyOracle.estimator_fingerprint`:
+        protocol name, ``k``, ``epsilon``, ``p``, ``q`` plus every
+        protocol-specific estimator parameter — OLH's hash range ``g``, SS's
+        ``omega``, UE's packing).  Comparing ``(name, k, p, q)`` alone is not
+        enough: float64 rounding lets two oracles with different epsilons (or
+        different protocol parameters) collide on identical ``(p, q)``, and
+        merged counts would silently finalize with the wrong estimator and
+        the wrong privacy metadata.
         """
         ours, theirs = self._oracle, other._oracle
-        if (ours.name, ours.k, ours.p, ours.q) != (
-            theirs.name,
-            theirs.k,
-            theirs.p,
-            theirs.q,
-        ):
+        if ours.estimator_fingerprint() != theirs.estimator_fingerprint():
             raise EstimationError(
                 "cannot merge accumulators of incompatible oracles: "
-                f"{ours.name}(k={ours.k}, p={ours.p:g}, q={ours.q:g}) vs "
-                f"{theirs.name}(k={theirs.k}, p={theirs.p:g}, q={theirs.q:g})"
+                f"{ours.estimator_fingerprint()} vs "
+                f"{theirs.estimator_fingerprint()}"
             )
         self.counts += other.counts
         self.n += other.n

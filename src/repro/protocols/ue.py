@@ -152,6 +152,11 @@ class UnaryEncoding(FrequencyOracle):
         if isinstance(reports, PackedBits):
             return reports.column_sums(self.chunk_size)
         reports = np.asarray(reports)
+        if reports.size == 0:
+            # a zero-row chunk supports nothing; without this guard the 1-D
+            # fallback reshapes (0,) into (1, 0) and the column sum comes out
+            # with shape (0,) instead of (k,)
+            return np.zeros(self.k, dtype=float)
         if reports.ndim == 1:
             reports = reports.reshape(1, -1)
         return reports.sum(axis=0).astype(float)
@@ -160,7 +165,15 @@ class UnaryEncoding(FrequencyOracle):
         if isinstance(reports, PackedBits):
             return len(reports)
         reports = np.asarray(reports)
+        if reports.size == 0:
+            # an empty dense chunk is zero reports, not one 1-D report
+            return 0
         return 1 if reports.ndim == 1 else int(reports.shape[0])
+
+    def _fingerprint_params(self) -> dict[str, object]:
+        # packed and dense accumulators count the same bits, but packing is
+        # part of the wire/report format contract; keep shards homogeneous
+        return {"packed": self.packed}
 
     # -- attack --------------------------------------------------------------
     def attack(self, report: np.ndarray) -> int:
@@ -191,6 +204,8 @@ class UnaryEncoding(FrequencyOracle):
                 ]
             )
         reports = np.asarray(reports)
+        if reports.size == 0:
+            return np.empty(0, dtype=np.int64)
         if reports.ndim == 1:
             reports = reports.reshape(1, -1)
         return self._attack_block(reports)

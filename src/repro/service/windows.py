@@ -1,0 +1,222 @@
+"""Windowed streaming accumulators for the collection service.
+
+A live collector cannot keep every report ever seen; it folds reports into
+:class:`~repro.protocols.streaming.CountAccumulator` panes and answers
+estimate queries from the panes currently inside the window.  Three window
+shapes are supported, written ``cumulative``, ``tumbling:W`` and
+``sliding:WxP`` (seconds):
+
+* **cumulative** — one pane that never expires: the estimate covers every
+  report since the collector started, byte-identical to a one-shot
+  ``aggregate`` over the de-duplicated stream;
+* **tumbling:W** — one pane of width ``W``: at each window edge the pane is
+  discarded and a fresh one starts;
+* **sliding:WxP** — a ring of ``P`` panes of width ``W/P``: the estimate
+  covers the last ``W`` seconds at pane granularity, and panes falling off
+  the back are discarded incrementally (classic paned / tumbling-union
+  sliding windows).
+
+Every time-sensitive method takes an explicit ``now`` (like
+:class:`~repro.experiments.remote.LeaseTable`), so window semantics are
+tested on a hand-advanced clock — no sleeps, no timing races.  Time starts
+at the collector's first event; a report timestamped exactly on a window
+edge belongs to the *new* pane (``pane = floor(t / pane_width)``).
+
+Reports older than the oldest live pane are **late**: they are dropped (the
+panes that could absorb them are gone) and counted in :attr:`late_dropped`,
+surfacing in the service's ``/stats``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any
+
+from ..exceptions import InvalidParameterError
+from ..protocols.streaming import CountAccumulator
+
+#: Window kinds accepted by :func:`parse_window`.
+WINDOW_KINDS = ("cumulative", "tumbling", "sliding")
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """Parsed window shape: kind, total span and pane count.
+
+    ``span`` is ``None`` for cumulative windows; for paned windows the pane
+    width is ``span / panes`` (tumbling windows are the ``panes == 1``
+    special case).
+    """
+
+    kind: str
+    span: float | None = None
+    panes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in WINDOW_KINDS:
+            raise InvalidParameterError(
+                f"window kind must be one of {WINDOW_KINDS}, got {self.kind!r}"
+            )
+        if self.kind == "cumulative":
+            if self.span is not None or self.panes != 1:
+                raise InvalidParameterError(
+                    "cumulative windows take no span or pane count"
+                )
+            return
+        if self.span is None or not float(self.span) > 0:
+            raise InvalidParameterError(
+                f"window span must be > 0 seconds, got {self.span}"
+            )
+        if int(self.panes) < 1:
+            raise InvalidParameterError(
+                f"window pane count must be >= 1, got {self.panes}"
+            )
+
+    @property
+    def pane_width(self) -> float:
+        """Seconds covered by one pane (``inf`` for cumulative windows)."""
+        if self.kind == "cumulative" or self.span is None:
+            return math.inf
+        return float(self.span) / int(self.panes)
+
+    def describe(self) -> str:
+        """Canonical spec string (round-trips through :func:`parse_window`)."""
+        if self.kind == "cumulative":
+            return "cumulative"
+        if self.kind == "tumbling":
+            return f"tumbling:{self.span:g}"
+        return f"sliding:{self.span:g}x{self.panes}"
+
+
+def parse_window(text: str) -> WindowSpec:
+    """Parse a window spec string: ``cumulative``, ``tumbling:W``, ``sliding:WxP``.
+
+    Examples
+    --------
+    >>> parse_window("tumbling:60").pane_width
+    60.0
+    >>> parse_window("sliding:60x4").pane_width
+    15.0
+    """
+    text = str(text).strip()
+    kind, sep, rest = text.partition(":")
+    kind = kind.lower()
+    if kind == "cumulative":
+        if sep:
+            raise InvalidParameterError(
+                f"cumulative windows take no parameters, got {text!r}"
+            )
+        return WindowSpec("cumulative")
+    if kind == "tumbling":
+        try:
+            return WindowSpec("tumbling", span=float(rest))
+        except ValueError as exc:
+            raise InvalidParameterError(
+                f"tumbling window must look like tumbling:SECONDS, got {text!r}"
+            ) from exc
+    if kind == "sliding":
+        span_text, sep, panes_text = rest.partition("x")
+        try:
+            if not sep:
+                raise ValueError("missing pane count")
+            return WindowSpec("sliding", span=float(span_text), panes=int(panes_text))
+        except ValueError as exc:
+            raise InvalidParameterError(
+                f"sliding window must look like sliding:SECONDSxPANES, got {text!r}"
+            ) from exc
+    raise InvalidParameterError(
+        f"window kind must be one of {WINDOW_KINDS}, got {text!r}"
+    )
+
+
+class WindowedAccumulator:
+    """Paned windowed wrapper around one oracle's streaming accumulators.
+
+    The accumulator keeps at most ``spec.panes`` live
+    :class:`CountAccumulator` panes (O(panes × k) floats total) plus drop
+    counters; report chunks are folded in and discarded immediately.  It is
+    **not** thread-safe — the service serializes access per attribute.
+    """
+
+    def __init__(self, oracle: Any, spec: WindowSpec) -> None:
+        self._oracle = oracle
+        self.spec = spec
+        self._panes: dict[int, CountAccumulator] = {}
+        #: Highest event time seen so far (the watermark); window eviction
+        #: and lateness are judged against it, so time never runs backwards.
+        self.watermark: float | None = None
+        #: Reports dropped because they were older than the oldest live pane.
+        self.late_dropped = 0
+        #: Reports folded into a pane (late drops excluded).
+        self.accepted = 0
+
+    # ------------------------------------------------------------------ #
+    # time arithmetic
+    # ------------------------------------------------------------------ #
+    def _pane_index(self, t: float) -> int:
+        width = self.spec.pane_width
+        if math.isinf(width):
+            return 0
+        return int(math.floor(float(t) / width))
+
+    def _oldest_live(self) -> int:
+        """Oldest pane index still inside the window at the watermark."""
+        if self.watermark is None:
+            return 0
+        return self._pane_index(self.watermark) - int(self.spec.panes) + 1
+
+    def _advance(self, now: float) -> None:
+        now = float(now)
+        if self.watermark is None or now > self.watermark:
+            self.watermark = now
+        oldest = self._oldest_live()
+        for index in [i for i in self._panes if i < oldest]:
+            del self._panes[index]
+
+    # ------------------------------------------------------------------ #
+    # ingest / read
+    # ------------------------------------------------------------------ #
+    def add(self, chunk: Any, now: float) -> int:
+        """Fold one report chunk stamped at event time ``now``.
+
+        Returns the number of reports absorbed (0 when the chunk was late
+        and dropped).  ``now`` also advances the watermark, so out-of-order
+        chunks older than the window are dropped rather than resurrecting
+        an expired pane.
+        """
+        count = int(self._oracle._num_reports(chunk))
+        self._advance(now)
+        index = self._pane_index(now)
+        if index < self._oldest_live():
+            self.late_dropped += count
+            return 0
+        if count == 0:
+            return 0
+        pane = self._panes.get(index)
+        if pane is None:
+            pane = self._panes[index] = self._oracle.accumulator()
+        pane.add(chunk)
+        self.accepted += count
+        return count
+
+    def snapshot(self, now: float) -> CountAccumulator:
+        """Merged copy of every pane live at ``now`` (ingest keeps running).
+
+        The returned accumulator is independent state: finalizing or mutating
+        it never touches the window.  An empty window yields an accumulator
+        with ``n == 0`` (``finalize`` then raises ``EstimationError``; the
+        service reports "no data" instead of an estimate).
+        """
+        self._advance(now)
+        merged = self._oracle.accumulator()
+        for index in sorted(self._panes):
+            pane = self._panes[index]
+            merged.counts += pane.counts
+            merged.n += pane.n
+        return merged
+
+    def live_panes(self, now: float) -> int:
+        """Number of non-empty panes inside the window at ``now``."""
+        self._advance(now)
+        return len(self._panes)

@@ -280,23 +280,37 @@ class TestImportJsonCache:
 
 
 class TestDegradation:
-    def test_failures_degrade_to_a_single_warning(self, tmp_path):
+    def test_failures_degrade_to_one_warning_per_category(self, tmp_path):
+        # each distinct (action, errno) failure category warns exactly once;
+        # repeats of an already-warned category stay silent
         store = SQLiteCellStore.for_directory(tmp_path)
         store.put(cell(1), [{"value": 1}], elapsed=0.0)
         store.close()  # every later query raises sqlite3.ProgrammingError
         with pytest.warns(RuntimeWarning, match="cell store read failed"):
             assert store.get(cell(1)) is None
-        # warned once only; later failures degrade silently
         with warnings.catch_warnings(record=True) as caught:
             warnings.simplefilter("always")
+            # new categories each warn once...
             assert store.put(cell(2), [{"value": 2}], elapsed=0.0) is None
             assert store.journal_append("plan", 0, {"config_hash": "h"}) is False
             assert store.journal_entries("plan") == {}
             assert store.record_run("run_grid") is None
             assert store.runs_ledger() == []
+            assert store.stats()["entries"] == 0
+        actions = [str(w.message) for w in caught]
+        assert len(actions) == 6  # write, journal append/read, ledger append/read, stats
+        assert [a for a in actions if "write failed" in a]
+        assert [a for a in actions if "journal append failed" in a]
+        # ...then every repeat degrades silently
+        with warnings.catch_warnings(record=True) as repeat:
+            warnings.simplefilter("always")
+            assert store.get(cell(1)) is None
+            assert store.put(cell(3), [{"value": 3}], elapsed=0.0) is None
+            assert store.journal_entries("plan") == {}
+            assert store.runs_ledger() == []
             assert len(store) == 0
             assert store.stats()["entries"] == 0
-        assert caught == []
+        assert repeat == []
 
     def test_run_grid_completes_with_failing_store(self, tmp_path):
         store = SQLiteCellStore.for_directory(tmp_path)

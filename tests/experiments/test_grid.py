@@ -229,6 +229,53 @@ class TestGridCache:
             assert cache.put(cell, [{"value": 1}], elapsed=0.0) is None
         assert caught == []
 
+    def test_distinct_failure_modes_each_warn_once(self, tmp_path, monkeypatch):
+        # Regression: a single boolean guard let the first failure (a read)
+        # permanently suppress warnings about later, differently-caused
+        # failures (a write).  Warn-once is per (action, errno) category.
+        import tempfile as tempfile_module
+        import warnings as warnings_module
+
+        cache = GridCache(tmp_path)
+        cell = GridCell(figure="f", runner="_test_echo", params={"value": 1})
+        cache.path_for(cell).mkdir()  # read will fail with EISDIR
+
+        def no_space(*args, **kwargs):
+            raise OSError(28, "no space left on device")
+
+        monkeypatch.setattr(tempfile_module, "NamedTemporaryFile", no_space)
+        with pytest.warns(RuntimeWarning, match="grid cache read failed"):
+            assert cache.get(cell) is None
+        # the earlier read warning must not swallow the first write warning
+        with pytest.warns(RuntimeWarning, match="grid cache write failed"):
+            assert cache.put(cell, [{"value": 1}], elapsed=0.0) is None
+        # but each category fires exactly once
+        with warnings_module.catch_warnings(record=True) as caught:
+            warnings_module.simplefilter("always")
+            assert cache.get(cell) is None
+            assert cache.put(cell, [{"value": 1}], elapsed=0.0) is None
+        assert caught == []
+
+    def test_same_action_different_errno_warns_again(self, tmp_path, monkeypatch):
+        # two write failures with different causes are different categories
+        import tempfile as tempfile_module
+
+        cache = GridCache(tmp_path)
+        cell = GridCell(figure="f", runner="_test_echo", params={"value": 1})
+
+        def denied(*args, **kwargs):
+            raise PermissionError(13, "read-only cache dir")
+
+        def no_space(*args, **kwargs):
+            raise OSError(28, "no space left on device")
+
+        monkeypatch.setattr(tempfile_module, "NamedTemporaryFile", denied)
+        with pytest.warns(RuntimeWarning, match="read-only cache dir"):
+            assert cache.put(cell, [{"value": 1}], elapsed=0.0) is None
+        monkeypatch.setattr(tempfile_module, "NamedTemporaryFile", no_space)
+        with pytest.warns(RuntimeWarning, match="no space left"):
+            assert cache.put(cell, [{"value": 1}], elapsed=0.0) is None
+
     def test_run_grid_completes_with_failing_cache(self, tmp_path, monkeypatch):
         import tempfile as tempfile_module
 

@@ -17,11 +17,13 @@ from repro.core.retry import RetryPolicy
 from repro.exceptions import GridExecutionError, InvalidParameterError
 from repro.experiments.grid import GridCell, SerialExecutor, cell_runner, run_grid
 from repro.experiments.remote import (
+    DEFAULT_SHUTDOWN_GRACE,
     ChaosConfig,
     LeaseTable,
     RemoteExecutor,
     parse_chaos,
     parse_listen,
+    wait_for_worker_exit,
     worker_loop,
 )
 
@@ -294,6 +296,98 @@ def test_parse_listen() -> None:
     for bad in ("8765", ":8765", "host:", "host:x", "host:70000"):
         with pytest.raises(InvalidParameterError):
             parse_listen(bad)
+
+
+# --------------------------------------------------------------------------- #
+# graceful-shutdown wait: hand-advanced clock, no real sleeping
+# --------------------------------------------------------------------------- #
+class _FakeClock:
+    """Hand-advanced monotonic clock whose ``sleep`` just adds time."""
+
+    def __init__(self) -> None:
+        self.now = 100.0
+        self.sleeps: list[float] = []
+
+    def __call__(self) -> float:
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        self.sleeps.append(seconds)
+        self.now += seconds
+
+
+class _FakeProc:
+    """Stands in for a subprocess.Popen: exits after ``exit_at`` (clock time)."""
+
+    def __init__(self, clock: _FakeClock, exit_at: float | None) -> None:
+        self._clock = clock
+        self._exit_at = exit_at
+
+    def poll(self) -> int | None:
+        if self._exit_at is not None and self._clock.now >= self._exit_at:
+            return 0
+        return None
+
+
+class TestWaitForWorkerExit:
+    def test_returns_true_when_workers_exit_within_grace(self) -> None:
+        clock = _FakeClock()
+        procs = [
+            (0, _FakeProc(clock, exit_at=100.5), None),
+            (1, _FakeProc(clock, exit_at=101.0), None),
+        ]
+        assert wait_for_worker_exit(
+            procs, grace=2.0, poll_interval=0.25, clock=clock, sleep=clock.sleep
+        )
+        # stopped polling as soon as the slowest worker was gone
+        assert clock.now == pytest.approx(101.0)
+        assert clock.sleeps == [0.25] * 4
+
+    def test_returns_false_on_timeout_without_overshooting(self) -> None:
+        clock = _FakeClock()
+        procs = [(0, _FakeProc(clock, exit_at=None), None)]  # never exits
+        assert not wait_for_worker_exit(
+            procs, grace=2.0, poll_interval=0.25, clock=clock, sleep=clock.sleep
+        )
+        # gave up at (not past) the deadline: grace / poll_interval sleeps
+        assert clock.now == pytest.approx(102.0)
+        assert clock.sleeps == [0.25] * 8
+
+    def test_already_exited_workers_need_no_sleep(self) -> None:
+        clock = _FakeClock()
+        procs = [(0, _FakeProc(clock, exit_at=0.0), None)]
+        assert wait_for_worker_exit(
+            procs, grace=2.0, poll_interval=0.25, clock=clock, sleep=clock.sleep
+        )
+        assert clock.sleeps == []
+
+    def test_no_procs_is_immediate(self) -> None:
+        clock = _FakeClock()
+        assert wait_for_worker_exit(
+            [], grace=2.0, poll_interval=0.25, clock=clock, sleep=clock.sleep
+        )
+        assert clock.sleeps == []
+
+    def test_zero_grace_polls_once_without_sleeping(self) -> None:
+        clock = _FakeClock()
+        procs = [(0, _FakeProc(clock, exit_at=None), None)]
+        assert not wait_for_worker_exit(
+            procs, grace=0.0, poll_interval=0.25, clock=clock, sleep=clock.sleep
+        )
+        assert clock.sleeps == []
+
+    def test_invalid_parameters_rejected(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            wait_for_worker_exit([], grace=-1.0)
+        with pytest.raises(InvalidParameterError):
+            wait_for_worker_exit([], poll_interval=0.0)
+
+    def test_executor_exposes_configurable_grace(self) -> None:
+        executor = RemoteExecutor(workers=0, shutdown_grace=0.5)
+        assert executor.shutdown_grace == 0.5
+        assert RemoteExecutor(workers=0).shutdown_grace == DEFAULT_SHUTDOWN_GRACE
+        with pytest.raises(InvalidParameterError):
+            RemoteExecutor(workers=0, shutdown_grace=-0.1)
 
 
 # --------------------------------------------------------------------------- #

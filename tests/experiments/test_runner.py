@@ -480,3 +480,126 @@ class TestCliSharding:
         assert main(["fig1", "--no-cache", "--shards", "2", "--shard-index", "5",
                      "--shard-dir", str(tmp_path)]) == 2
         assert "shard_index" in capsys.readouterr().err
+
+
+class TestCliService:
+    """The figure-less --serve / --snapshot collection-service paths."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        (
+            ["--serve", "127.0.0.1:0"],  # no --attribute
+            ["--serve", "127.0.0.1:0", "--snapshot", "http://h:1"],
+            ["fig1", "--serve", "127.0.0.1:0", "--attribute", "a:GRR:4:1.0"],
+            ["--serve", "127.0.0.1:0", "--attribute", "a:GRR:4:1.0",
+             "--shards", "2"],
+            ["--serve", "127.0.0.1:0", "--attribute", "a:GRR:4:1.0",
+             "--remote-workers", "1"],
+            ["--serve", "127.0.0.1:0", "--attribute", "a:GRR:4:1.0",
+             "--migrate-cache"],
+            ["--serve", "127.0.0.1:0", "--attribute", "a:GRR:4:1.0",
+             "--out", "x"],
+            ["--window", "tumbling:5"],  # server knobs without --serve
+            ["--attribute", "a:GRR:4:1.0"],
+            ["--queue-size", "4"],
+            ["--snapshot", "http://h:1", "--window", "tumbling:5"],
+            ["--snapshot", "http://h:1", "--queue-size", "4"],
+        ),
+    )
+    def test_service_flag_conflicts_exit_2(self, capsys, argv):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+
+    def test_serve_starts_registers_and_stops(self, capsys):
+        from repro.experiments.runner import _service_main, build_parser
+        from repro.service.client import CollectionClient
+
+        args = build_parser().parse_args(
+            ["--serve", "127.0.0.1:0",
+             "--attribute", "age:GRR:8:1.0",
+             "--attribute", "city:OUE:4:2.0",
+             "--window", "sliding:60x4", "--queue-size", "8"]
+        )
+        probed = {}
+
+        def probe():
+            # runs while the service is live; the URL was printed already
+            url = capsys.readouterr().out.strip().split()[-1]
+            client = CollectionClient(url)
+            probed.update(client.stats()["attributes"])
+
+        assert _service_main(args, stop=probe) == 0
+        assert sorted(probed) == ["age", "city"]
+        assert probed["age"]["window"] == "sliding:60x4"
+
+    def test_serve_rejects_bad_attribute_spec(self, capsys):
+        from repro.experiments.runner import _service_main, build_parser
+
+        args = build_parser().parse_args(
+            ["--serve", "127.0.0.1:0", "--attribute", "nope"]
+        )
+        assert _service_main(args, stop=lambda: None) == 2
+        assert "NAME:PROTOCOL:K:EPSILON" in capsys.readouterr().err
+
+    def test_snapshot_prints_estimates_as_json_lines(self, capsys):
+        from repro.experiments.runner import _service_main, build_parser
+        from repro.service.client import CollectionClient
+        from repro.service.server import CollectionService
+
+        service = CollectionService()
+        service.start()
+        try:
+            client = CollectionClient(service.url)
+            client.register_attribute("age", "GRR", k=4, epsilon=1.0)
+            client.register_attribute("city", "GRR", k=4, epsilon=1.0)
+            client.send_batch("age", "b0", [0, 1, 2, 3])
+            client.flush()
+            args = build_parser().parse_args(["--snapshot", service.url])
+            assert _service_main(args) == 0
+            lines = [json.loads(line) for line in
+                     capsys.readouterr().out.strip().splitlines()]
+            assert [line["attribute"] for line in lines] == ["age", "city"]
+            assert lines[0]["n"] == 4 and len(lines[0]["estimates"]) == 4
+            assert lines[1]["estimates"] is None  # no data yet
+            # restricting to one attribute name
+            args = build_parser().parse_args(
+                ["--snapshot", service.url, "--attribute", "city"]
+            )
+            assert _service_main(args) == 0
+            lines = [json.loads(line) for line in
+                     capsys.readouterr().out.strip().splitlines()]
+            assert [line["attribute"] for line in lines] == ["city"]
+        finally:
+            service.stop()
+
+    def test_snapshot_against_dead_service_exits_2(self, capsys):
+        from repro.core.retry import RetryPolicy
+        from repro.experiments.runner import _service_main, build_parser
+        from repro.service.server import CollectionService
+
+        # bind then release a port so nothing is listening there
+        service = CollectionService()
+        service.start()
+        url = service.url
+        service.stop()
+        args = build_parser().parse_args(["--snapshot", url])
+        import repro.experiments.runner as runner_module
+        import repro.service.client as client_module
+
+        original = client_module.CollectionClient
+
+        def fast_client(base_url):
+            return original(
+                base_url,
+                retry_policy=RetryPolicy(
+                    max_retries=1, base_delay=1e-3, max_delay=1e-3, jitter=0.0
+                ),
+            )
+
+        # _service_main imports CollectionClient from repro.service.client
+        import unittest.mock as mock
+
+        with mock.patch.object(client_module, "CollectionClient", fast_client):
+            assert _service_main(args) == 2
+        assert "error" in capsys.readouterr().err

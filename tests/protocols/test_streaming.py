@@ -127,6 +127,98 @@ class TestChunkedParity:
         with pytest.raises(EstimationError, match="incompatible"):
             a.merge(c)
 
+    def test_merge_rejects_float64_saturated_epsilon_collision(self):
+        # Regression: at large epsilon OLH's p = e^eps / (e^eps + g - 1)
+        # rounds to exactly 1.0 in float64, so two oracles with *different*
+        # privacy budgets (and the same explicit g) collide on the old
+        # (name, k, p, q) compatibility tuple.  The fingerprint check must
+        # still reject the merge — the accumulators carry different epsilons
+        # and their counts belong to different privacy regimes.
+        a_oracle = OLH(k=K, epsilon=40.0, g=8, rng=0)
+        b_oracle = OLH(k=K, epsilon=41.0, g=8, rng=1)
+        legacy_tuple = lambda o: (o.name, o.k, o.p, o.q)  # noqa: E731
+        assert legacy_tuple(a_oracle) == legacy_tuple(b_oracle)  # the trap
+        assert a_oracle.estimator_fingerprint() != b_oracle.estimator_fingerprint()
+        with pytest.raises(EstimationError, match="incompatible"):
+            CountAccumulator(a_oracle).merge(CountAccumulator(b_oracle))
+
+    def test_merge_rejects_mismatched_protocol_params(self):
+        # identical (k, epsilon) but different protocol-specific estimator
+        # parameters: OLH hash range, SS subset size, UE packing
+        a = CountAccumulator(OLH(k=K, epsilon=1.0, g=3))
+        b = CountAccumulator(OLH(k=K, epsilon=1.0, g=5))
+        with pytest.raises(EstimationError, match="incompatible"):
+            a.merge(b)
+        c = CountAccumulator(SubsetSelection(k=K, epsilon=1.0, omega=2))
+        d = CountAccumulator(SubsetSelection(k=K, epsilon=1.0, omega=4))
+        with pytest.raises(EstimationError, match="incompatible"):
+            c.merge(d)
+        e = CountAccumulator(SUE(k=K, epsilon=1.0, packed=False))
+        f = CountAccumulator(SUE(k=K, epsilon=1.0, packed=True))
+        with pytest.raises(EstimationError, match="incompatible"):
+            e.merge(f)
+
+    def test_merge_accepts_identical_configurations(self):
+        # differing rng seeds / chunk sizes do not change the estimator
+        a = CountAccumulator(OLH(k=K, epsilon=1.0, g=4, rng=0, chunk_size=64))
+        b = CountAccumulator(OLH(k=K, epsilon=1.0, g=4, rng=9, chunk_size=8192))
+        assert a.merge(b) is a
+
+
+class TestEmptyChunks:
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_empty_chunk_is_a_no_op(self, protocol):
+        # interleaving zero-row chunks (idle shards, drained streams) must
+        # not change the count, the report total, or a single output bit
+        oracle, reports = _reports(protocol)
+        empty = reports[:0]
+        plain = oracle.accumulator().add(reports).finalize()
+        padded = oracle.accumulator().add(empty).add(reports).add(empty).finalize()
+        assert padded.n == plain.n == N
+        assert padded.estimates.tobytes() == plain.estimates.tobytes()
+
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_empty_chunk_counts_zero_reports(self, protocol):
+        oracle, reports = _reports(protocol)
+        empty = reports[:0]
+        accumulator = oracle.accumulator().add(empty)
+        assert accumulator.n == 0
+        assert not accumulator.counts.any()
+        assert oracle.attack_many(empty).shape == (0,)
+
+    @pytest.mark.parametrize("protocol", ("SS", "SUE", "OUE"))
+    def test_flat_empty_array_counts_zero_reports(self, protocol):
+        # a 1-D empty array must not be mistaken for one flat report row
+        # (SS subsets and UE bit vectors arrive 1-D for single users)
+        oracle = make_protocol(protocol, k=K, epsilon=EPSILON, rng=0)
+        flat = np.empty(0, dtype=np.int64)
+        assert oracle._num_reports(flat) == 0
+        counts = oracle.support_counts(flat)
+        assert counts.shape == (K,)
+        assert not counts.any()
+        assert oracle.attack_many(flat).shape == (0,)
+
+    def test_empty_packed_chunk_is_a_no_op(self):
+        oracle = SUE(k=K, epsilon=EPSILON, rng=17, packed=True)
+        values = np.random.default_rng(5).integers(0, K, size=N)
+        reports = oracle.randomize_many(values)
+        plain = oracle.accumulator().add(reports).finalize()
+        padded = (
+            oracle.accumulator().add(reports[:0]).add(reports).add(reports[:0]).finalize()
+        )
+        assert padded.n == plain.n == N
+        assert padded.estimates.tobytes() == plain.estimates.tobytes()
+        assert oracle.attack_many(reports[:0]).shape == (0,)
+
+    def test_empty_chunk_between_chunked_olh_blocks(self):
+        # OLH's internally blocked kernel must accept a (0, 3) matrix
+        oracle = OLH(k=K, epsilon=EPSILON, rng=3, chunk_size=16)
+        values = np.random.default_rng(7).integers(0, K, size=100)
+        reports = oracle.randomize_many(values)
+        plain = oracle.accumulator().add(reports).finalize()
+        padded = oracle.accumulator().add(reports[:0]).add(reports).finalize()
+        assert padded.estimates.tobytes() == plain.estimates.tobytes()
+
 
 class TestOLHChunkedKernels:
     def test_internal_chunking_matches_dense(self):

@@ -1,0 +1,278 @@
+"""End-to-end collection-service tests: registry, HTTP, backpressure, parity.
+
+The service tests follow the remote-executor test philosophy: real HTTP on a
+loopback ephemeral port, deterministic load (seeded generators, injected
+clocks), and byte-identical parity assertions against the one-shot
+``aggregate`` reference — never statistical tolerance where exactness is the
+contract.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.retry import RetryPolicy
+from repro.exceptions import InvalidParameterError
+from repro.service import (
+    CollectionClient,
+    CollectionService,
+    LoadGenerator,
+    ServiceUnavailableError,
+    parse_attribute_spec,
+)
+from repro.service.server import CollectorRegistry
+
+FAST = RetryPolicy(max_retries=6, base_delay=0.005, max_delay=0.02, jitter=0.0)
+
+
+@pytest.fixture()
+def service():
+    svc = CollectionService(queue_size=64)
+    svc.start()
+    yield svc
+    svc.stop()
+
+
+def client_for(service: CollectionService) -> CollectionClient:
+    return CollectionClient(service.url, retry_policy=FAST)
+
+
+class TestParseAttributeSpec:
+    def test_parses(self):
+        spec = parse_attribute_spec("age:GRR:16:1.5")
+        assert spec == {"attribute": "age", "protocol": "GRR", "k": 16, "epsilon": 1.5}
+
+    @pytest.mark.parametrize("bad", ("age", "age:GRR:16", ":GRR:16:1.0", "a:GRR:x:1.0"))
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(InvalidParameterError):
+            parse_attribute_spec(bad)
+
+
+class TestCollectorRegistry:
+    def test_register_is_idempotent_for_equivalent_estimators(self):
+        registry = CollectorRegistry()
+        a = registry.register("age", "GRR", k=16, epsilon=1.0)
+        b = registry.register("age", "GRR", k=16, epsilon=1.0)
+        assert a is b
+        assert registry.attributes() == ("age",)
+
+    def test_register_rejects_conflicting_estimators(self):
+        registry = CollectorRegistry()
+        registry.register("age", "GRR", k=16, epsilon=1.0)
+        with pytest.raises(InvalidParameterError, match="already registered"):
+            registry.register("age", "GRR", k=16, epsilon=2.0)
+        with pytest.raises(InvalidParameterError, match="already registered"):
+            registry.register("age", "OUE", k=16, epsilon=1.0)
+
+    def test_attributes_ingest_independently(self):
+        registry = CollectorRegistry()
+        age = registry.register("age", "GRR", k=8, epsilon=1.0, rng=0)
+        city = registry.register("city", "OUE", k=8, epsilon=1.0, rng=1)
+        age.apply("b0", age.decode(age.oracle.randomize_many([1, 2, 3]).tolist()), 0.0)
+        city.apply("b0", city.decode(city.oracle.randomize_many([4]).tolist()), 0.0)
+        assert age.stats()["accepted_reports"] == 3
+        assert city.stats()["accepted_reports"] == 1
+
+
+class TestServiceEndToEnd:
+    def test_estimate_matches_one_shot_aggregate_byte_for_byte(self, service):
+        client = client_for(service)
+        client.register_attribute("age", "GRR", k=32, epsilon=1.0)
+        load = LoadGenerator(
+            "GRR", k=32, epsilon=1.0, users=3000, batch_size=500,
+            churn=0.3, drift=2, duplicate_every=2, rng=11,
+        )
+        reference = LoadGenerator(
+            "GRR", k=32, epsilon=1.0, users=3000, batch_size=500,
+            churn=0.3, drift=2, duplicate_every=2, rng=11,
+        )
+        unique = [r for _, r, dup in reference.batches() if not dup]
+        sent = load.drive(client, "age")
+        assert sent["duplicate_batches_sent"] > 0
+        client.flush()
+        estimate = client.estimate("age")
+        one_shot = reference.oracle.aggregate(np.concatenate(unique))
+        assert estimate["n"] == one_shot.n == 3000
+        got = np.asarray(estimate["estimates"], dtype=float)
+        assert got.tobytes() == one_shot.estimates.tobytes()
+        stats = client.stats()["attributes"]["age"]
+        assert stats["duplicate_batches"] == sent["duplicate_batches_sent"]
+        assert stats["accepted_reports"] == 3000
+
+    def test_many_attributes_concurrently(self, service):
+        client = client_for(service)
+        for name, protocol in (("a", "GRR"), ("b", "OLH"), ("c", "OUE")):
+            client.register_attribute(name, protocol, k=8, epsilon=1.0)
+            load = LoadGenerator(protocol, k=8, epsilon=1.0, users=200,
+                                 batch_size=50, rng=3)
+            load.drive(client, name)
+        client.flush()
+        stats = client.stats()["attributes"]
+        assert sorted(stats) == ["a", "b", "c"]
+        for name in ("a", "b", "c"):
+            assert stats[name]["accepted_reports"] == 200
+            assert client.estimate(name)["n"] == 200
+
+    def test_unknown_attribute_is_404_not_retry(self, service):
+        client = client_for(service)
+        with pytest.raises(ServiceUnavailableError, match="404"):
+            client.send_batch("ghost", "b0", [1, 2, 3])
+        with pytest.raises(ServiceUnavailableError, match="404"):
+            client.estimate("ghost")
+
+    def test_missing_batch_id_is_400(self, service):
+        client = client_for(service)
+        client.register_attribute("age", "GRR", k=8, epsilon=1.0)
+        with pytest.raises(ServiceUnavailableError, match="400"):
+            client.call("POST", "/report", {"attribute": "age", "reports": [1]})
+
+    def test_conflicting_reregistration_is_409(self, service):
+        client = client_for(service)
+        client.register_attribute("age", "GRR", k=8, epsilon=1.0)
+        client.register_attribute("age", "GRR", k=8, epsilon=1.0)  # idempotent
+        with pytest.raises(ServiceUnavailableError, match="409"):
+            client.register_attribute("age", "GRR", k=8, epsilon=2.0)
+
+    def test_duplicate_batches_are_dropped_exactly(self, service):
+        client = client_for(service)
+        client.register_attribute("age", "GRR", k=8, epsilon=1.0)
+        reports = [1, 2, 3, 4]
+        for _ in range(5):
+            client.send_batch("age", "batch-0", reports)
+        client.flush()
+        stats = client.stats()["attributes"]["age"]
+        assert stats["accepted_reports"] == 4
+        assert stats["duplicate_batches"] == 4
+        assert client.estimate("age")["n"] == 4
+
+    def test_empty_window_estimate_is_no_data_not_error(self, service):
+        client = client_for(service)
+        client.register_attribute("age", "GRR", k=8, epsilon=1.0)
+        estimate = client.estimate("age")
+        assert estimate["n"] == 0
+        assert estimate["estimates"] is None
+
+
+class TestBackpressure:
+    def test_paused_service_replies_429_and_client_retries(self, service):
+        client = client_for(service)
+        client.register_attribute("age", "GRR", k=8, epsilon=1.0)
+        service.pause()
+        with pytest.raises(ServiceUnavailableError, match="saturated"):
+            client.send_batch("age", "b0", [1, 2, 3])
+        assert client.backpressure_hits == FAST.max_retries + 1
+        service.resume()
+        assert client.send_batch("age", "b0", [1, 2, 3])["status"] == "queued"
+
+    def test_retry_after_hint_floors_client_sleep(self, service):
+        sleeps: list[float] = []
+        client = CollectionClient(
+            service.url,
+            retry_policy=RetryPolicy(
+                max_retries=2, base_delay=1e-4, max_delay=1e-4, jitter=0.0
+            ),
+            sleep=sleeps.append,
+        )
+        client.register_attribute("age", "GRR", k=8, epsilon=1.0)
+        service.pause()
+        with pytest.raises(ServiceUnavailableError):
+            client.send_batch("age", "b0", [1])
+        service.resume()
+        # every backoff sleep was floored by the server's Retry-After hint,
+        # which exceeds the policy's tiny base delay
+        assert sleeps and all(s >= service.retry_after for s in sleeps)
+
+    def test_full_queue_is_backpressure_not_crash(self):
+        svc = CollectionService(queue_size=1)
+        svc.start()
+        try:
+            client = client_for(svc)
+            client.register_attribute("age", "GRR", k=8, epsilon=1.0)
+            svc.pause()  # the applier keeps draining; pause forces rejection
+            with pytest.raises(ServiceUnavailableError):
+                client.send_batch("age", "b0", [1])
+            assert svc.stats()["rejected_batches"] > 0
+        finally:
+            svc.stop()
+
+    def test_rejected_batches_never_reach_a_collector(self, service):
+        client = client_for(service)
+        client.register_attribute("age", "GRR", k=8, epsilon=1.0)
+        service.pause()
+        with pytest.raises(ServiceUnavailableError):
+            client.send_batch("age", "b0", [1, 2])
+        service.resume()
+        client.flush()
+        assert client.stats()["attributes"]["age"]["accepted_reports"] == 0
+
+
+class TestInjectedClock:
+    def test_tumbling_window_over_http_with_explicit_timestamps(self):
+        # event time comes from the request's ``t``; the window drops the
+        # old pane when a new-edge report arrives
+        svc = CollectionService(window="tumbling:10")
+        svc.start()
+        try:
+            client = client_for(svc)
+            client.register_attribute("age", "GRR", k=8, epsilon=1.0)
+            client.send_batch("age", "b0", [1, 2, 3], t=1.0)
+            client.flush()
+            assert client.estimate("age")["n"] == 3
+            client.send_batch("age", "b1", [4], t=10.0)  # exactly on the edge
+            client.flush()
+            assert client.estimate("age")["n"] == 1
+            # a late batch for the expired pane is dropped and counted
+            client.send_batch("age", "b2", [5, 6], t=3.0)
+            client.flush()
+            stats = client.stats()["attributes"]["age"]
+            assert stats["late_dropped_reports"] == 2
+            assert client.estimate("age")["n"] == 1
+        finally:
+            svc.stop()
+
+    def test_ingest_local_matches_http_path(self):
+        svc = CollectionService()
+        svc.registry.register("age", "GRR", k=8, epsilon=1.0, rng=0)
+        assert svc.ingest_local("age", "b0", [1, 2, 3], now=0.0) == "accepted"
+        assert svc.ingest_local("age", "b0", [1, 2, 3], now=0.0) == "duplicate"
+        with pytest.raises(InvalidParameterError):
+            svc.ingest_local("ghost", "b0", [1])
+
+
+class TestLoadGenerator:
+    def test_deterministic_under_seed(self):
+        a = LoadGenerator("GRR", k=8, epsilon=1.0, users=100, batch_size=30, rng=5)
+        b = LoadGenerator("GRR", k=8, epsilon=1.0, users=100, batch_size=30, rng=5)
+        for (id_a, rep_a, dup_a), (id_b, rep_b, dup_b) in zip(a.batches(), b.batches()):
+            assert id_a == id_b and dup_a == dup_b
+            assert np.array_equal(np.asarray(rep_a), np.asarray(rep_b))
+
+    def test_duplicates_reuse_the_same_reports(self):
+        gen = LoadGenerator(
+            "GRR", k=8, epsilon=1.0, users=100, batch_size=25, duplicate_every=1, rng=5
+        )
+        batches = list(gen.batches())
+        originals = {i: r for i, r, dup in batches if not dup}
+        for batch_id, reports, dup in batches:
+            if dup:
+                assert np.array_equal(np.asarray(reports), np.asarray(originals[batch_id]))
+
+    def test_emits_exactly_users_unique_reports(self):
+        gen = LoadGenerator(
+            "GRR", k=8, epsilon=1.0, users=103, batch_size=25, duplicate_every=2, rng=5
+        )
+        unique = sum(
+            len(np.atleast_1d(r)) for _, r, dup in gen.batches() if not dup
+        )
+        assert unique == 103
+
+    def test_validates_parameters(self):
+        for kwargs in (
+            {"users": 0},
+            {"users": 10, "batch_size": 0},
+            {"users": 10, "churn": 1.5},
+            {"users": 10, "duplicate_every": -1},
+        ):
+            with pytest.raises(InvalidParameterError):
+                LoadGenerator("GRR", k=8, epsilon=1.0, **kwargs)

@@ -1,0 +1,176 @@
+"""Window-semantics tests on a hand-advanced clock (ISSUE 9 satellite).
+
+Every assertion drives time explicitly through ``now`` arguments — no
+sleeping, no wall clocks — covering the boundary conditions that bite real
+streams: a report landing exactly on a window edge, snapshots between
+folds, empty windows, and late reports.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EstimationError, InvalidParameterError
+from repro.protocols.registry import make_protocol
+from repro.service.windows import WindowSpec, WindowedAccumulator, parse_window
+
+K = 8
+EPSILON = 1.0
+
+
+def oracle(rng: int = 0):
+    return make_protocol("GRR", k=K, epsilon=EPSILON, rng=rng)
+
+
+def reports(o, n: int, seed: int = 5) -> np.ndarray:
+    values = np.random.default_rng(seed).integers(0, K, size=n)
+    return o.randomize_many(values)
+
+
+class TestParseWindow:
+    def test_round_trips(self):
+        for text in ("cumulative", "tumbling:60", "sliding:60x4"):
+            assert parse_window(parse_window(text).describe()) == parse_window(text)
+
+    def test_pane_widths(self):
+        assert parse_window("tumbling:60").pane_width == 60.0
+        assert parse_window("sliding:60x4").pane_width == 15.0
+        assert math.isinf(parse_window("cumulative").pane_width)
+
+    @pytest.mark.parametrize(
+        "bad",
+        (
+            "cumulative:5",
+            "tumbling",
+            "tumbling:abc",
+            "tumbling:0",
+            "tumbling:-1",
+            "sliding:60",
+            "sliding:60x0",
+            "sliding:x4",
+            "hopping:60",
+            "",
+        ),
+    )
+    def test_rejects_malformed_specs(self, bad):
+        with pytest.raises(InvalidParameterError):
+            parse_window(bad)
+
+    def test_spec_validation(self):
+        with pytest.raises(InvalidParameterError):
+            WindowSpec("cumulative", span=10.0)
+        with pytest.raises(InvalidParameterError):
+            WindowSpec("sliding", span=10.0, panes=0)
+
+
+class TestCumulativeWindow:
+    def test_matches_one_shot_aggregate_byte_for_byte(self):
+        o = oracle()
+        batch = reports(o, 501)
+        window = WindowedAccumulator(o, parse_window("cumulative"))
+        for start in range(0, 501, 100):
+            window.add(batch[start : start + 100], now=float(start))
+        snapshot = window.snapshot(now=1e9).finalize()
+        one_shot = o.aggregate(batch)
+        assert snapshot.n == one_shot.n == 501
+        assert snapshot.estimates.tobytes() == one_shot.estimates.tobytes()
+        assert window.late_dropped == 0
+
+    def test_never_expires(self):
+        o = oracle()
+        window = WindowedAccumulator(o, parse_window("cumulative"))
+        window.add(reports(o, 10), now=0.0)
+        assert window.snapshot(now=1e12).n == 10
+
+
+class TestTumblingWindow:
+    def test_edge_report_starts_the_new_pane(self):
+        # a report stamped exactly at t = W belongs to the *new* window;
+        # the old pane's reports are gone from the snapshot
+        o = oracle()
+        window = WindowedAccumulator(o, parse_window("tumbling:10"))
+        window.add(reports(o, 100, seed=1), now=9.999)
+        assert window.snapshot(now=9.999).n == 100
+        edge = reports(o, 7, seed=2)
+        window.add(edge, now=10.0)
+        snapshot = window.snapshot(now=10.0)
+        assert snapshot.n == 7
+        one_shot = o.aggregate(edge)
+        assert snapshot.finalize().estimates.tobytes() == one_shot.estimates.tobytes()
+
+    def test_snapshot_mid_fold_is_isolated_state(self):
+        # mutating a snapshot must not corrupt the live window
+        o = oracle()
+        window = WindowedAccumulator(o, parse_window("tumbling:10"))
+        window.add(reports(o, 50, seed=1), now=1.0)
+        snapshot = window.snapshot(now=1.0)
+        snapshot.counts[:] = -1e9
+        snapshot.n = 0
+        window.add(reports(o, 25, seed=2), now=2.0)
+        assert window.snapshot(now=2.0).n == 75
+
+    def test_empty_window_snapshot_has_zero_reports(self):
+        o = oracle()
+        window = WindowedAccumulator(o, parse_window("tumbling:10"))
+        window.add(reports(o, 100), now=0.0)
+        merged = window.snapshot(now=25.0)  # two windows later: all expired
+        assert merged.n == 0
+        assert not merged.counts.any()
+        with pytest.raises(EstimationError):
+            merged.finalize()
+
+    def test_late_report_is_dropped_and_counted(self):
+        o = oracle()
+        window = WindowedAccumulator(o, parse_window("tumbling:10"))
+        window.add(reports(o, 10, seed=1), now=25.0)  # watermark: pane 2
+        absorbed = window.add(reports(o, 4, seed=2), now=3.0)  # pane 0: late
+        assert absorbed == 0
+        assert window.late_dropped == 4
+        assert window.accepted == 10
+        assert window.snapshot(now=25.0).n == 10
+
+    def test_watermark_never_runs_backwards(self):
+        o = oracle()
+        window = WindowedAccumulator(o, parse_window("tumbling:10"))
+        window.add(reports(o, 10, seed=1), now=25.0)
+        window.add(reports(o, 5, seed=2), now=21.0)  # same pane, older stamp
+        assert window.watermark == 25.0
+        assert window.snapshot(now=25.0).n == 15
+
+
+class TestSlidingWindow:
+    def test_panes_fall_off_incrementally(self):
+        # sliding:20x4 → 5s panes; the window covers the last 4 panes
+        o = oracle()
+        window = WindowedAccumulator(o, parse_window("sliding:20x4"))
+        for pane, count in enumerate((10, 20, 30, 40)):
+            window.add(reports(o, count, seed=pane), now=5.0 * pane + 1.0)
+        assert window.snapshot(now=16.0).n == 100
+        # advancing one pane width drops exactly the oldest pane
+        assert window.snapshot(now=21.0).n == 90
+        assert window.snapshot(now=26.0).n == 70
+        assert window.snapshot(now=31.0).n == 40
+        assert window.snapshot(now=36.0).n == 0
+
+    def test_merge_of_empty_window_with_live_pane(self):
+        # panes with no reports contribute nothing; the merged snapshot
+        # equals a one-shot aggregate over the single live pane
+        o = oracle()
+        window = WindowedAccumulator(o, parse_window("sliding:20x4"))
+        batch = reports(o, 33)
+        window.add(batch, now=12.0)
+        assert window.live_panes(now=12.0) == 1
+        snapshot = window.snapshot(now=14.0)
+        one_shot = o.aggregate(batch)
+        assert snapshot.finalize().estimates.tobytes() == one_shot.estimates.tobytes()
+
+    def test_empty_chunk_does_not_create_a_pane(self):
+        o = oracle()
+        window = WindowedAccumulator(o, parse_window("sliding:20x4"))
+        batch = reports(o, 5)
+        window.add(batch[:0], now=1.0)
+        assert window.live_panes(now=1.0) == 0
+        assert window.accepted == 0
