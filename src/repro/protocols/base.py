@@ -102,6 +102,20 @@ class FrequencyOracle(abc.ABC):
     # ------------------------------------------------------------------ #
     # server side
     # ------------------------------------------------------------------ #
+    def validate_reports(self, reports: Any) -> Any:
+        """Validate one decoded report batch *before* it reaches aggregation.
+
+        Untrusted ingest paths (the collection service's HTTP ``/report``
+        endpoint) call this on client-supplied data so that a malformed batch
+        — wrong matrix width, values outside the report alphabet — raises
+        :class:`~repro.exceptions.InvalidParameterError` at the edge (an HTTP
+        400) instead of crashing deep inside a support-count kernel.  Returns
+        the batch in the canonical shape the dense kernels expect.  The base
+        implementation accepts anything; every concrete protocol overrides it
+        with its wire-format contract.
+        """
+        return reports
+
     @final
     def support_counts(self, reports: Any) -> NDArray[np.float64]:
         """Number of reports supporting each value (the paper's ``C(v_i)``).

@@ -12,6 +12,7 @@ import math
 
 import numpy as np
 
+from ..exceptions import InvalidParameterError
 from .base import FrequencyOracle
 
 
@@ -46,6 +47,25 @@ class GRR(FrequencyOracle):
         return np.where(keep, values, others).astype(np.int64)
 
     # -- server ------------------------------------------------------------
+    def validate_reports(self, reports: np.ndarray) -> np.ndarray:
+        """GRR wire format: a 1-D array of reported values in ``[0, k)``.
+
+        Out-of-range values would crash ``np.bincount`` (negatives) or widen
+        the count vector past ``k`` (overshoots); both must be rejected at
+        the ingest edge, not inside the aggregation kernel.
+        """
+        reports = np.asarray(reports, dtype=np.int64)
+        if reports.ndim != 1:
+            raise InvalidParameterError(
+                f"{self.name} reports must be a 1-D value array, "
+                f"got shape {reports.shape}"
+            )
+        if reports.size and (reports.min() < 0 or reports.max() >= self.k):
+            raise InvalidParameterError(
+                f"{self.name} reports contain values outside [0, {self.k - 1}]"
+            )
+        return reports
+
     def _support_counts_dense(self, reports: np.ndarray) -> np.ndarray:
         reports = np.asarray(reports, dtype=np.int64)
         return np.bincount(reports, minlength=self.k).astype(float)

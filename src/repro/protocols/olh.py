@@ -113,6 +113,29 @@ class OLH(FrequencyOracle):
         return np.column_stack([a, b, perturbed]).astype(np.int64)
 
     # -- server ------------------------------------------------------------
+    def validate_reports(self, reports: np.ndarray) -> np.ndarray:
+        """OLH wire format: an ``(n, 3)`` matrix of ``(a, b, y)`` rows with
+        hash seeds ``a in [1, PRIME)``, ``b in [0, PRIME)`` and the perturbed
+        hash ``y in [0, g)``.
+
+        Out-of-range rows would not crash the kernel — they would silently
+        support nothing (or hash garbage) and bias the estimate, so they are
+        rejected at the ingest edge instead.
+        """
+        reports = self._as_report_matrix(reports)
+        if reports.size:
+            a, b, y = reports[:, 0], reports[:, 1], reports[:, 2]
+            if a.min() < 1 or a.max() >= HASH_PRIME or b.min() < 0 or b.max() >= HASH_PRIME:
+                raise InvalidParameterError(
+                    f"{self.name} hash seeds must satisfy 1 <= a < {HASH_PRIME} "
+                    f"and 0 <= b < {HASH_PRIME}"
+                )
+            if y.min() < 0 or y.max() >= self.g:
+                raise InvalidParameterError(
+                    f"{self.name} perturbed hash values outside [0, {self.g - 1}]"
+                )
+        return reports
+
     def _support_counts_dense(self, reports: np.ndarray) -> np.ndarray:
         """Dense kernel: internally blocked so the candidate-hash matrix
         never exceeds ``chunk_size × k``."""

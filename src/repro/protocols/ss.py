@@ -152,6 +152,30 @@ class SubsetSelection(FrequencyOracle):
         return np.where(draw < excluded, draw, draw + 1).astype(np.int64)
 
     # -- server ------------------------------------------------------------
+    def validate_reports(self, reports: np.ndarray) -> np.ndarray:
+        """SS wire format: ``(n, omega)`` subset rows with values in ``[0, k)``.
+
+        A wrong-width matrix would not crash ``np.bincount`` — each report
+        would silently support the wrong number of values and bias the
+        estimate — and negative values would crash it; both are rejected at
+        the ingest edge.
+        """
+        reports = np.asarray(reports, dtype=np.int64)
+        if reports.size == 0:
+            return reports.reshape(0, self.omega)
+        if reports.ndim == 1:
+            reports = reports.reshape(1, -1)
+        if reports.ndim != 2 or reports.shape[1] != self.omega:
+            raise InvalidParameterError(
+                f"{self.name} reports must be (n, {self.omega}) subset rows, "
+                f"got shape {reports.shape}"
+            )
+        if reports.min() < 0 or reports.max() >= self.k:
+            raise InvalidParameterError(
+                f"{self.name} reports contain values outside [0, {self.k - 1}]"
+            )
+        return reports
+
     def _support_counts_dense(self, reports: np.ndarray) -> np.ndarray:
         reports = np.asarray(reports, dtype=np.int64)
         if reports.ndim == 1:

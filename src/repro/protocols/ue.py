@@ -24,6 +24,7 @@ from scipy.stats import binom
 
 from ..core.frequencies import validate_probability_vector
 from ..core.rng import RngLike
+from ..exceptions import InvalidParameterError
 from .base import FrequencyOracle
 from .streaming import PackedBits, resolve_chunk_size
 
@@ -148,6 +149,39 @@ class UnaryEncoding(FrequencyOracle):
         return self._emit_reports(values, count)
 
     # -- server ------------------------------------------------------------
+    def validate_reports(
+        self, reports: np.ndarray | PackedBits
+    ) -> np.ndarray | PackedBits:
+        """UE wire format: ``(n, k)`` 0/1 bit rows (or :class:`PackedBits`
+        over the same ``k``).
+
+        A wrong-width dense matrix would crash the accumulator's O(k) count
+        vector with a broadcast error, and non-bit values would silently
+        corrupt the column sums; both are rejected at the ingest edge.
+        """
+        if isinstance(reports, PackedBits):
+            if reports.k != self.k:
+                raise InvalidParameterError(
+                    f"{self.name} packed reports have k={reports.k}, "
+                    f"expected k={self.k}"
+                )
+            return reports
+        reports = np.asarray(reports)
+        if reports.size == 0:
+            return reports.reshape(0, self.k)
+        if reports.ndim == 1:
+            reports = reports.reshape(1, -1)
+        if reports.ndim != 2 or reports.shape[1] != self.k:
+            raise InvalidParameterError(
+                f"{self.name} reports must be (n, {self.k}) bit rows, "
+                f"got shape {reports.shape}"
+            )
+        if np.any((reports != 0) & (reports != 1)):
+            raise InvalidParameterError(
+                f"{self.name} reports must contain only 0/1 bits"
+            )
+        return reports
+
     def _support_counts_dense(self, reports: np.ndarray | PackedBits) -> np.ndarray:
         if isinstance(reports, PackedBits):
             return reports.column_sums(self.chunk_size)

@@ -91,11 +91,7 @@ class CollectionClient:
             response = conn.getresponse()
             raw = response.read()
             if response.status == 429:
-                try:
-                    retry_after = float(response.getheader("Retry-After") or 0.0)
-                except ValueError:
-                    retry_after = 0.0
-                raise _Backpressure(retry_after)
+                raise _Backpressure(self._retry_after_hint(response, raw))
             if response.status >= 400:
                 raise ServiceUnavailableError(
                     f"service rejected {method} {path}: HTTP {response.status} "
@@ -109,6 +105,22 @@ class CollectionClient:
                 f"service reply to {method} {path} is not a JSON object"
             )
         return reply
+
+    @staticmethod
+    def _retry_after_hint(response: http.client.HTTPResponse, raw: bytes) -> float:
+        """Pacing hint from a 429: the JSON body's precise float ``retry_after``
+        when present, else the RFC 9110 integral ``Retry-After`` header."""
+        try:
+            body = json.loads(raw.decode("utf-8"))
+            hint = float(body["retry_after"])
+            if hint > 0:
+                return hint
+        except (ValueError, TypeError, KeyError, UnicodeDecodeError):
+            pass
+        try:
+            return max(0.0, float(response.getheader("Retry-After") or 0.0))
+        except ValueError:
+            return 0.0
 
     def call(
         self, method: str, path: str, payload: "Mapping[str, Any] | None" = None

@@ -39,6 +39,7 @@ HTTP API (JSON bodies)
 from __future__ import annotations
 
 import json
+import math
 import queue
 import threading
 import time
@@ -89,37 +90,68 @@ class AttributeCollector:
     All mutating access goes through :meth:`apply` / :meth:`snapshot`, which
     take the collector's lock — two attributes never contend, two batches
     for the same attribute serialize.
+
+    The dedup state is **bounded like the window itself**: batch ids are
+    bucketed by the pane their event time falls in, and buckets older than
+    the window's retention are evicted — a re-delivery of an evicted batch
+    would be dropped as late anyway, so forgetting its id cannot double
+    count.  Cumulative windows have one never-expiring pane, so they retain
+    every id — exact dedup is what makes the cumulative estimate
+    byte-identical to a one-shot ``aggregate`` over the de-duplicated
+    stream.
     """
 
     def __init__(self, attribute: str, oracle: Any, spec: WindowSpec) -> None:
         self.attribute = str(attribute)
         self.oracle = oracle
         self.window = WindowedAccumulator(oracle, spec)
-        self._seen: set[str] = set()
+        self._seen: dict[int, set[str]] = {}
         self.duplicate_batches = 0
         self.batches = 0
         self._lock = threading.Lock()
 
-    def decode(self, reports: Any) -> np.ndarray:
-        """Decode a JSON-shaped report batch into the oracle's array form."""
+    def decode(self, reports: Any) -> Any:
+        """Decode and validate a JSON-shaped report batch.
+
+        Coerces to the oracle's array form, then applies the oracle's wire
+        contract (``validate_reports``) so a malformed batch — wrong matrix
+        width, values outside the report alphabet — raises here (an HTTP
+        400 at the edge) instead of crashing the applier thread.
+        """
         try:
-            return np.asarray(reports, dtype=np.int64)
+            chunk = np.asarray(reports, dtype=np.int64)
         except (TypeError, ValueError) as exc:
             raise InvalidParameterError(
                 f"reports for {self.attribute!r} are not an integer array: {exc}"
             ) from exc
+        try:
+            return self.oracle.validate_reports(chunk)
+        except InvalidParameterError as exc:
+            raise InvalidParameterError(
+                f"reports for {self.attribute!r} are malformed: {exc}"
+            ) from exc
 
-    def apply(self, batch_id: str, chunk: np.ndarray, now: float) -> str:
+    def _seen_before(self, batch_id: str) -> bool:
+        return any(batch_id in bucket for bucket in self._seen.values())
+
+    def _evict_seen(self) -> None:
+        """Drop dedup buckets older than the window's retention."""
+        oldest = self.window.oldest_live_index()
+        for index in [i for i in self._seen if i < oldest]:
+            del self._seen[index]
+
+    def apply(self, batch_id: str, chunk: Any, now: float) -> str:
         """Fold one batch: ``"accepted"``, ``"duplicate"`` or ``"late"``."""
         batch_id = str(batch_id)
         with self._lock:
-            if batch_id in self._seen:
+            if self._seen_before(batch_id):
                 self.duplicate_batches += 1
                 return "duplicate"
-            self._seen.add(batch_id)
+            self._seen.setdefault(self.window.pane_index(now), set()).add(batch_id)
             self.batches += 1
             count = int(self.oracle._num_reports(chunk))
             absorbed = self.window.add(chunk, now)
+            self._evict_seen()
         return "accepted" if absorbed or count == 0 else "late"
 
     def snapshot(self, now: "float | None" = None) -> dict[str, Any]:
@@ -152,6 +184,7 @@ class AttributeCollector:
             return {
                 "batches": self.batches,
                 "duplicate_batches": self.duplicate_batches,
+                "tracked_batch_ids": sum(len(b) for b in self._seen.values()),
                 "accepted_reports": self.window.accepted,
                 "late_dropped_reports": self.window.late_dropped,
                 "protocol": self.oracle.name,
@@ -282,11 +315,20 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             return
         if self.path == "/attributes":
             try:
+                k = int(request.get("k") or 0)
+                epsilon = float(request.get("epsilon") or 0.0)
+            except (TypeError, ValueError) as exc:
+                self._reply(
+                    {"error": f"k must be an integer and epsilon a float: {exc}"},
+                    code=400,
+                )
+                return
+            try:
                 collector = service.registry.register(
                     str(request.get("attribute") or ""),
                     str(request.get("protocol") or ""),
-                    int(request.get("k") or 0),
-                    float(request.get("epsilon") or 0.0),
+                    k,
+                    epsilon,
                 )
             except (InvalidParameterError, KeyError) as exc:
                 code = 409 if "already registered" in str(exc) else 400
@@ -324,12 +366,18 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             self._reply({"error": str(exc)}, code=400)
             return
         t = request.get("t")
-        now = service.clock() if t is None else float(t)
+        try:
+            now = service.clock() if t is None else float(t)
+        except (TypeError, ValueError):
+            self._reply({"error": f"t must be a float, got {t!r}"}, code=400)
+            return
         if not service.enqueue(collector, batch_id, chunk, now):
+            # RFC 9110 Retry-After is integral delta-seconds; the JSON body
+            # carries the precise float, which the bundled client prefers
             self._reply(
                 {"error": "ingest queue full", "retry_after": service.retry_after},
                 code=429,
-                headers={"Retry-After": f"{service.retry_after:g}"},
+                headers={"Retry-After": str(math.ceil(service.retry_after))},
             )
             return
         self._reply({"status": "queued", "batch_id": batch_id}, code=202)
@@ -386,7 +434,8 @@ class CollectionService:
         self._queue = queue.Queue(maxsize=self.queue_size)
         self._paused = threading.Event()
         self._rejected = 0
-        self._rejected_lock = threading.Lock()
+        self._failed = 0
+        self._counters_lock = threading.Lock()
         self._server: "_ServiceHTTPServer | None" = None
         self._server_thread: "threading.Thread | None" = None
         self._applier: "threading.Thread | None" = None
@@ -457,8 +506,12 @@ class CollectionService:
         return True
 
     def _count_rejected(self) -> None:
-        with self._rejected_lock:
+        with self._counters_lock:
             self._rejected += 1
+
+    def _count_failed(self) -> None:
+        with self._counters_lock:
+            self._failed += 1
 
     def _apply_loop(self) -> None:
         while True:
@@ -467,7 +520,14 @@ class CollectionService:
                 if item is None:
                     return
                 collector, batch_id, chunk, now = item
-                collector.apply(batch_id, chunk, now)
+                try:
+                    collector.apply(batch_id, chunk, now)
+                except Exception:
+                    # The applier is the service's single point of progress:
+                    # one decodable-but-invalid batch must surface as a
+                    # failure counter, never kill the thread (which would
+                    # strand the queue, deadlock /flush and 429 forever).
+                    self._count_failed()
             finally:
                 self._queue.task_done()
 
@@ -496,12 +556,13 @@ class CollectionService:
         self._paused.clear()
 
     def stats(self) -> dict[str, Any]:
-        with self._rejected_lock:
-            rejected = self._rejected
+        with self._counters_lock:
+            rejected, failed = self._rejected, self._failed
         return {
             "queue_depth": self._queue.qsize(),
             "queue_size": self.queue_size,
             "paused": self._paused.is_set(),
             "rejected_batches": rejected,
+            "failed_batches": failed,
             "attributes": self.registry.stats(),
         }

@@ -166,6 +166,19 @@ class WindowedAccumulator:
             return 0
         return self._pane_index(self.watermark) - int(self.spec.panes) + 1
 
+    def pane_index(self, t: float) -> int:
+        """Pane index for event time ``t`` (0 for cumulative windows)."""
+        return self._pane_index(t)
+
+    def oldest_live_index(self) -> int:
+        """Oldest pane index still live at the watermark.
+
+        Anything below this is outside the window's retention: the panes
+        that could absorb it are gone, so state keyed on pane index (the
+        service's per-batch dedup buckets) can be evicted at this boundary.
+        """
+        return self._oldest_live()
+
     def _advance(self, now: float) -> None:
         now = float(now)
         if self.watermark is None or now > self.watermark:

@@ -441,3 +441,67 @@ class TestDispatchHoistedToBase:
             np.testing.assert_array_equal(
                 oracle.support_counts(chunks), oracle.support_counts(reports)
             )
+
+
+class TestValidateReports:
+    """The ingest-edge wire contract (``validate_reports``) per oracle.
+
+    Decodable-but-invalid batches (negative GRR values, wrong-width OLH
+    matrices, oversized UE rows) must raise ``InvalidParameterError`` at the
+    edge — never crash (or silently bias) a support-count kernel downstream.
+    """
+
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_genuine_reports_pass_through_unchanged_counts(self, protocol):
+        oracle, reports = _reports(protocol)
+        validated = oracle.validate_reports(reports)
+        np.testing.assert_array_equal(
+            oracle.support_counts(validated), oracle.support_counts(reports)
+        )
+
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_empty_batch_is_valid(self, protocol):
+        oracle = make_protocol(protocol, k=K, epsilon=EPSILON, rng=0)
+        validated = oracle.validate_reports(np.empty(0, dtype=np.int64))
+        assert oracle._num_reports(validated) == 0
+
+    def test_grr_rejects_out_of_domain_and_wrong_rank(self):
+        oracle = make_protocol("GRR", k=K, epsilon=EPSILON, rng=0)
+        for bad in ([-1], [K], [[0, 1], [2, 3]]):
+            with pytest.raises(InvalidParameterError):
+                oracle.validate_reports(np.asarray(bad))
+
+    def test_olh_rejects_wrong_width_and_out_of_range_rows(self):
+        oracle = make_protocol("OLH", k=K, epsilon=EPSILON, rng=0)
+        with pytest.raises(InvalidParameterError):
+            oracle.validate_reports(np.zeros((3, 2), dtype=np.int64))
+        with pytest.raises(InvalidParameterError):
+            oracle.validate_reports(np.asarray([[0, 0, 0]]))  # seed a must be >= 1
+        with pytest.raises(InvalidParameterError):
+            oracle.validate_reports(np.asarray([[1, 0, oracle.g]]))  # y out of range
+
+    def test_ss_rejects_wrong_width_and_out_of_domain(self):
+        oracle = make_protocol("SS", k=K, epsilon=EPSILON, rng=0)
+        with pytest.raises(InvalidParameterError):
+            oracle.validate_reports(np.zeros((2, oracle.omega + 1), dtype=np.int64))
+        bad = np.zeros((2, oracle.omega), dtype=np.int64)
+        bad[0, 0] = -1
+        with pytest.raises(InvalidParameterError):
+            oracle.validate_reports(bad)
+
+    @pytest.mark.parametrize("protocol", ("SUE", "OUE"))
+    def test_ue_rejects_wrong_width_and_non_bits(self, protocol):
+        oracle = make_protocol(protocol, k=K, epsilon=EPSILON, rng=0)
+        with pytest.raises(InvalidParameterError):
+            oracle.validate_reports(np.zeros((2, K + 1), dtype=np.int64))
+        bad = np.zeros((2, K), dtype=np.int64)
+        bad[0, 0] = 2
+        with pytest.raises(InvalidParameterError):
+            oracle.validate_reports(bad)
+        with pytest.raises(InvalidParameterError):
+            oracle.validate_reports(PackedBits.empty(2, K + 8))
+
+    def test_ue_accepts_packed_reports_with_matching_k(self):
+        oracle = make_protocol("OUE", k=K, epsilon=EPSILON, rng=0)
+        packed = PackedBits.empty(3, K)
+        assert oracle.validate_reports(packed) is packed

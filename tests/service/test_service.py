@@ -9,6 +9,10 @@ contract.
 
 from __future__ import annotations
 
+import http.client
+import json
+import math
+
 import numpy as np
 import pytest
 
@@ -276,3 +280,115 @@ class TestLoadGenerator:
         ):
             with pytest.raises(InvalidParameterError):
                 LoadGenerator("GRR", k=8, epsilon=1.0, **kwargs)
+
+
+class TestMalformedIngest:
+    """REVIEW regressions: bad batches must be 400s or counted failures —
+    never a dead applier thread, a deadlocked /flush, or a dropped socket."""
+
+    def test_applier_survives_a_poison_batch(self, service):
+        client = client_for(service)
+        client.register_attribute("age", "GRR", k=8, epsilon=1.0)
+        collector = service.registry.get("age")
+        # bypass the decode() edge validation, as a buggy in-process caller
+        # (or a future transport) might: the applier must not die
+        assert service.enqueue(collector, "poison", np.asarray([-1]), 0.0)
+        client.flush()  # deadlocks forever if the applier thread died
+        assert client.stats()["failed_batches"] == 1
+        client.send_batch("age", "b0", [1, 2, 3])
+        client.flush()
+        assert client.stats()["attributes"]["age"]["accepted_reports"] == 3
+        assert client.estimate("age")["n"] == 3
+
+    def test_invalid_report_values_are_400(self, service):
+        client = client_for(service)
+        client.register_attribute("age", "GRR", k=8, epsilon=1.0)
+        client.register_attribute("city", "OLH", k=8, epsilon=1.0)
+        for attribute, bad in (
+            ("age", [-1]),            # negative GRR value
+            ("age", [8]),             # GRR value >= k
+            ("city", [[1, 2], [3, 4]]),  # wrong-width OLH matrix
+        ):
+            with pytest.raises(ServiceUnavailableError, match="400"):
+                client.send_batch(attribute, "b0", bad)
+        client.flush()
+        assert client.stats()["failed_batches"] == 0  # rejected at the edge
+
+    def test_non_numeric_json_fields_are_400_not_connection_drop(self, service):
+        client = client_for(service)
+        client.register_attribute("age", "GRR", k=8, epsilon=1.0)
+        report = {"attribute": "age", "batch_id": "b0", "reports": [1]}
+        for bad_t in ("noon", [1.0]):
+            with pytest.raises(ServiceUnavailableError, match="400"):
+                client.call("POST", "/report", dict(report, t=bad_t))
+        for bad_config in (
+            {"attribute": "x", "protocol": "GRR", "k": "many", "epsilon": 1.0},
+            {"attribute": "x", "protocol": "GRR", "k": 8, "epsilon": [1.0]},
+        ):
+            with pytest.raises(ServiceUnavailableError, match="400"):
+                client.call("POST", "/attributes", bad_config)
+
+
+class TestRetryAfterWireFormat:
+    def test_header_is_integral_delta_seconds_body_keeps_float(self, service):
+        client = client_for(service)
+        client.register_attribute("age", "GRR", k=8, epsilon=1.0)
+        service.pause()
+        conn = http.client.HTTPConnection(client.host, client.port, timeout=5)
+        try:
+            body = json.dumps({"attribute": "age", "batch_id": "b0", "reports": [1]})
+            conn.request("POST", "/report", body, {"Content-Type": "application/json"})
+            response = conn.getresponse()
+            raw = response.read()
+        finally:
+            conn.close()
+            service.resume()
+        assert response.status == 429
+        header = response.getheader("Retry-After")
+        assert header is not None and header.isdigit()  # RFC 9110 delta-seconds
+        assert int(header) == math.ceil(service.retry_after)
+        assert json.loads(raw)["retry_after"] == pytest.approx(service.retry_after)
+
+    def test_client_prefers_the_precise_body_hint(self, service):
+        sleeps: list[float] = []
+        client = CollectionClient(
+            service.url,
+            retry_policy=RetryPolicy(
+                max_retries=1, base_delay=1e-6, max_delay=1e-6, jitter=0.0
+            ),
+            sleep=sleeps.append,
+        )
+        client.register_attribute("age", "GRR", k=8, epsilon=1.0)
+        service.pause()
+        with pytest.raises(ServiceUnavailableError):
+            client.send_batch("age", "b0", [1])
+        service.resume()
+        # the ceiled header would round 0.05 up to 1; the client must pace on
+        # the body's exact float instead
+        assert sleeps == [pytest.approx(service.retry_after)]
+
+
+class TestDedupRetention:
+    def test_windowed_dedup_state_is_evicted_with_the_window(self):
+        registry = CollectorRegistry(window="tumbling:10")
+        c = registry.register("age", "GRR", k=8, epsilon=1.0, rng=0)
+        assert c.apply("b0", c.decode([1, 2]), 1.0) == "accepted"
+        assert c.apply("b0", c.decode([1, 2]), 1.0) == "duplicate"
+        assert c.stats()["tracked_batch_ids"] == 1
+        assert c.apply("b1", c.decode([3]), 25.0) == "accepted"
+        assert c.stats()["tracked_batch_ids"] == 1  # b0's bucket evicted
+        # a re-delivery of the forgotten batch is outside the retention: it
+        # is dropped as late, so forgetting its id cannot double count
+        assert c.apply("b0", c.decode([1, 2]), 1.0) == "late"
+        stats = c.stats()
+        assert stats["accepted_reports"] == 3
+        assert stats["late_dropped_reports"] == 2
+        assert stats["duplicate_batches"] == 1
+
+    def test_cumulative_dedup_is_exact_and_retained(self):
+        registry = CollectorRegistry()
+        c = registry.register("age", "GRR", k=8, epsilon=1.0, rng=0)
+        for i in range(5):
+            assert c.apply(f"b{i}", c.decode([i]), float(i)) == "accepted"
+        assert c.stats()["tracked_batch_ids"] == 5
+        assert c.apply("b0", c.decode([0]), 99.0) == "duplicate"
