@@ -47,8 +47,18 @@ def grid_kwargs() -> dict:
     when both are set).  Rows are byte-identical to the in-process paths;
     ``REPRO_CHAOS`` fault-injection directives apply to the workers as
     usual, so recovery costs can be benchmarked too.
+
+    ``REPRO_BENCH_KERNEL_BACKEND`` (``numpy``, ``numba`` or ``auto``)
+    selects the process-wide :mod:`repro.kernels` backend before the
+    benchmark runs; unset leaves the library's own resolution
+    (``REPRO_KERNEL_BACKEND``, else ``auto``) in charge.
     """
     kwargs: dict = {}
+    kernel_backend = os.environ.get("REPRO_BENCH_KERNEL_BACKEND")
+    if kernel_backend:
+        from repro.kernels import set_backend
+
+        set_backend(kernel_backend)
     workers = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
     if workers > 1:
         kwargs["workers"] = workers

@@ -1,0 +1,253 @@
+"""Micro-benchmark — the three ``repro.kernels`` hot kernels, per backend.
+
+The pluggable kernel layer (PR 10) dispatches the re-identification
+distance kernels, the GBDT histogram product and the OLH support/attack
+kernels through :func:`repro.kernels.get_backend`.  This benchmark times
+each kernel in isolation on every requested backend and cross-checks the
+backends against each other:
+
+* ``distance_block`` / ``distance_update`` — profile/record mismatch
+  counting, the inner loop of ``ReidentificationAttack``;
+* ``histogram_product`` — the level-wise ``W^T X`` product behind GBDT
+  training;
+* ``olh_support`` / ``olh_attack_counts`` / ``olh_attack_select`` — the
+  OLH hash-enumeration kernels behind frequency estimation and the
+  per-report attack.
+
+Integer-valued kernels must agree bitwise across backends; the float64
+``histogram_product`` may differ in summation order only (allclose at
+1e-12).  Each kernel is warmed once before timing so numba's one-time JIT
+compile never lands in a measurement.
+
+Run directly (this file is a script, not a pytest-benchmark module)::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py --quick
+
+``--backend`` may be repeated to pin the backend set (default: every
+importable backend).  Exits 2 on an unavailable backend, 1 on any parity
+failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.kernels import available_backends, get_backend, set_backend
+from repro.protocols.olh import HASH_PRIME
+
+
+def make_workloads(quick: bool) -> dict:
+    """Fixed-seed inputs for every kernel, shared by all backends."""
+    rng = np.random.default_rng(0)
+    if quick:
+        block, m, d = 256, 2_000, 12
+        slots, hist_n, hist_f = 64, 4_000, 64
+        reports_m, k, g = 4_000, 64, 8
+    else:
+        block, m, d = 1_024, 20_000, 14
+        slots, hist_n, hist_f = 256, 30_000, 200
+        reports_m, k, g = 50_000, 128, 16
+    # distance kernels: -1 is the unknown sentinel, values in [0, 8)
+    rows = rng.integers(-1, 8, size=(block, d)).astype(np.int64)
+    background = rng.integers(0, 8, size=(m, d)).astype(np.int64)
+    attributes = np.arange(d, dtype=np.int64)
+    update_rows = np.arange(block, dtype=np.int64)
+    old_values = rows[:, 0].copy()
+    new_values = rng.integers(-1, 8, size=block).astype(np.int64)
+    # histogram kernel: mostly-zero scattered weights, binary indicators
+    weights_t = rng.random((slots, hist_n)) * (rng.random((slots, hist_n)) < 0.2)
+    features = rng.integers(0, 2, size=(hist_n, hist_f)).astype(np.float64)
+    # OLH kernels: (a, b, y) report triples plus rank-indexed selection
+    a = rng.integers(1, HASH_PRIME, size=reports_m, dtype=np.int64)
+    b = rng.integers(0, HASH_PRIME, size=reports_m, dtype=np.int64)
+    y = rng.integers(0, g, size=reports_m, dtype=np.int64)
+    reports = np.column_stack([a, b, y])
+    domain = np.arange(k, dtype=np.int64)
+    hashed_all = ((a[:, None] * domain[None, :] + b[:, None]) % HASH_PRIME) % g
+    counts = (hashed_all == y[:, None]).sum(axis=1).astype(np.int64)
+    select_rows = np.flatnonzero(counts > 0).astype(np.int64)
+    ranks = counts[select_rows] // 2
+    return {
+        "distance": (rows, background, attributes, update_rows, old_values, new_values),
+        "histogram": (weights_t, features),
+        "olh": (reports, k, g, select_rows, ranks),
+    }
+
+
+def bench_backend(name: str, workloads: dict, repeats: int) -> dict:
+    """Per-kernel best-of-``repeats`` seconds plus outputs for parity."""
+    set_backend(name)
+    backend = get_backend()
+    rows, background, attributes, update_rows, old_values, new_values = workloads[
+        "distance"
+    ]
+    weights_t, features = workloads["histogram"]
+    reports, k, g, select_rows, ranks = workloads["olh"]
+
+    def run_distance_block():
+        out = np.zeros((rows.shape[0], background.shape[0]), dtype=np.int32)
+        return backend.distance_block(rows, background, attributes, -1, out)
+
+    base_distances = run_distance_block()
+
+    def run_distance_update():
+        distances = base_distances.copy()
+        backend.distance_update(
+            distances, update_rows, old_values, new_values, background[:, 0], -1
+        )
+        return distances
+
+    calls = {
+        "distance_block": run_distance_block,
+        "distance_update": run_distance_update,
+        "histogram_product": lambda: backend.histogram_product(weights_t, features),
+        "olh_support": lambda: backend.olh_support(reports, k, g, HASH_PRIME),
+        "olh_attack_counts": lambda: backend.olh_attack_counts(
+            reports, k, g, HASH_PRIME
+        ),
+        "olh_attack_select": lambda: backend.olh_attack_select(
+            reports, k, g, HASH_PRIME, select_rows, ranks
+        ),
+    }
+    seconds: dict[str, float] = {}
+    outputs: dict[str, np.ndarray] = {}
+    for kernel, call in calls.items():
+        outputs[kernel] = call()  # warm-up (JIT compile) + parity output
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            call()
+            best = min(best, time.perf_counter() - start)
+        seconds[kernel] = best
+    return {"seconds": seconds, "outputs": outputs}
+
+
+#: Kernels whose outputs must agree bitwise across backends.
+EXACT_KERNELS = (
+    "distance_block",
+    "distance_update",
+    "olh_support",
+    "olh_attack_counts",
+    "olh_attack_select",
+)
+
+
+def check_parity(runs: dict[str, dict], reference: str) -> tuple[list[str], dict]:
+    """Cross-backend parity failures plus the histogram max-diff record."""
+    failures: list[str] = []
+    histogram = {}
+    for name, run in runs.items():
+        if name == reference:
+            continue
+        for kernel in EXACT_KERNELS:
+            if not np.array_equal(
+                run["outputs"][kernel], runs[reference]["outputs"][kernel]
+            ):
+                failures.append(f"{kernel}: {name} != {reference}")
+        diff = float(
+            np.abs(
+                run["outputs"]["histogram_product"]
+                - runs[reference]["outputs"]["histogram_product"]
+            ).max()
+        )
+        histogram[name] = diff
+        if not np.allclose(
+            run["outputs"]["histogram_product"],
+            runs[reference]["outputs"]["histogram_product"],
+            rtol=1e-12,
+            atol=1e-12,
+        ):
+            failures.append(
+                f"histogram_product: {name} vs {reference} max diff {diff:.2e}"
+            )
+    return failures, histogram
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small CI-smoke workload (seconds, not minutes)"
+    )
+    parser.add_argument(
+        "--backend",
+        action="append",
+        choices=("numpy", "numba"),
+        default=None,
+        help="backend to benchmark (repeatable; default: every importable one)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=None, help="timing repetitions per kernel"
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path("bench_kernels.json"),
+        help="path of the JSON artifact",
+    )
+    args = parser.parse_args(argv)
+    backends = args.backend or list(available_backends())
+    repeats = args.repeats if args.repeats is not None else (3 if args.quick else 7)
+
+    workloads = make_workloads(args.quick)
+    runs: dict[str, dict] = {}
+    print(f"kernel micro-benchmark  (backends={backends}, repeats={repeats})")
+    try:
+        for name in backends:
+            runs[name] = bench_backend(name, workloads, repeats)
+    except InvalidParameterError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        set_backend("numpy")
+
+    kernels = list(runs[backends[0]]["seconds"])
+    for kernel in kernels:
+        parts = [
+            f"{name} {runs[name]['seconds'][kernel] * 1e3:8.3f} ms"
+            for name in backends
+        ]
+        line = f"  {kernel:<18} " + "   ".join(parts)
+        if len(backends) > 1:
+            base, other = backends[0], backends[1]
+            ratio = runs[base]["seconds"][kernel] / runs[other]["seconds"][kernel]
+            line += f"   ({other} {ratio:.1f}x vs {base})"
+        print(line)
+
+    failures: list[str] = []
+    histogram_diffs: dict[str, float] = {}
+    if len(runs) > 1:
+        failures, histogram_diffs = check_parity(runs, backends[0])
+        if histogram_diffs:
+            worst = max(histogram_diffs.values())
+            print(f"  histogram_product max cross-backend diff {worst:.2e}")
+
+    artifact = {
+        "benchmark": "bench_kernels",
+        "quick": args.quick,
+        "repeats": repeats,
+        "backends": backends,
+        "seconds": {name: runs[name]["seconds"] for name in runs},
+        "histogram_max_diff": histogram_diffs,
+        "parity_failures": failures,
+    }
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(artifact, indent=2) + "\n", encoding="utf-8")
+    print(f"\nartifact written to {args.out}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: cross-backend parity: {failure}")
+        return 1
+    print("all cross-backend parity checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,6 +36,14 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.exceptions import InvalidParameterError
+from repro.kernels import (
+    KERNEL_BACKEND_CHOICES,
+    active_backend_name,
+    get_backend,
+    numba_available,
+    set_backend,
+)
 from repro.ml.gradient_boosting import GradientBoostingClassifier
 from repro.ml.tree_reference import RecursiveBinaryFeatureRegressionTree
 
@@ -51,6 +59,18 @@ AGREEMENT_GATE = 0.999
 #: agreement decays even though both ensembles are equally good.  The
 #: statistical-equivalence gate is the meaningful check there.
 QUICK_ACCURACY_GATE = 0.02
+
+
+def warm_kernels() -> None:
+    """Trigger JIT compilation of the histogram kernel before any timing.
+
+    A no-op for the NumPy backend; for numba this compiles the float64
+    ``histogram_product`` specialization outside the timed region so the
+    one-time compile cost does not pollute the backend comparison.
+    """
+    weights_t = np.zeros((2, 4), dtype=np.float64)
+    features = np.zeros((4, 3), dtype=np.float64)
+    get_backend().histogram_product(weights_t, features)
 
 
 def make_problem(n: int, n_features: int, n_classes: int, seed: int = 0):
@@ -156,12 +176,33 @@ def main(argv: list[str] | None = None) -> int:
         "(ignored with --quick)",
     )
     parser.add_argument(
+        "--kernel-backend",
+        choices=KERNEL_BACKEND_CHOICES,
+        default=None,
+        help="repro.kernels backend for the timed fits "
+        "(default: REPRO_KERNEL_BACKEND, else auto)",
+    )
+    parser.add_argument(
+        "--min-kernel-speedup",
+        type=float,
+        default=3.0,
+        help="with the numba backend active, fail unless the full-scale "
+        "numba-over-numpy fit speedup reaches this factor (ignored with "
+        "--quick)",
+    )
+    parser.add_argument(
         "--out",
         type=Path,
         default=Path("bench_ml_training.json"),
         help="path of the JSON artifact",
     )
     args = parser.parse_args(argv)
+    try:
+        set_backend(args.kernel_backend)
+    except InvalidParameterError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    warm_kernels()
 
     if args.quick:
         n, n_features, n_classes, n_estimators = 4000, 64, 3, 8
@@ -184,7 +225,8 @@ def main(argv: list[str] | None = None) -> int:
 
     print(
         f"old-vs-new GBDT comparison  (n={n:,}, F={n_features}, "
-        f"classes={n_classes}, estimators={n_estimators})"
+        f"classes={n_classes}, estimators={n_estimators}, "
+        f"kernel backend={active_backend_name()})"
     )
     comparison = run_comparison(n, n_features, n_classes, n_estimators)
     print(
@@ -214,6 +256,46 @@ def main(argv: list[str] | None = None) -> int:
             f"predict {row['predict_seconds']:5.2f} s"
         )
 
+    # numba-vs-numpy kernel comparison on the level-wise implementation only.
+    # The histogram product is float64, so the two backends may sum partial
+    # products in different orders; that can flip mathematically tied splits,
+    # hence the parity gate is statistical (agreement / accuracy gap), not
+    # byte equality.
+    kernel = {"backend": active_backend_name()}
+    if active_backend_name() == "numba":
+        features, labels = make_problem(n, n_features, n_classes)
+        numba_model, numba_fit_s = timed(
+            lambda: make_classifier(n_estimators).fit(features, labels)
+        )
+        numba_pred = numba_model.predict(features)
+        set_backend("numpy")
+        warm_kernels()
+        numpy_model, numpy_fit_s = timed(
+            lambda: make_classifier(n_estimators).fit(features, labels)
+        )
+        numpy_pred = numpy_model.predict(features)
+        set_backend("numba")
+        kernel.update(
+            {
+                "numpy_fit_seconds": numpy_fit_s,
+                "numba_fit_seconds": numba_fit_s,
+                "kernel_speedup": numpy_fit_s / numba_fit_s,
+                "prediction_agreement": float(np.mean(numba_pred == numpy_pred)),
+                "accuracy_gap": abs(
+                    float(np.mean(numba_pred == labels))
+                    - float(np.mean(numpy_pred == labels))
+                ),
+            }
+        )
+        print(
+            f"\nkernel backends: numba fit {numba_fit_s:7.2f} s   "
+            f"numpy fit {numpy_fit_s:7.2f} s   "
+            f"speedup {kernel['kernel_speedup']:.1f}x   "
+            f"agreement {kernel['prediction_agreement']:.6f}"
+        )
+    elif numba_available():
+        print("\n(numba available but not selected; no kernel comparison)")
+
     artifact = {
         "benchmark": "bench_ml_training",
         "quick": args.quick,
@@ -224,6 +306,7 @@ def main(argv: list[str] | None = None) -> int:
             "n_estimators": n_estimators,
         },
         "comparison": comparison,
+        "kernel": kernel,
         "sweep": sweep,
     }
     args.out.parent.mkdir(parents=True, exist_ok=True)
@@ -253,6 +336,27 @@ def main(argv: list[str] | None = None) -> int:
                 f"< required {args.min_speedup:.1f}x"
             )
             failed = True
+    if "kernel_speedup" in kernel:
+        if args.quick:
+            if kernel["accuracy_gap"] > QUICK_ACCURACY_GATE:
+                print(
+                    f"FAIL: kernel-backend train-accuracy gap "
+                    f"{kernel['accuracy_gap']:.4f} > {QUICK_ACCURACY_GATE}"
+                )
+                failed = True
+        else:
+            if kernel["prediction_agreement"] < AGREEMENT_GATE:
+                print(
+                    f"FAIL: kernel-backend prediction agreement "
+                    f"{kernel['prediction_agreement']:.6f} < {AGREEMENT_GATE}"
+                )
+                failed = True
+            if kernel["kernel_speedup"] < args.min_kernel_speedup:
+                print(
+                    f"FAIL: numba kernel speedup {kernel['kernel_speedup']:.1f}x "
+                    f"< required {args.min_kernel_speedup:.1f}x"
+                )
+                failed = True
     if failed:
         return 1
     print("all parity/speedup gates passed")

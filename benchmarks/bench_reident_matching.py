@@ -36,6 +36,8 @@ import time
 import tracemalloc
 from pathlib import Path
 
+import numpy as np
+
 from repro.attacks import (
     ReferenceReidentificationAttack,
     ReidentificationAttack,
@@ -43,6 +45,14 @@ from repro.attacks import (
     plan_surveys,
 )
 from repro.datasets.loaders import load_dataset
+from repro.exceptions import InvalidParameterError
+from repro.kernels import (
+    KERNEL_BACKEND_CHOICES,
+    active_backend_name,
+    get_backend,
+    numba_available,
+    set_backend,
+)
 
 #: Maximum |RID-ACC difference| (percentage points) tolerated between the
 #: two engines for any (#surveys, top-k) point.  Tie-free decisions agree
@@ -51,6 +61,30 @@ from repro.datasets.loaders import load_dataset
 #: >= 5 sigma for the corresponding quick/full user counts.
 QUICK_ACCURACY_GATE_PCT = 5.0
 FULL_ACCURACY_GATE_PCT = 1.5
+
+
+def warm_kernels() -> None:
+    """Trigger JIT compilation of the distance kernels before any timing.
+
+    A no-op for the NumPy backend; for numba this compiles the int16/int32
+    specializations outside the timed region so the one-time compile cost
+    does not pollute the backend comparison.
+    """
+    backend = get_backend()
+    rows = np.zeros((2, 3), dtype=np.int64)
+    background = np.zeros((2, 3), dtype=np.int64)
+    attributes = np.arange(3, dtype=np.int64)
+    for dtype in (np.int16, np.int32):
+        out = np.zeros((2, 2), dtype=dtype)
+        backend.distance_block(rows, background, attributes, -1, out)
+        backend.distance_update(
+            out,
+            np.zeros(1, dtype=np.int64),
+            np.zeros(1, dtype=np.int64),
+            np.ones(1, dtype=np.int64),
+            background[:, 0],
+            -1,
+        )
 
 
 def timed(fn):
@@ -121,12 +155,33 @@ def main(argv: list[str] | None = None) -> int:
         "this factor (ignored with --quick)",
     )
     parser.add_argument(
+        "--kernel-backend",
+        choices=KERNEL_BACKEND_CHOICES,
+        default=None,
+        help="repro.kernels backend for the timed engines "
+        "(default: REPRO_KERNEL_BACKEND, else auto)",
+    )
+    parser.add_argument(
+        "--min-kernel-speedup",
+        type=float,
+        default=3.0,
+        help="with the numba backend active, fail unless the full-scale "
+        "numba-over-numpy kernel speedup reaches this factor (ignored with "
+        "--quick)",
+    )
+    parser.add_argument(
         "--out",
         type=Path,
         default=Path("bench_reident_matching.json"),
         help="path of the JSON artifact",
     )
     args = parser.parse_args(argv)
+    try:
+        set_backend(args.kernel_backend)
+    except InvalidParameterError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    warm_kernels()
 
     if args.quick:
         n, num_surveys = 4000, 5
@@ -145,7 +200,8 @@ def main(argv: list[str] | None = None) -> int:
     storage = snapshot_storage(profiling)
     print(
         f"fig-2 workload  (n={dataset.n:,}, d={dataset.d}, surveys={num_surveys}, "
-        f"epsilon={args.epsilon}, top_ks={top_ks})"
+        f"epsilon={args.epsilon}, top_ks={top_ks}, "
+        f"kernel backend={active_backend_name()})"
     )
     print(
         f"  profiling storage: deltas {storage['delta_bytes'] / 1e6:.1f} MB vs "
@@ -177,6 +233,33 @@ def main(argv: list[str] | None = None) -> int:
             )
     print(f"  max |RID-ACC difference| {max_diff_pct:.3f} pct points")
 
+    # numba-vs-numpy kernel comparison: the incremental engine's RNG stream
+    # and integer distance state are backend-independent, so RID-ACC must
+    # match exactly; the speedup is what the numba backend is for.
+    kernel = {"backend": active_backend_name()}
+    if active_backend_name() == "numba":
+        set_backend("numpy")
+        warm_kernels()
+        numpy_run = run_engine(ReidentificationAttack, dataset, profiling, top_ks)
+        set_backend("numba")
+        kernel_speedup = numpy_run["seconds"] / new["seconds"]
+        kernel.update(
+            {
+                "numpy_seconds": numpy_run["seconds"],
+                "numba_seconds": new["seconds"],
+                "kernel_speedup": kernel_speedup,
+                "rid_acc_exact_match": numpy_run["rid_acc_pct"] == new["rid_acc_pct"],
+            }
+        )
+        print(
+            f"  kernel backends: numba {new['seconds']:7.2f} s   "
+            f"numpy {numpy_run['seconds']:7.2f} s   "
+            f"speedup {kernel_speedup:.1f}x   "
+            f"exact RID-ACC match: {kernel['rid_acc_exact_match']}"
+        )
+    elif numba_available():
+        print("  (numba available but not selected; no kernel comparison)")
+
     artifact = {
         "benchmark": "bench_reident_matching",
         "quick": args.quick,
@@ -188,6 +271,7 @@ def main(argv: list[str] | None = None) -> int:
             "top_ks": list(top_ks),
         },
         "storage": storage,
+        "kernel": kernel,
         "incremental": new,
         "reference": old,
         "speedup": speedup,
@@ -212,6 +296,16 @@ def main(argv: list[str] | None = None) -> int:
             f"< required {args.min_speedup:.1f}x"
         )
         failed = True
+    if "kernel_speedup" in kernel:
+        if not kernel["rid_acc_exact_match"]:
+            print("FAIL: numba and numpy kernel backends disagree on RID-ACC")
+            failed = True
+        if not args.quick and kernel["kernel_speedup"] < args.min_kernel_speedup:
+            print(
+                f"FAIL: numba kernel speedup {kernel['kernel_speedup']:.1f}x "
+                f"< required {args.min_kernel_speedup:.1f}x"
+            )
+            failed = True
     if failed:
         return 1
     print("all equivalence/speedup gates passed")

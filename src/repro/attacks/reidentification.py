@@ -44,6 +44,7 @@ import numpy as np
 from ..core.dataset import TabularDataset
 from ..core.rng import RngLike, ensure_rng
 from ..exceptions import InvalidParameterError
+from ..kernels import get_backend
 from .profile import UNKNOWN, ProfilingResult, SurveyDelta
 
 #: Default block size for chunked distance computation (bounds memory use).
@@ -52,7 +53,27 @@ _BLOCK_SIZE = 1024
 #: Integer type of incrementally maintained distance matrices.  Distances
 #: are bounded by the number of attributes (a few dozen), so 16 bits halve
 #: the memory traffic of the per-block ``(block, m)`` matrix vs int32.
+#: :func:`_validate_distance_bound` rejects backgrounds wide enough to
+#: overflow it.
 _DISTANCE_DTYPE = np.int16
+
+
+def _validate_distance_bound(num_background_columns: int) -> None:
+    """Reject backgrounds whose worst-case distance overflows the int16 state.
+
+    The incremental engine accumulates per-user distances in
+    :data:`_DISTANCE_DTYPE`; the worst case (every background attribute
+    inferred and mismatching) equals the number of background columns, so
+    anything past ``iinfo.max`` could silently wrap and corrupt RID-ACC.
+    """
+    limit = int(np.iinfo(_DISTANCE_DTYPE).max)
+    if num_background_columns > limit:
+        raise InvalidParameterError(
+            f"background has {num_background_columns} columns but the "
+            f"incremental engine tracks distances in "
+            f"{np.dtype(_DISTANCE_DTYPE).name} (max {limit}); distances "
+            "could overflow"
+        )
 
 
 def _distances_kernel(
@@ -64,16 +85,12 @@ def _distances_kernel(
     """Disagreement counts between pre-converted profile rows and records.
 
     Assumes ``rows`` and ``background`` are already int64 2-D arrays (the
-    callers hoist that conversion out of their per-block loops).
+    callers hoist that conversion out of their per-block loops).  The
+    column loop lives in the active :mod:`repro.kernels` backend.
     """
+    attributes = np.asarray(background_attributes, dtype=np.int64)
     distances = np.zeros((rows.shape[0], background.shape[0]), dtype=out_dtype)
-    for column, attribute in enumerate(background_attributes):
-        inferred = rows[:, attribute]
-        known = inferred != UNKNOWN
-        if not known.any():
-            continue
-        mismatch = inferred[:, None] != background[None, :, column]
-        distances += (mismatch & known[:, None]).astype(out_dtype)
+    get_backend().distance_block(rows, background, attributes, UNKNOWN, distances)
     return distances
 
 
@@ -357,22 +374,16 @@ class ReidentificationAttack:
             group_values = group_values[changed]
             old_values = old_values[changed]
             background_column = background_columns[:, column]
-            update = np.zeros(
-                (group_rows.size, background_column.size), dtype=distances.dtype
-            )
             # a delta may also *revert* a cell to UNKNOWN (e.g. via
             # from_snapshots); only real values contribute a mismatch column
-            known_after = group_values != UNKNOWN
-            if known_after.any():
-                update[known_after] = (
-                    group_values[known_after, None] != background_column[None, :]
-                )
-            known_before = old_values != UNKNOWN
-            if known_before.any():
-                update[known_before] -= (
-                    old_values[known_before, None] != background_column[None, :]
-                )
-            distances[group_rows] += update
+            get_backend().distance_update(
+                distances,
+                group_rows,
+                old_values,
+                group_values,
+                background_column,
+                UNKNOWN,
+            )
 
     def _incremental_profiling_hits(
         self,
@@ -383,6 +394,7 @@ class ReidentificationAttack:
         min_surveys: int,
     ) -> dict[int, int]:
         """Per-#surveys hit counts via the block-outer/snapshot-inner engine."""
+        _validate_distance_bound(int(background_columns.shape[1]))
         n, d = profiling.shape
         num_surveys = len(profiling.deltas)
         column_of_attribute = np.full(d, -1, dtype=np.int64)

@@ -642,6 +642,74 @@ def check_silent_exception_swallow(ctx: FileContext) -> Iterator[Violation]:
             )
 
 
+# --------------------------------------------------------------------------- #
+# REPRO6xx — kernel-backend discipline
+# --------------------------------------------------------------------------- #
+#: Backend modules of ``repro.kernels`` that only the registry may import.
+_KERNEL_BACKEND_MODULES = ("numpy_backend", "numba_backend")
+
+
+def _names_kernel_backend_module(module_path: str) -> bool:
+    """True when a dotted module path denotes a kernel backend module."""
+    parts = module_path.split(".")
+    if parts[-1] not in _KERNEL_BACKEND_MODULES:
+        return False
+    # absolute (repro.kernels.numpy_backend), relative through the package
+    # (..kernels.numpy_backend -> "kernels.numpy_backend") or a bare sibling
+    # import ("numpy_backend", only reachable from inside the package)
+    return len(parts) == 1 or "kernels" in parts
+
+
+@rule("REPRO601", "direct-kernel-backend-import")
+def check_direct_kernel_backend_import(ctx: FileContext) -> Iterator[Violation]:
+    """A module imports a repro.kernels backend instead of get_backend().
+
+    The hot kernels are selected once per process (``--kernel-backend`` /
+    ``REPRO_KERNEL_BACKEND``) and the chosen backend is recorded in artifact
+    metadata; a module that imports ``repro.kernels.numpy_backend`` or
+    ``numba_backend`` directly pins itself to one implementation behind the
+    registry's back, so the recorded backend no longer describes the kernels
+    that actually ran.  Production code must dispatch through
+    ``repro.kernels.get_backend()``; only the registry package itself (and
+    tests/benchmarks, which compare backends on purpose) may name a backend
+    module.
+    """
+    this = _rule("REPRO601")
+    if ctx.is_tests or "repro/kernels/" in ctx.display_path:
+        return
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if _names_kernel_backend_module(alias.name):
+                    yield ctx.violation(
+                        node,
+                        this,
+                        f"import {alias.name} pins one kernel backend; "
+                        "dispatch through repro.kernels.get_backend()",
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if _names_kernel_backend_module(module):
+                yield ctx.violation(
+                    node,
+                    this,
+                    f"from {'.' * node.level}{module} import ... reaches "
+                    "into a kernel backend module; dispatch through "
+                    "repro.kernels.get_backend()",
+                )
+                continue
+            if module.split(".")[-1] == "kernels":
+                for alias in node.names:
+                    if alias.name in _KERNEL_BACKEND_MODULES:
+                        yield ctx.violation(
+                            node,
+                            this,
+                            f"from {'.' * node.level}{module} import "
+                            f"{alias.name} pins one kernel backend; "
+                            "dispatch through repro.kernels.get_backend()",
+                        )
+
+
 def _rule(code: str) -> Rule:
     """Look up a registered rule by code (used by the checkers themselves)."""
     for registered in RULES:

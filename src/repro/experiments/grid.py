@@ -755,6 +755,53 @@ class ProcessPoolExecutor(Executor):
                 raise first_error
 
 
+class ThreadedExecutor(Executor):
+    """Fan cells out across an in-process thread pool.
+
+    Profitable when the hot kernels release the GIL — the numba backend of
+    :mod:`repro.kernels` compiles all three with ``nogil=True`` — because,
+    unlike :class:`ProcessPoolExecutor`, nothing is pickled: datasets,
+    params and result rows stay in one address space.  Pure-NumPy cells
+    also overlap wherever NumPy drops the GIL, just less completely.  Rows
+    are byte-identical to :class:`SerialExecutor` because every cell
+    derives its RNG from the master seed and its own key alone; ``record``
+    is only ever invoked from the calling thread, so the callback needs no
+    locking.  Like the process pool it keeps draining after a failing cell
+    so surviving cells are still recorded before the first error
+    propagates.
+    """
+
+    def __init__(self, workers: int = 2) -> None:
+        if int(workers) < 1:
+            raise InvalidParameterError(f"workers must be >= 1, got {workers}")
+        self.workers = int(workers)
+
+    def execute(self, tasks: Sequence[tuple[int, GridCell]], record: RecordFn) -> None:
+        tasks = list(tasks)
+        if self.workers == 1 or len(tasks) <= 1:
+            SerialExecutor().execute(tasks, record)
+            return
+        with concurrent.futures.ThreadPoolExecutor(
+            max_workers=min(self.workers, len(tasks))
+        ) as pool:
+            futures = {
+                pool.submit(_execute_payload, _cell_payload(cell)): index
+                for index, cell in tasks
+            }
+            first_error: BaseException | None = None
+            for future in concurrent.futures.as_completed(futures):
+                try:
+                    rows, elapsed = future.result()
+                except BaseException as exc:
+                    # keep draining so the surviving cells still hit the cache
+                    if first_error is None:
+                        first_error = exc
+                    continue
+                record(futures[future], rows, elapsed, "computed")
+            if first_error is not None:
+                raise first_error
+
+
 def resolve_executor(executor: "Executor | None", workers: int = 1) -> Executor:
     """Normalize the ``(executor, workers)`` pair of :func:`run_grid`.
 

@@ -46,6 +46,12 @@ from dataclasses import dataclass
 from typing import Callable, Mapping, Sequence
 
 from ..exceptions import GridExecutionError, InvalidParameterError, ShardMergeError
+from ..kernels import (
+    KERNEL_BACKEND_CHOICES,
+    KERNEL_BACKEND_ENV,
+    active_backend_name,
+    set_backend,
+)
 from .analytical_acc import plan_analytical_acc, postprocess_analytical_acc
 from .attribute_inference_rsfd import (
     plan_attribute_inference_rsfd,
@@ -56,7 +62,16 @@ from .attribute_inference_rsrfd import (
     postprocess_attribute_inference_rsrfd,
 )
 from .config import PIE_BETAS, QUICK
-from .grid import CACHE_BACKENDS, CellStore, Executor, GridCell, execute_plan
+from .grid import (
+    CACHE_BACKENDS,
+    CellStore,
+    Executor,
+    GridCell,
+    ProcessPoolExecutor,
+    SerialExecutor,
+    ThreadedExecutor,
+    execute_plan,
+)
 from .reident_rsfd import plan_reidentification_rsfd, postprocess_reidentification_rsfd
 from .reident_smp import plan_reidentification_smp, postprocess_reidentification_smp
 from .remote import (
@@ -412,6 +427,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="number of worker processes executing grid cells (default: 1)",
     )
     parser.add_argument(
+        "--executor",
+        choices=("serial", "process", "thread"),
+        default=None,
+        help="how grid cells run: 'serial' one at a time, 'process' the "
+        "multiprocessing pool, 'thread' an in-process thread pool with "
+        "--workers N threads (profitable with the numba kernel backend, "
+        "whose compiled kernels release the GIL; rows are byte-identical "
+        "either way); default: serial for --workers 1, process otherwise",
+    )
+    parser.add_argument(
+        "--kernel-backend",
+        choices=KERNEL_BACKEND_CHOICES,
+        default=None,
+        help="numeric kernels for the hot paths: 'numpy' (pure NumPy, "
+        "always available), 'numba' (JIT-compiled; an error if numba is "
+        "not installed) or 'auto' (numba when importable, silently NumPy "
+        f"otherwise); default: the {KERNEL_BACKEND_ENV} environment "
+        "variable, else auto",
+    )
+    parser.add_argument(
         "--cache-dir",
         default=DEFAULT_CACHE_DIR,
         metavar="DIR",
@@ -699,6 +734,7 @@ def _write_figure_artifact(
         "seed": args.seed,
         "cache_dir": None if args.no_cache else str(args.cache_dir),
         "cache_backend": args.cache_backend,
+        "kernel_backend": active_backend_name(),
         "grid": grid_summary,
     }
     directory = save_artifact(args.out, figure, rows, metadata)
@@ -800,6 +836,19 @@ def main(argv: Sequence[str] | None = None) -> int:
             "--cache-max-entries/--cache-max-bytes bound the on-disk cell "
             "cache and cannot be combined with --no-cache"
         )
+    if args.executor == "serial" and args.workers != 1:
+        parser.error(
+            "--executor serial runs cells one at a time; drop --workers or "
+            "pick --executor process/thread"
+        )
+    # select the process-wide kernel backend up front so every path (figures,
+    # service, maintenance) validates REPRO_KERNEL_BACKEND / --kernel-backend
+    # the same way, and a numba request without numba fails fast
+    try:
+        set_backend(args.kernel_backend)
+    except InvalidParameterError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     remote_mode = args.remote_listen is not None or args.remote_workers is not None
     if remote_mode:
         if (
@@ -816,6 +865,11 @@ def main(argv: Sequence[str] | None = None) -> int:
             parser.error(
                 "--workers selects the in-process pool and has no effect on "
                 "remote execution; use --remote-workers N instead"
+            )
+        if args.executor is not None:
+            parser.error(
+                "--executor selects the in-process execution strategy and "
+                "has no effect on remote execution"
             )
     elif (
         args.lease_timeout is not None
@@ -840,11 +894,12 @@ def main(argv: Sequence[str] | None = None) -> int:
             or args.migrate_cache
             or args.show_runs is not None
             or args.out is not None
+            or args.executor is not None
         ):
             parser.error(
                 "--serve/--snapshot are figure-less service commands and "
-                "cannot be combined with a figure, sharding, remote-execution "
-                "or maintenance flags"
+                "cannot be combined with a figure, sharding, remote-execution, "
+                "executor or maintenance flags"
             )
         if args.snapshot is not None and (
             args.window is not None or args.queue_size is not None
@@ -871,11 +926,12 @@ def main(argv: Sequence[str] | None = None) -> int:
             or args.gc_shards
             or args.shard_dir is not None
             or remote_mode
+            or args.executor is not None
         ):
             parser.error(
                 "--migrate-cache/--show-runs are figure-less maintenance "
-                "commands and cannot be combined with a figure, sharding or "
-                "remote-execution flags"
+                "commands and cannot be combined with a figure, sharding, "
+                "remote-execution or executor flags"
             )
         if args.out is not None:
             parser.error(
@@ -911,6 +967,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         parser.error(
             "--out has no effect on a single-shard invocation; "
             "pass it to --merge-shards instead"
+        )
+    if args.executor is not None and args.shards is not None:
+        parser.error(
+            "--executor selects the in-process execution strategy; sharded "
+            "runs distribute cells through their own shard workers (--workers)"
         )
     grid_info: dict = {}
     cache = None
@@ -956,6 +1017,13 @@ def main(argv: Sequence[str] | None = None) -> int:
                 cache_max_bytes=None if args.no_cache else args.cache_max_bytes,
                 cache_backend=args.cache_backend,
             )
+        elif args.executor is not None:
+            if args.executor == "thread":
+                executor = ThreadedExecutor(args.workers)
+            elif args.executor == "process":
+                executor = ProcessPoolExecutor(args.workers)
+            else:
+                executor = SerialExecutor()
         rows = run_experiment(
             args.figure,
             quick=not args.full,

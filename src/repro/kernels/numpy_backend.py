@@ -1,0 +1,162 @@
+"""Pure-NumPy kernel backend (the default; always available).
+
+These are the hot-path kernels extracted verbatim from
+``attacks/reidentification.py``, ``ml/tree.py`` and ``protocols/olh.py`` —
+the array contracts documented here are THE backend contract; the numba
+backend reimplements exactly these semantics.  Integer-valued kernels are
+bitwise reproducible across backends; :func:`histogram_product` is the one
+float kernel, where backends may differ in summation order only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import KernelBackend
+
+
+def distance_block(
+    rows: np.ndarray,
+    background: np.ndarray,
+    attributes: np.ndarray,
+    unknown: int,
+    out: np.ndarray,
+) -> np.ndarray:
+    """Accumulate profile/record disagreement counts into ``out``.
+
+    Parameters
+    ----------
+    rows:
+        ``(n, d)`` int64 inferred-profile rows (``unknown`` marks cells not
+        inferred yet).
+    background:
+        ``(m, c)`` int64 background-knowledge submatrix.
+    attributes:
+        ``(c,)`` int64 global attribute index of each background column.
+    unknown:
+        Sentinel for not-inferred profile cells; they contribute no
+        mismatch.
+    out:
+        ``(n, m)`` integer matrix the counts are **added** into (callers
+        pass zeros for a fresh computation; the dtype is the caller's
+        choice).  Returned for convenience.
+    """
+    for column in range(attributes.shape[0]):
+        inferred = rows[:, attributes[column]]
+        known = inferred != unknown
+        if not known.any():
+            continue
+        mismatch = inferred[:, None] != background[None, :, column]
+        out += (mismatch & known[:, None]).astype(out.dtype)
+    return out
+
+
+def distance_update(
+    distances: np.ndarray,
+    rows: np.ndarray,
+    old_values: np.ndarray,
+    new_values: np.ndarray,
+    background_column: np.ndarray,
+    unknown: int,
+) -> None:
+    """Fold one attribute's rewritten cells into a distance matrix in place.
+
+    For block-local profile rows ``rows`` (``(w,)`` int64, no duplicates)
+    whose cell changed from ``old_values`` to ``new_values`` on the
+    attribute whose background column is ``background_column`` (``(m,)``
+    int64), add the new value's mismatch column and subtract the old one.
+    ``unknown`` values (a cell not inferred before, or reverted) contribute
+    nothing on their side of the update.  ``distances`` is ``(block, m)``
+    integer, updated in place.
+    """
+    update = np.zeros((rows.size, background_column.size), dtype=distances.dtype)
+    known_after = new_values != unknown
+    if known_after.any():
+        update[known_after] = (
+            new_values[known_after, None] != background_column[None, :]
+        )
+    known_before = old_values != unknown
+    if known_before.any():
+        update[known_before] -= (
+            old_values[known_before, None] != background_column[None, :]
+        )
+    distances[rows] += update
+
+
+def histogram_product(weights_t: np.ndarray, features: np.ndarray) -> np.ndarray:
+    """Per-slot feature histograms: the level-wise ``W^T X`` product.
+
+    ``weights_t`` is ``(slots, n)`` float64 scattered sample weights (one
+    row per live tree node at this level, mostly zero) and ``features`` is
+    the ``(n, F)`` float64 binary bin-indicator matrix; returns the
+    ``(slots, F)`` float64 histogram matrix ``weights_t @ features``.
+    """
+    return weights_t @ features
+
+
+def olh_support(
+    reports: np.ndarray, k: int, g: int, prime: int
+) -> np.ndarray:
+    """Support counts of one OLH report block over the domain ``[0, k)``.
+
+    ``reports`` is ``(m, 3)`` int64 rows ``(a, b, y)``; report ``i``
+    supports value ``v`` iff ``((a_i v + b_i) mod prime) mod g == y_i``.
+    Returns the ``(k,)`` float64 vector of support counts.
+    """
+    a, b, perturbed = reports[:, 0], reports[:, 1], reports[:, 2]
+    domain = np.arange(k, dtype=np.int64)
+    hashed_all = ((a[:, None] * domain[None, :] + b[:, None]) % prime) % g
+    supports = hashed_all == perturbed[:, None]
+    return supports.sum(axis=0).astype(float)
+
+
+def olh_attack_counts(
+    reports: np.ndarray, k: int, g: int, prime: int
+) -> np.ndarray:
+    """Per-report candidate-set sizes: ``counts[i] = |{v : H_i(v) == y_i}|``.
+
+    Same support relation as :func:`olh_support`, summed along the domain
+    axis instead; returns ``(m,)`` int64.
+    """
+    a, b, perturbed = reports[:, 0], reports[:, 1], reports[:, 2]
+    domain = np.arange(k, dtype=np.int64)
+    hashed_all = ((a[:, None] * domain[None, :] + b[:, None]) % prime) % g
+    supports = hashed_all == perturbed[:, None]
+    return supports.sum(axis=1).astype(np.int64)
+
+
+def olh_attack_select(
+    reports: np.ndarray,
+    k: int,
+    g: int,
+    prime: int,
+    rows: np.ndarray,
+    ranks: np.ndarray,
+) -> np.ndarray:
+    """Rank-indexed candidate selection for the OLH attack.
+
+    For each report index in ``rows`` (all with non-empty candidate sets),
+    return the ``ranks[j]``-th (0-based, ``0 <= ranks[j] < counts``) domain
+    value supported by that report, in increasing value order — the uniform
+    candidate the attack RNG already committed to via ``ranks``.  Returns
+    ``(len(rows),)`` int64 guesses.
+    """
+    a = reports[rows, 0]
+    b = reports[rows, 1]
+    perturbed = reports[rows, 2]
+    domain = np.arange(k, dtype=np.int64)
+    hashed_all = ((a[:, None] * domain[None, :] + b[:, None]) % prime) % g
+    supports = hashed_all == perturbed[:, None]
+    cumulative = np.cumsum(supports, axis=1)
+    return np.argmax(cumulative > ranks[:, None], axis=1).astype(np.int64)
+
+
+BACKEND = KernelBackend(
+    name="numpy",
+    distance_block=distance_block,
+    distance_update=distance_update,
+    histogram_product=histogram_product,
+    olh_support=olh_support,
+    olh_attack_counts=olh_attack_counts,
+    olh_attack_select=olh_attack_select,
+)

@@ -36,6 +36,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..exceptions import InvalidParameterError, NotFittedError
+from ..kernels import get_backend
 from .validation import validate_aligned_targets, validate_feature_matrix
 
 
@@ -580,7 +581,7 @@ def grow_forest(
             if rows:
                 grower.scatter(weights_t, offset)
             offset += rows
-        hist = weights_t[:total] @ features64  # (total, F)
+        hist = get_backend().histogram_product(weights_t[:total], features64)  # (total, F)
         offset = 0
         for grower, rows in zip(growers, rows_needed):
             if rows:

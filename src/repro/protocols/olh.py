@@ -19,6 +19,7 @@ import numpy as np
 
 from ..core.rng import RngLike
 from ..exceptions import InvalidParameterError
+from ..kernels import get_backend
 from .base import FrequencyOracle
 from .streaming import resolve_chunk_size, sum_support_counts
 
@@ -152,14 +153,13 @@ class OLH(FrequencyOracle):
         return self._support_counts_block(reports)
 
     def _support_counts_block(self, reports: np.ndarray) -> np.ndarray:
-        """Support-count kernel over one ``(m, 3)`` report block."""
-        a, b, perturbed = reports[:, 0], reports[:, 1], reports[:, 2]
-        domain = np.arange(self.k, dtype=np.int64)
-        # hashed_all[i, v] = H_{a_i, b_i}(v); a report supports v iff it maps to
-        # the reported perturbed value.
-        hashed_all = universal_hash(domain[None, :], a[:, None], b[:, None], self.g)
-        supports = hashed_all == perturbed[:, None]
-        return supports.sum(axis=0).astype(float)
+        """Support-count kernel over one ``(m, 3)`` report block.
+
+        A report supports ``v`` iff ``H_{a,b}(v)`` maps to its reported
+        perturbed value; the counting loop lives in the active
+        :mod:`repro.kernels` backend.
+        """
+        return get_backend().olh_support(reports, self.k, self.g, HASH_PRIME)
 
     def _num_reports(self, reports: np.ndarray) -> int:
         return int(self._as_report_matrix(reports).shape[0])
@@ -208,12 +208,15 @@ class OLH(FrequencyOracle):
         return self._attack_block(reports)
 
     def _attack_block(self, reports: np.ndarray) -> np.ndarray:
-        """Attack kernel over one ``(m, 3)`` report block."""
-        a, b, perturbed = reports[:, 0], reports[:, 1], reports[:, 2]
-        domain = np.arange(self.k, dtype=np.int64)
-        hashed_all = universal_hash(domain[None, :], a[:, None], b[:, None], self.g)
-        supports = hashed_all == perturbed[:, None]
-        counts = supports.sum(axis=1)
+        """Attack kernel over one ``(m, 3)`` report block.
+
+        The RNG draws happen here, in the historical order (uniform guesses
+        for empty candidate sets first, then one rank per non-empty report),
+        so guesses are byte-identical across kernel backends: the backend
+        kernels only count candidates and resolve rank -> domain value.
+        """
+        backend = get_backend()
+        counts = backend.olh_attack_counts(reports, self.k, self.g, HASH_PRIME)
         n = reports.shape[0]
         guesses = np.empty(n, dtype=np.int64)
         empty_mask = counts == 0
@@ -221,8 +224,9 @@ class OLH(FrequencyOracle):
         rows = np.flatnonzero(~empty_mask)
         if rows.size:
             ranks = (self._rng.random(rows.size) * counts[rows]).astype(np.int64)
-            cumulative = np.cumsum(supports[rows], axis=1)
-            guesses[rows] = np.argmax(cumulative > ranks[:, None], axis=1)
+            guesses[rows] = backend.olh_attack_select(
+                reports, self.k, self.g, HASH_PRIME, rows, ranks
+            )
         return guesses
 
     def expected_attack_accuracy(self) -> float:

@@ -18,7 +18,12 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.attacks.profile import ProfilingResult, build_profiles_smp, plan_surveys
+from repro.attacks.profile import (
+    ProfilingResult,
+    SurveyDelta,
+    build_profiles_smp,
+    plan_surveys,
+)
 from repro.attacks.reidentification import (
     ReidentificationAttack,
     count_topk_hits,
@@ -175,6 +180,37 @@ class TestEngineParity:
                     incremental[surveys_done].accuracy
                     == reference[surveys_done].accuracy
                 )
+
+    def test_distance_dtype_bound_guard_at_the_boundary(self):
+        """Regression: a background wide enough to overflow the int16
+        distance state must be rejected up front, not silently wrapped."""
+        n = 4
+        limit = int(np.iinfo(np.int16).max)
+
+        def make(d):
+            domain = Domain.from_sizes([2] * d)
+            dataset = TabularDataset(domain, np.zeros((n, d), dtype=np.int64))
+            delta = SurveyDelta(
+                rows=np.arange(n, dtype=np.int64),
+                attributes=np.zeros(n, dtype=np.int64),
+                values=np.ones(n, dtype=np.int64),
+            )
+            profiling = ProfilingResult(
+                deltas=[delta], shape=(n, d), surveys=[], metric="uniform"
+            )
+            return dataset, profiling
+
+        dataset, profiling = make(limit)  # exactly at the bound: fine
+        results = ReidentificationAttack(dataset, rng=0).evaluate_profiling(
+            profiling, top_k=1, min_surveys=1
+        )
+        assert set(results) == {1}
+
+        dataset, profiling = make(limit + 1)  # one column past it: rejected
+        with pytest.raises(InvalidParameterError, match="overflow"):
+            ReidentificationAttack(dataset, rng=0).evaluate_profiling(
+                profiling, top_k=1, min_surveys=1
+            )
 
     def test_min_surveys_beyond_horizon_returns_empty(self, tie_free_profiling):
         dataset, profiling = tie_free_profiling

@@ -1,0 +1,19 @@
+"""Fixture: direct kernel-backend imports that bypass the registry."""
+
+import repro.kernels.numba_backend  # REPRO601
+
+from repro.kernels import numpy_backend  # REPRO601
+from repro.kernels.numpy_backend import histogram_product  # REPRO601
+
+
+def hot_histogram(weights_t, features):
+    numba = repro.kernels.numba_backend
+    return numba.histogram_product(weights_t, features)
+
+
+def pinned_histogram(weights_t, features):
+    return numpy_backend.histogram_product(weights_t, features)
+
+
+def imported_kernel(weights_t, features):
+    return histogram_product(weights_t, features)

@@ -1,0 +1,12 @@
+"""Fixture: kernel dispatch through the registry (no REPRO601)."""
+
+from repro.kernels import active_backend_name, get_backend
+
+
+def hot_histogram(weights_t, features):
+    return get_backend().histogram_product(weights_t, features)
+
+
+def record_backend(metadata: dict) -> dict:
+    metadata["kernel_backend"] = active_backend_name()
+    return metadata

@@ -125,6 +125,44 @@ def test_silent_good_fixture_is_clean() -> None:
     assert fixture_codes("silent_good.py") == []
 
 
+def test_kernelimport_bad_fixture() -> None:
+    violations = lint_file(
+        FIXTURES / "kernelimport_bad.py", display_path="kernelimport_bad.py"
+    )
+    codes = [v.rule for v in violations]
+    assert codes == ["REPRO601"] * 3
+    messages = " ".join(v.message for v in violations)
+    assert "get_backend()" in messages
+
+
+def test_kernelimport_good_fixture_is_clean() -> None:
+    assert fixture_codes("kernelimport_good.py") == []
+
+
+def test_kernelimport_rule_exempts_tests_and_registry() -> None:
+    for display_path in (
+        "tests/test_kernelimport_bad.py",
+        "src/repro/kernels/__init__.py",
+    ):
+        codes = [
+            v.rule
+            for v in lint_file(FIXTURES / "kernelimport_bad.py", display_path=display_path)
+        ]
+        assert codes == []
+
+
+def test_kernelimport_rule_catches_relative_forms(tmp_path: Path) -> None:
+    source = (
+        "from ..kernels import numba_backend\n"
+        "from ..kernels.numpy_backend import histogram_product\n"
+        "from repro.kernels import get_backend\n"
+    )
+    path = tmp_path / "tree.py"
+    path.write_text(source)
+    codes = [v.rule for v in lint_file(path, display_path="src/repro/ml/tree.py")]
+    assert codes == ["REPRO601"] * 2
+
+
 def test_silent_rule_applies_inside_tests_too() -> None:
     codes = [
         v.rule

@@ -19,6 +19,7 @@ from repro.experiments.grid import (
     GridCell,
     ProcessPoolExecutor,
     SerialExecutor,
+    ThreadedExecutor,
     cell_runner,
     resolve_executor,
     run_grid,
@@ -120,6 +121,15 @@ class TestExecutorParity:
     def test_fig5_pool_matches_serial(self, fig5_cells, fig5_serial_rows):
         pool = run_grid(fig5_cells, executor=ProcessPoolExecutor(workers=4))
         assert _canonical(pool.rows) == _canonical(fig5_serial_rows)
+
+    def test_fig2_threaded_matches_serial(self, fig2_cells, fig2_serial_rows):
+        threaded = run_grid(fig2_cells, executor=ThreadedExecutor(workers=4))
+        assert _canonical(threaded.rows) == _canonical(fig2_serial_rows)
+        assert threaded.rows  # non-degenerate
+
+    def test_fig5_threaded_matches_serial(self, fig5_cells, fig5_serial_rows):
+        threaded = run_grid(fig5_cells, executor=ThreadedExecutor(workers=4))
+        assert _canonical(threaded.rows) == _canonical(fig5_serial_rows)
 
     @pytest.mark.parametrize("shards", [1, 2, 3])
     def test_fig2_sharded_invocations_merge_shuffled(
@@ -632,9 +642,28 @@ class TestExecutorSeam:
         with pytest.raises(InvalidParameterError):
             run_grid([], executor="serial")
 
+    def test_threaded_executor_keeps_draining_on_cell_failure(self, tmp_path):
+        """Surviving cells are still recorded (cached) before the error."""
+        cells = _echo_cells(4) + [
+            GridCell(figure="f", runner="_test_exec_boom", params={}, master_seed=3)
+        ]
+        cache_dir = tmp_path / "cache"
+        with pytest.raises(RuntimeError, match="cell exploded"):
+            run_grid(cells, executor=ThreadedExecutor(workers=3), cache=cache_dir)
+        retry = run_grid(_echo_cells(4), cache=cache_dir)
+        assert retry.from_cache == 4 and retry.computed == 0
+
+    def test_threaded_executor_single_worker_falls_back_to_serial(self):
+        result = run_grid(_echo_cells(3), executor=ThreadedExecutor(workers=1))
+        assert _canonical(result.rows) == _canonical(
+            run_grid(_echo_cells(3), executor=SerialExecutor()).rows
+        )
+
     def test_invalid_executor_parameters_rejected(self):
         with pytest.raises(InvalidParameterError):
             ProcessPoolExecutor(workers=0)
+        with pytest.raises(InvalidParameterError):
+            ThreadedExecutor(workers=0)
         with pytest.raises(InvalidParameterError):
             ShardedExecutor(0)
         with pytest.raises(InvalidParameterError):

@@ -222,6 +222,67 @@ class TestCliArgumentValidation:
         assert "--remote-listen or --remote-workers" in capsys.readouterr().err
 
 
+class TestCliKernelsAndExecutor:
+    """--kernel-backend / --executor: parse-time validation and parity."""
+
+    def test_unknown_kernel_backend_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig1", "--kernel-backend", "cuda"])
+        assert excinfo.value.code == 2
+        assert "--kernel-backend" in capsys.readouterr().err
+
+    def test_numba_backend_without_numba_is_a_clear_error(self, capsys):
+        from repro.kernels import numba_available
+
+        if numba_available():
+            pytest.skip("numba installed: the explicit request succeeds")
+        assert main(["fig1", "--no-cache", "--kernel-backend", "numba"]) == 2
+        assert "numba is not importable" in capsys.readouterr().err
+
+    def test_bogus_backend_env_var_exits_2(self, capsys, monkeypatch):
+        from repro.kernels import KERNEL_BACKEND_ENV
+
+        monkeypatch.setenv(KERNEL_BACKEND_ENV, "bogus")
+        assert main(["fig1", "--no-cache"]) == 2
+        assert "unknown kernel backend" in capsys.readouterr().err
+
+    def test_serial_executor_conflicts_with_workers(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig1", "--executor", "serial", "--workers", "2"])
+        assert excinfo.value.code == 2
+        assert "--executor serial" in capsys.readouterr().err
+
+    def test_executor_conflicts_with_sharding(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig1", "--executor", "thread", "--shards", "2"])
+        assert excinfo.value.code == 2
+        assert "--executor" in capsys.readouterr().err
+
+    def test_executor_conflicts_with_remote_mode(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig1", "--executor", "thread", "--remote-workers", "2"])
+        assert excinfo.value.code == 2
+        assert "remote execution" in capsys.readouterr().err
+
+    def test_threaded_cli_artifact_matches_serial(self, tmp_path, capsys):
+        serial_out = tmp_path / "serial"
+        assert main(
+            ["fig1", "--no-cache", "--executor", "serial", "--out", str(serial_out)]
+        ) == 0
+        threaded_out = tmp_path / "threaded"
+        assert main(
+            ["fig1", "--no-cache", "--executor", "thread", "--workers", "3",
+             "--kernel-backend", "auto", "--out", str(threaded_out)]
+        ) == 0
+        capsys.readouterr()
+        assert (threaded_out / "fig1" / "rows.json").read_bytes() == (
+            serial_out / "fig1" / "rows.json"
+        ).read_bytes()
+        meta = json.loads((threaded_out / "fig1" / "meta.json").read_text())
+        assert meta["kernel_backend"] in ("numpy", "numba")
+        assert meta["grid"]["executor"] == "ThreadedExecutor"
+
+
 class TestCliRemote:
     def test_remote_workers_artifact_matches_serial(self, tmp_path, capsys):
         serial_out = tmp_path / "serial"
